@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The heavier
+end-to-end simulations run exactly once per benchmark (``rounds=1``); the
+analytic sweeps use pytest-benchmark's normal calibration.  Each benchmark
+stores the regenerated headline numbers in ``benchmark.extra_info`` so the
+JSON output doubles as the reproduced dataset.
+"""
+
+import pytest
+
+from repro.experiments import build_dataset
+
+
+@pytest.fixture(scope="session")
+def campus_dataset():
+    """A campus-scale synthetic Zoom-API dataset shared by the trace benches."""
+    return build_dataset(num_meetings=4_000, seed=2022)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run a heavy experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

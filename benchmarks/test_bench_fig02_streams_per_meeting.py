@@ -1,0 +1,23 @@
+"""Figure 2: media streams at the SFU vs. participants per meeting."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_streams_per_meeting
+
+
+def test_fig02_streams_per_meeting(benchmark, campus_dataset):
+    result = run_once(benchmark, run_streams_per_meeting, campus_dataset)
+    print()
+    print(f"{'participants':>13}{'min':>8}{'median':>9}{'max':>8}{'2N^2 bound':>12}")
+    for participants in sorted(result.summary)[:25]:
+        low, med, high = result.summary[participants]
+        print(f"{participants:>13}{low:>8}{med:>9.0f}{high:>8}{result.upper_bound(participants):>12}")
+    ten = result.median_for(10)
+    twenty_five = result.median_for(25)
+    benchmark.extra_info["median_streams_10_participants"] = ten
+    benchmark.extra_info["median_streams_25_participants"] = twenty_five
+    benchmark.extra_info["paper_streams_10_participants"] = "up to ~200"
+    benchmark.extra_info["paper_streams_25_participants"] = "in excess of 700"
+    if ten is not None:
+        assert 20 <= ten <= 250
+    if twenty_five is not None:
+        assert twenty_five <= 1_250  # the theoretical 2 N^2 bound

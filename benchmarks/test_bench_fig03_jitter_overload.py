@@ -1,0 +1,28 @@
+"""Figure 3: receive jitter of meeting 1 while participants are added to an
+under-provisioned (single-core) software SFU."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import OverloadConfig, format_overload, run_overload_experiment
+
+CONFIG = OverloadConfig(
+    num_meetings=8,
+    participants_per_meeting=10,
+    seconds_per_join=0.75,
+    media_scale=0.1,
+    saturation_participants=50,
+    seed=5,
+)
+
+
+def test_fig03_jitter_under_overload(benchmark):
+    result = run_once(benchmark, run_overload_experiment, CONFIG)
+    print()
+    print(format_overload(result))
+    tail = result.samples[-5:]
+    peak_fps_sample = max(result.samples, key=lambda s: s.normalized_frame_rate_fps)
+    benchmark.extra_info["saturation_participants"] = result.saturation_participants
+    benchmark.extra_info["p99_jitter_ms_at_end"] = round(max(s.p99_jitter_ms for s in tail), 1)
+    benchmark.extra_info["p99_jitter_ms_before_saturation"] = round(peak_fps_sample.p99_jitter_ms, 2)
+    benchmark.extra_info["paper_observation"] = "tail jitter exceeds 100 ms past ~80 participants"
+    assert result.saturation_participants is not None
+    assert max(s.p99_jitter_ms for s in tail) > 50.0

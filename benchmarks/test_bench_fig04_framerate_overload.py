@@ -1,0 +1,29 @@
+"""Figure 4: receive frame rate of meeting 1 while the software SFU saturates."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import OverloadConfig, run_overload_experiment
+
+CONFIG = OverloadConfig(
+    num_meetings=8,
+    participants_per_meeting=10,
+    seconds_per_join=0.75,
+    media_scale=0.1,
+    saturation_participants=50,
+    seed=6,
+)
+
+
+def test_fig04_framerate_under_overload(benchmark):
+    result = run_once(benchmark, run_overload_experiment, CONFIG)
+    series = result.frame_rate_series()
+    print()
+    print(f"{'participants':>13}{'rx fps (30fps axis)':>21}")
+    for participants, fps in series:
+        print(f"{participants:>13}{fps:>21.1f}")
+    peak = max(fps for _p, fps in series)
+    tail = min(fps for _p, fps in series[-5:])
+    benchmark.extra_info["peak_rx_fps"] = round(peak, 1)
+    benchmark.extra_info["rx_fps_at_end"] = round(tail, 1)
+    benchmark.extra_info["paper_observation"] = "frame rate starts dropping around 60 participants, frequent drops beyond"
+    assert peak > 15.0
+    assert tail < 0.5 * peak

@@ -1,0 +1,30 @@
+"""Figure 14: SVC rate adaptation for a constrained participant in a 3-party call."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import RateAdaptationConfig, format_rate_adaptation, run_rate_adaptation
+
+CONFIG = RateAdaptationConfig(
+    total_duration_s=120.0,
+    first_constraint_at_s=30.0,
+    second_constraint_at_s=70.0,
+    sample_interval_s=2.0,
+)
+
+
+def test_fig14_rate_adaptation(benchmark):
+    result = run_once(benchmark, run_rate_adaptation, CONFIG)
+    print()
+    print(format_rate_adaptation(result))
+    print("receive frame rate at the constrained participant (per origin stream):")
+    for origin, series in result.receive_frame_rates.items():
+        samples = ", ".join(f"{time:.0f}s:{fps:.0f}" for time, fps in series[:: max(1, len(series) // 12)])
+        print(f"  {origin}: {samples}")
+    benchmark.extra_info["decode_targets"] = {f"{k[0]}->{k[1]}": v for k, v in result.decode_targets.items()}
+    benchmark.extra_info["constrained_fps"] = round(result.constrained_frame_rate_fps, 1)
+    benchmark.extra_info["unconstrained_fps"] = round(result.unconstrained_frame_rate_fps, 1)
+    benchmark.extra_info["freezes"] = result.freezes_at_constrained
+    benchmark.extra_info["paper_observation"] = "constrained participant reduced 30->15 fps, no freezes, others unaffected"
+    assert result.adapted()
+    assert result.freezes_at_constrained == 0
+    assert result.unconstrained_frame_rate_fps > 22.0
+    assert result.constrained_frame_rate_fps < result.unconstrained_frame_rate_fps

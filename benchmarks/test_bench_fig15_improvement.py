@@ -1,0 +1,18 @@
+"""Figure 15: Scallop's scalability improvement over a 32-core server."""
+
+from repro.experiments import run_improvement_sweep
+from repro.experiments.fig_scalability import DEFAULT_PARTICIPANT_RANGE, headline_numbers
+
+
+def test_fig15_improvement_over_software(benchmark):
+    points = benchmark(run_improvement_sweep, DEFAULT_PARTICIPANT_RANGE)
+    print()
+    print(f"{'participants':>13}{'improvement min':>17}{'improvement max':>17}")
+    for point in points:
+        print(f"{point.participants:>13}{point.improvement_min:>17.1f}{point.improvement_max:>17.1f}")
+    headline = headline_numbers()
+    benchmark.extra_info["improvement_min"] = round(headline.improvement_min, 1)
+    benchmark.extra_info["improvement_max"] = round(headline.improvement_max, 1)
+    benchmark.extra_info["paper_improvement_range"] = "7x - 210x"
+    assert 2 < headline.improvement_min < 20
+    assert 100 < headline.improvement_max < 700

@@ -1,0 +1,23 @@
+"""Figure 16: best-case and worst-case supported meetings, Scallop vs. software."""
+
+from repro.experiments import run_minmax_sweep
+from repro.experiments.fig_scalability import DEFAULT_PARTICIPANT_RANGE
+
+
+def test_fig16_minmax_meetings(benchmark):
+    points = benchmark(run_minmax_sweep, DEFAULT_PARTICIPANT_RANGE)
+    print()
+    print(f"{'participants':>13}{'scallop min':>14}{'scallop max':>14}{'software min':>14}{'software max':>14}")
+    for point in points:
+        print(
+            f"{point.participants:>13}{point.scallop_min:>14.0f}{point.scallop_max:>14.0f}"
+            f"{point.software_min:>14.1f}{point.software_max:>14.1f}"
+        )
+    ten = next(p for p in points if p.participants == 10)
+    benchmark.extra_info["scallop_min_10"] = round(ten.scallop_min)
+    benchmark.extra_info["scallop_max_10"] = round(ten.scallop_max)
+    benchmark.extra_info["software_min_10"] = round(ten.software_min)
+    benchmark.extra_info["paper_observation"] = "Scallop supports many more meetings than software at every size"
+    for point in points:
+        assert point.scallop_min > point.software_min
+        assert point.scallop_max > point.software_max

@@ -1,0 +1,20 @@
+"""Figure 17: capacity of each replication-tree design and each bottleneck."""
+
+from repro.experiments import format_design_space, run_design_space_sweep
+from repro.experiments.fig_scalability import DEFAULT_PARTICIPANT_RANGE
+
+
+def test_fig17_design_space(benchmark):
+    points = benchmark(run_design_space_sweep, DEFAULT_PARTICIPANT_RANGE)
+    print()
+    print(format_design_space(points))
+    ten = next(p for p in points if p.participants == 10)
+    benchmark.extra_info["nra_meetings"] = round(ten.nra)
+    benchmark.extra_info["ra_r_meetings"] = round(ten.ra_r)
+    benchmark.extra_info["ra_sr_meetings_10"] = round(ten.ra_sr)
+    benchmark.extra_info["paper_values"] = "NRA 128K, RA-R 42.7K, RA-SR 4.3K at 10 participants"
+    assert round(ten.nra) == 131_072
+    assert round(ten.ra_sr) == 4_369
+    for point in points:
+        assert point.nra >= point.ra_r >= point.ra_sr
+        assert point.software < point.nra

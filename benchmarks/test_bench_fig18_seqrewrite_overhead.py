@@ -1,0 +1,25 @@
+"""Figure 18: erroneous retransmission overhead of sequence rewriting vs. loss."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import format_sweep, run_rewrite_overhead_sweep
+
+LOSS_RATES = [0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 0.95]
+
+
+def test_fig18_rewrite_overhead(benchmark):
+    points = run_once(
+        benchmark, run_rewrite_overhead_sweep, loss_rates=LOSS_RATES, variant="s_lr", num_frames=6_000
+    )
+    print()
+    print(format_sweep(points))
+    by_loss = {p.loss_rate: p.erroneous_retransmission_rate for p in points}
+    benchmark.extra_info["overhead_at_10pct_loss"] = round(by_loss[0.1], 4)
+    benchmark.extra_info["overhead_at_20pct_loss"] = round(by_loss[0.2], 4)
+    benchmark.extra_info["max_overhead"] = round(max(by_loss.values()), 4)
+    benchmark.extra_info["paper_values"] = "<5% at 10% loss, ~7.5% at 20% loss, <20% even at extreme loss"
+    assert by_loss[0.1] < 0.05
+    assert by_loss[0.2] < 0.10
+    assert by_loss[0.5] < 0.20
+    # at >90% loss the meeting itself is unusable; allow a little slack there
+    assert max(by_loss.values()) < 0.25
+    assert all(p.duplicates_emitted == 0 for p in points)

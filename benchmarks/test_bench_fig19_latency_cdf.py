@@ -1,0 +1,20 @@
+"""Figure 19: RTP forwarding-latency CDF, Scallop vs. Mediasoup-like software."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import format_comparison, run_latency_comparison
+
+
+def test_fig19_forwarding_latency(benchmark):
+    result = run_once(benchmark, run_latency_comparison, duration_s=20.0)
+    print()
+    print(format_comparison(result))
+    print("software CDF (ms, fraction):")
+    for value, fraction in result.software_cdf[:: max(1, len(result.software_cdf) // 10)]:
+        print(f"  {value:8.3f}  {fraction:5.2f}")
+    benchmark.extra_info["scallop_median_ms"] = round(result.scallop.median, 4)
+    benchmark.extra_info["software_median_ms"] = round(result.software.median, 4)
+    benchmark.extra_info["median_improvement"] = round(result.median_improvement, 1)
+    benchmark.extra_info["p99_improvement"] = round(result.p99_improvement, 1)
+    benchmark.extra_info["paper_values"] = "26.8x lower median, 8.5x lower p99"
+    assert result.median_improvement > 8.0
+    assert result.p99_improvement > 4.0

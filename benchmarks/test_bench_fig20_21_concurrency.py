@@ -1,0 +1,17 @@
+"""Figures 20 and 21: concurrent meetings and participants over the campus trace."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_concurrency
+
+
+def test_fig20_21_concurrency(benchmark, campus_dataset):
+    result = run_once(benchmark, run_concurrency, campus_dataset, step_s=1800.0)
+    print()
+    print(f"{'hour':>6}{'meetings':>10}{'participants':>14}")
+    for time_s, meetings, participants in result.series[:: max(1, len(result.series) // 24)]:
+        print(f"{time_s / 3600:>6.0f}{meetings:>10}{participants:>14}")
+    benchmark.extra_info["peak_concurrent_meetings"] = result.peak_meetings
+    benchmark.extra_info["peak_concurrent_participants"] = result.peak_participants
+    benchmark.extra_info["paper_values"] = "~300 concurrent meetings, ~500 concurrent participants at campus peak"
+    assert result.peak_meetings > 10
+    assert result.peak_participants > result.peak_meetings

@@ -1,0 +1,17 @@
+"""Figure 22: bytes a software SFU vs. the Scallop switch agent must process."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_agent_bytes
+
+
+def test_fig22_agent_byte_reduction(benchmark, campus_dataset):
+    result = run_once(benchmark, run_agent_bytes, campus_dataset, step_s=3600.0)
+    print()
+    print(f"{'hour':>6}{'software SFU Mbit/s':>21}{'switch agent Mbit/s':>21}")
+    for time_s, software_bps, agent_bps in result.series[:: max(1, len(result.series) // 20)]:
+        print(f"{time_s / 3600:>6.0f}{software_bps / 1e6:>21.1f}{agent_bps / 1e6:>21.2f}")
+    benchmark.extra_info["peak_software_mbps"] = round(result.peak_software_bps / 1e6, 1)
+    benchmark.extra_info["peak_agent_mbps"] = round(result.peak_agent_bps / 1e6, 2)
+    benchmark.extra_info["reduction_factor"] = round(result.reduction_factor, 1)
+    benchmark.extra_info["paper_values"] = "~1250 Mbit/s software vs ~4.4 Mbit/s agent at campus peak (~284x)"
+    assert result.reduction_factor > 100

@@ -1,0 +1,25 @@
+"""Figures 23 and 24: per-receiver and per-layer forwarded rates of one Zoom
+meeting, showing SVC-based adaptation at the SFU."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_svc_adaptation_example
+from repro.trace.packet_trace import LAYER_PACKET_TYPE
+
+
+def test_fig23_24_trace_svc_adaptation(benchmark):
+    figures = run_once(benchmark, run_svc_adaptation_example)
+    print()
+    print("forwarded rate towards receiver 17 (kbit/s), per scalability layer:")
+    print(f"{'t [s]':>7}{'total':>9}" + "".join(f"{LAYER_PACKET_TYPE[l]:>12}" for l in (0, 1, 2)))
+    for sample in figures.receiver_17.samples[::20]:
+        layers = "".join(f"{sample.bytes_by_layer.get(l, 0.0) * 8 / 1000:>12.0f}" for l in (0, 1, 2))
+        print(f"{sample.time_s:>7.0f}{sample.rate_kbps:>9.0f}{layers}")
+    early = [s.rate_kbps for s in figures.receiver_17.samples[30:60]]
+    late = [s.rate_kbps for s in figures.receiver_17.samples[-30:]]
+    benchmark.extra_info["receiver17_rate_before_kbps"] = round(sum(early) / len(early))
+    benchmark.extra_info["receiver17_rate_after_kbps"] = round(sum(late) / len(late))
+    benchmark.extra_info["paper_observation"] = "SFU drops a layer for receiver 17 around t=200s"
+    assert figures.receiver_rate_dropped()
+    # the top layer disappears from the forwarded stream after adaptation
+    assert 2 not in figures.receiver_17.samples[-1].bytes_by_layer
+    assert 2 in figures.sender.samples[-1].bytes_by_layer

@@ -1,0 +1,20 @@
+"""Table 2: summary of the 12-hour campus Zoom packet capture."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_capture_summary
+
+
+def test_table2_capture_summary(benchmark, campus_dataset):
+    summary = run_once(benchmark, run_capture_summary, campus_dataset)
+    print()
+    print(f"Capture duration      {summary.duration_s / 3600:.0f} h")
+    print(f"Zoom packets          {summary.zoom_packets:,} ({summary.zoom_packets_per_second:,.0f}/s)")
+    print(f"Zoom flows            {summary.zoom_flows:,}")
+    print(f"Zoom data             {summary.zoom_bytes / 1e9:,.0f} GB ({summary.zoom_bitrate_bps / 1e6:.1f} Mbit/s)")
+    print(f"RTP media streams     {summary.rtp_media_streams:,}")
+    benchmark.extra_info["zoom_packets_per_second"] = round(summary.zoom_packets_per_second)
+    benchmark.extra_info["zoom_bitrate_mbps"] = round(summary.zoom_bitrate_bps / 1e6, 1)
+    benchmark.extra_info["paper_packets_per_second"] = 42_733
+    benchmark.extra_info["paper_bitrate_mbps"] = 222.9
+    assert summary.zoom_packets > 1e8
+    assert summary.rtp_media_streams > 100

@@ -1,0 +1,17 @@
+"""Table 3: Tofino resource utilization under campus-peak and maximum load."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import format_report, run_resource_report
+
+
+def test_table3_resource_utilization(benchmark, campus_dataset):
+    report = run_once(benchmark, run_resource_report, campus_dataset)
+    print()
+    print(format_report(report))
+    benchmark.extra_info["peak_campus_egress_gbps"] = round(report.peak_campus_egress_bps / 1e9, 2)
+    benchmark.extra_info["max_util_egress_gbps"] = round(report.max_utilization_egress_bps / 1e9, 1)
+    benchmark.extra_info["paper_peak_campus_egress_gbps"] = 1.2
+    benchmark.extra_info["paper_max_util_egress_gbps"] = 197.0
+    fixed_rows = [row for row in report.rows if row.scaling == "fixed"]
+    assert len(fixed_rows) >= 10
+    assert report.max_utilization_egress_bps < 12.8e12

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Capacity planning for a campus-scale video-conferencing deployment.
+
+Generates a synthetic two-week campus workload (the Zoom-API dataset of the
+paper's Appendix B), sizes the SFU infrastructure needed to serve it with a
+fleet of 32-core software SFUs versus a single Scallop switch, and prints the
+replication-design capacity table of Figure 17 for the campus's typical
+meeting shapes.
+
+Run with:  python examples/campus_capacity_planning.py
+"""
+
+from repro.core import MeetingShape, ReplicationDesign, RewriteVariant, ScallopCapacityModel, SoftwareSfuCapacityModel
+from repro.trace import ZoomApiDataset, ZoomApiDatasetConfig, infrastructure_requirements
+
+DATASET_MEETINGS = 3_000
+
+
+def main() -> None:
+    dataset = ZoomApiDataset.generate(ZoomApiDatasetConfig(num_meetings=DATASET_MEETINGS, seed=11))
+    requirement = infrastructure_requirements(dataset)
+
+    print("=== campus workload (synthetic, two weeks) ===")
+    print(f"meetings generated:            {len(dataset.meetings):,}")
+    print(f"two-party share:               {dataset.two_party_share() * 100:.0f}%")
+    print(f"peak concurrent meetings:      {requirement.peak_concurrent_meetings}")
+    print(f"peak concurrent participants:  {requirement.peak_concurrent_participants}")
+    print(f"peak media load:               {requirement.peak_media_bps / 1e6:.0f} Mbit/s")
+    print(f"peak switch-agent load:        {requirement.peak_control_bps / 1e6:.2f} Mbit/s")
+
+    print("\n=== infrastructure required ===")
+    print(f"32-core software SFU servers:  {requirement.software_servers_needed}")
+    print(f"  (peak load is {requirement.software_nic_share * 100:.1f}% of one 40 Gbit/s server NIC)")
+    print(f"Scallop switches:              {requirement.scallop_switches_needed}")
+    print(f"  (switch agent uses {requirement.scallop_agent_share * 100:.2f}% of its 1 Gbit/s CPU path)")
+
+    print("\n=== supported concurrent meetings by design (all participants sending) ===")
+    scallop = ScallopCapacityModel()
+    software = SoftwareSfuCapacityModel()
+    print(f"{'participants':>13}{'two-party/NRA':>15}{'RA-R':>10}{'RA-SR':>10}{'software':>10}")
+    for participants in (2, 5, 10, 25, 50, 100):
+        shape = MeetingShape(participants=participants)
+        if participants == 2:
+            best = scallop.max_meetings_two_party(shape)
+        else:
+            best = scallop.max_meetings_nra(shape)
+        print(
+            f"{participants:>13}{best:>15,.0f}{scallop.max_meetings_ra_r(shape):>10,.0f}"
+            f"{scallop.max_meetings_ra_sr(shape):>10,.0f}{software.max_meetings(shape):>10,.1f}"
+        )
+
+    ten = MeetingShape(participants=10)
+    improvement = scallop.max_meetings(ten, ReplicationDesign.RA_SR, RewriteVariant.S_LR) / software.max_meetings(ten)
+    print(f"\nworst-case Scallop configuration still supports {improvement:.0f}x more 10-party meetings than a 32-core server")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: run a three-party video conference through Scallop.
+
+Builds the simulated network, starts the Scallop SFU (Tofino-like data plane +
+switch agent + controller), signs three WebRTC clients into a meeting, runs
+the call for 30 simulated seconds, and prints what each participant received
+and how much of the workload stayed in the data plane.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import ScallopSfu
+from repro.netsim import Address, Network, Simulator
+from repro.webrtc import ClientConfig, WebRtcClient
+
+SFU_ADDRESS = Address("10.0.0.1", 5000)
+MEETING_ID = "quickstart-meeting"
+CALL_DURATION_S = 30.0
+
+
+def main() -> None:
+    simulator = Simulator()
+    network = Network(simulator, seed=1)
+
+    # The SFU: a programmable switch plus its two-tier software control plane.
+    sfu = ScallopSfu(SFU_ADDRESS, simulator, network)
+    sfu.start()
+
+    # Three participants, each sending AV1 L1T3 video and Opus audio.
+    clients = []
+    for index in range(3):
+        config = ClientConfig(
+            participant_id=f"participant-{index + 1}",
+            meeting_id=MEETING_ID,
+            address=Address(f"10.0.1.{index + 1}", 6000 + index),
+            remote=SFU_ADDRESS,
+            video_bitrate_bps=2_200_000,
+            seed=index,
+        )
+        client = WebRtcClient(config, simulator, network)
+        network.attach(client)
+        sfu.join(client)       # SDP offer/answer through the controller
+        client.start()
+        clients.append(client)
+
+    simulator.run_for(CALL_DURATION_S)
+
+    print(f"=== {MEETING_ID} after {CALL_DURATION_S:.0f} simulated seconds ===")
+    for client in clients:
+        stats = client.get_stats()
+        fps = ", ".join(f"{s.frames_per_second:.1f}" for s in stats.inbound_video)
+        jitter = ", ".join(f"{s.jitter_ms:.2f}" for s in stats.inbound_video)
+        print(
+            f"{client.config.participant_id}: {len(stats.inbound_video)} video streams "
+            f"at [{fps}] fps, jitter [{jitter}] ms, "
+            f"{len(stats.inbound_audio)} audio streams"
+        )
+
+    shares = sfu.data_plane_fraction()
+    print(
+        f"data plane handled {shares['packets'] * 100:.2f}% of packets "
+        f"and {shares['bytes'] * 100:.2f}% of bytes "
+        f"(paper reports 96.46% / 99.65%)"
+    )
+    print(
+        f"switch agent processed {sfu.agent.counters.packets_processed} packets, "
+        f"installed {sfu.agent.counters.rule_updates} rule updates, "
+        f"answered {sfu.agent.counters.stun_handled} STUN checks"
+    )
+
+
+if __name__ == "__main__":
+    main()

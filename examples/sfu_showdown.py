@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Head-to-head: Scallop vs. a single-core software SFU under growing load.
+
+Runs the same two-party call through both SFUs to compare forwarding latency
+(the Figure 19 experiment), then overloads the software SFU with additional
+meetings to show the QoE collapse of Figures 3 and 4 — something that cannot
+happen on the Scallop data plane, whose forwarding cost is constant per packet.
+
+Run with:  python examples/sfu_showdown.py
+"""
+
+from repro.experiments import (
+    OverloadConfig,
+    format_comparison,
+    format_overload,
+    run_latency_comparison,
+    run_overload_experiment,
+)
+
+
+def main() -> None:
+    print("=== forwarding latency: Scallop vs. software SFU (two-party call) ===")
+    latency = run_latency_comparison(duration_s=10.0)
+    print(format_comparison(latency))
+    print(
+        f"end-to-end (including identical access links): Scallop median "
+        f"{latency.scallop_end_to_end.median:.3f} ms vs software "
+        f"{latency.software_end_to_end.median:.3f} ms"
+    )
+
+    print("\n=== overloading the single-core software SFU ===")
+    config = OverloadConfig(
+        num_meetings=6,
+        participants_per_meeting=8,
+        seconds_per_join=0.5,
+        media_scale=0.12,
+        saturation_participants=30,
+    )
+    overload = run_overload_experiment(config)
+    print(format_overload(overload))
+    print(
+        "\nTakeaway: the software SFU's jitter and frame rate collapse once its core "
+        "saturates; Scallop forwards every packet in a fixed ~12 us regardless of load."
+    )
+
+
+if __name__ == "__main__":
+    main()

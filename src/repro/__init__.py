@@ -1,0 +1,56 @@
+"""repro — a Python reproduction of "Scalable Video Conferencing Using SDN
+Principles" (Scallop, SIGCOMM 2025).
+
+The package is organized as the paper's system is:
+
+* :mod:`repro.rtp`, :mod:`repro.stun`, :mod:`repro.signaling` — the wire
+  formats Scallop operates on (RTP/RTCP, AV1 L1T3 SVC, STUN, SDP).
+* :mod:`repro.netsim` — a discrete-event network simulator (the testbed).
+* :mod:`repro.webrtc` — simulated WebRTC clients (SVC encoder, jitter buffer,
+  receiver-side GCC, WebRTC-stats snapshots).
+* :mod:`repro.dataplane` — the Tofino-like switch model (parser, match-action
+  tables, packet replication engine, resource budgets).
+* :mod:`repro.core` — Scallop itself: controller, switch agent, replication
+  designs, sequence rewriting, capacity models, and the integrated SFU.
+* :mod:`repro.baseline` — the Mediasoup-like split-proxy software SFU.
+* :mod:`repro.trace` — synthetic campus Zoom API / packet-trace generators.
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro.experiments import run_packet_accounting, format_table
+    result = run_packet_accounting(duration_s=30.0)
+    print(format_table(result))
+"""
+
+from .core.scallop import ScallopSfu
+from .core.capacity import (
+    MeetingShape,
+    ReplicationDesign,
+    RewriteVariant,
+    ScallopCapacityModel,
+    SoftwareSfuCapacityModel,
+)
+from .baseline.software_sfu import SoftwareSfu
+from .netsim import Address, Datagram, LinkProfile, Network, Simulator
+from .webrtc import ClientConfig, WebRtcClient
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ScallopSfu",
+    "MeetingShape",
+    "ReplicationDesign",
+    "RewriteVariant",
+    "ScallopCapacityModel",
+    "SoftwareSfuCapacityModel",
+    "SoftwareSfu",
+    "Address",
+    "Datagram",
+    "LinkProfile",
+    "Network",
+    "Simulator",
+    "ClientConfig",
+    "WebRtcClient",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Analysis helpers: percentiles, CDFs, jitter, rate series."""
+
+from .metrics import (
+    LatencySummary,
+    cdf,
+    interarrival_jitter_ms,
+    mean,
+    median,
+    percentile,
+    rate_series,
+    ratio,
+)
+
+__all__ = [
+    "LatencySummary",
+    "cdf",
+    "interarrival_jitter_ms",
+    "mean",
+    "median",
+    "percentile",
+    "rate_series",
+    "ratio",
+]

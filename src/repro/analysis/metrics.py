@@ -1,0 +1,122 @@
+"""Measurement helpers shared by experiments, benchmarks, and tests."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (q in [0, 100]) with linear interpolation."""
+    if not values:
+        raise ValueError("cannot take the percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile must be between 0 and 100")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 50.0)
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("cannot take the mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a latency sample (all in the input's unit)."""
+
+    count: int
+    minimum: float
+    median: float
+    p95: float
+    p99: float
+    maximum: float
+    mean: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
+        if not samples:
+            raise ValueError("no latency samples")
+        return cls(
+            count=len(samples),
+            minimum=min(samples),
+            median=median(samples),
+            p95=percentile(samples, 95.0),
+            p99=percentile(samples, 99.0),
+            maximum=max(samples),
+            mean=mean(samples),
+        )
+
+
+def cdf(values: Sequence[float], points: int = 100) -> List[Tuple[float, float]]:
+    """An empirical CDF as (value, cumulative fraction) pairs."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    result: List[Tuple[float, float]] = []
+    step = max(1, len(ordered) // points)
+    for index in range(0, len(ordered), step):
+        result.append((ordered[index], (index + 1) / len(ordered)))
+    if result[-1][0] != ordered[-1]:
+        result.append((ordered[-1], 1.0))
+    return result
+
+
+def interarrival_jitter_ms(arrival_times: Sequence[float], timestamps: Sequence[float]) -> float:
+    """RFC 3550 interarrival jitter over a whole trace, in milliseconds.
+
+    ``arrival_times`` are receive times in seconds; ``timestamps`` are the
+    corresponding media capture times in seconds (RTP timestamp / clock rate).
+    """
+    if len(arrival_times) != len(timestamps):
+        raise ValueError("arrival times and timestamps must have equal length")
+    jitter = 0.0
+    last_transit: Optional[float] = None
+    for arrival, timestamp in zip(arrival_times, timestamps):
+        transit = arrival - timestamp
+        if last_transit is not None:
+            d = abs(transit - last_transit)
+            jitter += (d - jitter) / 16.0
+        last_transit = transit
+    return jitter * 1000.0
+
+
+def rate_series(
+    event_times: Sequence[float], weights: Optional[Sequence[float]] = None, bucket_s: float = 1.0
+) -> List[Tuple[float, float]]:
+    """Bucketed rate of events (or weighted events) per second."""
+    if not event_times:
+        return []
+    if weights is not None and len(weights) != len(event_times):
+        raise ValueError("weights must match event times")
+    start = min(event_times)
+    end = max(event_times)
+    buckets: Dict[int, float] = {}
+    for index, time in enumerate(event_times):
+        bucket = int((time - start) // bucket_s)
+        buckets[bucket] = buckets.get(bucket, 0.0) + (weights[index] if weights is not None else 1.0)
+    series: List[Tuple[float, float]] = []
+    for bucket in range(int((end - start) // bucket_s) + 1):
+        series.append((start + (bucket + 1) * bucket_s, buckets.get(bucket, 0.0) / bucket_s))
+    return series
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """A safe ratio helper used when comparing against the baseline."""
+    if denominator == 0:
+        return math.inf if numerator > 0 else 0.0
+    return numerator / denominator

@@ -1,0 +1,13 @@
+"""Software split-proxy SFU baseline (Mediasoup-like) and its CPU cost model."""
+
+from .cpu import CpuCore, CpuPool, CpuStats
+from .software_sfu import SERVER_PORT_PROFILE, SoftwareSfu, SoftwareSfuStats
+
+__all__ = [
+    "CpuCore",
+    "CpuPool",
+    "CpuStats",
+    "SERVER_PORT_PROFILE",
+    "SoftwareSfu",
+    "SoftwareSfuStats",
+]

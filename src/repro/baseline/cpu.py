@@ -1,0 +1,167 @@
+"""CPU / operating-system cost model for the software SFU baseline.
+
+The paper attributes the software SFU's QoE collapse under load to
+operating-system packet-processing artefacts: socket-buffer copies, context
+switches, scheduling and interrupt delays (§2.2).  This model captures those
+effects with a small queueing model per core:
+
+* every packet requires a base service time plus a per-byte copy cost,
+* packets queue FIFO per core (the paper pins Mediasoup to one core),
+* scheduling noise adds a random delay whose magnitude grows steeply as the
+  core approaches saturation (context switches and run-queue waits), and
+* the queue is bounded — packets arriving to a full queue are dropped, which
+  is what ultimately collapses the received frame rate (Figure 4).
+
+Defaults are calibrated so that a single modern core sustains roughly 230k
+small-packet forwarding operations per second, consistent with the paper's
+observation that one core saturates at about 80 active meeting participants.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+#: Base per-packet processing cost (syscalls, lookups, header handling).
+DEFAULT_BASE_COST_S = 3.0e-6
+#: Additional per-byte cost (socket-buffer copies in and out).
+DEFAULT_PER_BYTE_COST_S = 1.2e-9
+#: Maximum backlog (in seconds of work) a core will queue before dropping.
+DEFAULT_QUEUE_LIMIT_S = 0.25
+#: Magnitude of scheduler noise at full utilization.
+DEFAULT_SCHED_NOISE_S = 0.004
+#: Baseline user-space wakeup latency per packet even on an idle core
+#: (epoll wakeup, socket read, thread scheduling): ~100 us median.
+DEFAULT_WAKEUP_LATENCY_S = 0.00012
+
+
+@dataclass
+class CpuStats:
+    """Counters exposed by the CPU model."""
+
+    packets_processed: int = 0
+    packets_dropped: int = 0
+    busy_time_s: float = 0.0
+    total_queue_delay_s: float = 0.0
+
+
+class CpuCore:
+    """A single CPU core processing packets FIFO with OS-level noise."""
+
+    def __init__(
+        self,
+        base_cost_s: float = DEFAULT_BASE_COST_S,
+        per_byte_cost_s: float = DEFAULT_PER_BYTE_COST_S,
+        queue_limit_s: float = DEFAULT_QUEUE_LIMIT_S,
+        sched_noise_s: float = DEFAULT_SCHED_NOISE_S,
+        wakeup_latency_s: float = DEFAULT_WAKEUP_LATENCY_S,
+        seed: int = 0,
+    ) -> None:
+        self.base_cost_s = base_cost_s
+        self.per_byte_cost_s = per_byte_cost_s
+        self.queue_limit_s = queue_limit_s
+        self.sched_noise_s = sched_noise_s
+        self.wakeup_latency_s = wakeup_latency_s
+        self._rng = random.Random(seed)
+        self._busy_until = 0.0
+        self._window_start = 0.0
+        self._window_busy = 0.0
+        self.stats = CpuStats()
+
+    def service_time(self, size_bytes: int) -> float:
+        """Deterministic service time for one packet of the given size."""
+        return self.base_cost_s + size_bytes * self.per_byte_cost_s
+
+    def process(self, size_bytes: int, now: float) -> Optional[float]:
+        """Submit a packet at time ``now``.
+
+        Returns the delay until the packet has been fully processed (queueing
+        plus service plus scheduling noise), or ``None`` if the packet was
+        dropped because the core's backlog exceeded its limit.
+        """
+        backlog = max(0.0, self._busy_until - now)
+        if backlog > self.queue_limit_s:
+            self.stats.packets_dropped += 1
+            return None
+
+        service = self.service_time(size_bytes)
+        start = max(now, self._busy_until)
+        self._busy_until = start + service
+
+        utilization = self.utilization(now)
+        noise = 0.0
+        if self.wakeup_latency_s > 0:
+            # user-space wakeup (epoll + read + thread dispatch) paid even on
+            # an idle core; roughly exponential with a ~100 us median.
+            noise += self._rng.expovariate(1.0 / self.wakeup_latency_s)
+        if self.sched_noise_s > 0:
+            # scheduling noise grows super-linearly as the core saturates:
+            # a lightly loaded core adds microseconds, a saturated one adds
+            # multiple milliseconds of run-queue wait and context switches.
+            severity = utilization ** 3
+            noise += self._rng.expovariate(1.0 / (self.sched_noise_s * max(severity, 0.005)))
+
+        queue_delay = start - now
+        self.stats.packets_processed += 1
+        self.stats.busy_time_s += service
+        self.stats.total_queue_delay_s += queue_delay
+        self._account_window(now, service)
+        return queue_delay + service + noise
+
+    def utilization(self, now: float, window_s: float = 1.0) -> float:
+        """Approximate utilization over the recent past (0..1)."""
+        elapsed = max(now - self._window_start, 1e-6)
+        if elapsed >= window_s:
+            utilization = min(1.0, self._window_busy / elapsed)
+            # roll the window forward
+            self._window_start = now
+            self._window_busy = 0.0
+            self._last_utilization = utilization
+            return utilization
+        busy = self._window_busy + max(0.0, self._busy_until - now)
+        return min(1.0, busy / max(elapsed, 1e-6))
+
+    def _account_window(self, now: float, service: float) -> None:
+        if now - self._window_start > 5.0:
+            self._window_start = now
+            self._window_busy = 0.0
+        self._window_busy += service
+
+    @property
+    def backlog_until(self) -> float:
+        return self._busy_until
+
+
+class CpuPool:
+    """A pool of cores with per-stream core affinity (hash pinning).
+
+    Real software SFUs shard meetings or streams across worker threads; under
+    a single-core configuration (as in the paper's overload experiment) all
+    traffic lands on core 0.
+    """
+
+    def __init__(self, cores: int = 1, seed: int = 0, **core_kwargs) -> None:
+        if cores <= 0:
+            raise ValueError("need at least one core")
+        self.cores: List[CpuCore] = [
+            CpuCore(seed=seed + index, **core_kwargs) for index in range(cores)
+        ]
+
+    def core_for(self, flow_key: int) -> CpuCore:
+        return self.cores[flow_key % len(self.cores)]
+
+    def process(self, flow_key: int, size_bytes: int, now: float) -> Optional[float]:
+        return self.core_for(flow_key).process(size_bytes, now)
+
+    def total_stats(self) -> CpuStats:
+        total = CpuStats()
+        for core in self.cores:
+            total.packets_processed += core.stats.packets_processed
+            total.packets_dropped += core.stats.packets_dropped
+            total.busy_time_s += core.stats.busy_time_s
+            total.total_queue_delay_s += core.stats.total_queue_delay_s
+        return total
+
+    def max_utilization(self, now: float) -> float:
+        return max(core.utilization(now) for core in self.cores)

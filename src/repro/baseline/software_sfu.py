@@ -1,0 +1,250 @@
+"""A split-proxy software SFU baseline (Mediasoup-like, paper §2.2 and §7.3).
+
+The baseline terminates a separate WebRTC "connection" per participant (a
+split proxy): it receives every media packet in user space, pays the CPU/OS
+cost modelled by :mod:`repro.baseline.cpu`, and then re-sends one copy per
+downstream participant, paying the cost again per copy.  Feedback is
+terminated at the SFU: REMB from a receiver adjusts the SVC layers the SFU
+forwards to that receiver; NACKs are answered from a short packet cache;
+STUN is answered directly.
+
+Observable simplification: a real split proxy re-originates streams with its
+own SSRCs and sequence numbers.  Because every downstream packet is a fresh
+stream from the SFU, rate adaptation needs no sequence rewriting; we model
+that by renumbering the forwarded packets per receiver, which preserves the
+receiver-visible behaviour (continuous sequence space per receiver).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..netsim.datagram import Address, Datagram, PayloadKind
+from ..netsim.link import LinkProfile, Network
+from ..netsim.simulator import Simulator
+from ..rtp.av1 import DecodeTarget, TemplateStructure, extract_dependency_descriptor
+from ..rtp.packet import PT_AUDIO_OPUS, RtpPacket, SEQ_MOD
+from ..rtp.rtcp import Nack, PictureLossIndication, ReceiverReport, Remb, RtcpPacket, SenderReport
+from ..signaling.messages import join_message, leave_message
+from ..stun.message import StunMessage, make_binding_response
+from ..webrtc.client import WebRtcClient
+from ..core.rate_control import SelectDecodeTargetFn, select_decode_target
+from .cpu import CpuPool
+
+#: Access-link profile of the server's NIC in the paper's testbed (1 Gbit/s).
+SERVER_PORT_PROFILE = LinkProfile(bandwidth_bps=1_000_000_000.0, propagation_delay_s=0.0002)
+
+
+@dataclass
+class _Participant:
+    participant_id: str
+    meeting_id: str
+    address: Address
+    audio_ssrc: Optional[int] = None
+    video_ssrc: Optional[int] = None
+    decode_targets: Dict[int, DecodeTarget] = field(default_factory=dict)  # per sender ssrc
+    out_sequence: Dict[int, int] = field(default_factory=dict)             # per origin ssrc
+
+
+@dataclass
+class SoftwareSfuStats:
+    """Forwarding statistics of the software SFU."""
+
+    packets_in: int = 0
+    packets_out: int = 0
+    packets_dropped_cpu: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    feedback_handled: int = 0
+
+
+class SoftwareSfu:
+    """A split-proxy SFU running on general-purpose CPU cores."""
+
+    def __init__(
+        self,
+        address: Address,
+        simulator: Simulator,
+        network: Network,
+        cores: int = 1,
+        cpu: Optional[CpuPool] = None,
+        uplink_profile: Optional[LinkProfile] = None,
+        downlink_profile: Optional[LinkProfile] = None,
+        structure: Optional[TemplateStructure] = None,
+        select_fn: SelectDecodeTargetFn = select_decode_target,
+    ) -> None:
+        self.address = address
+        self.simulator = simulator
+        self.network = network
+        self.cpu = cpu or CpuPool(cores=cores)
+        self.stats = SoftwareSfuStats()
+        self.structure = structure or TemplateStructure.l1t3()
+        self.select_fn = select_fn
+
+        self._participants: Dict[Address, _Participant] = {}
+        self._meetings: Dict[str, List[Address]] = {}
+        self._by_ssrc: Dict[int, Address] = {}
+        self._rtx_cache: "OrderedDict[Tuple[int, int], RtpPacket]" = OrderedDict()
+        #: Per-packet SFU-induced forwarding latency in milliseconds
+        #: (receive-side CPU delay + send-side CPU delay), as in Figure 19.
+        self.forwarding_latency_samples_ms: List[float] = []
+
+        network.attach(
+            self,
+            uplink=uplink_profile or SERVER_PORT_PROFILE,
+            downlink=downlink_profile or SERVER_PORT_PROFILE,
+        )
+
+    # ------------------------------------------------------------------ membership
+
+    def join(self, client: WebRtcClient) -> None:
+        """Register a client (split-proxy session establishment)."""
+        config = client.config
+        participant = _Participant(
+            participant_id=config.participant_id,
+            meeting_id=config.meeting_id,
+            address=config.address,
+            audio_ssrc=client.audio_ssrc if config.send_audio else None,
+            video_ssrc=client.video_ssrc if config.send_video else None,
+        )
+        self._participants[config.address] = participant
+        self._meetings.setdefault(config.meeting_id, [])
+        if config.address not in self._meetings[config.meeting_id]:
+            self._meetings[config.meeting_id].append(config.address)
+        if participant.audio_ssrc is not None:
+            self._by_ssrc[participant.audio_ssrc] = config.address
+        if participant.video_ssrc is not None:
+            self._by_ssrc[participant.video_ssrc] = config.address
+        client.remote = self.address
+
+    def leave(self, client: WebRtcClient) -> None:
+        address = client.config.address
+        participant = self._participants.pop(address, None)
+        if participant is None:
+            return
+        members = self._meetings.get(participant.meeting_id, [])
+        if address in members:
+            members.remove(address)
+        if not members:
+            self._meetings.pop(participant.meeting_id, None)
+
+    def meeting_size(self, meeting_id: str) -> int:
+        return len(self._meetings.get(meeting_id, []))
+
+    @property
+    def total_participants(self) -> int:
+        return len(self._participants)
+
+    # ------------------------------------------------------------------ packet path
+
+    def handle_datagram(self, datagram: Datagram) -> None:
+        self.stats.packets_in += 1
+        self.stats.bytes_in += datagram.size
+
+        # every received packet costs CPU before the SFU can even look at it
+        delay = self.cpu.process(hash(datagram.src) & 0xFFFF, datagram.wire_size, self.simulator.now)
+        if delay is None:
+            self.stats.packets_dropped_cpu += 1
+            return
+        self.simulator.schedule(delay, lambda d=datagram, rx=delay: self._dispatch(d, rx))
+
+    def _dispatch(self, datagram: Datagram, receive_delay_s: float = 0.0) -> None:
+        if datagram.kind == PayloadKind.RTP and isinstance(datagram.payload, RtpPacket):
+            self._forward_media(datagram, datagram.payload, receive_delay_s)
+        elif datagram.kind == PayloadKind.RTCP:
+            self._handle_rtcp(datagram)
+        elif datagram.kind == PayloadKind.STUN and isinstance(datagram.payload, StunMessage):
+            self._handle_stun(datagram)
+
+    def _forward_media(self, datagram: Datagram, packet: RtpPacket, receive_delay_s: float = 0.0) -> None:
+        sender = self._participants.get(datagram.src)
+        if sender is None:
+            return
+        self._cache_for_rtx(packet)
+        members = self._meetings.get(sender.meeting_id, [])
+        template_id = self._template_id(packet)
+        for address in members:
+            if address == datagram.src:
+                continue
+            receiver = self._participants.get(address)
+            if receiver is None:
+                continue
+            if template_id is not None and not self._wanted(receiver, packet.ssrc, template_id):
+                continue
+            out_packet = self._renumber(receiver, packet)
+            out = Datagram(src=self.address, dst=address, payload=out_packet, meta=dict(datagram.meta))
+            # each outgoing copy costs CPU again (socket write + copy)
+            delay = self.cpu.process(hash(address) & 0xFFFF, out.wire_size, self.simulator.now)
+            if delay is None:
+                self.stats.packets_dropped_cpu += 1
+                continue
+            self.stats.packets_out += 1
+            self.stats.bytes_out += out.size
+            if len(self.forwarding_latency_samples_ms) < 500_000:
+                self.forwarding_latency_samples_ms.append((receive_delay_s + delay) * 1000.0)
+            self.simulator.schedule(delay, lambda d=out: self.network.send(d))
+
+    def _template_id(self, packet: RtpPacket) -> Optional[int]:
+        if packet.payload_type == PT_AUDIO_OPUS:
+            return None
+        descriptor = extract_dependency_descriptor(packet.extension)
+        return None if descriptor is None else descriptor.template_id
+
+    def _wanted(self, receiver: _Participant, origin_ssrc: int, template_id: int) -> bool:
+        target = receiver.decode_targets.get(origin_ssrc, DecodeTarget.DT2)
+        return template_id in self.structure.templates_for_decode_target(int(target))
+
+    def _renumber(self, receiver: _Participant, packet: RtpPacket) -> RtpPacket:
+        """Re-originate the stream towards this receiver (split-proxy behaviour)."""
+        key = packet.ssrc
+        next_seq = receiver.out_sequence.get(key)
+        if next_seq is None:
+            next_seq = packet.sequence_number
+        receiver.out_sequence[key] = (next_seq + 1) % SEQ_MOD
+        return packet.with_sequence_number(next_seq)
+
+    # ------------------------------------------------------------------ feedback (terminated here)
+
+    def _handle_rtcp(self, datagram: Datagram) -> None:
+        receiver = self._participants.get(datagram.src)
+        for packet in datagram.payload:  # type: ignore[union-attr]
+            if isinstance(packet, Remb) and receiver is not None:
+                self.stats.feedback_handled += 1
+                for origin_ssrc in packet.media_ssrcs:
+                    current = receiver.decode_targets.get(origin_ssrc, DecodeTarget.DT2)
+                    receiver.decode_targets[origin_ssrc] = self.select_fn(current, (), packet.bitrate_bps)
+            elif isinstance(packet, Nack):
+                self.stats.feedback_handled += 1
+                self._answer_nack(datagram.src, packet)
+            elif isinstance(packet, (PictureLossIndication, ReceiverReport, SenderReport)):
+                self.stats.feedback_handled += 1
+                # PLIs would be forwarded to the sender; SR/RRs feed the SFU's
+                # own estimators.  Neither affects the measured experiments.
+
+    def _answer_nack(self, receiver_addr: Address, nack: Nack) -> None:
+        for seq in nack.lost_sequence_numbers:
+            cached = self._rtx_cache.get((nack.media_ssrc, seq))
+            if cached is None:
+                continue
+            out = Datagram(src=self.address, dst=receiver_addr, payload=cached)
+            delay = self.cpu.process(hash(receiver_addr) & 0xFFFF, out.wire_size, self.simulator.now)
+            if delay is None:
+                continue
+            self.stats.packets_out += 1
+            self.simulator.schedule(delay, lambda d=out: self.network.send(d))
+
+    def _cache_for_rtx(self, packet: RtpPacket) -> None:
+        self._rtx_cache[(packet.ssrc, packet.sequence_number)] = packet
+        while len(self._rtx_cache) > 4096:
+            self._rtx_cache.popitem(last=False)
+
+    def _handle_stun(self, datagram: Datagram) -> None:
+        message: StunMessage = datagram.payload  # type: ignore[assignment]
+        if not message.is_request:
+            return
+        response = make_binding_response(message, datagram.src.ip, datagram.src.port)
+        out = Datagram(src=self.address, dst=datagram.src, payload=response)
+        self.stats.packets_out += 1
+        self.network.send(out)

@@ -1,0 +1,64 @@
+"""Scallop core: controller, switch agent, data-plane configuration, capacity."""
+
+from .capacity import (
+    DesignSpacePoint,
+    ImprovementPoint,
+    MeetingShape,
+    MinMaxPoint,
+    ReplicationDesign,
+    RewriteVariant,
+    ScallopCapacityModel,
+    SoftwareSfuCapacityModel,
+    figure15_series,
+    figure16_series,
+    figure17_series,
+    improvement_over_software,
+)
+from .rate_control import (
+    DecodeTargetTracker,
+    DownlinkFilter,
+    select_decode_target,
+)
+from .seqrewrite import (
+    SequenceRewriterLowMemory,
+    SequenceRewriterLowRetransmission,
+    SkipCadence,
+    ideal_rewrite_map,
+)
+from .replication import MeetingReplicationState, ParticipantEndpoint, ReplicationManager
+from .switch_agent import AgentCounters, SwitchAgent
+from .controller import ControllerCounters, MeetingRecord, ParticipantRecord, ScallopController
+from .scallop import ScallopSfu, SfuForwardingStats
+
+__all__ = [
+    "DesignSpacePoint",
+    "ImprovementPoint",
+    "MeetingShape",
+    "MinMaxPoint",
+    "ReplicationDesign",
+    "RewriteVariant",
+    "ScallopCapacityModel",
+    "SoftwareSfuCapacityModel",
+    "figure15_series",
+    "figure16_series",
+    "figure17_series",
+    "improvement_over_software",
+    "DecodeTargetTracker",
+    "DownlinkFilter",
+    "select_decode_target",
+    "SequenceRewriterLowMemory",
+    "SequenceRewriterLowRetransmission",
+    "SkipCadence",
+    "ideal_rewrite_map",
+    "MeetingReplicationState",
+    "ParticipantEndpoint",
+    "ReplicationManager",
+    "AgentCounters",
+    "SwitchAgent",
+    "ControllerCounters",
+    "MeetingRecord",
+    "ParticipantRecord",
+    "ScallopController",
+    "ScallopSfu",
+    "SfuForwardingStats",
+]

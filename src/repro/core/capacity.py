@@ -1,0 +1,352 @@
+"""Analytic capacity models for Scallop and the software-SFU baseline.
+
+The paper's scalability results (§6.1, §7.2, Figures 15-17) are arithmetic
+over hardware capacities and meeting shapes:
+
+* **NRA** (no rate adaptation): ``m * T`` meetings — every meeting occupies a
+  share of a multicast tree; two meetings (``m = 2``) share one tree via L1
+  pruning.
+* **RA-R** (receiver-specific rate adaptation): one tree per media quality per
+  tree-group, i.e. ``m * T / q`` meetings.
+* **RA-SR** (sender- and receiver-specific): two senders (and their
+  receivers) per quality per tree, i.e. ``2 T / (q * S)`` meetings for ``S``
+  senders per meeting.
+* **Two-party**: no replication trees at all; capacity is bounded by the
+  exact-match entries needed to rewrite addresses (two per meeting).
+* **Sequence-rewrite memory**: every rate-adapted output variant of a sender's
+  stream needs per-stream register state; S-LM packs more streams than S-LR.
+* **Egress bandwidth**: grows quadratically with participants and linearly
+  with the per-stream bitrate.
+
+The software baseline is calibrated exactly to the two numbers the paper
+reports for a 32-core server: 192 ten-party all-sending meetings and 4.8K
+two-party meetings, both of which correspond to a budget of 38,400 concurrent
+media streams (counting, per media type, ``S`` incoming and ``S * (N - 1)``
+outgoing streams).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from ..dataplane.resources import DEFAULT_CAPACITIES, TofinoCapacities
+
+
+class ReplicationDesign(str, Enum):
+    """Replication-tree construction designs (paper §6.1)."""
+
+    TWO_PARTY = "two_party"
+    NRA = "nra"
+    RA_R = "ra_r"
+    RA_SR = "ra_sr"
+
+
+class RewriteVariant(str, Enum):
+    """Sequence-number rewriting heuristics (paper §6.2)."""
+
+    S_LM = "s_lm"
+    S_LR = "s_lr"
+
+
+#: Rate-adapted stream-state capacity per rewrite variant.  S-LR keeps twice
+#: the per-stream state of S-LM (six vs. three register tables), so the same
+#: SRAM budget holds half as many streams.
+REWRITE_STREAM_CAPACITY: Dict[RewriteVariant, int] = {
+    RewriteVariant.S_LM: 131_072,
+    RewriteVariant.S_LR: 65_536,
+}
+
+#: Concurrent media streams a 32-core commodity server sustains (calibrated to
+#: the paper's 192 ten-party meetings / 4.8K two-party meetings).
+SOFTWARE_MAX_STREAMS_32_CORE = 38_400
+
+
+@dataclass(frozen=True)
+class MeetingShape:
+    """The workload parameters the capacity formulas depend on."""
+
+    participants: int
+    senders: Optional[int] = None          # default: everyone sends
+    video_bitrate_bps: float = 2_200_000.0
+    audio_bitrate_bps: float = 50_000.0
+    media_types_per_sender: int = 2        # audio + video
+    qualities: int = 3                     # L1T3 decode targets
+
+    def __post_init__(self) -> None:
+        if self.participants < 2:
+            raise ValueError("a meeting needs at least two participants")
+        if self.senders is not None and not 1 <= self.senders <= self.participants:
+            raise ValueError("senders must be between 1 and the number of participants")
+
+    @property
+    def num_senders(self) -> int:
+        return self.participants if self.senders is None else self.senders
+
+    @property
+    def streams_at_sfu(self) -> int:
+        """Concurrent media streams the SFU handles for one such meeting.
+
+        Per media type a sender contributes one incoming stream and ``N - 1``
+        outgoing replicas, giving ``S * N`` streams; audio and video double it.
+        """
+        return self.media_types_per_sender * self.num_senders * self.participants
+
+    @property
+    def egress_bps(self) -> float:
+        """Egress bandwidth one meeting consumes at the SFU."""
+        per_sender = self.video_bitrate_bps + self.audio_bitrate_bps
+        return self.num_senders * (self.participants - 1) * per_sender
+
+    @property
+    def rate_adapted_streams(self) -> int:
+        """Output stream variants needing sequence-rewrite state.
+
+        With SVC, receivers sharing a decode target share the identical
+        rewritten stream, so at most ``q - 1`` adapted variants (all targets
+        below the full quality) exist per sender stream.
+        """
+        variants = min(self.qualities - 1, self.participants - 1)
+        return self.num_senders * variants
+
+
+class SoftwareSfuCapacityModel:
+    """Capacity of a software split-proxy SFU on an n-core server."""
+
+    def __init__(self, cores: int = 32, streams_per_32_cores: int = SOFTWARE_MAX_STREAMS_32_CORE) -> None:
+        if cores <= 0:
+            raise ValueError("cores must be positive")
+        self.cores = cores
+        self.max_streams = streams_per_32_cores * cores / 32.0
+
+    def max_meetings(self, shape: MeetingShape) -> float:
+        """Concurrent meetings of this shape a single server supports."""
+        return self.max_streams / shape.streams_at_sfu
+
+
+class ScallopCapacityModel:
+    """Capacity of the Scallop data plane under each design and bottleneck."""
+
+    def __init__(self, capacities: TofinoCapacities = DEFAULT_CAPACITIES) -> None:
+        self.capacities = capacities
+
+    # -- per-design tree limits ---------------------------------------------------
+
+    def max_meetings_two_party(self, shape: Optional[MeetingShape] = None) -> float:
+        """Two-party meetings: unicast only, bounded by exact-match entries."""
+        return self.capacities.exact_match_entries / 2.0
+
+    def max_meetings_nra(self, shape: MeetingShape) -> float:
+        tree_limit = self.capacities.meetings_per_tree * self.capacities.max_multicast_trees
+        l1_limit = self.capacities.max_l1_nodes / shape.participants
+        return min(tree_limit, l1_limit)
+
+    def max_meetings_ra_r(self, shape: MeetingShape) -> float:
+        tree_limit = (
+            self.capacities.meetings_per_tree * self.capacities.max_multicast_trees / shape.qualities
+        )
+        l1_limit = self.capacities.max_l1_nodes / (shape.qualities * shape.participants)
+        return min(tree_limit, l1_limit)
+
+    def max_meetings_ra_sr(self, shape: MeetingShape) -> float:
+        tree_limit = (2.0 * self.capacities.max_multicast_trees) / (
+            shape.qualities * shape.num_senders
+        )
+        l1_limit = self.capacities.max_l1_nodes / (
+            shape.qualities * shape.num_senders * shape.participants / 2.0
+        )
+        return min(tree_limit, l1_limit)
+
+    def max_meetings_for_design(self, shape: MeetingShape, design: ReplicationDesign) -> float:
+        if design == ReplicationDesign.TWO_PARTY:
+            if shape.participants != 2:
+                raise ValueError("the two-party design only applies to two-party meetings")
+            return self.max_meetings_two_party(shape)
+        if design == ReplicationDesign.NRA:
+            return self.max_meetings_nra(shape)
+        if design == ReplicationDesign.RA_R:
+            return self.max_meetings_ra_r(shape)
+        return self.max_meetings_ra_sr(shape)
+
+    # -- cross-cutting limits -------------------------------------------------------
+
+    def rewrite_limit(self, shape: MeetingShape, variant: RewriteVariant) -> float:
+        """Meetings supported before the sequence-rewrite state is exhausted."""
+        adapted = shape.rate_adapted_streams
+        if adapted == 0:
+            return math.inf
+        return REWRITE_STREAM_CAPACITY[variant] / adapted
+
+    def bandwidth_limit(self, shape: MeetingShape) -> float:
+        """Meetings supported before the switch's egress bandwidth is exhausted."""
+        if shape.egress_bps <= 0:
+            return math.inf
+        return self.capacities.switch_bandwidth_bps / shape.egress_bps
+
+    # -- combined -----------------------------------------------------------------------
+
+    def max_meetings(
+        self,
+        shape: MeetingShape,
+        design: ReplicationDesign,
+        variant: RewriteVariant = RewriteVariant.S_LM,
+        rate_adapted: bool = True,
+    ) -> float:
+        """Concurrent meetings under a design, a rewrite variant, and bandwidth."""
+        limits = [
+            self.max_meetings_for_design(shape, design),
+            self.bandwidth_limit(shape),
+        ]
+        if rate_adapted and design not in (ReplicationDesign.NRA, ReplicationDesign.TWO_PARTY):
+            limits.append(self.rewrite_limit(shape, variant))
+        return min(limits)
+
+    def best_design(self, shape: MeetingShape, rate_adapted: bool) -> ReplicationDesign:
+        """The design the switch agent would migrate this meeting shape to."""
+        if shape.participants == 2:
+            return ReplicationDesign.TWO_PARTY
+        if not rate_adapted:
+            return ReplicationDesign.NRA
+        return ReplicationDesign.RA_R
+
+    def best_case_meetings(self, shape: MeetingShape, rate_adapted: bool = True) -> float:
+        """Max meetings with the most favourable design and rewrite variant."""
+        design = self.best_design(shape, rate_adapted)
+        return self.max_meetings(shape, design, RewriteVariant.S_LM, rate_adapted)
+
+    def worst_case_meetings(self, shape: MeetingShape) -> float:
+        """Max meetings with the least favourable (RA-SR + S-LR) configuration."""
+        if shape.participants == 2:
+            return self.max_meetings(shape, ReplicationDesign.TWO_PARTY, RewriteVariant.S_LR)
+        return self.max_meetings(shape, ReplicationDesign.RA_SR, RewriteVariant.S_LR)
+
+
+@dataclass(frozen=True)
+class ImprovementPoint:
+    """One x-value of Figure 15: the Scallop-vs-software improvement range."""
+
+    participants: int
+    improvement_min: float
+    improvement_max: float
+
+
+def improvement_over_software(
+    participants: int,
+    scallop: Optional[ScallopCapacityModel] = None,
+    software: Optional[SoftwareSfuCapacityModel] = None,
+) -> ImprovementPoint:
+    """Scallop's scalability gain over a 32-core server for one meeting size.
+
+    The lower bound uses the most constrained Scallop configuration (RA-SR
+    trees with the S-LR rewriter, all participants sending); the upper bound
+    uses the most favourable one (best design, S-LM, and the sender mix that
+    maximizes the ratio).
+    """
+    scallop = scallop or ScallopCapacityModel()
+    software = software or SoftwareSfuCapacityModel()
+
+    ratios: List[float] = []
+    sender_counts = sorted({1, max(1, participants // 2), participants})
+    for senders in sender_counts:
+        shape = MeetingShape(participants=participants, senders=senders)
+        sw = software.max_meetings(shape)
+        ratios.append(scallop.best_case_meetings(shape, rate_adapted=True) / sw)
+        ratios.append(scallop.worst_case_meetings(shape) / sw)
+
+    return ImprovementPoint(
+        participants=participants,
+        improvement_min=min(ratios),
+        improvement_max=max(ratios),
+    )
+
+
+def figure15_series(
+    participant_range: Optional[List[int]] = None,
+) -> List[ImprovementPoint]:
+    """The Figure 15 series: improvement range vs. participants per meeting."""
+    points = participant_range or [2, 3, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+    return [improvement_over_software(n) for n in points]
+
+
+@dataclass(frozen=True)
+class MinMaxPoint:
+    """One x-value of Figure 16: best/worst-case meetings for both systems."""
+
+    participants: int
+    scallop_min: float
+    scallop_max: float
+    software_min: float
+    software_max: float
+
+
+def figure16_series(participant_range: Optional[List[int]] = None) -> List[MinMaxPoint]:
+    """Best-case (one sender) and worst-case (all senders) supported meetings."""
+    scallop = ScallopCapacityModel()
+    software = SoftwareSfuCapacityModel()
+    points = participant_range or [2, 3, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+    series: List[MinMaxPoint] = []
+    for n in points:
+        all_send = MeetingShape(participants=n)
+        one_sends = MeetingShape(participants=n, senders=1)
+        series.append(
+            MinMaxPoint(
+                participants=n,
+                scallop_min=scallop.worst_case_meetings(all_send),
+                scallop_max=scallop.best_case_meetings(one_sends, rate_adapted=(n > 2)),
+                software_min=software.max_meetings(all_send),
+                software_max=software.max_meetings(one_sends),
+            )
+        )
+    return series
+
+
+@dataclass(frozen=True)
+class DesignSpacePoint:
+    """One x-value of Figure 17: every constraint line, all participants sending."""
+
+    participants: int
+    nra: float
+    ra_r: float
+    ra_sr: float
+    s_lm: float
+    s_lr: float
+    bandwidth: float
+    software: float
+
+    def overall(self, design: ReplicationDesign, variant: RewriteVariant) -> float:
+        """The system capacity: the minimum of the applicable constraints."""
+        design_limit = {
+            ReplicationDesign.NRA: self.nra,
+            ReplicationDesign.RA_R: self.ra_r,
+            ReplicationDesign.RA_SR: self.ra_sr,
+            ReplicationDesign.TWO_PARTY: self.nra,
+        }[design]
+        rewrite = self.s_lm if variant == RewriteVariant.S_LM else self.s_lr
+        if design == ReplicationDesign.NRA:
+            return min(design_limit, self.bandwidth)
+        return min(design_limit, rewrite, self.bandwidth)
+
+
+def figure17_series(participant_range: Optional[List[int]] = None) -> List[DesignSpacePoint]:
+    """The Figure 17 lines: per-design and per-bottleneck capacity vs. N."""
+    scallop = ScallopCapacityModel()
+    software = SoftwareSfuCapacityModel()
+    points = participant_range or [2, 3, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+    series: List[DesignSpacePoint] = []
+    for n in points:
+        shape = MeetingShape(participants=n)
+        series.append(
+            DesignSpacePoint(
+                participants=n,
+                nra=scallop.max_meetings_nra(shape),
+                ra_r=scallop.max_meetings_ra_r(shape),
+                ra_sr=scallop.max_meetings_ra_sr(shape),
+                s_lm=scallop.rewrite_limit(shape, RewriteVariant.S_LM),
+                s_lr=scallop.rewrite_limit(shape, RewriteVariant.S_LR),
+                bandwidth=scallop.bandwidth_limit(shape),
+                software=software.max_meetings(shape),
+            )
+        )
+    return series

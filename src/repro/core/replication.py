@@ -1,0 +1,421 @@
+"""Replication-tree construction, meeting installation, and live migration.
+
+This module is the piece of the switch agent that maps VCA entities (meetings,
+senders, receivers) onto the PRE hierarchy (§6.1 of the paper):
+
+* **TWO_PARTY** — no replication tree; the sender's stream is unicast to its
+  single peer.
+* **NRA** — one tree shared by up to ``m`` meetings; every participant is an
+  L1 node, L1 XIDs separate the meetings, L2 XIDs suppress the sender's own
+  copy.
+* **RA_R** — one tree per media quality per meeting group; a packet of
+  temporal layer ``l`` is replicated through the layer-``l`` tree, which
+  contains the receivers whose decode target includes that layer.
+* **RA_SR** — per (sender-pair, quality) trees, the least aggregated design.
+
+The :class:`ReplicationManager` installs meetings into a
+:class:`~repro.dataplane.pipeline.ScallopPipeline`, keeps the per-meeting tree
+state, and migrates meetings between designs without disrupting forwarding
+(make-before-break: build the new trees, repoint the ingress entries, then
+deallocate the old trees).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..dataplane.pipeline import (
+    ForwardingMode,
+    ReplicaTarget,
+    ScallopPipeline,
+    StreamForwardingEntry,
+)
+from ..dataplane.pre import L2Port
+from ..netsim.datagram import Address
+from ..rtp.av1 import DecodeTarget
+from .capacity import ReplicationDesign
+
+
+@dataclass
+class ParticipantEndpoint:
+    """What the replication layer needs to know about one participant."""
+
+    participant_id: str
+    address: Address
+    egress_port: int
+    audio_ssrc: Optional[int] = None
+    video_ssrc: Optional[int] = None
+
+    def media_ssrcs(self) -> List[Tuple[str, int]]:
+        ssrcs: List[Tuple[str, int]] = []
+        if self.audio_ssrc is not None:
+            ssrcs.append(("audio", self.audio_ssrc))
+        if self.video_ssrc is not None:
+            ssrcs.append(("video", self.video_ssrc))
+        return ssrcs
+
+
+@dataclass
+class _TreeState:
+    """One allocated multicast tree and its membership bookkeeping."""
+
+    mgid: int
+    layer: Optional[int] = None                       # RA designs: temporal layer
+    node_ids: Dict[str, int] = field(default_factory=dict)   # participant -> node id
+    rids: Dict[str, int] = field(default_factory=dict)        # participant -> RID
+    xids: Dict[str, int] = field(default_factory=dict)        # meeting -> L1 XID
+
+
+@dataclass
+class MeetingReplicationState:
+    """Everything the agent tracks about one installed meeting."""
+
+    meeting_id: str
+    design: ReplicationDesign
+    participants: Dict[str, ParticipantEndpoint] = field(default_factory=dict)
+    trees: List[_TreeState] = field(default_factory=list)
+    l1_xid: Optional[int] = None       # this meeting's XID inside shared trees
+    tree_group: Optional[str] = None   # id of the NRA/RA-R group this meeting shares
+
+    def addresses(self) -> List[Address]:
+        return [p.address for p in self.participants.values()]
+
+
+class ReplicationManager:
+    """Builds and maintains replication trees for meetings on one pipeline."""
+
+    def __init__(self, pipeline: ScallopPipeline) -> None:
+        self.pipeline = pipeline
+        self.meetings: Dict[str, MeetingReplicationState] = {}
+        self._next_port = 1
+        self._next_rid = itertools.count(1)
+        self._port_by_participant: Dict[str, int] = {}
+        # NRA / RA-R tree groups with a free meeting slot: group id -> (trees, used meetings)
+        self._open_groups: Dict[ReplicationDesign, List[str]] = {ReplicationDesign.NRA: [], ReplicationDesign.RA_R: []}
+        self._groups: Dict[str, Dict[str, object]] = {}
+        self._group_counter = itertools.count(1)
+        self.migrations_performed = 0
+
+    # ------------------------------------------------------------------ installation
+
+    def install_meeting(
+        self,
+        meeting_id: str,
+        participants: Sequence[ParticipantEndpoint],
+        design: Optional[ReplicationDesign] = None,
+        qualities: int = 3,
+    ) -> MeetingReplicationState:
+        """Install a meeting under the given (or automatically chosen) design."""
+        if meeting_id in self.meetings:
+            raise ValueError(f"meeting already installed: {meeting_id}")
+        chosen = design or self._auto_design(len(participants))
+        state = MeetingReplicationState(meeting_id=meeting_id, design=chosen)
+        for participant in participants:
+            state.participants[participant.participant_id] = participant
+            self._assign_port(participant)
+        self.meetings[meeting_id] = state
+        self._build(state, qualities)
+        self._install_stream_entries(state)
+        return state
+
+    def remove_meeting(self, meeting_id: str) -> None:
+        """Tear down a meeting's trees and ingress entries."""
+        state = self.meetings.pop(meeting_id, None)
+        if state is None:
+            return
+        self._remove_stream_entries(state)
+        self._teardown_trees(state)
+
+    def add_participant(self, meeting_id: str, participant: ParticipantEndpoint) -> None:
+        """Add a participant to a running meeting (controller join event)."""
+        state = self._require(meeting_id)
+        self._remove_stream_entries(state)
+        state.participants[participant.participant_id] = participant
+        self._assign_port(participant)
+        self._teardown_trees(state)
+        self._build(state, qualities=3)
+        self._install_stream_entries(state)
+
+    def remove_participant(self, meeting_id: str, participant_id: str) -> None:
+        state = self._require(meeting_id)
+        if participant_id not in state.participants:
+            return
+        self._remove_stream_entries(state)
+        del state.participants[participant_id]
+        self._teardown_trees(state)
+        if len(state.participants) >= 2:
+            if state.design == ReplicationDesign.TWO_PARTY and len(state.participants) != 2:
+                state.design = ReplicationDesign.NRA
+            self._build(state, qualities=3)
+            self._install_stream_entries(state)
+        elif not state.participants:
+            del self.meetings[meeting_id]
+        # a single remaining participant has nobody to forward to: keep the
+        # meeting record but install no forwarding state
+
+    # ------------------------------------------------------------------ migration
+
+    def migrate(self, meeting_id: str, new_design: ReplicationDesign, qualities: int = 3) -> None:
+        """Migrate a meeting to a different replication design without disruption.
+
+        Follows the paper's three steps: build the new trees, repoint the
+        ingress rules, then deallocate the old trees.
+        """
+        state = self._require(meeting_id)
+        if state.design == new_design:
+            return
+        old_trees = list(state.trees)
+        old_group = state.tree_group
+        state.trees = []
+        state.design = new_design
+        state.tree_group = None
+        state.l1_xid = None
+        # 1. create the new replication trees
+        self._build(state, qualities)
+        # 2. update data-plane rules to point at the new trees
+        self._install_stream_entries(state)
+        # 3. deallocate the old trees
+        self._release_trees(old_trees, old_group, state.meeting_id)
+        self.migrations_performed += 1
+
+    # ------------------------------------------------------------------ design construction
+
+    def _auto_design(self, num_participants: int) -> ReplicationDesign:
+        return ReplicationDesign.TWO_PARTY if num_participants == 2 else ReplicationDesign.NRA
+
+    def _build(self, state: MeetingReplicationState, qualities: int) -> None:
+        if len(state.participants) < 2:
+            return  # nothing to forward yet
+        if state.design == ReplicationDesign.TWO_PARTY:
+            if len(state.participants) != 2:
+                raise ValueError("the two-party design requires exactly two participants")
+            return  # no trees at all
+        if state.design == ReplicationDesign.NRA:
+            self._build_shared_group(state, layers=[None])
+        elif state.design == ReplicationDesign.RA_R:
+            self._build_shared_group(state, layers=list(range(qualities)))
+        else:  # RA_SR
+            self._build_ra_sr(state, qualities)
+
+    def _build_shared_group(self, state: MeetingReplicationState, layers: List[Optional[int]]) -> None:
+        """NRA / RA-R: join (or open) a tree group shared by up to m meetings."""
+        design = state.design
+        meetings_per_tree = self.pipeline.capacities.meetings_per_tree
+        group_id = None
+        for candidate in self._open_groups[design]:
+            group = self._groups[candidate]
+            if len(group["meetings"]) < meetings_per_tree and group["layers"] == layers:  # type: ignore[index]
+                group_id = candidate
+                break
+        if group_id is None:
+            group_id = f"{design.value}-group-{next(self._group_counter)}"
+            trees = [_TreeState(mgid=self.pipeline.pre.create_tree(), layer=layer) for layer in layers]
+            self._groups[group_id] = {"trees": trees, "meetings": set(), "layers": layers}
+            self._open_groups[design].append(group_id)
+        group = self._groups[group_id]
+        group["meetings"].add(state.meeting_id)  # type: ignore[union-attr]
+        if len(group["meetings"]) >= meetings_per_tree:  # type: ignore[arg-type]
+            if group_id in self._open_groups[design]:
+                self._open_groups[design].remove(group_id)
+
+        state.tree_group = group_id
+        state.l1_xid = len(group["meetings"])  # type: ignore[arg-type]
+        state.trees = list(group["trees"])  # type: ignore[arg-type]
+
+        for tree in state.trees:
+            for participant in state.participants.values():
+                rid = next(self._next_rid) % self.pipeline.capacities.max_rids_per_tree
+                node_id = self.pipeline.pre.add_node(
+                    tree.mgid,
+                    rid=rid,
+                    ports=[L2Port(port=participant.egress_port, l2_xid=participant.egress_port)],
+                    l1_xid=state.l1_xid,
+                    prune_enabled=True,
+                )
+                tree.node_ids[f"{state.meeting_id}:{participant.participant_id}"] = node_id
+                tree.rids[f"{state.meeting_id}:{participant.participant_id}"] = rid
+                self.pipeline.install_replica_target(
+                    tree.mgid,
+                    rid,
+                    ReplicaTarget(address=participant.address, participant_id=participant.participant_id),
+                )
+
+    def _build_ra_sr(self, state: MeetingReplicationState, qualities: int) -> None:
+        """RA-SR: one tree per (pair of senders, quality)."""
+        participants = list(state.participants.values())
+        sender_pairs = [participants[i : i + 2] for i in range(0, len(participants), 2)]
+        for pair in sender_pairs:
+            for layer in range(qualities):
+                tree = _TreeState(mgid=self.pipeline.pre.create_tree(), layer=layer)
+                tree.xids = {p.participant_id: index + 1 for index, p in enumerate(pair)}
+                for participant in participants:
+                    rid = next(self._next_rid) % self.pipeline.capacities.max_rids_per_tree
+                    node_id = self.pipeline.pre.add_node(
+                        tree.mgid,
+                        rid=rid,
+                        ports=[L2Port(port=participant.egress_port, l2_xid=participant.egress_port)],
+                        l1_xid=None,
+                        prune_enabled=False,
+                    )
+                    key = f"{state.meeting_id}:{participant.participant_id}"
+                    tree.node_ids[key] = node_id
+                    tree.rids[key] = rid
+                    self.pipeline.install_replica_target(
+                        tree.mgid,
+                        rid,
+                        ReplicaTarget(address=participant.address, participant_id=participant.participant_id),
+                    )
+                tree.layer = layer
+                # remember which senders this tree serves
+                tree_senders = tuple(p.participant_id for p in pair)
+                tree.xids["__senders__"] = hash(tree_senders) & 0xFFFF
+                setattr(tree, "senders", tree_senders)
+                state.trees.append(tree)
+
+    # ------------------------------------------------------------------ ingress entries
+
+    def _install_stream_entries(self, state: MeetingReplicationState) -> None:
+        if len(state.participants) < 2:
+            return  # a lone participant has no receivers to forward to
+        for participant in state.participants.values():
+            for _kind, ssrc in participant.media_ssrcs():
+                entry = self._entry_for_sender(state, participant)
+                self.pipeline.install_stream((participant.address, ssrc), entry)
+
+    def _remove_stream_entries(self, state: MeetingReplicationState) -> None:
+        for participant in state.participants.values():
+            for _kind, ssrc in participant.media_ssrcs():
+                self.pipeline.remove_stream((participant.address, ssrc))
+
+    def _entry_for_sender(
+        self, state: MeetingReplicationState, sender: ParticipantEndpoint
+    ) -> StreamForwardingEntry:
+        if state.design == ReplicationDesign.TWO_PARTY:
+            peer = next(
+                p for p in state.participants.values() if p.participant_id != sender.participant_id
+            )
+            return StreamForwardingEntry(
+                mode=ForwardingMode.UNICAST,
+                meeting_id=state.meeting_id,
+                sender=sender.address,
+                unicast_receiver=peer.address,
+            )
+
+        key = f"{state.meeting_id}:{sender.participant_id}"
+        if state.design == ReplicationDesign.NRA:
+            tree = state.trees[0]
+            return StreamForwardingEntry(
+                mode=ForwardingMode.REPLICATE,
+                meeting_id=state.meeting_id,
+                sender=sender.address,
+                mgid=tree.mgid,
+                l1_xid=self._other_meeting_xid(state),
+                rid=tree.rids.get(key),
+                l2_xid=sender.egress_port,
+            )
+
+        if state.design == ReplicationDesign.RA_R:
+            mgid_by_layer = {tree.layer: tree.mgid for tree in state.trees if tree.layer is not None}
+            base_tree = state.trees[0]
+            return StreamForwardingEntry(
+                mode=ForwardingMode.REPLICATE_BY_LAYER,
+                meeting_id=state.meeting_id,
+                sender=sender.address,
+                mgid=base_tree.mgid,
+                mgid_by_layer=mgid_by_layer,
+                l1_xid=self._other_meeting_xid(state),
+                rid=base_tree.rids.get(key),
+                l2_xid=sender.egress_port,
+            )
+
+        # RA_SR: use the trees whose sender pair contains this sender
+        own_trees = [
+            tree
+            for tree in state.trees
+            if sender.participant_id in getattr(tree, "senders", ())
+        ] or state.trees
+        mgid_by_layer = {tree.layer: tree.mgid for tree in own_trees if tree.layer is not None}
+        base_tree = own_trees[0]
+        return StreamForwardingEntry(
+            mode=ForwardingMode.REPLICATE_BY_LAYER,
+            meeting_id=state.meeting_id,
+            sender=sender.address,
+            mgid=base_tree.mgid,
+            mgid_by_layer=mgid_by_layer,
+            rid=base_tree.rids.get(f"{state.meeting_id}:{sender.participant_id}"),
+            l2_xid=sender.egress_port,
+        )
+
+    def _other_meeting_xid(self, state: MeetingReplicationState) -> Optional[int]:
+        """The L1 XID to stamp on packets so *other* meetings' nodes are pruned.
+
+        With two meetings per tree, meeting 1 stamps XID 2 and vice-versa; when
+        a tree currently holds a single meeting no pruning is necessary.
+        """
+        if state.tree_group is None or state.l1_xid is None:
+            return None
+        group = self._groups[state.tree_group]
+        if len(group["meetings"]) <= 1:  # type: ignore[arg-type]
+            return None
+        return 2 if state.l1_xid == 1 else 1
+
+    # ------------------------------------------------------------------ teardown helpers
+
+    def _teardown_trees(self, state: MeetingReplicationState) -> None:
+        self._release_trees(state.trees, state.tree_group, state.meeting_id)
+        state.trees = []
+        state.tree_group = None
+        state.l1_xid = None
+
+    def _release_trees(
+        self, trees: List[_TreeState], group_id: Optional[str], meeting_id: str
+    ) -> None:
+        if group_id is not None:
+            group = self._groups.get(group_id)
+            if group is None:
+                return
+            group["meetings"].discard(meeting_id)  # type: ignore[union-attr]
+            prefix = f"{meeting_id}:"
+            for tree in group["trees"]:  # type: ignore[union-attr]
+                for key in [k for k in tree.node_ids if k.startswith(prefix)]:
+                    self.pipeline.pre.remove_node(tree.mgid, tree.node_ids.pop(key))
+                    rid = tree.rids.pop(key, None)
+                    if rid is not None:
+                        self.pipeline.remove_replica_target(tree.mgid, rid)
+            if not group["meetings"]:  # type: ignore[arg-type]
+                for tree in group["trees"]:  # type: ignore[union-attr]
+                    self.pipeline.pre.destroy_tree(tree.mgid)
+                design = ReplicationDesign.NRA if group_id.startswith("nra") else ReplicationDesign.RA_R
+                if group_id in self._open_groups.get(design, []):
+                    self._open_groups[design].remove(group_id)
+                del self._groups[group_id]
+            else:
+                design = ReplicationDesign.NRA if group_id.startswith("nra") else ReplicationDesign.RA_R
+                if group_id not in self._open_groups.setdefault(design, []):
+                    self._open_groups[design].append(group_id)
+            return
+        # privately owned trees (RA-SR)
+        for tree in trees:
+            for key, node_id in list(tree.node_ids.items()):
+                self.pipeline.pre.remove_node(tree.mgid, node_id)
+            for key, rid in list(tree.rids.items()):
+                self.pipeline.remove_replica_target(tree.mgid, rid)
+            self.pipeline.pre.destroy_tree(tree.mgid)
+
+    # ------------------------------------------------------------------ misc helpers
+
+    def _assign_port(self, participant: ParticipantEndpoint) -> None:
+        if participant.participant_id not in self._port_by_participant:
+            self._port_by_participant[participant.participant_id] = self._next_port
+            participant.egress_port = self._next_port
+            self._next_port += 1
+        else:
+            participant.egress_port = self._port_by_participant[participant.participant_id]
+
+    def _require(self, meeting_id: str) -> MeetingReplicationState:
+        state = self.meetings.get(meeting_id)
+        if state is None:
+            raise KeyError(f"unknown meeting: {meeting_id}")
+        return state

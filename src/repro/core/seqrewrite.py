@@ -1,0 +1,339 @@
+"""Sequence-number rewriting heuristics (paper §6.2, Figures 12 and 18).
+
+When Scallop suppresses packets for rate adaptation it opens gaps in the RTP
+sequence space that a WebRTC receiver would misinterpret as network loss.  The
+egress pipeline therefore rewrites sequence numbers so that *intentional* gaps
+disappear while *legitimate* gaps (real network loss on the sender's uplink)
+are preserved.  Perfect rewriting is impossible when suppression coincides
+with loss and reordering, so Scallop uses heuristics with one hard rule:
+**never emit a duplicate sequence number** (a duplicate breaks the decoder and
+freezes the video; an extra gap merely triggers a retransmission).
+
+Two variants are implemented, as in the paper:
+
+* :class:`SequenceRewriterLowMemory` (S-LM) keeps only the highest observed
+  sequence number, the highest frame number, and the running offset.  Gaps in
+  arrivals are attributed to the configured skip cadence.
+* :class:`SequenceRewriterLowRetransmission` (S-LR) additionally tracks the
+  boundaries of the most recent frame, whether it ended, and the highest
+  suppressed frame, allowing it to treat intra-frame gaps as genuine loss and
+  to rewrite late packets of the current frame correctly.
+
+Both classes implement the :class:`repro.dataplane.pipeline.SequenceRewriter`
+protocol and hold only a handful of integers, mirroring their register-memory
+footprint on the Tofino.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..rtp.packet import SEQ_MOD, seq_add, seq_delta
+
+
+@dataclass(frozen=True)
+class SkipCadence:
+    """The control plane's description of which share of packets is suppressed.
+
+    ``suppressed_per_group`` out of every ``group_size`` consecutive media
+    packets are expected to be suppressed.  For L1T3, dropping the top temporal
+    layer (30 -> 15 fps) suppresses half of the frames, hence roughly half of
+    the packets, i.e. ``SkipCadence(1, 2)``; dropping to 7.5 fps gives
+    ``SkipCadence(3, 4)``.  ``SkipCadence(0, 1)`` means nothing is suppressed.
+    """
+
+    suppressed_per_group: int
+    group_size: int
+
+    def __post_init__(self) -> None:
+        if self.group_size <= 0:
+            raise ValueError("group size must be positive")
+        if not 0 <= self.suppressed_per_group <= self.group_size:
+            raise ValueError("suppressed count cannot exceed the group size")
+
+    @property
+    def ratio(self) -> float:
+        return self.suppressed_per_group / self.group_size
+
+    @classmethod
+    def for_decode_target(cls, decode_target: int) -> "SkipCadence":
+        """Cadence implied by an L1T3 decode target (2 = nothing suppressed)."""
+        if decode_target >= 2:
+            return cls(0, 1)
+        if decode_target == 1:
+            return cls(1, 2)
+        return cls(3, 4)
+
+
+class _RewriterBase:
+    """Shared bookkeeping for the rewriting heuristics."""
+
+    def __init__(self, cadence: SkipCadence) -> None:
+        self.cadence = cadence
+        self.offset = 0
+        self.highest_seq: Optional[int] = None
+        self.highest_frame: Optional[int] = None
+        self.packets_seen = 0
+        self.packets_forwarded = 0
+        self.packets_suppressed = 0
+        self.packets_dropped_for_safety = 0
+        self._emitted: set = set()
+        # fractional carry for cadence-based gap attribution
+        self._gap_carry = 0.0
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _emit(self, seq: int) -> Optional[int]:
+        rewritten = (seq - self.offset) % SEQ_MOD
+        if rewritten in self._emitted:
+            # never emit duplicates: drop instead (paper's hard rule)
+            self.packets_dropped_for_safety += 1
+            return None
+        self._emitted.add(rewritten)
+        if len(self._emitted) > 4096:
+            # bounded like hardware state; forget the distant past
+            self._emitted = set(sorted(self._emitted)[-2048:])
+        self.packets_forwarded += 1
+        return rewritten
+
+    def _cadence_guess(self, missing: int) -> int:
+        """How many of ``missing`` unseen packets the cadence says were suppressed."""
+        exact = missing * self.cadence.ratio + self._gap_carry
+        guess = int(exact)
+        self._gap_carry = exact - guess
+        return min(missing, guess)
+
+    # -- shared statistics ------------------------------------------------------------
+
+    @property
+    def state_cells(self) -> int:
+        """Number of register cells this heuristic occupies (per stream)."""
+        raise NotImplementedError
+
+
+class SequenceRewriterLowMemory(_RewriterBase):
+    """S-LM: three registers per stream (highest seq, highest frame, offset)."""
+
+    #: register cells per stream: highest seq, highest frame, offset
+    STATE_CELLS = 3
+
+    def on_packet(self, sequence_number: int, frame_number: int, forward: bool) -> Optional[int]:
+        self.packets_seen += 1
+        if not forward:
+            self.packets_suppressed += 1
+
+        if self.highest_seq is None:
+            self.highest_seq = sequence_number
+            self.highest_frame = frame_number
+            if not forward:
+                self.offset += 1
+                return None
+            return self._emit(sequence_number)
+
+        delta = seq_delta(sequence_number, self.highest_seq)
+
+        if delta == 1:
+            # consecutive packet
+            self.highest_seq = sequence_number
+            self.highest_frame = frame_number
+            if not forward:
+                self.offset += 1
+                return None
+            return self._emit(sequence_number)
+
+        if delta > 1:
+            # gap: attribute part of it to the skip cadence
+            missing = delta - 1
+            self.offset += self._cadence_guess(missing)
+            self.highest_seq = sequence_number
+            self.highest_frame = frame_number
+            if not forward:
+                self.offset += 1
+                return None
+            return self._emit(sequence_number)
+
+        # delta <= 0: an older (reordered or retransmitted) packet
+        if delta == -1 or delta == 0:
+            if not forward:
+                return None
+            return self._emit(sequence_number)
+        # further in the past: cannot safely reconstruct its offset; drop
+        self.packets_dropped_for_safety += 1
+        return None
+
+    @property
+    def state_cells(self) -> int:
+        return self.STATE_CELLS
+
+
+class SequenceRewriterLowRetransmission(_RewriterBase):
+    """S-LR: six registers per stream; fewer erroneous gaps, more memory.
+
+    Extra state relative to S-LM: first and highest sequence number of the
+    latest observed frame, whether that frame ended, and the highest
+    suppressed frame number.
+    """
+
+    #: register cells per stream (the six tables of §6.3)
+    STATE_CELLS = 6
+
+    def __init__(self, cadence: SkipCadence) -> None:
+        super().__init__(cadence)
+        self.frame_first_seq: Optional[int] = None
+        self.frame_highest_seq: Optional[int] = None
+        self.frame_number_current: Optional[int] = None
+        self.frame_ended: bool = True
+        self.highest_suppressed_frame: Optional[int] = None
+        self._frame_offsets: Dict[int, int] = {}
+        # running estimate of packets per frame, used to attribute gaps that
+        # span whole (suppressed) frames; a slowly decaying maximum is robust
+        # against frames observed only partially because of uplink loss
+        self._packets_per_frame_estimate = 1.0
+        self._packets_in_current_frame = 0
+        self._current_frame_suppressed = False
+
+    def on_packet(self, sequence_number: int, frame_number: int, forward: bool) -> Optional[int]:
+        self.packets_seen += 1
+        if not forward:
+            self.packets_suppressed += 1
+            self.highest_suppressed_frame = max(self.highest_suppressed_frame or 0, frame_number)
+
+        if self.highest_seq is None:
+            self._start_frame(sequence_number, frame_number)
+            self.highest_seq = sequence_number
+            self.highest_frame = frame_number
+            if not forward:
+                self.offset += 1
+                return None
+            return self._emit(sequence_number)
+
+        delta = seq_delta(sequence_number, self.highest_seq)
+
+        if delta >= 1:
+            missing = delta - 1
+            if missing > 0:
+                if frame_number == self.frame_number_current and not self.frame_ended:
+                    if self._current_frame_suppressed or not forward:
+                        # the gap lies inside a frame this receiver does not
+                        # get anyway: the missing packets are invisible to it
+                        self.offset += missing
+                    # otherwise the gap inside a forwarded frame can only be
+                    # genuine loss (a frame is never partially suppressed)
+                else:
+                    # the gap spans at least one frame boundary: attribute the
+                    # share belonging to suppressed frames (whole skipped
+                    # frames per the cadence, the unseen tail of a suppressed
+                    # previous frame, and the unseen head of a suppressed new
+                    # frame), and preserve the rest as genuine loss.
+                    self.offset += self._frame_gap_guess(missing, frame_number, forward)
+            if frame_number != self.frame_number_current:
+                self._start_frame(sequence_number, frame_number)
+            else:
+                self.frame_highest_seq = sequence_number
+                self._packets_in_current_frame += 1
+            if not forward:
+                self._current_frame_suppressed = True
+            self.highest_seq = sequence_number
+            self.highest_frame = max(self.highest_frame or 0, frame_number)
+            if not forward:
+                self.offset += 1
+                return None
+            return self._emit(sequence_number)
+
+        # delta <= 0: late packet
+        if not forward:
+            return None
+        if frame_number == self.frame_number_current or frame_number in self._frame_offsets:
+            # we still know the offset that applied when this frame started
+            offset = self._frame_offsets.get(frame_number, self.offset)
+            rewritten = (sequence_number - offset) % SEQ_MOD
+            if rewritten in self._emitted:
+                self.packets_dropped_for_safety += 1
+                return None
+            self._emitted.add(rewritten)
+            self.packets_forwarded += 1
+            return rewritten
+        if self.highest_suppressed_frame is not None and frame_number <= self.highest_suppressed_frame:
+            # late packet of a frame we know we suppressed: drop silently
+            return None
+        if delta >= -2:
+            return self._emit(sequence_number)
+        self.packets_dropped_for_safety += 1
+        return None
+
+    def _frame_gap_guess(self, missing: int, new_frame_number: int, forward: bool) -> int:
+        """How many of ``missing`` unseen packets belonged to suppressed frames.
+
+        The number of whole frames skipped between the last observed frame and
+        the new one is known from the frame numbers; the cadence bounds how
+        many of them can have been suppressed, and the running packets-per-
+        frame estimate converts frames to packets.  The unseen tail of a
+        suppressed previous frame and the unseen head of a suppressed new
+        frame are also invisible to the receiver and therefore attributed.
+        """
+        if self.frame_number_current is None:
+            return self._cadence_guess(missing)
+        skipped_frames = max(0, (new_frame_number - self.frame_number_current - 1) & 0xFFFF)
+        if skipped_frames > 1_000:
+            # an implausible jump (e.g. wildly reordered frame number): treat
+            # the whole gap as loss rather than guessing
+            return 0
+        per_frame = max(1, round(self._packets_per_frame_estimate))
+        suppressed_frames = min(skipped_frames, math.ceil(skipped_frames * self.cadence.ratio))
+        attribution = suppressed_frames * per_frame
+        if self._current_frame_suppressed:
+            attribution += max(0, per_frame - self._packets_in_current_frame)
+        if not forward:
+            attribution += per_frame - 1
+        return min(missing, attribution)
+
+    def _start_frame(self, sequence_number: int, frame_number: int) -> None:
+        if self._packets_in_current_frame > 0:
+            self._packets_per_frame_estimate = max(
+                float(self._packets_in_current_frame), self._packets_per_frame_estimate * 0.98
+            )
+        self._packets_in_current_frame = 1
+        self._current_frame_suppressed = False
+        self.frame_first_seq = sequence_number
+        self.frame_highest_seq = sequence_number
+        self.frame_number_current = frame_number
+        self.frame_ended = False
+        self._frame_offsets[frame_number] = self.offset
+        if len(self._frame_offsets) > 8:
+            for old in sorted(self._frame_offsets)[:-8]:
+                del self._frame_offsets[old]
+
+    def mark_frame_ended(self) -> None:
+        """Called when the end-of-frame packet has been observed."""
+        self.frame_ended = True
+
+    @property
+    def state_cells(self) -> int:
+        return self.STATE_CELLS
+
+
+def ideal_rewrite_map(
+    events: Sequence[Tuple[int, bool, bool]],
+) -> Dict[int, Optional[int]]:
+    """The oracle: ideal rewritten sequence number for every original packet.
+
+    ``events`` is the ground-truth per-packet history in original sequence
+    order: ``(sequence_number, suppressed_by_sfu, lost_before_sfu)``.  The
+    ideal rewrite removes exactly the suppressed packets from the sequence
+    space — lost packets keep their (rewritten) slot so the receiver NACKs
+    them, which is the legitimate behaviour.
+
+    Returns a map from original sequence number to the ideal rewritten number,
+    or ``None`` for packets the receiver should never see (suppressed).
+    """
+    mapping: Dict[int, Optional[int]] = {}
+    suppressed_so_far = 0
+    for sequence_number, suppressed, _lost in events:
+        if suppressed:
+            mapping[sequence_number] = None
+            suppressed_so_far += 1
+        else:
+            mapping[sequence_number] = (sequence_number - suppressed_so_far) % SEQ_MOD
+    return mapping

@@ -1,0 +1,309 @@
+"""The Scallop switch agent: the on-switch software control plane (paper §4, §5).
+
+The agent runs on the switch CPU.  It never touches media on the forwarding
+path; it only receives *copies* of control packets from the data plane,
+analyzes them, and reconfigures the data plane when needed.  Its jobs are:
+
+* answering STUN connectivity checks,
+* analyzing extended AV1 dependency descriptors (key frames) to learn the SVC
+  template structure of each video stream,
+* running the REMB filter function (best-downlink selection, Figure 8) and
+  installing the corresponding feedback-forwarding rules,
+* running ``selectDecodeTarget`` per (sender, receiver) and installing/updating
+  rate-adaptation entries (allowed template ids + sequence-rewrite state), and
+* installing meetings into the replication engine and migrating them between
+  replication designs as their rate-adaptation needs change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..dataplane.pipeline import FeedbackRule, ScallopPipeline
+from ..netsim.datagram import Address, Datagram, PayloadKind
+from ..rtp.av1 import DecodeTarget, TemplateStructure, extract_dependency_descriptor
+from ..rtp.packet import RtpPacket
+from ..rtp.rtcp import Nack, PictureLossIndication, ReceiverReport, Remb, RtcpPacket, SenderReport
+from ..stun.message import StunMessage, make_binding_response
+from .capacity import ReplicationDesign, RewriteVariant
+from .rate_control import DecodeTargetTracker, DownlinkFilter, SelectDecodeTargetFn, select_decode_target
+from .replication import ParticipantEndpoint, ReplicationManager
+from .seqrewrite import (
+    SequenceRewriterLowMemory,
+    SequenceRewriterLowRetransmission,
+    SkipCadence,
+)
+
+#: Software processing delay of the switch CPU per punted packet.
+AGENT_PROCESSING_DELAY_S = 0.0008
+#: Period of the best-downlink reselection (the filter function f).
+FILTER_RESELECT_INTERVAL_S = 0.5
+
+
+@dataclass
+class AgentCounters:
+    """Workload counters for the switch agent (Figure 22, Table 1)."""
+
+    packets_processed: int = 0
+    bytes_processed: int = 0
+    stun_handled: int = 0
+    remb_handled: int = 0
+    nack_pli_handled: int = 0
+    extended_descriptors_handled: int = 0
+    rule_updates: int = 0
+    decode_target_changes: int = 0
+    migrations: int = 0
+
+
+@dataclass
+class _ParticipantState:
+    endpoint: ParticipantEndpoint
+    meeting_id: str
+    structure: TemplateStructure = field(default_factory=TemplateStructure.l1t3)
+
+
+class SwitchAgent:
+    """The control program running on the switch CPU."""
+
+    def __init__(
+        self,
+        pipeline: ScallopPipeline,
+        send_fn: Optional[Callable[[Datagram], None]] = None,
+        rewrite_variant: RewriteVariant = RewriteVariant.S_LR,
+        select_fn: SelectDecodeTargetFn = select_decode_target,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.replication = ReplicationManager(pipeline)
+        self.downlink_filter = DownlinkFilter()
+        self.decode_targets = DecodeTargetTracker(select_fn=select_fn)
+        self.rewrite_variant = rewrite_variant
+        self.counters = AgentCounters()
+        self._send = send_fn or (lambda datagram: None)
+        self._clock = clock or (lambda: 0.0)
+
+        self._participants: Dict[str, _ParticipantState] = {}
+        self._participant_by_address: Dict[Address, str] = {}
+        self._participant_by_ssrc: Dict[int, str] = {}
+        self._adaptation_installed: Dict[Tuple[int, Address], bool] = {}
+
+    # ------------------------------------------------------------------ meeting management
+
+    def configure_meeting(
+        self,
+        meeting_id: str,
+        participants: Sequence[ParticipantEndpoint],
+        design: Optional[ReplicationDesign] = None,
+    ) -> None:
+        """(Re)install a meeting's replication state and feedback rules."""
+        if meeting_id in self.replication.meetings:
+            self.replication.remove_meeting(meeting_id)
+            for pid in [p for p, s in self._participants.items() if s.meeting_id == meeting_id]:
+                self._forget_participant(pid)
+        self.replication.install_meeting(meeting_id, participants, design=design)
+        for participant in participants:
+            self._register_participant(meeting_id, participant)
+        self._install_feedback_rules(meeting_id)
+        self.counters.rule_updates += 1
+
+    def add_participant(self, meeting_id: str, participant: ParticipantEndpoint) -> None:
+        if meeting_id not in self.replication.meetings:
+            self.replication.install_meeting(meeting_id, [participant])
+        else:
+            self.replication.add_participant(meeting_id, participant)
+        self._register_participant(meeting_id, participant)
+        self._install_feedback_rules(meeting_id)
+        self.counters.rule_updates += 1
+
+    def remove_participant(self, meeting_id: str, participant_id: str) -> None:
+        if meeting_id in self.replication.meetings:
+            self.replication.remove_participant(meeting_id, participant_id)
+        self._forget_participant(participant_id)
+        self.downlink_filter.forget_receiver(participant_id)
+        self.downlink_filter.forget_sender(participant_id)
+        self.decode_targets.forget(participant_id)
+        if meeting_id in self.replication.meetings:
+            self._install_feedback_rules(meeting_id)
+        self.counters.rule_updates += 1
+
+    def migrate_meeting(self, meeting_id: str, design: ReplicationDesign) -> None:
+        self.replication.migrate(meeting_id, design)
+        self.counters.migrations += 1
+
+    def meeting_design(self, meeting_id: str) -> Optional[ReplicationDesign]:
+        state = self.replication.meetings.get(meeting_id)
+        return None if state is None else state.design
+
+    def _register_participant(self, meeting_id: str, participant: ParticipantEndpoint) -> None:
+        self._participants[participant.participant_id] = _ParticipantState(
+            endpoint=participant, meeting_id=meeting_id
+        )
+        self._participant_by_address[participant.address] = participant.participant_id
+        for _kind, ssrc in participant.media_ssrcs():
+            self._participant_by_ssrc[ssrc] = participant.participant_id
+
+    def _forget_participant(self, participant_id: str) -> None:
+        state = self._participants.pop(participant_id, None)
+        if state is None:
+            return
+        self._participant_by_address.pop(state.endpoint.address, None)
+        for _kind, ssrc in state.endpoint.media_ssrcs():
+            self._participant_by_ssrc.pop(ssrc, None)
+
+    def _install_feedback_rules(self, meeting_id: str) -> None:
+        """Install NACK/PLI forwarding for every (receiver, sender-ssrc) pair."""
+        meeting = self.replication.meetings.get(meeting_id)
+        if meeting is None:
+            return
+        participants = list(meeting.participants.values())
+        for sender in participants:
+            selected = self.downlink_filter.selected_receiver(sender.participant_id)
+            for receiver in participants:
+                if receiver.participant_id == sender.participant_id:
+                    continue
+                for _kind, ssrc in sender.media_ssrcs():
+                    self.pipeline.install_feedback_rule(
+                        receiver.address,
+                        ssrc,
+                        FeedbackRule(
+                            sender=sender.address,
+                            forward_remb=(selected == receiver.participant_id),
+                            forward_nack_pli=True,
+                        ),
+                    )
+
+    # ------------------------------------------------------------------ CPU packet handling
+
+    def handle_cpu_packet(self, datagram: Datagram) -> None:
+        """Process one packet copy punted by the data plane."""
+        self.counters.packets_processed += 1
+        self.counters.bytes_processed += datagram.size
+
+        if datagram.kind == PayloadKind.STUN and isinstance(datagram.payload, StunMessage):
+            self._handle_stun(datagram)
+        elif datagram.kind == PayloadKind.RTCP:
+            for packet in datagram.payload:  # type: ignore[union-attr]
+                self._handle_rtcp(datagram.src, packet)
+        elif datagram.kind == PayloadKind.RTP and isinstance(datagram.payload, RtpPacket):
+            self._handle_extended_descriptor(datagram.src, datagram.payload)
+
+    def _handle_stun(self, datagram: Datagram) -> None:
+        message: StunMessage = datagram.payload  # type: ignore[assignment]
+        self.counters.stun_handled += 1
+        if not message.is_request:
+            return
+        response = make_binding_response(message, datagram.src.ip, datagram.src.port)
+        self._send(Datagram(src=datagram.dst, dst=datagram.src, payload=response))
+
+    def _handle_extended_descriptor(self, src: Address, packet: RtpPacket) -> None:
+        """SVC analysis of key frames carrying an extended dependency descriptor."""
+        descriptor = extract_dependency_descriptor(packet.extension)
+        if descriptor is None or descriptor.structure is None:
+            return
+        self.counters.extended_descriptors_handled += 1
+        participant_id = self._participant_by_ssrc.get(packet.ssrc)
+        if participant_id is not None and participant_id in self._participants:
+            self._participants[participant_id].structure = descriptor.structure
+
+    def _handle_rtcp(self, src: Address, packet: RtcpPacket) -> None:
+        if isinstance(packet, Remb):
+            self.counters.remb_handled += 1
+            for media_ssrc in packet.media_ssrcs:
+                self._process_estimate(src, media_ssrc, packet.bitrate_bps)
+        elif isinstance(packet, ReceiverReport):
+            # RR loss/jitter statistics could feed richer policies; the default
+            # policy only uses REMB, so RRs are just counted.
+            pass
+        elif isinstance(packet, (Nack, PictureLossIndication)):
+            self.counters.nack_pli_handled += 1
+
+    # ------------------------------------------------------------------ rate adaptation
+
+    def _process_estimate(self, receiver_addr: Address, media_ssrc: int, estimate_bps: float) -> None:
+        receiver_id = self._participant_by_address.get(receiver_addr)
+        sender_id = self._participant_by_ssrc.get(media_ssrc)
+        if receiver_id is None or sender_id is None or receiver_id == sender_id:
+            return
+        now = self._clock()
+        self.downlink_filter.observe(sender_id, receiver_id, estimate_bps, now)
+        target, changed = self.decode_targets.update(sender_id, receiver_id, estimate_bps)
+        if changed:
+            self.counters.decode_target_changes += 1
+            self._apply_decode_target(sender_id, receiver_id, target)
+
+    def _apply_decode_target(self, sender_id: str, receiver_id: str, target: DecodeTarget) -> None:
+        sender_state = self._participants.get(sender_id)
+        receiver_state = self._participants.get(receiver_id)
+        if sender_state is None or receiver_state is None:
+            return
+        video_ssrc = sender_state.endpoint.video_ssrc
+        if video_ssrc is None:
+            return
+        allowed = frozenset(sender_state.structure.templates_for_decode_target(int(target)))
+        key = (video_ssrc, receiver_state.endpoint.address)
+        if self._adaptation_installed.get(key):
+            self.pipeline.update_adaptation_templates(video_ssrc, receiver_state.endpoint.address, allowed)
+        else:
+            rewriter = self._make_rewriter(target)
+            self.pipeline.install_adaptation(
+                video_ssrc, receiver_state.endpoint.address, allowed, rewriter
+            )
+            self._adaptation_installed[key] = True
+            self._maybe_migrate_for_adaptation(sender_state.meeting_id)
+        self.counters.rule_updates += 1
+
+    def _make_rewriter(self, target: DecodeTarget):
+        cadence = SkipCadence.for_decode_target(int(target))
+        if self.rewrite_variant == RewriteVariant.S_LM:
+            return SequenceRewriterLowMemory(cadence)
+        return SequenceRewriterLowRetransmission(cadence)
+
+    def _maybe_migrate_for_adaptation(self, meeting_id: str) -> None:
+        """Move a meeting from the NRA design to RA-R when adaptation starts."""
+        design = self.meeting_design(meeting_id)
+        if design == ReplicationDesign.NRA:
+            self.migrate_meeting(meeting_id, ReplicationDesign.RA_R)
+
+    # ------------------------------------------------------------------ periodic work
+
+    def run_filter_function(self) -> int:
+        """Reselect the best downlink per sender; returns rule updates made.
+
+        Called periodically (every :data:`FILTER_RESELECT_INTERVAL_S`) by the
+        SFU wrapper, mirroring the periodic EWMA maximum selection of §5.3.
+        """
+        updates = 0
+        for sender_id, state in list(self._participants.items()):
+            best, changed = self.downlink_filter.reselect(sender_id)
+            if best is None or not changed:
+                continue
+            meeting = self.replication.meetings.get(state.meeting_id)
+            if meeting is None:
+                continue
+            for receiver in meeting.participants.values():
+                if receiver.participant_id == sender_id:
+                    continue
+                for _kind, ssrc in state.endpoint.media_ssrcs():
+                    self.pipeline.install_feedback_rule(
+                        receiver.address,
+                        ssrc,
+                        FeedbackRule(
+                            sender=state.endpoint.address,
+                            forward_remb=(receiver.participant_id == best),
+                            forward_nack_pli=True,
+                        ),
+                    )
+                    updates += 1
+        if updates:
+            self.counters.rule_updates += updates
+        return updates
+
+    # ------------------------------------------------------------------ inspection helpers
+
+    def decode_target_for(self, sender_id: str, receiver_id: str) -> DecodeTarget:
+        return self.decode_targets.current(sender_id, receiver_id)
+
+    def participants_in(self, meeting_id: str) -> List[str]:
+        meeting = self.replication.meetings.get(meeting_id)
+        return [] if meeting is None else list(meeting.participants)

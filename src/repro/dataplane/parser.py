@@ -1,0 +1,173 @@
+"""The data-plane parser model (paper Appendix E).
+
+The Tofino parser walks a largely static parse graph with limited lookahead
+and bounded depth.  Scallop's program classifies UDP payloads into RTP media,
+RTCP, and STUN by looking at the first bits, then — for RTP video — walks the
+header-extension elements up to a bounded depth to find the AV1 dependency
+descriptor and extract its template id.  Anything beyond those capabilities
+(extended descriptors carrying a template structure, STUN's TLV attributes,
+RTCP compound payloads) must be punted to the switch CPU.
+
+This module reproduces exactly that capability envelope, operating on the same
+byte layouts as the real protocols (via the codecs in :mod:`repro.rtp`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence, Tuple
+
+from ..netsim.datagram import Datagram, PayloadKind
+from ..rtp.av1 import DependencyDescriptor
+from ..rtp.extensions import (
+    EXT_ID_AV1_DEPENDENCY_DESCRIPTOR,
+    decode_extensions,
+)
+from ..rtp.packet import PT_AUDIO_OPUS, RtpPacket
+from ..rtp.rtcp import (
+    Nack,
+    PictureLossIndication,
+    ReceiverReport,
+    Remb,
+    RtcpPacket,
+    SenderReport,
+    SourceDescription,
+)
+from ..stun.message import StunMessage
+
+#: Maximum number of header-extension elements the parse graph can traverse
+#: before running out of parser states (the depth-aware tree of Appendix E).
+MAX_EXTENSION_ELEMENTS = 4
+#: Maximum dependency-descriptor bytes the parser can pull into PHV; the
+#: mandatory DD prefix fits, an extended descriptor with a template structure
+#: does not.
+MAX_DD_BYTES_PARSEABLE = 4
+
+
+class PacketClass(str, Enum):
+    """The classification the ingress parser produces for every packet."""
+
+    RTP_VIDEO = "rtp_video"
+    RTP_AUDIO = "rtp_audio"
+    RTCP_SENDER = "rtcp_sender"       # SR / SDES: originates at a media sender
+    RTCP_FEEDBACK = "rtcp_feedback"   # RR / REMB / NACK / PLI: from a receiver
+    STUN = "stun"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class ParseResult:
+    """What the ingress parser extracted from one packet."""
+
+    packet_class: PacketClass
+    ssrc: Optional[int] = None
+    template_id: Optional[int] = None
+    frame_number: Optional[int] = None
+    start_of_frame: bool = False
+    end_of_frame: bool = False
+    has_extended_descriptor: bool = False
+    needs_cpu: bool = False
+    parse_depth: int = 0
+
+
+class IngressParser:
+    """The bounded-capability parser at the front of the ingress pipeline."""
+
+    def __init__(
+        self,
+        max_extension_elements: int = MAX_EXTENSION_ELEMENTS,
+        max_dd_bytes: int = MAX_DD_BYTES_PARSEABLE,
+    ) -> None:
+        self.max_extension_elements = max_extension_elements
+        self.max_dd_bytes = max_dd_bytes
+        self.packets_parsed = 0
+        self.cpu_punts = 0
+
+    def parse(self, datagram: Datagram) -> ParseResult:
+        """Classify a datagram and extract the fields the pipeline matches on."""
+        self.packets_parsed += 1
+        if datagram.kind == PayloadKind.STUN:
+            self.cpu_punts += 1
+            return ParseResult(packet_class=PacketClass.STUN, needs_cpu=True)
+        if datagram.kind == PayloadKind.RTCP:
+            return self._parse_rtcp(datagram)
+        if datagram.kind == PayloadKind.RTP and isinstance(datagram.payload, RtpPacket):
+            return self._parse_rtp(datagram.payload)
+        return ParseResult(packet_class=PacketClass.UNKNOWN, needs_cpu=True)
+
+    # -- RTP -----------------------------------------------------------------------
+
+    def _parse_rtp(self, packet: RtpPacket) -> ParseResult:
+        if packet.payload_type == PT_AUDIO_OPUS:
+            return ParseResult(packet_class=PacketClass.RTP_AUDIO, ssrc=packet.ssrc, parse_depth=12)
+
+        template_id: Optional[int] = None
+        frame_number: Optional[int] = None
+        start = end = False
+        extended = False
+        needs_cpu = False
+        depth = 12
+
+        elements = decode_extensions(packet.extension)
+        for index, element in enumerate(elements):
+            depth += 2 + len(element.data)
+            if index >= self.max_extension_elements:
+                # the parse graph ran out of landing states; give up on the DD
+                needs_cpu = False
+                break
+            if element.ext_id != EXT_ID_AV1_DEPENDENCY_DESCRIPTOR:
+                continue
+            try:
+                descriptor = DependencyDescriptor.parse_prefix(element.data)
+            except ValueError:
+                needs_cpu = True
+                break
+            template_id = descriptor.template_id
+            frame_number = descriptor.frame_number
+            start = descriptor.start_of_frame
+            end = descriptor.end_of_frame
+            if len(element.data) > self.max_dd_bytes:
+                # extended descriptor (template structure) - data plane cannot
+                # parse it; the packet is still forwarded, but a copy goes to
+                # the switch agent for SVC analysis.
+                extended = True
+                needs_cpu = True
+            break
+
+        if needs_cpu:
+            self.cpu_punts += 1
+        return ParseResult(
+            packet_class=PacketClass.RTP_VIDEO,
+            ssrc=packet.ssrc,
+            template_id=template_id,
+            frame_number=frame_number,
+            start_of_frame=start,
+            end_of_frame=end,
+            has_extended_descriptor=extended,
+            needs_cpu=needs_cpu,
+            parse_depth=depth,
+        )
+
+    # -- RTCP ----------------------------------------------------------------------
+
+    def _parse_rtcp(self, datagram: Datagram) -> ParseResult:
+        packets: Sequence[RtcpPacket] = datagram.payload  # type: ignore[assignment]
+        has_sender_info = any(isinstance(p, (SenderReport, SourceDescription)) for p in packets)
+        has_feedback = any(
+            isinstance(p, (ReceiverReport, Remb, Nack, PictureLossIndication)) for p in packets
+        )
+        ssrc = None
+        for p in packets:
+            if isinstance(p, (SenderReport, ReceiverReport, Remb, Nack, PictureLossIndication)):
+                ssrc = p.sender_ssrc
+                break
+        if has_feedback:
+            # feedback needs analysis by the agent (REMB filter, rate control);
+            # the data plane forwards it per installed rules and copies it to CPU
+            self.cpu_punts += 1
+            return ParseResult(packet_class=PacketClass.RTCP_FEEDBACK, ssrc=ssrc, needs_cpu=True, parse_depth=8)
+        if has_sender_info:
+            return ParseResult(packet_class=PacketClass.RTCP_SENDER, ssrc=ssrc, parse_depth=8)
+        self.cpu_punts += 1
+        return ParseResult(packet_class=PacketClass.UNKNOWN, ssrc=ssrc, needs_cpu=True, parse_depth=8)

@@ -1,0 +1,405 @@
+"""The Scallop switch pipeline: ingress parsing/matching, PRE replication, and
+egress rewriting.
+
+This is the behavioural model of the ~2000 lines of P4 the paper describes
+(§6): per packet it can only
+
+* parse the bounded set of fields in :class:`~repro.dataplane.parser.IngressParser`,
+* look up exact-match tables that the control plane installed beforehand,
+* invoke the :class:`~repro.dataplane.pre.PacketReplicationEngine`, and
+* in egress, rewrite addresses and sequence numbers using per-stream register
+  state and drop packets whose SVC template id the receiver's decode target
+  excludes.
+
+Everything else (STUN, RTCP feedback analysis, extended AV1 descriptors) is
+copied or punted to the switch CPU, which is exactly the split Table 1
+quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, FrozenSet, List, Optional, Protocol, Tuple
+
+from ..netsim.datagram import Address, Datagram
+from ..rtp.packet import RtpPacket
+from ..rtp.rtcp import (
+    Nack,
+    PictureLossIndication,
+    ReceiverReport,
+    Remb,
+    RtcpPacket,
+    SenderReport,
+    SourceDescription,
+)
+from .parser import IngressParser, PacketClass, ParseResult
+from .pre import L2Port, PacketReplicationEngine, Replica
+from .resources import DEFAULT_CAPACITIES, ResourceAccountant, TofinoCapacities
+from .tables import ExactMatchTable, IndexAllocator, RegisterArray
+
+#: Fixed pipeline traversal latency of the switch (ingress + PRE + egress).
+#: Tofino-class devices forward in well under a microsecond; the slightly
+#: larger constant accounts for port serialization of ~1 KB packets and keeps
+#: the Figure 19 comparison conservative.
+SWITCH_FORWARDING_DELAY_S = 12e-6
+
+
+class SequenceRewriter(Protocol):
+    """Per-stream sequence-number rewriting state machine (S-LM / S-LR).
+
+    The pipeline calls :meth:`on_packet` for every packet of a rate-adapted
+    (sender -> receiver) stream in arrival order.  ``forward`` is False when
+    the SFU is suppressing the packet for rate adaptation.  The return value
+    is the rewritten sequence number, or ``None`` if the packet must not be
+    forwarded (either because it was suppressed or because forwarding it would
+    risk emitting a duplicate sequence number).
+    """
+
+    def on_packet(self, sequence_number: int, frame_number: int, forward: bool) -> Optional[int]:
+        ...
+
+
+class ForwardingMode(str, Enum):
+    """How a sender's media stream is distributed."""
+
+    UNICAST = "unicast"                  # two-party optimization, no PRE
+    REPLICATE = "replicate"              # single tree (NRA)
+    REPLICATE_BY_LAYER = "replicate_by_layer"  # per-quality trees (RA-R / RA-SR)
+
+
+@dataclass(frozen=True)
+class StreamForwardingEntry:
+    """Ingress match-action entry for one sender media stream."""
+
+    mode: ForwardingMode
+    meeting_id: str
+    sender: Address
+    mgid: Optional[int] = None
+    mgid_by_layer: Optional[Dict[int, int]] = None
+    l1_xid: Optional[int] = None
+    rid: Optional[int] = None
+    l2_xid: Optional[int] = None
+    unicast_receiver: Optional[Address] = None
+
+
+@dataclass(frozen=True)
+class ReplicaTarget:
+    """Egress mapping from a PRE replica to the receiver it addresses."""
+
+    address: Address
+    participant_id: str
+
+
+@dataclass(frozen=True)
+class AdaptationEntry:
+    """Egress match-action entry controlling rate adaptation per receiver."""
+
+    stream_index: int
+    allowed_templates: FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class FeedbackRule:
+    """Forwarding rule for receiver feedback about one media SSRC."""
+
+    sender: Address
+    forward_remb: bool = False   # set by the switch agent's filter function
+    forward_nack_pli: bool = True
+
+
+@dataclass
+class PipelineCounters:
+    """Packet/byte accounting used by Table 1, Figure 22 and the tests."""
+
+    data_plane_packets: int = 0
+    data_plane_bytes: int = 0
+    cpu_packets: int = 0
+    cpu_bytes: int = 0
+    replicas_out: int = 0
+    adaptation_drops: int = 0
+    table_misses: int = 0
+    by_class_packets: Dict[str, int] = field(default_factory=dict)
+    by_class_bytes: Dict[str, int] = field(default_factory=dict)
+
+    def account(self, packet_class: PacketClass, size: int, to_cpu: bool) -> None:
+        label = packet_class.value
+        self.by_class_packets[label] = self.by_class_packets.get(label, 0) + 1
+        self.by_class_bytes[label] = self.by_class_bytes.get(label, 0) + size
+        if to_cpu:
+            self.cpu_packets += 1
+            self.cpu_bytes += size
+        else:
+            self.data_plane_packets += 1
+            self.data_plane_bytes += size
+
+
+@dataclass
+class PipelineResult:
+    """The outcome of processing one ingress packet."""
+
+    parse: ParseResult
+    outputs: List[Datagram] = field(default_factory=list)
+    cpu_copies: List[Datagram] = field(default_factory=list)
+    dropped_replicas: int = 0
+    forwarding_delay_s: float = SWITCH_FORWARDING_DELAY_S
+
+
+class ScallopPipeline:
+    """The data plane: configured by the control plane, driven per packet."""
+
+    def __init__(
+        self,
+        sfu_address: Address,
+        capacities: TofinoCapacities = DEFAULT_CAPACITIES,
+    ) -> None:
+        self.sfu_address = sfu_address
+        self.capacities = capacities
+        self.accountant = ResourceAccountant(capacities)
+        self.parser = IngressParser()
+        self.pre = PacketReplicationEngine(self.accountant)
+
+        self.stream_table: ExactMatchTable[Tuple[Address, int], StreamForwardingEntry] = ExactMatchTable(
+            "stream_forwarding", max_entries=capacities.exact_match_entries
+        )
+        self.replica_table: ExactMatchTable[Tuple[int, int], ReplicaTarget] = ExactMatchTable(
+            "replica_targets", max_entries=capacities.exact_match_entries
+        )
+        self.adaptation_table: ExactMatchTable[Tuple[int, Address], AdaptationEntry] = ExactMatchTable(
+            "rate_adaptation", max_entries=capacities.stream_tracker_cells
+        )
+        self.feedback_table: ExactMatchTable[Tuple[Address, int], FeedbackRule] = ExactMatchTable(
+            "feedback_rules", max_entries=capacities.exact_match_entries
+        )
+        self.ssrc_table: ExactMatchTable[int, Address] = ExactMatchTable(
+            "ssrc_owner", max_entries=capacities.exact_match_entries
+        )
+
+        self.stream_indices = IndexAllocator(capacities.stream_tracker_cells)
+        self.stream_trackers: RegisterArray[SequenceRewriter] = RegisterArray(
+            "stream_tracker", size=capacities.stream_tracker_cells
+        )
+
+        self.counters = PipelineCounters()
+
+    # ------------------------------------------------------------------ control API
+
+    def install_stream(self, key: Tuple[Address, int], entry: StreamForwardingEntry) -> None:
+        """Install ingress forwarding state for a sender stream (addr, ssrc)."""
+        self.stream_table.install(key, entry)
+        self.ssrc_table.install(key[1], key[0])
+
+    def remove_stream(self, key: Tuple[Address, int]) -> None:
+        self.stream_table.remove(key)
+        self.ssrc_table.remove(key[1])
+
+    def install_replica_target(self, mgid: int, rid: int, target: ReplicaTarget) -> None:
+        self.replica_table.install((mgid, rid), target)
+
+    def remove_replica_target(self, mgid: int, rid: int) -> None:
+        self.replica_table.remove((mgid, rid))
+
+    def install_adaptation(
+        self,
+        sender_ssrc: int,
+        receiver: Address,
+        allowed_templates: FrozenSet[int],
+        rewriter: SequenceRewriter,
+    ) -> int:
+        """Install per-receiver rate adaptation and its rewriting state.
+
+        Returns the allocated stream index.
+        """
+        index = self.stream_indices.allocate((sender_ssrc, receiver))
+        self.adaptation_table.install(
+            (sender_ssrc, receiver), AdaptationEntry(stream_index=index, allowed_templates=allowed_templates)
+        )
+        self.stream_trackers.write(index, rewriter)
+        self.accountant.allocate_stream_state(0)  # occupancy tracked via allocator
+        return index
+
+    def update_adaptation_templates(
+        self, sender_ssrc: int, receiver: Address, allowed_templates: FrozenSet[int]
+    ) -> None:
+        existing = self.adaptation_table.lookup((sender_ssrc, receiver))
+        if existing is None:
+            raise KeyError("no adaptation entry installed for this stream")
+        self.adaptation_table.install(
+            (sender_ssrc, receiver),
+            AdaptationEntry(stream_index=existing.stream_index, allowed_templates=allowed_templates),
+        )
+
+    def remove_adaptation(self, sender_ssrc: int, receiver: Address) -> None:
+        entry = self.adaptation_table.lookup((sender_ssrc, receiver))
+        if entry is not None:
+            self.stream_trackers.clear(entry.stream_index)
+            self.stream_indices.release((sender_ssrc, receiver))
+            self.adaptation_table.remove((sender_ssrc, receiver))
+
+    def install_feedback_rule(self, receiver: Address, media_ssrc: int, rule: FeedbackRule) -> None:
+        self.feedback_table.install((receiver, media_ssrc), rule)
+
+    def remove_feedback_rule(self, receiver: Address, media_ssrc: int) -> None:
+        self.feedback_table.remove((receiver, media_ssrc))
+
+    # ------------------------------------------------------------------ data path
+
+    def process(self, datagram: Datagram) -> PipelineResult:
+        """Run one ingress packet through the pipeline."""
+        parse = self.parser.parse(datagram)
+        result = PipelineResult(parse=parse)
+
+        if parse.packet_class == PacketClass.STUN or parse.packet_class == PacketClass.UNKNOWN:
+            self._punt(datagram, parse, result)
+            return result
+
+        if parse.packet_class == PacketClass.RTCP_FEEDBACK:
+            self._handle_feedback(datagram, parse, result)
+            return result
+
+        if parse.packet_class == PacketClass.RTCP_SENDER:
+            self._handle_sender_rtcp(datagram, parse, result)
+            return result
+
+        # RTP media (audio or video)
+        self._handle_media(datagram, parse, result)
+        return result
+
+    # -- media -------------------------------------------------------------------
+
+    def _handle_media(self, datagram: Datagram, parse: ParseResult, result: PipelineResult) -> None:
+        packet: RtpPacket = datagram.payload  # type: ignore[assignment]
+        entry = self.stream_table.lookup((datagram.src, packet.ssrc))
+        if entry is None:
+            self.counters.table_misses += 1
+            self.counters.account(parse.packet_class, datagram.size, to_cpu=False)
+            return
+
+        to_cpu = parse.needs_cpu and parse.has_extended_descriptor
+        self.counters.account(parse.packet_class, datagram.size, to_cpu=to_cpu)
+        if to_cpu:
+            result.cpu_copies.append(datagram)
+
+        is_video = parse.packet_class == PacketClass.RTP_VIDEO
+        targets = self._resolve_targets(entry, parse)
+        for target in targets:
+            out_packet: Optional[RtpPacket] = packet
+            if is_video:
+                out_packet = self._apply_adaptation(packet, parse, target.address)
+                if out_packet is None:
+                    result.dropped_replicas += 1
+                    self.counters.adaptation_drops += 1
+                    continue
+            out = Datagram(
+                src=self.sfu_address,
+                dst=target.address,
+                payload=out_packet,
+                meta=dict(datagram.meta, origin=datagram.src, origin_ssrc=packet.ssrc),
+            )
+            result.outputs.append(out)
+            self.counters.replicas_out += 1
+
+    def _resolve_targets(self, entry: StreamForwardingEntry, parse: ParseResult) -> List[ReplicaTarget]:
+        if entry.mode == ForwardingMode.UNICAST:
+            if entry.unicast_receiver is None:
+                return []
+            return [ReplicaTarget(address=entry.unicast_receiver, participant_id="peer")]
+
+        if entry.mode == ForwardingMode.REPLICATE_BY_LAYER and entry.mgid_by_layer:
+            layer = 0
+            if parse.template_id is not None:
+                from ..rtp.av1 import temporal_layer_for_template
+
+                try:
+                    layer = temporal_layer_for_template(parse.template_id)
+                except ValueError:
+                    layer = 0
+            mgid = entry.mgid_by_layer.get(layer, entry.mgid_by_layer.get(0))
+        else:
+            mgid = entry.mgid
+        if mgid is None:
+            return []
+        replicas = self.pre.replicate(mgid, l1_xid=entry.l1_xid, rid=entry.rid, l2_xid=entry.l2_xid)
+        targets: List[ReplicaTarget] = []
+        for replica in replicas:
+            target = self.replica_table.lookup((mgid, replica.rid))
+            if target is None:
+                self.counters.table_misses += 1
+                continue
+            if target.address == entry.sender:
+                # belt-and-braces: L2 pruning should already have removed this
+                continue
+            targets.append(target)
+        return targets
+
+    def _apply_adaptation(
+        self, packet: RtpPacket, parse: ParseResult, receiver: Address
+    ) -> Optional[RtpPacket]:
+        entry = self.adaptation_table.lookup((packet.ssrc, receiver))
+        if entry is None:
+            return packet
+        forward = parse.template_id is None or parse.template_id in entry.allowed_templates
+        rewriter = self.stream_trackers.read(entry.stream_index)
+        if rewriter is None:
+            return packet if forward else None
+        frame_number = parse.frame_number if parse.frame_number is not None else 0
+        new_seq = rewriter.on_packet(packet.sequence_number, frame_number, forward)
+        if new_seq is None:
+            return None
+        return packet.with_sequence_number(new_seq)
+
+    # -- RTCP ----------------------------------------------------------------------
+
+    def _handle_sender_rtcp(self, datagram: Datagram, parse: ParseResult, result: PipelineResult) -> None:
+        """SR/SDES: replicated to the sender's receivers through the data plane."""
+        self.counters.account(parse.packet_class, datagram.size, to_cpu=False)
+        if parse.ssrc is None:
+            return
+        entry = self.stream_table.lookup((datagram.src, parse.ssrc))
+        if entry is None:
+            self.counters.table_misses += 1
+            return
+        for target in self._resolve_targets(entry, parse):
+            result.outputs.append(
+                Datagram(src=self.sfu_address, dst=target.address, payload=datagram.payload)
+            )
+            self.counters.replicas_out += 1
+
+    def _handle_feedback(self, datagram: Datagram, parse: ParseResult, result: PipelineResult) -> None:
+        """RR/REMB/NACK/PLI: forwarded per rules, always copied to the CPU."""
+        self.counters.account(parse.packet_class, datagram.size, to_cpu=True)
+        result.cpu_copies.append(datagram)
+
+        packets: Tuple[RtcpPacket, ...] = tuple(datagram.payload)  # type: ignore[arg-type]
+        forwarded: Dict[Address, List[RtcpPacket]] = {}
+        for packet in packets:
+            media_ssrcs: List[int] = []
+            forward_needs_selection = False
+            if isinstance(packet, Remb):
+                media_ssrcs = list(packet.media_ssrcs)
+                forward_needs_selection = True
+            elif isinstance(packet, ReceiverReport):
+                media_ssrcs = [block.ssrc for block in packet.report_blocks]
+                forward_needs_selection = True
+            elif isinstance(packet, (Nack, PictureLossIndication)):
+                media_ssrcs = [packet.media_ssrc]
+            for media_ssrc in media_ssrcs:
+                rule = self.feedback_table.lookup((datagram.src, media_ssrc))
+                if rule is None:
+                    continue
+                if forward_needs_selection and not rule.forward_remb:
+                    continue
+                if not forward_needs_selection and not rule.forward_nack_pli:
+                    continue
+                forwarded.setdefault(rule.sender, []).append(packet)
+        for sender, packet_list in forwarded.items():
+            result.outputs.append(
+                Datagram(src=self.sfu_address, dst=sender, payload=tuple(packet_list))
+            )
+            self.counters.replicas_out += 1
+
+    # -- punting ---------------------------------------------------------------------
+
+    def _punt(self, datagram: Datagram, parse: ParseResult, result: PipelineResult) -> None:
+        self.counters.account(parse.packet_class, datagram.size, to_cpu=True)
+        result.cpu_copies.append(datagram)

@@ -1,0 +1,167 @@
+"""Figures 3 and 4: QoE collapse of an under-provisioned software SFU.
+
+Methodology (paper §2.2): Mediasoup is pinned to a single CPU core; meetings of
+ten participants each are added one participant at a time while the receive
+jitter and receive frame rate of the *first* meeting are measured through the
+WebRTC statistics API.  Tail jitter explodes and the frame rate collapses once
+the core saturates (around 80 participants on the paper's hardware).
+
+Because the reproduction simulates every packet in Python, the default
+parameters scale the media rates down and the per-packet CPU cost up by the
+same factor, which preserves the saturation point (in participants) and the
+shape of the jitter/frame-rate curves while keeping the event count tractable.
+The scale factor is configurable; ``media_scale=1.0`` reproduces the paper's
+full packet rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..analysis.metrics import percentile
+from ..baseline.cpu import CpuPool
+from ..netsim.link import LinkProfile
+from ..rtp.av1 import DecodeTarget
+from .runner import MeetingSetupConfig, Testbed, add_participant, build_software_testbed
+
+
+@dataclass(frozen=True)
+class OverloadSample:
+    """QoE of meeting 0 at a given total participant count.
+
+    ``mean_frame_rate_fps`` is measured at the (possibly scaled-down) encoder
+    frame rate; ``normalized_frame_rate_fps`` maps it back onto the paper's
+    30 fps axis so the Figure 4 shape can be compared directly.
+    """
+
+    participants: int
+    cpu_utilization: float
+    median_jitter_ms: float
+    p95_jitter_ms: float
+    p99_jitter_ms: float
+    mean_frame_rate_fps: float
+    min_frame_rate_fps: float
+    normalized_frame_rate_fps: float = 0.0
+
+
+@dataclass(frozen=True)
+class OverloadResult:
+    """The Figure 3 / Figure 4 series."""
+
+    samples: List[OverloadSample]
+    saturation_participants: Optional[int]
+
+    def jitter_series(self) -> List[Tuple[int, float, float, float]]:
+        """(participants, median, p95, p99 jitter in ms) — Figure 3."""
+        return [(s.participants, s.median_jitter_ms, s.p95_jitter_ms, s.p99_jitter_ms) for s in self.samples]
+
+    def frame_rate_series(self) -> List[Tuple[int, float]]:
+        """(participants, mean received fps at meeting 0, on a 30 fps axis) — Figure 4."""
+        return [(s.participants, s.normalized_frame_rate_fps) for s in self.samples]
+
+
+@dataclass
+class OverloadConfig:
+    """Knobs of the overload sweep."""
+
+    num_meetings: int = 10
+    participants_per_meeting: int = 10
+    seconds_per_join: float = 1.0
+    measure_window_s: float = 1.0
+    media_scale: float = 0.1
+    saturation_participants: int = 80
+    video_bitrate_bps: float = 2_200_000.0
+    seed: int = 5
+
+    @property
+    def frame_rate(self) -> float:
+        return max(2.0, 30.0 * self.media_scale)
+
+    @property
+    def scaled_bitrate_bps(self) -> float:
+        return max(100_000.0, self.video_bitrate_bps * self.media_scale)
+
+    def per_packet_cost_s(self) -> float:
+        """Per-packet CPU cost calibrated so saturation occurs at the target
+        participant count under the scaled media rates."""
+        # offered CPU operations per second per participant: each sent packet
+        # costs one receive op plus (participants - 1) send ops
+        packets_per_second = self.frame_rate * 1.6 + 8.0  # video packets + RTCP/STUN
+        ops_per_participant = packets_per_second * self.participants_per_meeting
+        saturating_ops = self.saturation_participants * ops_per_participant
+        return 1.0 / saturating_ops
+
+
+def run_overload_experiment(config: Optional[OverloadConfig] = None) -> OverloadResult:
+    """Run the incremental-overload sweep against the software SFU."""
+    config = config or OverloadConfig()
+    setup = MeetingSetupConfig(
+        num_meetings=0,
+        participants_per_meeting=0,
+        video_bitrate_bps=config.scaled_bitrate_bps,
+        frame_rate=config.frame_rate,
+        send_audio=False,
+        seed=config.seed,
+    )
+    cpu = CpuPool(cores=1, base_cost_s=config.per_packet_cost_s(), per_byte_cost_s=0.0, seed=config.seed)
+    # The paper's overload experiment does not constrain any downlink, so the
+    # SFU never intentionally reduces quality: frame-rate loss in Figure 4
+    # comes purely from CPU overload.  Disable REMB-driven layer dropping.
+    testbed = build_software_testbed(
+        setup, cores=1, cpu=cpu, select_fn=lambda current, history, estimate: DecodeTarget.DT2
+    )
+
+    samples: List[OverloadSample] = []
+    saturation: Optional[int] = None
+    total = 0
+    for participant_index in range(config.participants_per_meeting):
+        for meeting_index in range(config.num_meetings):
+            add_participant(testbed, setup, meeting_index, participant_index)
+            total += 1
+            testbed.run_for(config.seconds_per_join)
+            sample = _measure(testbed, total, config)
+            samples.append(sample)
+            if saturation is None and sample.cpu_utilization >= 0.99:
+                saturation = total
+    return OverloadResult(samples=samples, saturation_participants=saturation)
+
+
+def _measure(testbed: Testbed, participants: int, config: OverloadConfig) -> OverloadSample:
+    now = testbed.simulator.now
+    meeting0 = testbed.meeting("meeting-0")
+    jitters: List[float] = []
+    frame_rates: List[float] = []
+    for client in meeting0:
+        for stream in client.video_receivers.values():
+            jitters.append(stream.jitter_ms)
+            frame_rates.append(stream.frame_rate(config.measure_window_s * 2, now))
+    cpu = testbed.sfu.cpu  # type: ignore[attr-defined]
+    utilization = cpu.max_utilization(now)
+    if not jitters:
+        jitters = [0.0]
+    if not frame_rates:
+        frame_rates = [0.0]
+    mean_fps = sum(frame_rates) / len(frame_rates)
+    return OverloadSample(
+        participants=participants,
+        cpu_utilization=utilization,
+        median_jitter_ms=percentile(jitters, 50.0),
+        p95_jitter_ms=percentile(jitters, 95.0),
+        p99_jitter_ms=percentile(jitters, 99.0),
+        mean_frame_rate_fps=mean_fps,
+        min_frame_rate_fps=min(frame_rates),
+        normalized_frame_rate_fps=mean_fps / config.frame_rate * 30.0,
+    )
+
+
+def format_overload(result: OverloadResult) -> str:
+    lines = [f"{'parts':>6}{'cpu%':>7}{'median jit':>12}{'p95 jit':>10}{'p99 jit':>10}{'fps':>7}"]
+    for s in result.samples:
+        lines.append(
+            f"{s.participants:>6}{s.cpu_utilization * 100:>7.0f}{s.median_jitter_ms:>12.2f}"
+            f"{s.p95_jitter_ms:>10.2f}{s.p99_jitter_ms:>10.2f}{s.normalized_frame_rate_fps:>7.1f}"
+        )
+    if result.saturation_participants is not None:
+        lines.append(f"CPU saturated at {result.saturation_participants} participants")
+    return "\n".join(lines)

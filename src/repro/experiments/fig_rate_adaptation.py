@@ -1,0 +1,146 @@
+"""Figure 14: Scallop's SVC rate adaptation on a constrained downlink.
+
+Methodology (paper §7.3): a three-party call in which all participants send and
+receive video; one participant's downlink degrades (twice), forcing the SFU to
+reduce the frame rate of the streams it forwards to that participant from 30
+to 15 fps while the senders keep transmitting at full quality and the other
+participants keep receiving 30 fps.  The figure plots per-participant send
+frame rate, receive frame rate, and the constrained participant's receive
+bitrate per origin stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..netsim.link import LinkProfile
+from ..rtp.av1 import DecodeTarget
+from .runner import MeetingSetupConfig, Testbed, build_scallop_testbed
+
+#: Downlink profiles of the constrained participant: normal, then two
+#: successively tighter constraints (the "reduced twice" of the figure).
+NORMAL_DOWNLINK = LinkProfile(bandwidth_bps=50_000_000.0, propagation_delay_s=0.01)
+FIRST_CONSTRAINT = LinkProfile(bandwidth_bps=1_300_000.0, propagation_delay_s=0.01, queue_limit_bytes=60_000)
+SECOND_CONSTRAINT = LinkProfile(bandwidth_bps=1_000_000.0, propagation_delay_s=0.01, queue_limit_bytes=50_000)
+
+
+@dataclass(frozen=True)
+class RateAdaptationResult:
+    """Time series and final state of the Figure 14 experiment."""
+
+    send_frame_rates: Dict[str, List[Tuple[float, float]]]
+    receive_frame_rates: Dict[str, List[Tuple[float, float]]]   # per origin stream at P3
+    receive_bitrates_kbps: Dict[str, List[Tuple[float, float]]]  # per origin stream at P3
+    decode_targets: Dict[Tuple[str, str], int]
+    unconstrained_frame_rate_fps: float
+    constrained_frame_rate_fps: float
+    freezes_at_constrained: int
+
+    def adapted(self) -> bool:
+        """Whether the constrained participant was adapted below full rate."""
+        return any(target < int(DecodeTarget.DT2) for target in self.decode_targets.values())
+
+
+@dataclass
+class RateAdaptationConfig:
+    """Timing knobs of the experiment (defaults compress the paper's 400 s)."""
+
+    warmup_s: float = 20.0
+    first_constraint_at_s: float = 20.0
+    second_constraint_at_s: float = 60.0
+    total_duration_s: float = 120.0
+    video_bitrate_bps: float = 650_000.0
+    sample_interval_s: float = 2.0
+    seed: int = 7
+
+
+def run_rate_adaptation(config: Optional[RateAdaptationConfig] = None) -> RateAdaptationResult:
+    """Run the three-party rate-adaptation experiment."""
+    config = config or RateAdaptationConfig()
+    setup = MeetingSetupConfig(
+        num_meetings=1,
+        participants_per_meeting=3,
+        video_bitrate_bps=config.video_bitrate_bps,
+        seed=config.seed,
+    )
+    # thresholds scaled to the stream bitrate: full quality needs ~80% of the
+    # nominal bitrate, the mid quality ~40%
+    thresholds = (config.video_bitrate_bps * 0.8, config.video_bitrate_bps * 0.4)
+    testbed = build_scallop_testbed(setup, adaptation_thresholds_bps=thresholds)
+    clients = testbed.meeting("meeting-0")
+    constrained = clients[2]
+
+    receive_fps: Dict[str, List[Tuple[float, float]]] = {}
+    receive_kbps: Dict[str, List[Tuple[float, float]]] = {}
+    send_fps: Dict[str, List[Tuple[float, float]]] = {}
+    last_bytes: Dict[int, int] = {}
+    last_sample_time = 0.0
+
+    ssrc_to_origin = {client.video_ssrc: client.config.participant_id for client in clients}
+
+    def sample() -> None:
+        nonlocal last_sample_time
+        now = testbed.simulator.now
+        for client in clients:
+            send_fps.setdefault(client.config.participant_id, []).append((now, client.encoder.frame_rate))
+        for ssrc, stream in constrained.video_receivers.items():
+            origin = ssrc_to_origin.get(ssrc, f"ssrc-{ssrc}")
+            receive_fps.setdefault(origin, []).append((now, stream.frame_rate(2.0, now)))
+            elapsed = max(now - last_sample_time, 1e-9)
+            delta_bytes = stream.bytes_received - last_bytes.get(ssrc, 0)
+            last_bytes[ssrc] = stream.bytes_received
+            receive_kbps.setdefault(origin, []).append((now, delta_bytes * 8.0 / 1000.0 / elapsed))
+        last_sample_time = now
+
+    elapsed = 0.0
+    applied_first = applied_second = False
+    while elapsed < config.total_duration_s:
+        testbed.run_for(config.sample_interval_s)
+        elapsed += config.sample_interval_s
+        sample()
+        if not applied_first and elapsed >= config.first_constraint_at_s:
+            testbed.network.set_downlink_profile(constrained.address, FIRST_CONSTRAINT)
+            applied_first = True
+        if not applied_second and elapsed >= config.second_constraint_at_s:
+            testbed.network.set_downlink_profile(constrained.address, SECOND_CONSTRAINT)
+            applied_second = True
+
+    now = testbed.simulator.now
+    sfu = testbed.sfu
+    decode_targets = {
+        (sender.config.participant_id, constrained.config.participant_id): int(
+            sfu.agent.decode_target_for(  # type: ignore[attr-defined]
+                sender.config.participant_id, constrained.config.participant_id
+            )
+        )
+        for sender in clients[:2]
+    }
+    unconstrained_rates = [
+        stream.frame_rate(4.0, now) for stream in clients[0].video_receivers.values()
+    ]
+    constrained_rates = [
+        stream.frame_rate(4.0, now) for stream in constrained.video_receivers.values()
+    ]
+    freezes = sum(stream.freeze_events for stream in constrained.video_receivers.values())
+
+    return RateAdaptationResult(
+        send_frame_rates=send_fps,
+        receive_frame_rates=receive_fps,
+        receive_bitrates_kbps=receive_kbps,
+        decode_targets=decode_targets,
+        unconstrained_frame_rate_fps=sum(unconstrained_rates) / max(len(unconstrained_rates), 1),
+        constrained_frame_rate_fps=sum(constrained_rates) / max(len(constrained_rates), 1),
+        freezes_at_constrained=freezes,
+    )
+
+
+def format_rate_adaptation(result: RateAdaptationResult) -> str:
+    lines = [
+        "SVC rate adaptation (three-party call, constrained third participant):",
+        f"  decode targets towards constrained participant: {result.decode_targets}",
+        f"  constrained participant receive rate: {result.constrained_frame_rate_fps:.1f} fps",
+        f"  unconstrained participant receive rate: {result.unconstrained_frame_rate_fps:.1f} fps",
+        f"  freezes at constrained participant: {result.freezes_at_constrained}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Campus-trace figures: 2 (streams per meeting), 20/21 (concurrency),
+22 (software-SFU vs. switch-agent byte rates), 23/24 (SVC adaptation in the
+wild), and Table 2 (capture summary)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..rtp.av1 import DecodeTarget
+from ..trace.packet_trace import CampusPacketTrace, CaptureSummary, ForwardedStream, SvcAdaptationTrace
+from ..trace.workload import weekly_byte_comparison
+from ..trace.zoom_api import ZoomApiDataset, ZoomApiDatasetConfig
+
+DEFAULT_DATASET_MEETINGS = 2_000
+
+
+def build_dataset(num_meetings: int = DEFAULT_DATASET_MEETINGS, seed: int = 2022) -> ZoomApiDataset:
+    """A campus dataset sized for quick benchmark runs.
+
+    Pass ``num_meetings=19_704`` to match the paper's dataset exactly.
+    """
+    return ZoomApiDataset.generate(ZoomApiDatasetConfig(num_meetings=num_meetings, seed=seed))
+
+
+@dataclass(frozen=True)
+class StreamsPerMeetingResult:
+    """Figure 2: streams at the SFU vs. meeting size."""
+
+    summary: Dict[int, Tuple[int, float, int]]   # participants -> (min, median, max)
+
+    def median_for(self, participants: int) -> Optional[float]:
+        entry = self.summary.get(participants)
+        return None if entry is None else entry[1]
+
+    def upper_bound(self, participants: int) -> int:
+        """Theoretical bound if every participant shares audio + video."""
+        return 2 * participants * participants
+
+
+def run_streams_per_meeting(dataset: Optional[ZoomApiDataset] = None) -> StreamsPerMeetingResult:
+    dataset = dataset or build_dataset()
+    return StreamsPerMeetingResult(summary=dataset.streams_per_meeting_summary())
+
+
+@dataclass(frozen=True)
+class ConcurrencyResult:
+    """Figures 20 and 21: concurrent meetings / participants over time."""
+
+    series: List[Tuple[float, int, int]]
+    peak_meetings: int
+    peak_participants: int
+
+
+def run_concurrency(dataset: Optional[ZoomApiDataset] = None, step_s: float = 1800.0) -> ConcurrencyResult:
+    dataset = dataset or build_dataset()
+    series = dataset.concurrency_series(step_s=step_s)
+    return ConcurrencyResult(
+        series=series,
+        peak_meetings=max((s[1] for s in series), default=0),
+        peak_participants=max((s[2] for s in series), default=0),
+    )
+
+
+@dataclass(frozen=True)
+class AgentBytesResult:
+    """Figure 22: software-SFU vs. switch-agent byte rates over a week."""
+
+    series: List[Tuple[float, float, float]]
+    peak_software_bps: float
+    peak_agent_bps: float
+    reduction_factor: float
+
+
+def run_agent_bytes(dataset: Optional[ZoomApiDataset] = None, step_s: float = 3600.0) -> AgentBytesResult:
+    dataset = dataset or build_dataset()
+    series = weekly_byte_comparison(dataset, step_s=step_s)
+    peak_software = max((s[1] for s in series), default=0.0)
+    peak_agent = max((s[2] for s in series), default=0.0)
+    return AgentBytesResult(
+        series=series,
+        peak_software_bps=peak_software,
+        peak_agent_bps=peak_agent,
+        reduction_factor=(peak_software / peak_agent) if peak_agent else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class SvcAdaptationFigures:
+    """Figures 23 and 24: per-receiver and per-layer forwarded rates."""
+
+    sender: ForwardedStream
+    receiver_12: ForwardedStream
+    receiver_17: ForwardedStream
+
+    def receiver_rate_dropped(self) -> bool:
+        """Whether the forwarded rate visibly drops after the SFU adapts."""
+        early = [s.rate_kbps for s in self.receiver_17.samples[30:60]]
+        late = [s.rate_kbps for s in self.receiver_17.samples[-30:]]
+        return sum(late) / len(late) < 0.8 * sum(early) / len(early)
+
+
+def run_svc_adaptation_example(seed: int = 7) -> SvcAdaptationFigures:
+    trace = SvcAdaptationTrace(seed=seed)
+    return SvcAdaptationFigures(
+        sender=trace.sender_series(),
+        receiver_12=trace.receiver_series(receiver=12, reduce_at_s=110.0, reduce_to=DecodeTarget.DT1),
+        receiver_17=trace.receiver_series(receiver=17, reduce_at_s=200.0, reduce_to=DecodeTarget.DT1),
+    )
+
+
+def run_capture_summary(dataset: Optional[ZoomApiDataset] = None) -> CaptureSummary:
+    """Table 2: summary of a 12-hour synthetic campus capture."""
+    dataset = dataset or build_dataset()
+    trace = CampusPacketTrace(dataset)
+    # summarize the busiest 12-hour window (a weekday working period)
+    return trace.capture_summary(duration_s=12 * 3600.0, start_s=dataset.config.start_epoch_s + 8 * 3600.0)

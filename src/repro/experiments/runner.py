@@ -1,0 +1,168 @@
+"""Shared experiment scaffolding: build simulated meetings on either SFU.
+
+Every end-to-end experiment (Table 1, Figures 3/4, 14, 19) needs the same
+setup: a simulator, a network, an SFU (Scallop or the software baseline), and
+a set of WebRTC clients signed into meetings.  This module provides that
+scaffolding with deterministic seeds and convenient link-profile knobs so the
+experiment modules read like the paper's methodology sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baseline.cpu import CpuPool
+from ..baseline.software_sfu import SoftwareSfu
+from ..core.capacity import RewriteVariant
+from ..core.scallop import ScallopSfu
+from ..netsim.datagram import Address
+from ..netsim.link import LinkProfile, Network
+from ..netsim.simulator import Simulator
+from ..webrtc.client import ClientConfig, WebRtcClient
+
+SFU_ADDRESS = Address("10.0.0.1", 5000)
+
+
+@dataclass
+class MeetingSetupConfig:
+    """Parameters of a simulated meeting population."""
+
+    num_meetings: int = 1
+    participants_per_meeting: int = 3
+    video_bitrate_bps: float = 2_200_000.0
+    frame_rate: float = 30.0
+    send_audio: bool = True
+    send_video: bool = True
+    access_uplink: Optional[LinkProfile] = None
+    access_downlink: Optional[LinkProfile] = None
+    seed: int = 1
+
+
+@dataclass
+class Testbed:
+    """A built topology: simulator, network, the SFU, and all clients."""
+
+    simulator: Simulator
+    network: Network
+    sfu: object
+    clients: List[WebRtcClient] = field(default_factory=list)
+    clients_by_meeting: Dict[str, List[WebRtcClient]] = field(default_factory=dict)
+
+    def meeting(self, meeting_id: str) -> List[WebRtcClient]:
+        return self.clients_by_meeting.get(meeting_id, [])
+
+    def run_for(self, duration_s: float) -> None:
+        self.simulator.run_for(duration_s)
+
+
+def _client_address(meeting_index: int, participant_index: int) -> Address:
+    return Address(f"10.{1 + meeting_index // 200}.{meeting_index % 200}.{participant_index + 2}", 6000 + participant_index)
+
+
+def _make_client(
+    testbed: Testbed,
+    config: MeetingSetupConfig,
+    meeting_index: int,
+    participant_index: int,
+    remote: Address,
+) -> WebRtcClient:
+    meeting_id = f"meeting-{meeting_index}"
+    participant_id = f"m{meeting_index}-p{participant_index}"
+    address = _client_address(meeting_index, participant_index)
+    client_config = ClientConfig(
+        participant_id=participant_id,
+        meeting_id=meeting_id,
+        address=address,
+        remote=remote,
+        send_audio=config.send_audio,
+        send_video=config.send_video,
+        video_bitrate_bps=config.video_bitrate_bps,
+        frame_rate=config.frame_rate,
+        seed=config.seed * 1000 + meeting_index * 37 + participant_index,
+    )
+    client = WebRtcClient(client_config, testbed.simulator, testbed.network)
+    testbed.network.attach(client, uplink=config.access_uplink, downlink=config.access_downlink)
+    testbed.clients.append(client)
+    testbed.clients_by_meeting.setdefault(meeting_id, []).append(client)
+    return client
+
+
+def build_scallop_testbed(
+    config: Optional[MeetingSetupConfig] = None,
+    rewrite_variant: RewriteVariant = RewriteVariant.S_LR,
+    adaptation_thresholds_bps: Optional[Tuple[float, float]] = None,
+    sfu_link: Optional[LinkProfile] = None,
+) -> Testbed:
+    """Build a Scallop SFU with the configured meetings, signed in and started."""
+    config = config or MeetingSetupConfig()
+    simulator = Simulator()
+    network = Network(simulator, seed=config.seed)
+    sfu = ScallopSfu(
+        SFU_ADDRESS,
+        simulator,
+        network,
+        rewrite_variant=rewrite_variant,
+        adaptation_thresholds_bps=adaptation_thresholds_bps,
+        uplink_profile=sfu_link,
+        downlink_profile=sfu_link,
+    )
+    testbed = Testbed(simulator=simulator, network=network, sfu=sfu)
+    for meeting_index in range(config.num_meetings):
+        for participant_index in range(config.participants_per_meeting):
+            client = _make_client(testbed, config, meeting_index, participant_index, SFU_ADDRESS)
+            sfu.join(client)
+    sfu.start()
+    for client in testbed.clients:
+        client.start()
+    return testbed
+
+
+def build_software_testbed(
+    config: Optional[MeetingSetupConfig] = None,
+    cores: int = 1,
+    cpu: Optional[CpuPool] = None,
+    sfu_link: Optional[LinkProfile] = None,
+    select_fn=None,
+) -> Testbed:
+    """Build the Mediasoup-like software SFU with the configured meetings."""
+    from ..core.rate_control import select_decode_target
+
+    config = config or MeetingSetupConfig()
+    simulator = Simulator()
+    network = Network(simulator, seed=config.seed)
+    sfu = SoftwareSfu(
+        SFU_ADDRESS,
+        simulator,
+        network,
+        cores=cores,
+        cpu=cpu,
+        uplink_profile=sfu_link,
+        downlink_profile=sfu_link,
+        select_fn=select_fn or select_decode_target,
+    )
+    testbed = Testbed(simulator=simulator, network=network, sfu=sfu)
+    for meeting_index in range(config.num_meetings):
+        for participant_index in range(config.participants_per_meeting):
+            client = _make_client(testbed, config, meeting_index, participant_index, SFU_ADDRESS)
+            sfu.join(client)
+    for client in testbed.clients:
+        client.start()
+    return testbed
+
+
+def add_participant(
+    testbed: Testbed,
+    config: MeetingSetupConfig,
+    meeting_index: int,
+    participant_index: int,
+) -> WebRtcClient:
+    """Add one more participant to a running testbed (used by the overload sweep)."""
+    client = _make_client(testbed, config, meeting_index, participant_index, SFU_ADDRESS)
+    sfu = testbed.sfu
+    if isinstance(sfu, ScallopSfu):
+        sfu.join(client)
+    elif isinstance(sfu, SoftwareSfu):
+        sfu.join(client)
+    client.start()
+    return client

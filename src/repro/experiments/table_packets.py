@@ -1,0 +1,152 @@
+"""Table 1: packet/byte split between the data plane and the control plane.
+
+Methodology (paper §7.1): a three-party Scallop meeting where every participant
+sends a 720p AV1 SVC video stream and an audio stream runs for ten minutes;
+every packet arriving at the SFU is classified by protocol and by whether the
+data plane can handle it alone or whether (a copy of) it must go to the switch
+CPU.  The headline result is that ~96.5% of packets and ~99.7% of bytes stay
+in the data plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dataplane.parser import PacketClass
+from .runner import MeetingSetupConfig, Testbed, build_scallop_testbed
+
+
+@dataclass(frozen=True)
+class PacketAccountingRow:
+    """One row of Table 1."""
+
+    label: str
+    packets: float
+    packet_share: float
+    packets_per_second: float
+    kilobytes: float
+    byte_share: float
+
+
+@dataclass(frozen=True)
+class PacketAccountingResult:
+    """The full Table 1: per-protocol rows plus the plane totals."""
+
+    duration_s: float
+    participants: int
+    rows: List[PacketAccountingRow]
+    data_plane_packet_share: float
+    data_plane_byte_share: float
+    control_plane_packet_share: float
+    control_plane_byte_share: float
+
+    def row(self, label: str) -> PacketAccountingRow:
+        for entry in self.rows:
+            if entry.label == label:
+                return entry
+        raise KeyError(label)
+
+
+def run_packet_accounting(
+    duration_s: float = 60.0,
+    participants: int = 3,
+    video_bitrate_bps: float = 2_200_000.0,
+    seed: int = 1,
+) -> PacketAccountingResult:
+    """Run the Table 1 experiment and return the per-participant accounting.
+
+    ``duration_s`` defaults to one minute to keep the default benchmark run
+    short; pass 600 to match the paper's ten-minute capture exactly (the
+    shares converge within a few seconds because the workload is stationary).
+    """
+    config = MeetingSetupConfig(
+        num_meetings=1,
+        participants_per_meeting=participants,
+        video_bitrate_bps=video_bitrate_bps,
+        seed=seed,
+    )
+    testbed = build_scallop_testbed(config)
+    testbed.run_for(duration_s)
+    return summarize(testbed, duration_s, participants)
+
+
+def summarize(testbed: Testbed, duration_s: float, participants: int) -> PacketAccountingResult:
+    """Build the Table 1 structure from the pipeline's counters."""
+    sfu = testbed.sfu
+    counters = sfu.pipeline.counters  # type: ignore[attr-defined]
+    agent = sfu.agent.counters        # type: ignore[attr-defined]
+
+    per_participant = max(participants, 1)
+    by_packets = counters.by_class_packets
+    by_bytes = counters.by_class_bytes
+    total_packets = sum(by_packets.values())
+    total_bytes = sum(by_bytes.values())
+
+    def share(value: float, total: float) -> float:
+        return value / total if total else 0.0
+
+    def make_row(label: str, packets: float, byte_count: float) -> PacketAccountingRow:
+        return PacketAccountingRow(
+            label=label,
+            packets=packets / per_participant,
+            packet_share=share(packets, total_packets),
+            packets_per_second=packets / per_participant / duration_s if duration_s else 0.0,
+            kilobytes=byte_count / per_participant / 1000.0,
+            byte_share=share(byte_count, total_bytes),
+        )
+
+    audio_packets = by_packets.get(PacketClass.RTP_AUDIO.value, 0)
+    audio_bytes = by_bytes.get(PacketClass.RTP_AUDIO.value, 0)
+    video_packets = by_packets.get(PacketClass.RTP_VIDEO.value, 0)
+    video_bytes = by_bytes.get(PacketClass.RTP_VIDEO.value, 0)
+    extended_dd = agent.extended_descriptors_handled
+    sender_rtcp_packets = by_packets.get(PacketClass.RTCP_SENDER.value, 0)
+    sender_rtcp_bytes = by_bytes.get(PacketClass.RTCP_SENDER.value, 0)
+    feedback_packets = by_packets.get(PacketClass.RTCP_FEEDBACK.value, 0)
+    feedback_bytes = by_bytes.get(PacketClass.RTCP_FEEDBACK.value, 0)
+    stun_packets = by_packets.get(PacketClass.STUN.value, 0)
+    stun_bytes = by_bytes.get(PacketClass.STUN.value, 0)
+
+    rows = [
+        make_row("RTP", audio_packets + video_packets, audio_bytes + video_bytes),
+        make_row("RTP-Audio", audio_packets, audio_bytes),
+        make_row("RTP-Video", video_packets, video_bytes),
+        make_row("RTP-AV1-DD", extended_dd, 0.0),
+        make_row("RTCP", sender_rtcp_packets + feedback_packets, sender_rtcp_bytes + feedback_bytes),
+        make_row("RTCP-SR/SDES", sender_rtcp_packets, sender_rtcp_bytes),
+        make_row("RTCP-RR/REMB", feedback_packets, feedback_bytes),
+        make_row("STUN", stun_packets, stun_bytes),
+        make_row("Control-Plane", counters.cpu_packets, counters.cpu_bytes),
+        make_row("Data-Plane", counters.data_plane_packets, counters.data_plane_bytes),
+        make_row("Total", total_packets, total_bytes),
+    ]
+
+    return PacketAccountingResult(
+        duration_s=duration_s,
+        participants=participants,
+        rows=rows,
+        data_plane_packet_share=share(counters.data_plane_packets, total_packets),
+        data_plane_byte_share=share(counters.data_plane_bytes, total_bytes),
+        control_plane_packet_share=share(counters.cpu_packets, total_packets),
+        control_plane_byte_share=share(counters.cpu_bytes, total_bytes),
+    )
+
+
+def format_table(result: PacketAccountingResult) -> str:
+    """Render the result in the layout of Table 1."""
+    lines = [
+        f"Packets per participant sent to the SFU ({result.duration_s:.0f} s, "
+        f"{result.participants} participants)",
+        f"{'Proto./Type':<16}{'Packets':>12}{'Pct.':>8}{'Per sec.':>10}{'KBytes':>12}{'Pct.':>8}",
+    ]
+    for row in result.rows:
+        lines.append(
+            f"{row.label:<16}{row.packets:>12.0f}{row.packet_share * 100:>8.2f}"
+            f"{row.packets_per_second:>10.2f}{row.kilobytes:>12.1f}{row.byte_share * 100:>8.2f}"
+        )
+    lines.append(
+        f"Data plane handles {result.data_plane_packet_share * 100:.2f}% of packets and "
+        f"{result.data_plane_byte_share * 100:.2f}% of bytes"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Table 3: Tofino resource utilization under campus-peak and maximum load."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.capacity import MeetingShape, ScallopCapacityModel
+from ..dataplane.resources import ResourceUsage, table3_rows
+from ..trace.packet_trace import CampusPacketTrace
+from ..trace.zoom_api import ZoomApiDataset, ZoomApiDatasetConfig
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """The regenerated Table 3 plus the workloads that parameterize it."""
+
+    rows: List[ResourceUsage]
+    peak_campus_egress_bps: float
+    max_utilization_egress_bps: float
+
+
+def run_resource_report(
+    dataset: Optional[ZoomApiDataset] = None,
+    dataset_meetings: int = 2_000,
+    seed: int = 3,
+) -> ResourceReport:
+    """Compute the egress-throughput rows from the campus workload and the
+    capacity model, then emit the full Table 3."""
+    if dataset is None:
+        dataset = ZoomApiDataset.generate(
+            ZoomApiDatasetConfig(num_meetings=dataset_meetings, seed=seed)
+        )
+    trace = CampusPacketTrace(dataset)
+    peak_media_bps, _peak_control = trace.peak_offered_load(step_s=3600.0)
+
+    # maximum utilization: the largest egress the switch would sustain when the
+    # replication engine (not bandwidth) is the binding constraint, i.e. the
+    # RA-R meeting capacity at the campus trace's typical meeting shape
+    # (a small meeting with a single active video sender).
+    model = ScallopCapacityModel()
+    shape = MeetingShape(participants=3, senders=1)
+    max_meetings = model.max_meetings_ra_r(shape)
+    max_egress_bps = min(max_meetings * shape.egress_bps, model.capacities.switch_bandwidth_bps)
+
+    rows = table3_rows(peak_campus_egress_bps=peak_media_bps, max_egress_bps=max_egress_bps)
+    return ResourceReport(
+        rows=rows,
+        peak_campus_egress_bps=peak_media_bps,
+        max_utilization_egress_bps=max_egress_bps,
+    )
+
+
+def format_report(report: ResourceReport) -> str:
+    lines = [f"{'Resource type':<20}{'Scaling':>12}{'Peak campus':>22}{'Max util.':>16}"]
+    for row in report.rows:
+        lines.append(
+            f"{row.resource:<20}{row.scaling:>12}{row.peak_campus_load:>22}{row.max_utilization:>16}"
+        )
+    return "\n".join(lines)

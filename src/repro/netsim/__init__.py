@@ -1,0 +1,37 @@
+"""Discrete-event network simulation substrate (SFU-star topology)."""
+
+from .simulator import EventHandle, SimulationError, Simulator
+from .datagram import (
+    Address,
+    Datagram,
+    NETWORK_OVERHEAD_BYTES,
+    PayloadKind,
+    classify_payload,
+    payload_size,
+)
+from .link import (
+    DEFAULT_ACCESS_PROFILE,
+    SFU_PORT_PROFILE,
+    Endpoint,
+    Link,
+    LinkProfile,
+    Network,
+)
+
+__all__ = [
+    "EventHandle",
+    "SimulationError",
+    "Simulator",
+    "Address",
+    "Datagram",
+    "NETWORK_OVERHEAD_BYTES",
+    "PayloadKind",
+    "classify_payload",
+    "payload_size",
+    "DEFAULT_ACCESS_PROFILE",
+    "SFU_PORT_PROFILE",
+    "Endpoint",
+    "Link",
+    "LinkProfile",
+    "Network",
+]

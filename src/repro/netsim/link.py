@@ -1,0 +1,235 @@
+"""Link and network models for the discrete-event simulator.
+
+The topology used by every experiment is the SFU star of Figure 1: each
+participant has an access link (uplink towards the SFU, downlink from it) and
+the SFU sits behind a high-capacity switch port.  A :class:`LinkProfile`
+captures the properties the paper varies — bandwidth, propagation delay,
+jitter, random loss, and reordering — and a :class:`Link` enforces them with a
+simple FIFO queue (serialization delay + bounded queueing, i.e. a token-less
+tail-drop queue like a home router).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Protocol, Tuple
+
+from .datagram import Address, Datagram
+from .simulator import Simulator
+
+
+class Endpoint(Protocol):
+    """Anything that can receive datagrams from the network."""
+
+    address: Address
+
+    def handle_datagram(self, datagram: Datagram) -> None:
+        ...
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Static properties of a one-way link."""
+
+    bandwidth_bps: float = 1_000_000_000.0
+    propagation_delay_s: float = 0.005
+    jitter_s: float = 0.0
+    loss_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_extra_delay_s: float = 0.03
+    queue_limit_bytes: int = 256_000
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError("loss rate must be in [0, 1]")
+        if not 0.0 <= self.reorder_rate <= 1.0:
+            raise ValueError("reorder rate must be in [0, 1]")
+
+    def with_bandwidth(self, bandwidth_bps: float) -> "LinkProfile":
+        return replace(self, bandwidth_bps=bandwidth_bps)
+
+    def with_loss(self, loss_rate: float) -> "LinkProfile":
+        return replace(self, loss_rate=loss_rate)
+
+
+#: Profile of the switch/server port the SFU is attached to (1 Gbit/s testbed
+#: link in the paper's Mediasoup experiment; the Tofino port is far faster but
+#: never the bottleneck in these experiments).
+SFU_PORT_PROFILE = LinkProfile(bandwidth_bps=1_000_000_000.0, propagation_delay_s=0.0002)
+
+#: A typical well-provisioned residential access link.
+DEFAULT_ACCESS_PROFILE = LinkProfile(bandwidth_bps=50_000_000.0, propagation_delay_s=0.01)
+
+
+class Link:
+    """A one-way link delivering datagrams to a destination callback.
+
+    Serialization delay is modelled with a per-link "busy until" time so
+    back-to-back packets queue behind one another; datagrams that would exceed
+    the queue limit are dropped (tail drop), which is how downlink congestion
+    produces both loss and delay in the rate-adaptation experiments.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        profile: LinkProfile,
+        deliver: Callable[[Datagram], None],
+        rng: Optional[random.Random] = None,
+        name: str = "link",
+    ) -> None:
+        self.simulator = simulator
+        self.profile = profile
+        self.deliver = deliver
+        self.rng = rng or random.Random(0)
+        self.name = name
+        self._busy_until = 0.0
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.bytes_sent = 0
+
+    def set_profile(self, profile: LinkProfile) -> None:
+        """Change link properties mid-simulation (used to emulate congestion)."""
+        self.profile = profile
+
+    def send(self, datagram: Datagram) -> bool:
+        """Enqueue a datagram; returns False if it was dropped."""
+        profile = self.profile
+        now = self.simulator.now
+
+        if profile.loss_rate > 0 and self.rng.random() < profile.loss_rate:
+            self.packets_dropped += 1
+            return False
+
+        serialization = datagram.wire_size * 8.0 / profile.bandwidth_bps
+        queue_delay = max(0.0, self._busy_until - now)
+        queued_bytes = queue_delay * profile.bandwidth_bps / 8.0
+        if queued_bytes + datagram.wire_size > profile.queue_limit_bytes:
+            self.packets_dropped += 1
+            return False
+
+        self._busy_until = max(self._busy_until, now) + serialization
+        delay = queue_delay + serialization + profile.propagation_delay_s
+        if profile.jitter_s > 0:
+            delay += self.rng.uniform(0, profile.jitter_s)
+        if profile.reorder_rate > 0 and self.rng.random() < profile.reorder_rate:
+            delay += self.rng.uniform(0, profile.reorder_extra_delay_s)
+
+        self.packets_sent += 1
+        self.bytes_sent += datagram.wire_size
+        self.simulator.schedule(delay, lambda d=datagram: self.deliver(d))
+        return True
+
+    @property
+    def queue_delay(self) -> float:
+        """Current queueing delay a newly arriving packet would experience."""
+        return max(0.0, self._busy_until - self.simulator.now)
+
+
+class Network:
+    """The SFU-star network: endpoints plus per-endpoint uplink/downlink.
+
+    Sending resolves the destination endpoint by address and routes through
+    the sender's uplink and the receiver's downlink.  The SFU registers itself
+    as a normal endpoint with a high-bandwidth profile.
+    """
+
+    def __init__(self, simulator: Simulator, seed: int = 0) -> None:
+        self.simulator = simulator
+        self._rng = random.Random(seed)
+        self._endpoints: Dict[Address, Endpoint] = {}
+        self._uplinks: Dict[Address, Link] = {}
+        self._downlinks: Dict[Address, Link] = {}
+        self.datagrams_delivered = 0
+
+    # -- topology management --------------------------------------------------
+
+    def attach(
+        self,
+        endpoint: Endpoint,
+        uplink: Optional[LinkProfile] = None,
+        downlink: Optional[LinkProfile] = None,
+    ) -> None:
+        """Attach an endpoint with the given access-link profiles."""
+        address = endpoint.address
+        if address in self._endpoints:
+            raise ValueError(f"address already attached: {address}")
+        self._endpoints[address] = endpoint
+        up_profile = uplink or DEFAULT_ACCESS_PROFILE
+        down_profile = downlink or DEFAULT_ACCESS_PROFILE
+        self._uplinks[address] = Link(
+            self.simulator,
+            up_profile,
+            self._make_core_hop(address),
+            rng=random.Random(self._rng.getrandbits(32)),
+            name=f"up:{address}",
+        )
+        self._downlinks[address] = Link(
+            self.simulator,
+            down_profile,
+            self._make_delivery(address),
+            rng=random.Random(self._rng.getrandbits(32)),
+            name=f"down:{address}",
+        )
+
+    def detach(self, address: Address) -> None:
+        """Remove an endpoint (a participant leaving)."""
+        self._endpoints.pop(address, None)
+        self._uplinks.pop(address, None)
+        self._downlinks.pop(address, None)
+
+    def endpoint(self, address: Address) -> Optional[Endpoint]:
+        return self._endpoints.get(address)
+
+    def uplink(self, address: Address) -> Link:
+        return self._uplinks[address]
+
+    def downlink(self, address: Address) -> Link:
+        return self._downlinks[address]
+
+    def set_downlink_profile(self, address: Address, profile: LinkProfile) -> None:
+        """Emulate downlink congestion for one participant."""
+        self._downlinks[address].set_profile(profile)
+
+    def set_uplink_profile(self, address: Address, profile: LinkProfile) -> None:
+        self._uplinks[address].set_profile(profile)
+
+    # -- data path -------------------------------------------------------------
+
+    def send(self, datagram: Datagram) -> bool:
+        """Send a datagram from its ``src`` towards its ``dst``."""
+        uplink = self._uplinks.get(datagram.src)
+        if uplink is None:
+            raise KeyError(f"source not attached: {datagram.src}")
+        stamped = replace_sent_at(datagram, self.simulator.now)
+        return uplink.send(stamped)
+
+    def _make_core_hop(self, src: Address) -> Callable[[Datagram], None]:
+        def hop(datagram: Datagram) -> None:
+            downlink = self._downlinks.get(datagram.dst)
+            if downlink is None:
+                return  # destination left the meeting; drop silently
+            downlink.send(datagram)
+
+        return hop
+
+    def _make_delivery(self, dst: Address) -> Callable[[Datagram], None]:
+        def deliver(datagram: Datagram) -> None:
+            endpoint = self._endpoints.get(dst)
+            if endpoint is None:
+                return
+            self.datagrams_delivered += 1
+            endpoint.handle_datagram(datagram)
+
+        return deliver
+
+
+def replace_sent_at(datagram: Datagram, time: float) -> Datagram:
+    """Stamp the send time on a datagram (kept out of the dataclass API to
+    avoid accidental mutation by user code)."""
+    from dataclasses import replace as _replace
+
+    return _replace(datagram, sent_at=time)

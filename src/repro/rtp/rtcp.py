@@ -1,0 +1,417 @@
+"""RTCP packet models and wire-format codecs (RFC 3550 / 4585 / REMB draft).
+
+Scallop's control-plane split hinges on RTCP: receiver reports and REMB
+messages drive rate adaptation in the switch agent, while NACK and PLI are
+forwarded through the data plane (with copies punted to the agent).  This
+module provides byte-accurate encoders/decoders for:
+
+* Sender Reports (SR, PT=200)
+* Receiver Reports (RR, PT=201) with report blocks
+* Source Description (SDES, PT=202) with CNAME items
+* Generic NACK feedback (RTPFB, PT=205, FMT=1)
+* Picture Loss Indication (PSFB, PT=206, FMT=1)
+* Receiver Estimated Max Bitrate (PSFB, PT=206, FMT=15, "REMB")
+* Compound packets (concatenation of the above)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+RTCP_VERSION = 2
+
+PT_SR = 200
+PT_RR = 201
+PT_SDES = 202
+PT_BYE = 203
+PT_RTPFB = 205
+PT_PSFB = 206
+
+FMT_NACK = 1
+FMT_PLI = 1
+FMT_REMB = 15
+
+REMB_IDENTIFIER = b"REMB"
+
+
+class RtcpParseError(ValueError):
+    """Raised when a buffer cannot be parsed as RTCP."""
+
+
+# ---------------------------------------------------------------------------
+# Report blocks
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReportBlock:
+    """An RR/SR report block describing reception of one source."""
+
+    ssrc: int
+    fraction_lost: int = 0
+    cumulative_lost: int = 0
+    highest_sequence: int = 0
+    jitter: int = 0
+    last_sr: int = 0
+    delay_since_last_sr: int = 0
+
+    def serialize(self) -> bytes:
+        lost = self.cumulative_lost & 0xFFFFFF
+        return struct.pack(
+            "!IIIIII",
+            self.ssrc,
+            ((self.fraction_lost & 0xFF) << 24) | lost,
+            self.highest_sequence & 0xFFFFFFFF,
+            self.jitter & 0xFFFFFFFF,
+            self.last_sr & 0xFFFFFFFF,
+            self.delay_since_last_sr & 0xFFFFFFFF,
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "ReportBlock":
+        if len(data) < 24:
+            raise RtcpParseError("report block too short")
+        ssrc, lost_word, highest, jitter, last_sr, dlsr = struct.unpack_from("!IIIIII", data, 0)
+        return cls(
+            ssrc=ssrc,
+            fraction_lost=lost_word >> 24,
+            cumulative_lost=lost_word & 0xFFFFFF,
+            highest_sequence=highest,
+            jitter=jitter,
+            last_sr=last_sr,
+            delay_since_last_sr=dlsr,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Individual RTCP packet types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SenderReport:
+    """RTCP Sender Report (PT=200)."""
+
+    sender_ssrc: int
+    ntp_timestamp: int = 0
+    rtp_timestamp: int = 0
+    packet_count: int = 0
+    octet_count: int = 0
+    report_blocks: Tuple[ReportBlock, ...] = ()
+
+    packet_type = PT_SR
+
+    def serialize(self) -> bytes:
+        body = struct.pack(
+            "!IQIII",
+            self.sender_ssrc,
+            self.ntp_timestamp & 0xFFFFFFFFFFFFFFFF,
+            self.rtp_timestamp & 0xFFFFFFFF,
+            self.packet_count & 0xFFFFFFFF,
+            self.octet_count & 0xFFFFFFFF,
+        )
+        for block in self.report_blocks:
+            body += block.serialize()
+        return _wrap_header(PT_SR, len(self.report_blocks), body)
+
+    @classmethod
+    def parse_body(cls, count: int, body: bytes) -> "SenderReport":
+        if len(body) < 24:
+            raise RtcpParseError("sender report too short")
+        ssrc, ntp, rtp_ts, pkts, octets = struct.unpack_from("!IQIII", body, 0)
+        blocks = _parse_report_blocks(body[24:], count)
+        return cls(
+            sender_ssrc=ssrc,
+            ntp_timestamp=ntp,
+            rtp_timestamp=rtp_ts,
+            packet_count=pkts,
+            octet_count=octets,
+            report_blocks=blocks,
+        )
+
+
+@dataclass(frozen=True)
+class ReceiverReport:
+    """RTCP Receiver Report (PT=201)."""
+
+    sender_ssrc: int
+    report_blocks: Tuple[ReportBlock, ...] = ()
+
+    packet_type = PT_RR
+
+    def serialize(self) -> bytes:
+        body = struct.pack("!I", self.sender_ssrc)
+        for block in self.report_blocks:
+            body += block.serialize()
+        return _wrap_header(PT_RR, len(self.report_blocks), body)
+
+    @classmethod
+    def parse_body(cls, count: int, body: bytes) -> "ReceiverReport":
+        if len(body) < 4:
+            raise RtcpParseError("receiver report too short")
+        ssrc = struct.unpack_from("!I", body, 0)[0]
+        blocks = _parse_report_blocks(body[4:], count)
+        return cls(sender_ssrc=ssrc, report_blocks=blocks)
+
+
+@dataclass(frozen=True)
+class SourceDescription:
+    """RTCP SDES packet with a single CNAME chunk per source."""
+
+    chunks: Tuple[Tuple[int, str], ...] = ()
+
+    packet_type = PT_SDES
+
+    def serialize(self) -> bytes:
+        body = bytearray()
+        for ssrc, cname in self.chunks:
+            chunk = bytearray(struct.pack("!I", ssrc))
+            encoded = cname.encode()
+            chunk += bytes([1, len(encoded)]) + encoded
+            chunk += b"\x00"  # end of items
+            while len(chunk) % 4 != 0:
+                chunk += b"\x00"
+            body += chunk
+        return _wrap_header(PT_SDES, len(self.chunks), bytes(body))
+
+    @classmethod
+    def parse_body(cls, count: int, body: bytes) -> "SourceDescription":
+        chunks: List[Tuple[int, str]] = []
+        offset = 0
+        for _ in range(count):
+            if offset + 4 > len(body):
+                raise RtcpParseError("truncated SDES chunk")
+            ssrc = struct.unpack_from("!I", body, offset)[0]
+            offset += 4
+            cname = ""
+            while offset < len(body):
+                item_type = body[offset]
+                if item_type == 0:
+                    offset += 1
+                    while offset % 4 != 0:
+                        offset += 1
+                    break
+                length = body[offset + 1]
+                data = body[offset + 2 : offset + 2 + length]
+                if item_type == 1:
+                    cname = data.decode(errors="replace")
+                offset += 2 + length
+            chunks.append((ssrc, cname))
+        return cls(chunks=tuple(chunks))
+
+
+@dataclass(frozen=True)
+class Nack:
+    """Generic NACK (RTPFB FMT=1) requesting retransmission of lost packets."""
+
+    sender_ssrc: int
+    media_ssrc: int
+    lost_sequence_numbers: Tuple[int, ...] = ()
+
+    packet_type = PT_RTPFB
+
+    def serialize(self) -> bytes:
+        body = struct.pack("!II", self.sender_ssrc, self.media_ssrc)
+        for pid, blp in _nack_fci(self.lost_sequence_numbers):
+            body += struct.pack("!HH", pid, blp)
+        return _wrap_header(PT_RTPFB, FMT_NACK, body)
+
+    @classmethod
+    def parse_body(cls, fmt: int, body: bytes) -> "Nack":
+        if len(body) < 8:
+            raise RtcpParseError("NACK too short")
+        sender, media = struct.unpack_from("!II", body, 0)
+        lost: List[int] = []
+        offset = 8
+        while offset + 4 <= len(body):
+            pid, blp = struct.unpack_from("!HH", body, offset)
+            lost.append(pid)
+            for bit in range(16):
+                if blp & (1 << bit):
+                    lost.append((pid + bit + 1) & 0xFFFF)
+            offset += 4
+        return cls(sender_ssrc=sender, media_ssrc=media, lost_sequence_numbers=tuple(lost))
+
+
+@dataclass(frozen=True)
+class PictureLossIndication:
+    """PLI (PSFB FMT=1): ask the sender for a new key frame."""
+
+    sender_ssrc: int
+    media_ssrc: int
+
+    packet_type = PT_PSFB
+
+    def serialize(self) -> bytes:
+        body = struct.pack("!II", self.sender_ssrc, self.media_ssrc)
+        return _wrap_header(PT_PSFB, FMT_PLI, body)
+
+    @classmethod
+    def parse_body(cls, fmt: int, body: bytes) -> "PictureLossIndication":
+        if len(body) < 8:
+            raise RtcpParseError("PLI too short")
+        sender, media = struct.unpack_from("!II", body, 0)
+        return cls(sender_ssrc=sender, media_ssrc=media)
+
+
+@dataclass(frozen=True)
+class Remb:
+    """Receiver Estimated Maximum Bitrate (PSFB FMT=15, "REMB")."""
+
+    sender_ssrc: int
+    bitrate_bps: float
+    media_ssrcs: Tuple[int, ...] = ()
+
+    packet_type = PT_PSFB
+
+    def serialize(self) -> bytes:
+        exponent, mantissa = _remb_encode_bitrate(self.bitrate_bps)
+        body = struct.pack("!II", self.sender_ssrc, 0)
+        body += REMB_IDENTIFIER
+        body += bytes([len(self.media_ssrcs)])
+        body += bytes([(exponent << 2) | (mantissa >> 16), (mantissa >> 8) & 0xFF, mantissa & 0xFF])
+        for ssrc in self.media_ssrcs:
+            body += struct.pack("!I", ssrc)
+        return _wrap_header(PT_PSFB, FMT_REMB, body)
+
+    @classmethod
+    def parse_body(cls, fmt: int, body: bytes) -> "Remb":
+        if len(body) < 16 or body[8:12] != REMB_IDENTIFIER:
+            raise RtcpParseError("not a REMB packet")
+        sender = struct.unpack_from("!I", body, 0)[0]
+        num_ssrcs = body[12]
+        exponent = body[13] >> 2
+        mantissa = ((body[13] & 0x03) << 16) | (body[14] << 8) | body[15]
+        bitrate = mantissa * (2 ** exponent)
+        ssrcs: List[int] = []
+        offset = 16
+        for _ in range(num_ssrcs):
+            if offset + 4 > len(body):
+                raise RtcpParseError("truncated REMB SSRC list")
+            ssrcs.append(struct.unpack_from("!I", body, offset)[0])
+            offset += 4
+        return cls(sender_ssrc=sender, bitrate_bps=float(bitrate), media_ssrcs=tuple(ssrcs))
+
+
+RtcpPacket = Union[SenderReport, ReceiverReport, SourceDescription, Nack, PictureLossIndication, Remb]
+
+
+# ---------------------------------------------------------------------------
+# Compound packets
+# ---------------------------------------------------------------------------
+
+
+def serialize_compound(packets: Sequence[RtcpPacket]) -> bytes:
+    """Serialize a compound RTCP packet (simple concatenation)."""
+    return b"".join(packet.serialize() for packet in packets)
+
+
+def parse_compound(data: bytes) -> List[RtcpPacket]:
+    """Parse a compound RTCP packet into its constituent packets.
+
+    Unknown packet types are skipped (their length field is honoured), which is
+    what both real receivers and our data-plane model do.
+    """
+    packets: List[RtcpPacket] = []
+    offset = 0
+    while offset + 4 <= len(data):
+        first, pt, length_words = struct.unpack_from("!BBH", data, offset)
+        if (first >> 6) != RTCP_VERSION:
+            raise RtcpParseError("bad RTCP version")
+        count_or_fmt = first & 0x1F
+        total_len = 4 * (length_words + 1)
+        if offset + total_len > len(data):
+            raise RtcpParseError("truncated RTCP packet")
+        body = data[offset + 4 : offset + total_len]
+        parsed = _parse_one(pt, count_or_fmt, body)
+        if parsed is not None:
+            packets.append(parsed)
+        offset += total_len
+    return packets
+
+
+def _parse_one(pt: int, count_or_fmt: int, body: bytes) -> Optional[RtcpPacket]:
+    if pt == PT_SR:
+        return SenderReport.parse_body(count_or_fmt, body)
+    if pt == PT_RR:
+        return ReceiverReport.parse_body(count_or_fmt, body)
+    if pt == PT_SDES:
+        return SourceDescription.parse_body(count_or_fmt, body)
+    if pt == PT_RTPFB and count_or_fmt == FMT_NACK:
+        return Nack.parse_body(count_or_fmt, body)
+    if pt == PT_PSFB:
+        if count_or_fmt == FMT_REMB or (len(body) >= 12 and body[8:12] == REMB_IDENTIFIER):
+            return Remb.parse_body(count_or_fmt, body)
+        if count_or_fmt == FMT_PLI:
+            return PictureLossIndication.parse_body(count_or_fmt, body)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _wrap_header(pt: int, count_or_fmt: int, body: bytes) -> bytes:
+    if len(body) % 4 != 0:
+        body += b"\x00" * (4 - len(body) % 4)
+    length_words = len(body) // 4
+    first = (RTCP_VERSION << 6) | (count_or_fmt & 0x1F)
+    return struct.pack("!BBH", first, pt, length_words) + body
+
+
+def _parse_report_blocks(data: bytes, count: int) -> Tuple[ReportBlock, ...]:
+    blocks: List[ReportBlock] = []
+    offset = 0
+    for _ in range(count):
+        blocks.append(ReportBlock.parse(data[offset : offset + 24]))
+        offset += 24
+    return tuple(blocks)
+
+
+def _nack_fci(lost: Sequence[int]) -> List[Tuple[int, int]]:
+    """Pack lost sequence numbers into (PID, BLP) pairs."""
+    fci: List[Tuple[int, int]] = []
+    remaining = sorted(set(s & 0xFFFF for s in lost))
+    while remaining:
+        pid = remaining.pop(0)
+        blp = 0
+        still: List[int] = []
+        for seq in remaining:
+            delta = (seq - pid) & 0xFFFF
+            if 1 <= delta <= 16:
+                blp |= 1 << (delta - 1)
+            else:
+                still.append(seq)
+        remaining = still
+        fci.append((pid, blp))
+    return fci
+
+
+def _remb_encode_bitrate(bitrate_bps: float) -> Tuple[int, int]:
+    """Encode a bitrate into REMB's 6-bit exponent / 18-bit mantissa form."""
+    bitrate = max(0, int(bitrate_bps))
+    exponent = 0
+    while bitrate > 0x3FFFF and exponent < 63:
+        bitrate >>= 1
+        exponent += 1
+    return exponent, bitrate
+
+
+def classify_rtcp(packet: RtcpPacket) -> str:
+    """Return a short label used by the Table 1 accounting."""
+    if isinstance(packet, SenderReport):
+        return "SR"
+    if isinstance(packet, ReceiverReport):
+        return "RR"
+    if isinstance(packet, SourceDescription):
+        return "SDES"
+    if isinstance(packet, Remb):
+        return "REMB"
+    if isinstance(packet, Nack):
+        return "NACK"
+    if isinstance(packet, PictureLossIndication):
+        return "PLI"
+    return "OTHER"

@@ -1,0 +1,33 @@
+"""SDP / signaling substrate used by the Scallop controller."""
+
+from .sdp import (
+    IceCandidate,
+    MediaDescription,
+    SdpParseError,
+    SessionDescription,
+    make_answer,
+    make_offer,
+)
+from .messages import (
+    SignalMessage,
+    SignalType,
+    answer_message,
+    join_message,
+    leave_message,
+    media_event,
+)
+
+__all__ = [
+    "IceCandidate",
+    "MediaDescription",
+    "SdpParseError",
+    "SessionDescription",
+    "make_answer",
+    "make_offer",
+    "SignalMessage",
+    "SignalType",
+    "answer_message",
+    "join_message",
+    "leave_message",
+    "media_event",
+]

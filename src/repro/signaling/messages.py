@@ -1,0 +1,102 @@
+"""Signaling messages exchanged between clients and the Scallop controller.
+
+WebRTC leaves the signaling channel unspecified; production systems use a web
+server (HTTPS/WebSocket).  The reproduction models the channel as typed
+messages delivered instantly (signaling latency does not matter for any of the
+paper's experiments — it is in the "infrequent, >10 ms" class of Figure 6).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from .sdp import SessionDescription
+
+
+class SignalType(str, Enum):
+    """Message types on the signaling channel."""
+
+    JOIN = "join"
+    LEAVE = "leave"
+    OFFER = "offer"
+    ANSWER = "answer"
+    MEDIA_STARTED = "media_started"
+    MEDIA_STOPPED = "media_stopped"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class SignalMessage:
+    """A message on the signaling channel.
+
+    ``sdp`` is carried as serialized text, exactly as a browser would post it.
+    """
+
+    type: SignalType
+    meeting_id: str
+    participant_id: str
+    sdp: Optional[str] = None
+    media_kind: Optional[str] = None
+    detail: Optional[str] = None
+
+    def to_json(self) -> str:
+        payload = {k: v for k, v in asdict(self).items() if v is not None}
+        payload["type"] = self.type.value
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SignalMessage":
+        payload = json.loads(text)
+        return cls(
+            type=SignalType(payload["type"]),
+            meeting_id=payload["meeting_id"],
+            participant_id=payload["participant_id"],
+            sdp=payload.get("sdp"),
+            media_kind=payload.get("media_kind"),
+            detail=payload.get("detail"),
+        )
+
+    def session_description(self) -> Optional[SessionDescription]:
+        if self.sdp is None:
+            return None
+        return SessionDescription.parse(self.sdp)
+
+
+def join_message(meeting_id: str, participant_id: str, offer: SessionDescription) -> SignalMessage:
+    """A participant joining a meeting, carrying its SDP offer."""
+    return SignalMessage(
+        type=SignalType.JOIN,
+        meeting_id=meeting_id,
+        participant_id=participant_id,
+        sdp=offer.serialize(),
+    )
+
+
+def leave_message(meeting_id: str, participant_id: str) -> SignalMessage:
+    return SignalMessage(type=SignalType.LEAVE, meeting_id=meeting_id, participant_id=participant_id)
+
+
+def answer_message(
+    meeting_id: str, participant_id: str, answer: SessionDescription
+) -> SignalMessage:
+    return SignalMessage(
+        type=SignalType.ANSWER,
+        meeting_id=meeting_id,
+        participant_id=participant_id,
+        sdp=answer.serialize(),
+    )
+
+
+def media_event(
+    meeting_id: str, participant_id: str, media_kind: str, started: bool
+) -> SignalMessage:
+    """A participant starting or stopping a media type (audio/video/screen)."""
+    return SignalMessage(
+        type=SignalType.MEDIA_STARTED if started else SignalType.MEDIA_STOPPED,
+        meeting_id=meeting_id,
+        participant_id=participant_id,
+        media_kind=media_kind,
+    )

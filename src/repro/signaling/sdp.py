@@ -1,0 +1,263 @@
+"""SDP offer/answer model (RFC 3264 / 4566 subset) and candidate rewriting.
+
+Scallop's controller acts as the WebRTC signaling server and *intercepts* SDP
+offers/answers so that every participant believes its sole peer is the SFU:
+connection candidates are replaced with the SFU's address, and per-stream
+SSRCs are recorded so the controller can install data-plane rules.
+
+The model keeps a structured representation (:class:`SessionDescription`) and
+a text codec close enough to real SDP that the parser round-trips what the
+encoder emits, including ``m=`` sections, ``a=candidate``, ``a=ssrc`` and the
+AV1/Opus codec parameters used in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class SdpParseError(ValueError):
+    """Raised when an SDP blob cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class IceCandidate:
+    """A single ICE connection candidate (host candidates only)."""
+
+    foundation: str
+    component: int
+    protocol: str
+    priority: int
+    ip: str
+    port: int
+    candidate_type: str = "host"
+
+    def to_line(self) -> str:
+        return (
+            f"a=candidate:{self.foundation} {self.component} {self.protocol} "
+            f"{self.priority} {self.ip} {self.port} typ {self.candidate_type}"
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "IceCandidate":
+        if not line.startswith("a=candidate:"):
+            raise SdpParseError(f"not a candidate line: {line}")
+        parts = line[len("a=candidate:") :].split()
+        if len(parts) < 8 or parts[6] != "typ":
+            raise SdpParseError(f"malformed candidate line: {line}")
+        return cls(
+            foundation=parts[0],
+            component=int(parts[1]),
+            protocol=parts[2],
+            priority=int(parts[3]),
+            ip=parts[4],
+            port=int(parts[5]),
+            candidate_type=parts[7],
+        )
+
+
+@dataclass(frozen=True)
+class MediaDescription:
+    """One ``m=`` section: a single audio, video, or screen-share stream."""
+
+    kind: str                      # "audio" | "video" | "screen"
+    port: int
+    payload_type: int
+    codec: str                     # "opus" | "AV1"
+    ssrc: int
+    direction: str = "sendrecv"    # sendrecv | sendonly | recvonly
+    candidates: Tuple[IceCandidate, ...] = ()
+    svc_mode: Optional[str] = None  # e.g. "L1T3"
+
+    def media_token(self) -> str:
+        # screen shares ride in a video m-section with a content attribute
+        return "video" if self.kind == "screen" else self.kind
+
+
+@dataclass(frozen=True)
+class SessionDescription:
+    """A full SDP session description (offer or answer)."""
+
+    session_id: str
+    origin_address: str
+    media: Tuple[MediaDescription, ...] = ()
+    ice_ufrag: str = "scallop"
+    ice_pwd: str = "scallop-secret"
+
+    # -- mutation helpers used by the controller ------------------------------
+
+    def with_rewritten_candidates(self, sfu_ip: str, sfu_port: int) -> "SessionDescription":
+        """Replace every candidate with the SFU's address (proxy insertion)."""
+        new_media = []
+        for section in self.media:
+            candidate = IceCandidate(
+                foundation="1",
+                component=1,
+                protocol="udp",
+                priority=2130706431,
+                ip=sfu_ip,
+                port=sfu_port,
+            )
+            new_media.append(replace(section, port=sfu_port, candidates=(candidate,)))
+        return replace(self, media=tuple(new_media), origin_address=sfu_ip)
+
+    def ssrcs(self) -> List[int]:
+        return [section.ssrc for section in self.media]
+
+    # -- text codec ------------------------------------------------------------
+
+    def serialize(self) -> str:
+        lines = [
+            "v=0",
+            f"o=- {self.session_id} 2 IN IP4 {self.origin_address}",
+            "s=-",
+            "t=0 0",
+            f"a=ice-ufrag:{self.ice_ufrag}",
+            f"a=ice-pwd:{self.ice_pwd}",
+        ]
+        for section in self.media:
+            lines.append(
+                f"m={section.media_token()} {section.port} UDP/TLS/RTP/SAVPF {section.payload_type}"
+            )
+            lines.append(f"c=IN IP4 {self.origin_address}")
+            lines.append(f"a={section.direction}")
+            clock = 48000 if section.kind == "audio" else 90000
+            lines.append(f"a=rtpmap:{section.payload_type} {section.codec}/{clock}")
+            if section.svc_mode is not None:
+                lines.append(f"a=fmtp:{section.payload_type} svc-mode={section.svc_mode}")
+            if section.kind == "screen":
+                lines.append("a=content:slides")
+            lines.append(f"a=ssrc:{section.ssrc} cname:participant")
+            for candidate in section.candidates:
+                lines.append(candidate.to_line())
+        return "\r\n".join(lines) + "\r\n"
+
+    @classmethod
+    def parse(cls, text: str) -> "SessionDescription":
+        session_id = ""
+        origin = ""
+        ice_ufrag = "scallop"
+        ice_pwd = "scallop-secret"
+        media: List[MediaDescription] = []
+        current: Optional[Dict[str, object]] = None
+
+        def flush() -> None:
+            if current is None:
+                return
+            media.append(
+                MediaDescription(
+                    kind=str(current["kind"]),
+                    port=int(current["port"]),                       # type: ignore[arg-type]
+                    payload_type=int(current["payload_type"]),       # type: ignore[arg-type]
+                    codec=str(current.get("codec", "")),
+                    ssrc=int(current.get("ssrc", 0)),                # type: ignore[arg-type]
+                    direction=str(current.get("direction", "sendrecv")),
+                    candidates=tuple(current.get("candidates", ())),  # type: ignore[arg-type]
+                    svc_mode=current.get("svc_mode"),                 # type: ignore[arg-type]
+                )
+            )
+
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line:
+                continue
+            if line.startswith("o="):
+                parts = line[2:].split()
+                if len(parts) < 6:
+                    raise SdpParseError(f"malformed origin line: {line}")
+                session_id = parts[1]
+                origin = parts[5]
+            elif line.startswith("m="):
+                flush()
+                parts = line[2:].split()
+                if len(parts) < 4:
+                    raise SdpParseError(f"malformed media line: {line}")
+                current = {
+                    "kind": parts[0],
+                    "port": int(parts[1]),
+                    "payload_type": int(parts[3]),
+                    "candidates": [],
+                }
+            elif line.startswith("a=ice-ufrag:"):
+                ice_ufrag = line.split(":", 1)[1]
+            elif line.startswith("a=ice-pwd:"):
+                ice_pwd = line.split(":", 1)[1]
+            elif current is not None:
+                if line.startswith("a=rtpmap:"):
+                    current["codec"] = line.split(" ", 1)[1].split("/")[0]
+                elif line.startswith("a=ssrc:"):
+                    current["ssrc"] = int(line[len("a=ssrc:") :].split()[0])
+                elif line.startswith("a=candidate:"):
+                    current["candidates"].append(IceCandidate.from_line(line))  # type: ignore[union-attr]
+                elif line.startswith("a=fmtp:") and "svc-mode=" in line:
+                    current["svc_mode"] = line.split("svc-mode=")[1]
+                elif line.startswith("a=content:slides"):
+                    current["kind"] = "screen"
+                elif line in ("a=sendrecv", "a=sendonly", "a=recvonly", "a=inactive"):
+                    current["direction"] = line[2:]
+        flush()
+        return cls(
+            session_id=session_id,
+            origin_address=origin,
+            media=tuple(media),
+            ice_ufrag=ice_ufrag,
+            ice_pwd=ice_pwd,
+        )
+
+
+def make_offer(
+    session_id: str,
+    address: str,
+    port: int,
+    ssrc_base: int,
+    send_audio: bool = True,
+    send_video: bool = True,
+    send_screen: bool = False,
+) -> SessionDescription:
+    """Build a client's SDP offer for the media types it wants to share."""
+    media: List[MediaDescription] = []
+    candidate = IceCandidate(
+        foundation="1", component=1, protocol="udp", priority=2130706431, ip=address, port=port
+    )
+    if send_audio:
+        media.append(
+            MediaDescription(
+                kind="audio",
+                port=port,
+                payload_type=111,
+                codec="opus",
+                ssrc=ssrc_base,
+                candidates=(candidate,),
+            )
+        )
+    if send_video:
+        media.append(
+            MediaDescription(
+                kind="video",
+                port=port,
+                payload_type=45,
+                codec="AV1",
+                ssrc=ssrc_base + 1,
+                candidates=(candidate,),
+                svc_mode="L1T3",
+            )
+        )
+    if send_screen:
+        media.append(
+            MediaDescription(
+                kind="screen",
+                port=port,
+                payload_type=45,
+                codec="AV1",
+                ssrc=ssrc_base + 2,
+                candidates=(candidate,),
+                svc_mode="L1T3",
+            )
+        )
+    return SessionDescription(session_id=session_id, origin_address=address, media=tuple(media))
+
+
+def make_answer(offer: SessionDescription, address: str, port: int) -> SessionDescription:
+    """Build the answer the SFU returns for an offer (same media, SFU address)."""
+    return offer.with_rewritten_candidates(address, port)

@@ -1,0 +1,21 @@
+"""STUN connectivity-check substrate (RFC 5389 subset)."""
+
+from .message import (
+    METHOD_BINDING,
+    StunMessage,
+    StunParseError,
+    decode_xor_mapped_address,
+    looks_like_stun,
+    make_binding_request,
+    make_binding_response,
+)
+
+__all__ = [
+    "METHOD_BINDING",
+    "StunMessage",
+    "StunParseError",
+    "decode_xor_mapped_address",
+    "looks_like_stun",
+    "make_binding_request",
+    "make_binding_response",
+]

@@ -1,0 +1,206 @@
+"""STUN messages (RFC 5389 subset) used for WebRTC connectivity checks.
+
+Scallop handles STUN in the control plane because the message format (TLV
+attributes, 96-bit transaction ids, MESSAGE-INTEGRITY) is too irregular for
+the switch pipeline.  The reproduction implements binding requests and
+responses with the attributes WebRTC's ICE implementation actually sends:
+USERNAME, PRIORITY, ICE-CONTROLLING/ICE-CONTROLLED, XOR-MAPPED-ADDRESS and a
+(non-cryptographic) MESSAGE-INTEGRITY placeholder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+STUN_MAGIC_COOKIE = 0x2112A442
+STUN_HEADER_LEN = 20
+
+METHOD_BINDING = 0x0001
+CLASS_REQUEST = 0x00
+CLASS_SUCCESS_RESPONSE = 0x02
+CLASS_ERROR_RESPONSE = 0x03
+
+ATTR_USERNAME = 0x0006
+ATTR_MESSAGE_INTEGRITY = 0x0008
+ATTR_XOR_MAPPED_ADDRESS = 0x0020
+ATTR_PRIORITY = 0x0024
+ATTR_ICE_CONTROLLING = 0x802A
+ATTR_ICE_CONTROLLED = 0x8029
+
+
+class StunParseError(ValueError):
+    """Raised when a buffer cannot be parsed as a STUN message."""
+
+
+def _message_type(method: int, msg_class: int) -> int:
+    """Combine method and class into the 14-bit STUN message type."""
+    return (
+        (method & 0x0F80) << 2
+        | (method & 0x0070) << 1
+        | (method & 0x000F)
+        | ((msg_class & 0x2) << 7)
+        | ((msg_class & 0x1) << 4)
+    )
+
+
+def _split_message_type(message_type: int) -> Tuple[int, int]:
+    method = (
+        (message_type & 0x3E00) >> 2
+        | (message_type & 0x00E0) >> 1
+        | (message_type & 0x000F)
+    )
+    msg_class = ((message_type & 0x0100) >> 7) | ((message_type & 0x0010) >> 4)
+    return method, msg_class
+
+
+@dataclass(frozen=True)
+class StunMessage:
+    """A STUN message with raw attribute TLVs."""
+
+    method: int
+    msg_class: int
+    transaction_id: bytes
+    attributes: Tuple[Tuple[int, bytes], ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.transaction_id) != 12:
+            raise ValueError("transaction id must be 12 bytes")
+
+    @property
+    def is_request(self) -> bool:
+        return self.msg_class == CLASS_REQUEST
+
+    @property
+    def is_success_response(self) -> bool:
+        return self.msg_class == CLASS_SUCCESS_RESPONSE
+
+    def attribute(self, attr_type: int) -> Optional[bytes]:
+        for a_type, value in self.attributes:
+            if a_type == attr_type:
+                return value
+        return None
+
+    # -- wire format ----------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        body = bytearray()
+        for attr_type, value in self.attributes:
+            body += struct.pack("!HH", attr_type, len(value))
+            body += value
+            while len(body) % 4 != 0:
+                body += b"\x00"
+        header = struct.pack(
+            "!HHI",
+            _message_type(self.method, self.msg_class),
+            len(body),
+            STUN_MAGIC_COOKIE,
+        ) + self.transaction_id
+        return header + bytes(body)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "StunMessage":
+        if len(data) < STUN_HEADER_LEN:
+            raise StunParseError("buffer shorter than STUN header")
+        message_type, length, cookie = struct.unpack_from("!HHI", data, 0)
+        if message_type >> 14 != 0:
+            raise StunParseError("top two bits of STUN message type must be zero")
+        if cookie != STUN_MAGIC_COOKIE:
+            raise StunParseError("bad STUN magic cookie")
+        transaction_id = data[8:20]
+        if len(data) < STUN_HEADER_LEN + length:
+            raise StunParseError("truncated STUN message")
+        attributes: List[Tuple[int, bytes]] = []
+        offset = STUN_HEADER_LEN
+        end = STUN_HEADER_LEN + length
+        while offset + 4 <= end:
+            attr_type, attr_len = struct.unpack_from("!HH", data, offset)
+            offset += 4
+            value = data[offset : offset + attr_len]
+            if len(value) < attr_len:
+                raise StunParseError("truncated STUN attribute")
+            attributes.append((attr_type, value))
+            offset += attr_len
+            offset += (4 - attr_len % 4) % 4
+        method, msg_class = _split_message_type(message_type)
+        return cls(
+            method=method,
+            msg_class=msg_class,
+            transaction_id=transaction_id,
+            attributes=tuple(attributes),
+        )
+
+
+def looks_like_stun(data: bytes) -> bool:
+    """Classification used by the data plane: STUN starts with two zero bits
+    and carries the magic cookie at offset 4."""
+    if len(data) < 8:
+        return False
+    if data[0] & 0xC0 != 0:
+        return False
+    return struct.unpack_from("!I", data, 4)[0] == STUN_MAGIC_COOKIE
+
+
+def make_binding_request(
+    transaction_id: bytes,
+    username: str,
+    priority: int = 0,
+    controlling: bool = True,
+) -> StunMessage:
+    """Build an ICE connectivity-check binding request."""
+    attributes: List[Tuple[int, bytes]] = [
+        (ATTR_USERNAME, username.encode()),
+        (ATTR_PRIORITY, struct.pack("!I", priority)),
+    ]
+    role_attr = ATTR_ICE_CONTROLLING if controlling else ATTR_ICE_CONTROLLED
+    attributes.append((role_attr, b"\x00" * 8))
+    attributes.append((ATTR_MESSAGE_INTEGRITY, _pseudo_hmac(username, transaction_id)))
+    return StunMessage(
+        method=METHOD_BINDING,
+        msg_class=CLASS_REQUEST,
+        transaction_id=transaction_id,
+        attributes=tuple(attributes),
+    )
+
+
+def make_binding_response(request: StunMessage, mapped_ip: str, mapped_port: int) -> StunMessage:
+    """Build the success response to a binding request."""
+    xor_addr = _encode_xor_mapped_address(mapped_ip, mapped_port, request.transaction_id)
+    return StunMessage(
+        method=METHOD_BINDING,
+        msg_class=CLASS_SUCCESS_RESPONSE,
+        transaction_id=request.transaction_id,
+        attributes=((ATTR_XOR_MAPPED_ADDRESS, xor_addr),),
+    )
+
+
+def decode_xor_mapped_address(message: StunMessage) -> Optional[Tuple[str, int]]:
+    """Extract the (ip, port) from a binding response, if present."""
+    raw = message.attribute(ATTR_XOR_MAPPED_ADDRESS)
+    if raw is None or len(raw) < 8:
+        return None
+    port = struct.unpack_from("!H", raw, 2)[0] ^ (STUN_MAGIC_COOKIE >> 16)
+    addr_bytes = bytes(
+        b ^ m for b, m in zip(raw[4:8], struct.pack("!I", STUN_MAGIC_COOKIE))
+    )
+    ip = ".".join(str(b) for b in addr_bytes)
+    return ip, port
+
+
+def _encode_xor_mapped_address(ip: str, port: int, transaction_id: bytes) -> bytes:
+    addr = bytes(int(part) for part in ip.split("."))
+    xport = port ^ (STUN_MAGIC_COOKIE >> 16)
+    xaddr = bytes(b ^ m for b, m in zip(addr, struct.pack("!I", STUN_MAGIC_COOKIE)))
+    return struct.pack("!BBH", 0, 0x01, xport) + xaddr
+
+
+def _pseudo_hmac(username: str, transaction_id: bytes) -> bytes:
+    """A stand-in for MESSAGE-INTEGRITY.
+
+    The reproduction does not exercise SRTP/ICE credentials cryptographically
+    (the paper's prototype also leaves SRTP unimplemented, §8), but keeping a
+    20-byte digest here preserves packet sizes for the Table 1 accounting.
+    """
+    return hashlib.sha1(username.encode() + transaction_id).digest()

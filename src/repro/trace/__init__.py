@@ -1,0 +1,35 @@
+"""Synthetic campus trace substrates (Zoom API dataset, packet trace, workload)."""
+
+from .zoom_api import (
+    MeetingTrace,
+    ParticipantActivity,
+    ZoomApiDataset,
+    ZoomApiDatasetConfig,
+)
+from .packet_trace import (
+    CampusPacketTrace,
+    CaptureSummary,
+    ForwardedStream,
+    StreamRateSample,
+    SvcAdaptationTrace,
+)
+from .workload import (
+    InfrastructureRequirement,
+    infrastructure_requirements,
+    weekly_byte_comparison,
+)
+
+__all__ = [
+    "MeetingTrace",
+    "ParticipantActivity",
+    "ZoomApiDataset",
+    "ZoomApiDatasetConfig",
+    "CampusPacketTrace",
+    "CaptureSummary",
+    "ForwardedStream",
+    "StreamRateSample",
+    "SvcAdaptationTrace",
+    "InfrastructureRequirement",
+    "infrastructure_requirements",
+    "weekly_byte_comparison",
+]

@@ -1,0 +1,236 @@
+"""Synthetic campus packet-level Zoom trace (paper Appendix C and D).
+
+The packet trace is used by the paper through three views:
+
+* **Table 2** — a summary of a 12-hour border-router capture (packets, flows,
+  bytes, RTP media streams),
+* **Figures 23/24** — forwarded bytes per receiver and per scalability layer
+  for one meeting, showing the SFU dropping SVC layers for a constrained
+  receiver, and
+* **Figure 22 / the workload model** — offered byte rates that a software SFU
+  (or the Scallop switch agent) would have to process.
+
+Rather than materializing billions of packets, the generator produces
+per-stream rate processes (per-second byte/packet counts broken down by SVC
+layer) that are statistically consistent with the encoder model in
+:mod:`repro.webrtc.encoder`, and derives the aggregate views from them.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..rtp.av1 import DecodeTarget
+from .zoom_api import MeetingTrace, ZoomApiDataset
+
+#: Per-layer share of a video stream's bitrate in the L1T3 encoder model
+#: (base / mid / top temporal layer).
+LAYER_BITRATE_SHARE = {0: 0.45, 1: 0.25, 2: 0.30}
+#: Packet "type" labels as observed in Zoom's RTP extension header (Fig. 24).
+LAYER_PACKET_TYPE = {0: "0x50ffff", 1: "0x57ffff", 2: "0x5f0000"}
+
+DEFAULT_VIDEO_BITRATE_BPS = 2_200_000.0
+DEFAULT_AUDIO_BITRATE_BPS = 50_000.0
+VIDEO_PACKETS_PER_SECOND = 235.0
+AUDIO_PACKETS_PER_SECOND = 50.0
+
+
+@dataclass(frozen=True)
+class StreamRateSample:
+    """One second of one forwarded stream, broken down by SVC layer."""
+
+    time_s: float
+    bytes_by_layer: Dict[int, float]
+    packets: float
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(self.bytes_by_layer.values())
+
+    @property
+    def rate_kbps(self) -> float:
+        return self.total_bytes * 8.0 / 1000.0
+
+
+@dataclass(frozen=True)
+class ForwardedStream:
+    """A single sender->receiver video stream as seen in the packet trace."""
+
+    sender: int
+    receiver: int
+    samples: Tuple[StreamRateSample, ...]
+
+    def rate_series_kbps(self) -> List[Tuple[float, float]]:
+        return [(s.time_s, s.rate_kbps) for s in self.samples]
+
+    def layer_series_kbps(self, layer: int) -> List[Tuple[float, float]]:
+        return [(s.time_s, s.bytes_by_layer.get(layer, 0.0) * 8.0 / 1000.0) for s in self.samples]
+
+
+@dataclass(frozen=True)
+class CaptureSummary:
+    """The Table 2 numbers for a synthetic capture."""
+
+    duration_s: float
+    zoom_packets: int
+    zoom_packets_per_second: float
+    zoom_flows: int
+    zoom_bytes: int
+    zoom_bitrate_bps: float
+    rtp_media_streams: int
+
+
+class SvcAdaptationTrace:
+    """Generator for the single-meeting SVC adaptation example (Figs. 23/24).
+
+    One sender transmits a video stream whose bitrate ramps up shortly after
+    the meeting starts; the SFU later reduces the layers forwarded to two
+    receivers at different points in time (emulating downlink congestion), as
+    the paper observes in the campus trace.
+    """
+
+    def __init__(
+        self,
+        duration_s: float = 260.0,
+        video_bitrate_bps: float = 650_000.0,
+        ramp_up_at_s: float = 20.0,
+        seed: int = 7,
+    ) -> None:
+        self.duration_s = duration_s
+        self.video_bitrate_bps = video_bitrate_bps
+        self.ramp_up_at_s = ramp_up_at_s
+        self._rng = random.Random(seed)
+
+    def sender_series(self) -> ForwardedStream:
+        """The sender's outgoing stream (all layers, full quality)."""
+        return self._make_stream(sender=1, receiver=0, reductions=[])
+
+    def receiver_series(self, receiver: int, reduce_at_s: float, reduce_to: DecodeTarget) -> ForwardedStream:
+        """The stream forwarded to one receiver, reduced at ``reduce_at_s``."""
+        return self._make_stream(sender=1, receiver=receiver, reductions=[(reduce_at_s, reduce_to)])
+
+    def _make_stream(
+        self, sender: int, receiver: int, reductions: List[Tuple[float, DecodeTarget]]
+    ) -> ForwardedStream:
+        samples: List[StreamRateSample] = []
+        for second in range(int(self.duration_s)):
+            time_s = float(second)
+            bitrate = self.video_bitrate_bps if time_s >= self.ramp_up_at_s else self.video_bitrate_bps * 0.25
+            target = DecodeTarget.DT2
+            for reduce_at, reduce_to in reductions:
+                if time_s >= reduce_at:
+                    target = reduce_to
+            allowed_layers = [layer for layer in LAYER_BITRATE_SHARE if layer <= int(target)]
+            noise = self._rng.uniform(0.9, 1.1)
+            bytes_by_layer = {
+                layer: bitrate / 8.0 * LAYER_BITRATE_SHARE[layer] * noise for layer in allowed_layers
+            }
+            packets = VIDEO_PACKETS_PER_SECOND * sum(
+                LAYER_BITRATE_SHARE[layer] for layer in allowed_layers
+            )
+            samples.append(
+                StreamRateSample(time_s=time_s, bytes_by_layer=bytes_by_layer, packets=packets)
+            )
+        return ForwardedStream(sender=sender, receiver=receiver, samples=tuple(samples))
+
+
+class CampusPacketTrace:
+    """A campus-scale packet-trace model derived from a Zoom-API dataset."""
+
+    def __init__(
+        self,
+        dataset: ZoomApiDataset,
+        video_bitrate_bps: float = DEFAULT_VIDEO_BITRATE_BPS,
+        audio_bitrate_bps: float = DEFAULT_AUDIO_BITRATE_BPS,
+        seed: int = 11,
+    ) -> None:
+        self.dataset = dataset
+        self.video_bitrate_bps = video_bitrate_bps
+        self.audio_bitrate_bps = audio_bitrate_bps
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------ offered load
+
+    def offered_load_series(
+        self, start_s: float, duration_s: float, step_s: float = 900.0
+    ) -> List[Tuple[float, float, float]]:
+        """(time, media bits/s, control bits/s) offered to the SFU infrastructure.
+
+        Media load is what a software SFU must process in user space; control
+        load (RTCP feedback + STUN, about 0.35% of bytes per Table 1) is what
+        the Scallop switch agent processes instead — the two curves of
+        Figure 22.
+        """
+        series: List[Tuple[float, float, float]] = []
+        time_s = start_s
+        while time_s < start_s + duration_s:
+            media_bps = 0.0
+            for meeting in self.dataset.meetings:
+                if not meeting.start_s <= time_s < meeting.end_s:
+                    continue
+                senders = meeting.concurrent_participants_at(time_s)
+                video_senders = sum(
+                    1
+                    for p in meeting.participants
+                    if p.video_fraction >= 0.1 and p.join_offset_s <= time_s - meeting.start_s < p.leave_offset_s
+                )
+                audio_senders = senders
+                # uplink into the SFU plus replicated downlinks
+                replication = max(meeting.max_participants - 1, 1)
+                media_bps += video_senders * self.video_bitrate_bps * (1 + replication)
+                media_bps += audio_senders * self.audio_bitrate_bps * (1 + replication)
+            control_bps = media_bps * 0.0035
+            series.append((time_s, media_bps, control_bps))
+            time_s += step_s
+        return series
+
+    def peak_offered_load(self, step_s: float = 900.0) -> Tuple[float, float]:
+        """(peak media bits/s, peak control bits/s) over the whole dataset."""
+        horizon = self.dataset.config.duration_days * 86_400
+        series = self.offered_load_series(self.dataset.config.start_epoch_s, horizon, step_s)
+        if not series:
+            return 0.0, 0.0
+        return max(s[1] for s in series), max(s[2] for s in series)
+
+    # ------------------------------------------------------------------ Table 2
+
+    def capture_summary(self, duration_s: float = 12 * 3600.0, start_s: Optional[float] = None) -> CaptureSummary:
+        """Summarize a capture window the way Table 2 does."""
+        start = self.dataset.config.start_epoch_s if start_s is None else start_s
+        step = 300.0
+        total_bytes = 0.0
+        total_packets = 0.0
+        flows = set()
+        streams = 0
+        for meeting in self.dataset.meetings:
+            overlap_start = max(meeting.start_s, start)
+            overlap_end = min(meeting.end_s, start + duration_s)
+            if overlap_end <= overlap_start:
+                continue
+            overlap = overlap_end - overlap_start
+            n = meeting.max_participants
+            sending = meeting.sending_streams()
+            streams += sending
+            for participant in meeting.participants:
+                flows.add((meeting.meeting_id, participant.participant_index))
+                video_share = participant.video_fraction
+                audio_share = participant.audio_fraction
+                up_bps = video_share * self.video_bitrate_bps + audio_share * self.audio_bitrate_bps
+                down_bps = up_bps * (n - 1)
+                total_bytes += (up_bps + down_bps) / 8.0 * overlap
+                pps = (
+                    video_share * VIDEO_PACKETS_PER_SECOND + audio_share * AUDIO_PACKETS_PER_SECOND
+                ) * (1 + (n - 1))
+                total_packets += pps * overlap
+        return CaptureSummary(
+            duration_s=duration_s,
+            zoom_packets=int(total_packets),
+            zoom_packets_per_second=total_packets / duration_s if duration_s else 0.0,
+            zoom_flows=len(flows) * 2,  # one flow to and one from the SFU
+            zoom_bytes=int(total_bytes),
+            zoom_bitrate_bps=total_bytes * 8.0 / duration_s if duration_s else 0.0,
+            rtp_media_streams=streams,
+        )

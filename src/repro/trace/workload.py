@@ -1,0 +1,93 @@
+"""Workload models derived from the campus traces.
+
+These helpers turn the synthetic Zoom-API dataset into the inputs the
+capacity and infrastructure analyses need: how many SFU servers (or switches)
+a campus-scale or provider-scale deployment requires, and what share of a
+server's capacity the peak load consumes (the Figure 22 discussion in
+Appendix C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.capacity import (
+    MeetingShape,
+    ScallopCapacityModel,
+    SoftwareSfuCapacityModel,
+)
+from .packet_trace import CampusPacketTrace
+from .zoom_api import ZoomApiDataset
+
+
+@dataclass(frozen=True)
+class InfrastructureRequirement:
+    """How much SFU infrastructure a workload needs under each approach."""
+
+    peak_concurrent_meetings: int
+    peak_concurrent_participants: int
+    peak_media_bps: float
+    peak_control_bps: float
+    software_servers_needed: int
+    software_nic_share: float        # share of one 40 Gb/s server NIC at peak
+    scallop_switches_needed: int
+    scallop_agent_share: float       # share of the switch CPU path at peak
+
+
+def infrastructure_requirements(
+    dataset: ZoomApiDataset,
+    trace: Optional[CampusPacketTrace] = None,
+    server_nic_bps: float = 40e9,
+    agent_capacity_bps: float = 1e9,
+) -> InfrastructureRequirement:
+    """Size the infrastructure for a campus workload (software vs. Scallop)."""
+    trace = trace or CampusPacketTrace(dataset)
+    peak_meetings, peak_participants = dataset.peak_concurrency()
+    peak_media_bps, peak_control_bps = trace.peak_offered_load()
+
+    software = SoftwareSfuCapacityModel()
+    scallop = ScallopCapacityModel()
+
+    # approximate the meeting mix with the dataset's mean meeting size
+    sizes = [m.max_participants for m in dataset.meetings] or [2]
+    mean_size = max(2, round(sum(sizes) / len(sizes)))
+    shape = MeetingShape(participants=mean_size)
+
+    software_meeting_capacity = software.max_meetings(shape)
+    scallop_meeting_capacity = scallop.best_case_meetings(shape)
+
+    software_servers = max(
+        1,
+        _ceil_div(peak_meetings, software_meeting_capacity),
+        _ceil_div(peak_media_bps, server_nic_bps),
+    )
+    scallop_switches = max(1, _ceil_div(peak_meetings, scallop_meeting_capacity))
+
+    return InfrastructureRequirement(
+        peak_concurrent_meetings=peak_meetings,
+        peak_concurrent_participants=peak_participants,
+        peak_media_bps=peak_media_bps,
+        peak_control_bps=peak_control_bps,
+        software_servers_needed=software_servers,
+        software_nic_share=peak_media_bps / server_nic_bps,
+        scallop_switches_needed=scallop_switches,
+        scallop_agent_share=peak_control_bps / agent_capacity_bps,
+    )
+
+
+def weekly_byte_comparison(
+    dataset: ZoomApiDataset,
+    trace: Optional[CampusPacketTrace] = None,
+    step_s: float = 3600.0,
+    duration_s: float = 7 * 86_400.0,
+) -> List[Tuple[float, float, float]]:
+    """The Figure 22 series: (time, software-SFU bits/s, switch-agent bits/s)."""
+    trace = trace or CampusPacketTrace(dataset)
+    return trace.offered_load_series(dataset.config.start_epoch_s, duration_s, step_s)
+
+
+def _ceil_div(numerator: float, denominator: float) -> int:
+    if denominator <= 0:
+        return 0
+    return int(numerator // denominator) + (1 if numerator % denominator else 0)

@@ -1,0 +1,255 @@
+"""Synthetic campus Zoom-API dataset generator (paper Appendix B).
+
+The paper analyzes 19,704 meetings collected from a university Zoom account
+over two weeks (October 17-30, 2022) and uses the dataset through aggregate
+views only: streams per meeting vs. participants (Figure 2), concurrent
+meetings and participants over time (Figures 20, 21), and per-meeting media
+composition feeding the capacity and workload analyses.  This module builds a
+statistically similar synthetic dataset:
+
+* meeting arrivals follow a diurnal, weekday-heavy profile,
+* 60% of meetings are two-party (the fraction the paper reports),
+* larger meetings follow a heavy-tailed size distribution up to a few hundred
+  participants (classes, town halls),
+* meeting durations are log-normal with a median around half an hour, and
+* each participant's audio/video/screen activity is drawn per meeting so that
+  stream counts can exceed the 2-per-participant bound when screens are
+  shared, as the paper observes.
+
+Every draw uses an explicit seed, so datasets are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+SECONDS_PER_DAY = 86_400
+SECONDS_PER_HOUR = 3_600
+
+#: Fraction of meetings with exactly two participants (paper §6.1).
+TWO_PARTY_FRACTION = 0.60
+
+#: Hour-of-day weights for meeting starts (campus working-hours profile).
+DIURNAL_WEIGHTS = [
+    0.2, 0.1, 0.1, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 8.0, 9.0, 8.5,
+    7.0, 8.0, 9.0, 8.5, 7.5, 5.0, 3.0, 2.5, 2.0, 1.5, 1.0, 0.5,
+]
+
+#: Day-of-week weights (Monday..Sunday).
+WEEKDAY_WEIGHTS = [1.0, 1.05, 1.05, 1.0, 0.85, 0.15, 0.1]
+
+
+@dataclass(frozen=True)
+class ParticipantActivity:
+    """Media activity of one participant within a meeting."""
+
+    participant_index: int
+    join_offset_s: float
+    leave_offset_s: float
+    audio_fraction: float
+    video_fraction: float
+    screen_fraction: float
+
+    def active_streams(self, activity_threshold: float = 0.1) -> int:
+        """Streams this participant contributes that are active at least
+        ``activity_threshold`` of the meeting duration (Figure 2's rule)."""
+        count = 0
+        if self.audio_fraction >= activity_threshold:
+            count += 1
+        if self.video_fraction >= activity_threshold:
+            count += 1
+        if self.screen_fraction >= activity_threshold:
+            count += 1
+        return count
+
+
+@dataclass(frozen=True)
+class MeetingTrace:
+    """One meeting of the synthetic Zoom-API dataset."""
+
+    meeting_id: str
+    start_s: float
+    duration_s: float
+    participants: Tuple[ParticipantActivity, ...]
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    @property
+    def max_participants(self) -> int:
+        return len(self.participants)
+
+    def sending_streams(self, activity_threshold: float = 0.1) -> int:
+        """Distinct media streams sent *to* the SFU by all participants."""
+        return sum(p.active_streams(activity_threshold) for p in self.participants)
+
+    def streams_at_sfu(self, activity_threshold: float = 0.1) -> int:
+        """Total streams the SFU handles: each sent stream is also forwarded
+        to every other participant (the quadratic term of §2.1)."""
+        n = self.max_participants
+        sent = self.sending_streams(activity_threshold)
+        return sent * n  # sent in + sent * (n - 1) out
+
+    def concurrent_participants_at(self, time_s: float) -> int:
+        if not self.start_s <= time_s < self.end_s:
+            return 0
+        offset = time_s - self.start_s
+        return sum(1 for p in self.participants if p.join_offset_s <= offset < p.leave_offset_s)
+
+
+@dataclass
+class ZoomApiDatasetConfig:
+    """Knobs of the synthetic dataset generator."""
+
+    num_meetings: int = 19_704
+    duration_days: int = 14
+    start_epoch_s: float = 0.0
+    start_weekday: int = 0               # 0 = Monday
+    two_party_fraction: float = TWO_PARTY_FRACTION
+    mean_duration_min: float = 42.0
+    seed: int = 2022
+
+
+class ZoomApiDataset:
+    """A generated campus dataset plus the aggregate views the paper uses."""
+
+    def __init__(self, meetings: Sequence[MeetingTrace], config: ZoomApiDatasetConfig) -> None:
+        self.meetings: List[MeetingTrace] = list(meetings)
+        self.config = config
+
+    # ------------------------------------------------------------------ generation
+
+    @classmethod
+    def generate(cls, config: Optional[ZoomApiDatasetConfig] = None) -> "ZoomApiDataset":
+        config = config or ZoomApiDatasetConfig()
+        rng = random.Random(config.seed)
+        meetings: List[MeetingTrace] = []
+        for index in range(config.num_meetings):
+            start = cls._draw_start_time(rng, config)
+            duration = cls._draw_duration(rng, config)
+            size = cls._draw_size(rng, config)
+            participants = tuple(
+                cls._draw_participant(rng, i, duration, size) for i in range(size)
+            )
+            meetings.append(
+                MeetingTrace(
+                    meeting_id=f"meeting-{index:06d}",
+                    start_s=start,
+                    duration_s=duration,
+                    participants=participants,
+                )
+            )
+        meetings.sort(key=lambda m: m.start_s)
+        return cls(meetings, config)
+
+    @staticmethod
+    def _draw_start_time(rng: random.Random, config: ZoomApiDatasetConfig) -> float:
+        day_weights = [
+            WEEKDAY_WEIGHTS[(config.start_weekday + day) % 7] for day in range(config.duration_days)
+        ]
+        day = rng.choices(range(config.duration_days), weights=day_weights)[0]
+        hour = rng.choices(range(24), weights=DIURNAL_WEIGHTS)[0]
+        within_hour = rng.uniform(0, SECONDS_PER_HOUR)
+        return config.start_epoch_s + day * SECONDS_PER_DAY + hour * SECONDS_PER_HOUR + within_hour
+
+    @staticmethod
+    def _draw_duration(rng: random.Random, config: ZoomApiDatasetConfig) -> float:
+        # log-normal with the configured mean, clipped to [2 min, 4 h]
+        mu = math.log(config.mean_duration_min) - 0.3
+        minutes = rng.lognormvariate(mu, 0.75)
+        return min(max(minutes, 2.0), 240.0) * 60.0
+
+    @staticmethod
+    def _draw_size(rng: random.Random, config: ZoomApiDatasetConfig) -> int:
+        if rng.random() < config.two_party_fraction:
+            return 2
+        # heavy-tailed multi-party sizes: mostly 3-12, tail to ~300 (lectures)
+        roll = rng.random()
+        if roll < 0.70:
+            return rng.randint(3, 12)
+        if roll < 0.92:
+            return rng.randint(13, 30)
+        if roll < 0.99:
+            return rng.randint(31, 100)
+        return rng.randint(101, 300)
+
+    @staticmethod
+    def _draw_participant(
+        rng: random.Random, index: int, duration_s: float, meeting_size: int
+    ) -> ParticipantActivity:
+        if index == 0:
+            # the host opens the meeting and keeps it alive until the end
+            join, leave = 0.0, duration_s
+        else:
+            join = rng.uniform(0, min(300.0, duration_s * 0.2))
+            leave = duration_s - rng.uniform(0, min(300.0, duration_s * 0.2))
+        audio = rng.uniform(0.7, 1.0)
+        # video is shared less in large meetings (lectures)
+        video_probability = 0.9 if meeting_size <= 8 else (0.6 if meeting_size <= 30 else 0.3)
+        video = rng.uniform(0.4, 1.0) if rng.random() < video_probability else rng.uniform(0.0, 0.08)
+        screen = rng.uniform(0.2, 0.9) if rng.random() < (0.25 if index == 0 else 0.05) else 0.0
+        return ParticipantActivity(
+            participant_index=index,
+            join_offset_s=join,
+            leave_offset_s=max(join + 60.0, leave),
+            audio_fraction=audio,
+            video_fraction=video,
+            screen_fraction=screen,
+        )
+
+    # ------------------------------------------------------------------ aggregate views
+
+    def streams_per_meeting(
+        self, activity_threshold: float = 0.1
+    ) -> List[Tuple[int, int]]:
+        """(max participants, streams at SFU) per meeting — Figure 2's scatter."""
+        return [
+            (meeting.max_participants, meeting.streams_at_sfu(activity_threshold))
+            for meeting in self.meetings
+        ]
+
+    def streams_per_meeting_summary(
+        self, activity_threshold: float = 0.1
+    ) -> Dict[int, Tuple[int, float, int]]:
+        """Per participant-count: (min, median, max) streams at the SFU."""
+        buckets: Dict[int, List[int]] = {}
+        for participants, streams in self.streams_per_meeting(activity_threshold):
+            buckets.setdefault(participants, []).append(streams)
+        summary: Dict[int, Tuple[int, float, int]] = {}
+        for participants, values in buckets.items():
+            values.sort()
+            median = values[len(values) // 2]
+            summary[participants] = (values[0], float(median), values[-1])
+        return summary
+
+    def concurrency_series(self, step_s: float = 900.0) -> List[Tuple[float, int, int]]:
+        """(time, concurrent meetings, concurrent participants) — Figures 20/21."""
+        if not self.meetings:
+            return []
+        horizon = self.config.duration_days * SECONDS_PER_DAY
+        series: List[Tuple[float, int, int]] = []
+        time_s = self.config.start_epoch_s
+        end = self.config.start_epoch_s + horizon
+        # bucket meetings by coarse start time to keep the sweep near-linear
+        while time_s < end:
+            active = [m for m in self.meetings if m.start_s <= time_s < m.end_s]
+            participants = sum(m.concurrent_participants_at(time_s) for m in active)
+            series.append((time_s, len(active), participants))
+            time_s += step_s
+        return series
+
+    def peak_concurrency(self, step_s: float = 900.0) -> Tuple[int, int]:
+        """(peak concurrent meetings, peak concurrent participants)."""
+        series = self.concurrency_series(step_s)
+        if not series:
+            return 0, 0
+        return max(s[1] for s in series), max(s[2] for s in series)
+
+    def two_party_share(self) -> float:
+        if not self.meetings:
+            return 0.0
+        return sum(1 for m in self.meetings if m.max_participants == 2) / len(self.meetings)

@@ -1,0 +1,110 @@
+"""A WebRTC-statistics-API-like snapshot model.
+
+The paper's QoE measurements (Figures 3, 4, 14) use the browser's
+``getStats()`` counters: receive jitter, receive frame rate, and receive
+bitrate.  This module provides the same shaped snapshots for the simulated
+clients so experiment code reads like the original methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .decoder import AudioReceiveStream, VideoReceiveStream
+
+
+@dataclass(frozen=True)
+class InboundVideoStats:
+    """Snapshot of one inbound video RTP stream (subset of RTCStats)."""
+
+    ssrc: int
+    packets_received: int
+    bytes_received: int
+    frames_decoded: int
+    frames_per_second: float
+    jitter_ms: float
+    nack_count: int
+    pli_count: int
+    freeze_count: int
+    total_freezes_duration_s: float
+
+
+@dataclass(frozen=True)
+class InboundAudioStats:
+    """Snapshot of one inbound audio RTP stream."""
+
+    ssrc: int
+    packets_received: int
+    bytes_received: int
+    jitter_ms: float
+
+
+@dataclass(frozen=True)
+class OutboundStats:
+    """Snapshot of one outbound RTP stream."""
+
+    ssrc: int
+    kind: str
+    packets_sent: int
+    bytes_sent: int
+    target_bitrate_bps: float
+    frames_per_second: float = 0.0
+
+
+@dataclass(frozen=True)
+class StatsReport:
+    """A full ``getStats()``-like report for a simulated client."""
+
+    timestamp: float
+    inbound_video: Tuple[InboundVideoStats, ...] = ()
+    inbound_audio: Tuple[InboundAudioStats, ...] = ()
+    outbound: Tuple[OutboundStats, ...] = ()
+
+    def worst_video_jitter_ms(self) -> float:
+        if not self.inbound_video:
+            return 0.0
+        return max(s.jitter_ms for s in self.inbound_video)
+
+    def mean_video_fps(self) -> float:
+        if not self.inbound_video:
+            return 0.0
+        return sum(s.frames_per_second for s in self.inbound_video) / len(self.inbound_video)
+
+    def total_inbound_bitrate_bps(self, since: Optional["StatsReport"] = None) -> float:
+        """Average inbound bitrate since a previous report (or zero)."""
+        if since is None or self.timestamp <= since.timestamp:
+            return 0.0
+        byte_now = sum(s.bytes_received for s in self.inbound_video) + sum(
+            s.bytes_received for s in self.inbound_audio
+        )
+        byte_then = sum(s.bytes_received for s in since.inbound_video) + sum(
+            s.bytes_received for s in since.inbound_audio
+        )
+        return (byte_now - byte_then) * 8.0 / (self.timestamp - since.timestamp)
+
+
+def snapshot_video(stream: VideoReceiveStream, now: float, fps_window_s: float = 2.0) -> InboundVideoStats:
+    """Build an inbound-video stats snapshot from receiver state."""
+    return InboundVideoStats(
+        ssrc=stream.ssrc,
+        packets_received=stream.packets_received,
+        bytes_received=stream.bytes_received,
+        frames_decoded=stream.frames_decoded,
+        frames_per_second=stream.frame_rate(fps_window_s, now),
+        jitter_ms=stream.jitter_ms,
+        nack_count=len(stream.nacks_sent),
+        pli_count=stream.plis_sent,
+        freeze_count=stream.freeze_events,
+        total_freezes_duration_s=stream.total_frozen_time,
+    )
+
+
+def snapshot_audio(stream: AudioReceiveStream) -> InboundAudioStats:
+    """Build an inbound-audio stats snapshot from receiver state."""
+    return InboundAudioStats(
+        ssrc=stream.ssrc,
+        packets_received=stream.packets_received,
+        bytes_received=stream.bytes_received,
+        jitter_ms=stream.jitter_ms,
+    )

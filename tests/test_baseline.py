@@ -1,0 +1,175 @@
+"""Unit tests for the CPU model and the split-proxy software SFU baseline."""
+
+import pytest
+
+from repro.baseline.cpu import CpuCore, CpuPool
+from repro.baseline.software_sfu import SoftwareSfu
+from repro.netsim.datagram import Address, Datagram
+from repro.netsim.link import Network
+from repro.netsim.simulator import Simulator
+from repro.rtp.rtcp import Nack, Remb
+from repro.stun.message import make_binding_request
+from repro.webrtc.client import ClientConfig, WebRtcClient
+
+SFU = Address("10.0.0.1", 5000)
+
+
+class TestCpuCore:
+    def test_service_time_grows_with_size(self):
+        core = CpuCore(seed=1)
+        assert core.service_time(10_000) > core.service_time(100)
+
+    def test_delay_under_light_load_is_small(self):
+        core = CpuCore(seed=1)
+        delays = [core.process(1_000, now=t * 0.1) for t in range(50)]
+        assert all(d is not None for d in delays)
+        assert sum(delays) / len(delays) < 0.002
+
+    def test_queueing_under_heavy_load(self):
+        core = CpuCore(base_cost_s=0.001, per_byte_cost_s=0.0, seed=1)
+        # submit far more than 1/0.001 = 1000 packets/s worth of work at t=0
+        delays = [core.process(1_000, now=0.0) for _ in range(100)]
+        completed = [d for d in delays if d is not None]
+        assert completed[-1] > completed[0]
+
+    def test_overload_drops(self):
+        core = CpuCore(base_cost_s=0.01, queue_limit_s=0.05, seed=1)
+        results = [core.process(1_000, now=0.0) for _ in range(100)]
+        assert any(r is None for r in results)
+        assert core.stats.packets_dropped > 0
+
+    def test_utilization_increases_with_load(self):
+        idle = CpuCore(seed=1)
+        idle.process(100, now=0.0)
+        busy = CpuCore(base_cost_s=0.001, seed=1)
+        for index in range(500):
+            busy.process(1_000, now=index * 0.001)
+        assert busy.utilization(0.5) > idle.utilization(0.5)
+
+
+class TestCpuPool:
+    def test_flow_affinity(self):
+        pool = CpuPool(cores=4, seed=1)
+        assert pool.core_for(5) is pool.core_for(5)
+        assert pool.core_for(1) is not pool.core_for(2)
+
+    def test_total_stats_aggregates(self):
+        pool = CpuPool(cores=2, seed=1)
+        pool.process(0, 500, now=0.0)
+        pool.process(1, 500, now=0.0)
+        assert pool.total_stats().packets_processed == 2
+
+    def test_needs_at_least_one_core(self):
+        with pytest.raises(ValueError):
+            CpuPool(cores=0)
+
+
+def build_meeting(participants=3, video_bitrate=2_000_000, seed=2):
+    sim = Simulator()
+    net = Network(sim, seed=seed)
+    sfu = SoftwareSfu(SFU, sim, net, cores=4)
+    clients = []
+    for index in range(participants):
+        config = ClientConfig(
+            participant_id=f"p{index}",
+            meeting_id="m",
+            address=Address(f"10.0.1.{index + 1}", 6000 + index),
+            remote=SFU,
+            video_bitrate_bps=video_bitrate,
+            seed=seed + index,
+        )
+        client = WebRtcClient(config, sim, net)
+        net.attach(client)
+        sfu.join(client)
+        clients.append(client)
+    return sim, net, sfu, clients
+
+
+class TestSoftwareSfu:
+    def test_media_forwarded_to_all_other_participants(self):
+        sim, net, sfu, clients = build_meeting()
+        for client in clients:
+            client.start()
+        sim.run_for(5.0)
+        for client in clients:
+            stats = client.get_stats()
+            assert len(stats.inbound_video) == 2
+            assert stats.mean_video_fps() > 20
+        assert sfu.stats.packets_out > sfu.stats.packets_in
+
+    def test_participants_never_receive_their_own_stream(self):
+        sim, net, sfu, clients = build_meeting()
+        for client in clients:
+            client.start()
+        sim.run_for(2.0)
+        for client in clients:
+            assert client.video_ssrc not in client.video_receivers
+
+    def test_remb_terminated_not_forwarded(self):
+        sim, net, sfu, clients = build_meeting()
+        sender, receiver = clients[0], clients[1]
+        receiver_remb = Remb(
+            sender_ssrc=receiver.video_ssrc, bitrate_bps=300_000, media_ssrcs=(sender.video_ssrc,)
+        )
+        before = sender.encoder.target_bitrate_bps
+        sfu.handle_datagram(Datagram(src=receiver.config.address, dst=SFU, payload=(receiver_remb,)))
+        sim.run_for(1.0)
+        # the split proxy adapts itself instead of telling the sender to slow down
+        assert sender.encoder.target_bitrate_bps == before
+        assert sfu.stats.feedback_handled >= 1
+
+    def test_remb_reduces_forwarded_layers(self):
+        sim, net, sfu, clients = build_meeting(video_bitrate=800_000)
+        sender, receiver = clients[0], clients[2]
+        for client in clients:
+            client.start()
+        sim.run_for(2.0)
+        low_remb = Remb(sender_ssrc=receiver.video_ssrc, bitrate_bps=100_000, media_ssrcs=(sender.video_ssrc,))
+        sfu.handle_datagram(Datagram(src=receiver.config.address, dst=SFU, payload=(low_remb,)))
+        sim.run_for(4.0)
+        stream = receiver.video_receivers.get(sender.video_ssrc)
+        assert stream is not None
+        # the stream from that sender is now delivered at a reduced frame rate
+        # (the split proxy drops enhancement layers towards this receiver)
+        assert 3.0 < stream.frame_rate(2.0, sim.now) < 20.0
+
+    def test_stun_answered(self):
+        sim, net, sfu, clients = build_meeting()
+        client = clients[0]
+        request = make_binding_request(bytes(12), "p0")
+        client._stun_pending[bytes(12)] = 0.0
+        net.send(Datagram(src=client.config.address, dst=SFU, payload=request))
+        sim.run_for(1.0)
+        assert client.rtt_samples_ms
+
+    def test_nack_answered_from_cache(self):
+        sim, net, sfu, clients = build_meeting()
+        sender, receiver = clients[0], clients[1]
+        sender.start()
+        sim.run_for(1.0)
+        forwarded = receiver.video_receivers.get(sender.video_ssrc)
+        assert forwarded is not None
+        # ask for the last sequence number the receiver saw, as if it were lost
+        seq = forwarded.highest_seq
+        nack = Nack(sender_ssrc=receiver.video_ssrc, media_ssrc=sender.video_ssrc, lost_sequence_numbers=(seq,))
+        out_before = sfu.stats.packets_out
+        sfu.handle_datagram(Datagram(src=receiver.config.address, dst=SFU, payload=(nack,)))
+        sim.run_for(0.5)
+        assert sfu.stats.packets_out > out_before
+
+    def test_leave_stops_forwarding(self):
+        sim, net, sfu, clients = build_meeting()
+        for client in clients:
+            client.start()
+        sim.run_for(1.0)
+        sfu.leave(clients[2])
+        received_before = clients[2].packets_sent
+        assert sfu.meeting_size("m") == 2
+        assert sfu.total_participants == 2
+
+    def test_forwarding_latency_recorded(self):
+        sim, net, sfu, clients = build_meeting()
+        clients[0].start()
+        sim.run_for(1.0)
+        assert sfu.forwarding_latency_samples_ms
+        assert all(sample >= 0 for sample in sfu.forwarding_latency_samples_ms)

@@ -1,0 +1,233 @@
+"""Unit tests for the ingress parser and the Scallop pipeline."""
+
+import pytest
+
+from repro.dataplane.parser import IngressParser, PacketClass
+from repro.dataplane.pipeline import (
+    FeedbackRule,
+    ForwardingMode,
+    ReplicaTarget,
+    ScallopPipeline,
+    StreamForwardingEntry,
+)
+from repro.dataplane.pre import L2Port
+from repro.core.seqrewrite import SequenceRewriterLowMemory, SkipCadence
+from repro.netsim.datagram import Address, Datagram
+from repro.rtp.av1 import extract_dependency_descriptor
+from repro.rtp.rtcp import Nack, PictureLossIndication, ReceiverReport, Remb, ReportBlock, SenderReport, SourceDescription
+from repro.stun.message import make_binding_request
+from repro.webrtc.encoder import AudioSource, RtpPacketizer, SvcEncoder
+
+SFU = Address("10.0.0.1", 5000)
+ALICE = Address("10.0.1.1", 6000)
+BOB = Address("10.0.1.2", 6001)
+CAROL = Address("10.0.1.3", 6002)
+
+ALICE_VIDEO_SSRC = 1001
+ALICE_AUDIO_SSRC = 1000
+
+
+def video_packets(frames=1, ssrc=ALICE_VIDEO_SSRC, seed=1, bitrate=600_000):
+    encoder = SvcEncoder(target_bitrate_bps=bitrate, seed=seed)
+    packetizer = RtpPacketizer(ssrc=ssrc, seed=seed)
+    packets = []
+    for index in range(frames):
+        packets.extend(packetizer.packetize(encoder.next_frame(index / 30)))
+    return packets
+
+
+class TestIngressParser:
+    def test_classifies_audio_video(self):
+        parser = IngressParser()
+        video = video_packets(1)[1]
+        result = parser.parse(Datagram(src=ALICE, dst=SFU, payload=video))
+        assert result.packet_class == PacketClass.RTP_VIDEO
+        assert result.template_id is not None
+        audio = AudioSource(ssrc=ALICE_AUDIO_SSRC).next_packet(0.0)
+        result = parser.parse(Datagram(src=ALICE, dst=SFU, payload=audio))
+        assert result.packet_class == PacketClass.RTP_AUDIO
+
+    def test_keyframe_extended_descriptor_punts_to_cpu(self):
+        parser = IngressParser()
+        key_packet = video_packets(1)[0]  # first packet of the key frame
+        result = parser.parse(Datagram(src=ALICE, dst=SFU, payload=key_packet))
+        assert result.has_extended_descriptor
+        assert result.needs_cpu
+
+    def test_ordinary_video_stays_in_data_plane(self):
+        parser = IngressParser()
+        packet = video_packets(3)[-1]  # a non-key frame packet
+        result = parser.parse(Datagram(src=ALICE, dst=SFU, payload=packet))
+        assert not result.needs_cpu
+
+    def test_stun_needs_cpu(self):
+        parser = IngressParser()
+        stun = make_binding_request(bytes(12), "alice")
+        result = parser.parse(Datagram(src=ALICE, dst=SFU, payload=stun))
+        assert result.packet_class == PacketClass.STUN and result.needs_cpu
+
+    def test_feedback_vs_sender_rtcp(self):
+        parser = IngressParser()
+        feedback = Datagram(src=ALICE, dst=SFU, payload=(Remb(1, 1e6, (2,)),))
+        assert parser.parse(feedback).packet_class == PacketClass.RTCP_FEEDBACK
+        sender_info = Datagram(src=ALICE, dst=SFU, payload=(SenderReport(1), SourceDescription()))
+        assert parser.parse(sender_info).packet_class == PacketClass.RTCP_SENDER
+
+
+def build_pipeline_with_meeting(mode=ForwardingMode.REPLICATE):
+    """A pipeline with one 3-party meeting configured by hand."""
+    pipeline = ScallopPipeline(SFU)
+    mgid = pipeline.pre.create_tree()
+    participants = {ALICE: 1, BOB: 2, CAROL: 3}
+    for address, rid in participants.items():
+        pipeline.pre.add_node(mgid, rid=rid, ports=[L2Port(port=rid, l2_xid=rid)], l1_xid=1, prune_enabled=True)
+        pipeline.install_replica_target(mgid, rid, ReplicaTarget(address=address, participant_id=str(rid)))
+    entry = StreamForwardingEntry(
+        mode=mode,
+        meeting_id="m",
+        sender=ALICE,
+        mgid=mgid,
+        rid=1,
+        l2_xid=1,
+        unicast_receiver=BOB,
+    )
+    pipeline.install_stream((ALICE, ALICE_VIDEO_SSRC), entry)
+    pipeline.install_stream((ALICE, ALICE_AUDIO_SSRC), entry)
+    return pipeline, mgid
+
+
+class TestPipelineMediaPath:
+    def test_video_replicated_to_other_participants(self):
+        pipeline, _ = build_pipeline_with_meeting()
+        packet = video_packets(3)[-1]
+        result = pipeline.process(Datagram(src=ALICE, dst=SFU, payload=packet))
+        destinations = sorted(str(d.dst) for d in result.outputs)
+        assert destinations == sorted([str(BOB), str(CAROL)])
+        # egress rewrote the source address to the SFU
+        assert all(d.src == SFU for d in result.outputs)
+        # media payload is an exact copy (Zoom-style forwarding)
+        assert all(d.payload.ssrc == ALICE_VIDEO_SSRC for d in result.outputs)
+
+    def test_unknown_stream_dropped(self):
+        pipeline, _ = build_pipeline_with_meeting()
+        packet = video_packets(1, ssrc=9999)[0]
+        result = pipeline.process(Datagram(src=BOB, dst=SFU, payload=packet))
+        assert result.outputs == []
+        assert pipeline.counters.table_misses >= 1
+
+    def test_keyframe_copied_to_cpu_and_forwarded(self):
+        pipeline, _ = build_pipeline_with_meeting()
+        key_packet = video_packets(1)[0]
+        result = pipeline.process(Datagram(src=ALICE, dst=SFU, payload=key_packet))
+        assert len(result.outputs) == 2
+        assert len(result.cpu_copies) == 1
+
+    def test_unicast_mode_skips_pre(self):
+        pipeline, _ = build_pipeline_with_meeting(mode=ForwardingMode.UNICAST)
+        packet = video_packets(3)[-1]
+        replications_before = pipeline.pre.replications_performed
+        result = pipeline.process(Datagram(src=ALICE, dst=SFU, payload=packet))
+        assert [d.dst for d in result.outputs] == [BOB]
+        assert pipeline.pre.replications_performed == replications_before
+
+    def test_stun_goes_to_cpu_only(self):
+        pipeline, _ = build_pipeline_with_meeting()
+        stun = make_binding_request(bytes(12), "alice")
+        result = pipeline.process(Datagram(src=ALICE, dst=SFU, payload=stun))
+        assert result.outputs == [] and len(result.cpu_copies) == 1
+
+    def test_sender_report_replicated_in_data_plane(self):
+        pipeline, _ = build_pipeline_with_meeting()
+        sr = Datagram(src=ALICE, dst=SFU, payload=(SenderReport(sender_ssrc=ALICE_VIDEO_SSRC),))
+        result = pipeline.process(sr)
+        assert len(result.outputs) == 2
+        assert result.cpu_copies == []
+
+    def test_counters_accumulate(self):
+        pipeline, _ = build_pipeline_with_meeting()
+        for packet in video_packets(5):
+            pipeline.process(Datagram(src=ALICE, dst=SFU, payload=packet))
+        assert pipeline.counters.data_plane_packets > 0
+        assert pipeline.counters.replicas_out > 0
+
+
+class TestPipelineAdaptation:
+    def _install_adaptation(self, pipeline, allowed):
+        rewriter = SequenceRewriterLowMemory(SkipCadence(1, 2))
+        pipeline.install_adaptation(ALICE_VIDEO_SSRC, BOB, frozenset(allowed), rewriter)
+        return rewriter
+
+    def test_disallowed_templates_dropped_for_receiver(self):
+        pipeline, _ = build_pipeline_with_meeting()
+        self._install_adaptation(pipeline, {0, 1, 2})  # DT1: drop templates 3, 4
+        dropped_to_bob = 0
+        forwarded_to_bob = 0
+        for packet in video_packets(frames=16):
+            result = pipeline.process(Datagram(src=ALICE, dst=SFU, payload=packet))
+            to_bob = [d for d in result.outputs if d.dst == BOB]
+            descriptor = extract_dependency_descriptor(packet.extension)
+            if descriptor.template_id in (3, 4):
+                dropped_to_bob += 1 - len(to_bob)
+            else:
+                forwarded_to_bob += len(to_bob)
+            # Carol (no adaptation entry) always receives a copy
+            assert any(d.dst == CAROL for d in result.outputs)
+        assert dropped_to_bob > 0
+        assert forwarded_to_bob > 0
+        assert pipeline.counters.adaptation_drops == dropped_to_bob
+
+    def test_forwarded_sequence_numbers_are_continuous(self):
+        pipeline, _ = build_pipeline_with_meeting()
+        self._install_adaptation(pipeline, {0, 1, 2})
+        received = []
+        for packet in video_packets(frames=32):
+            result = pipeline.process(Datagram(src=ALICE, dst=SFU, payload=packet))
+            received.extend(d.payload.sequence_number for d in result.outputs if d.dst == BOB)
+        gaps = [b - a for a, b in zip(received, received[1:])]
+        assert all(gap == 1 for gap in gaps), f"gaps in rewritten space: {gaps}"
+
+    def test_update_templates_requires_existing_entry(self):
+        pipeline, _ = build_pipeline_with_meeting()
+        with pytest.raises(KeyError):
+            pipeline.update_adaptation_templates(ALICE_VIDEO_SSRC, BOB, frozenset({0, 1}))
+
+    def test_remove_adaptation_frees_index(self):
+        pipeline, _ = build_pipeline_with_meeting()
+        self._install_adaptation(pipeline, {0, 1})
+        in_use_before = pipeline.stream_indices.in_use
+        pipeline.remove_adaptation(ALICE_VIDEO_SSRC, BOB)
+        assert pipeline.stream_indices.in_use == in_use_before - 1
+
+
+class TestPipelineFeedbackPath:
+    def test_remb_forwarded_only_when_selected(self):
+        pipeline, _ = build_pipeline_with_meeting()
+        remb = Datagram(src=BOB, dst=SFU, payload=(Remb(sender_ssrc=2002, bitrate_bps=1e6, media_ssrcs=(ALICE_VIDEO_SSRC,)),))
+        # without any rule: copy to CPU only
+        result = pipeline.process(remb)
+        assert result.outputs == [] and len(result.cpu_copies) == 1
+        # with a rule but forward_remb False: still CPU only
+        pipeline.install_feedback_rule(BOB, ALICE_VIDEO_SSRC, FeedbackRule(sender=ALICE, forward_remb=False))
+        assert pipeline.process(remb).outputs == []
+        # once the filter function selects Bob's downlink, REMB reaches Alice
+        pipeline.install_feedback_rule(BOB, ALICE_VIDEO_SSRC, FeedbackRule(sender=ALICE, forward_remb=True))
+        outputs = pipeline.process(remb).outputs
+        assert [d.dst for d in outputs] == [ALICE]
+
+    def test_nack_and_pli_forwarded_to_sender(self):
+        pipeline, _ = build_pipeline_with_meeting()
+        pipeline.install_feedback_rule(BOB, ALICE_VIDEO_SSRC, FeedbackRule(sender=ALICE, forward_remb=False))
+        nack = Datagram(src=BOB, dst=SFU, payload=(Nack(2002, ALICE_VIDEO_SSRC, (5,)),))
+        pli = Datagram(src=BOB, dst=SFU, payload=(PictureLossIndication(2002, ALICE_VIDEO_SSRC),))
+        assert [d.dst for d in pipeline.process(nack).outputs] == [ALICE]
+        assert [d.dst for d in pipeline.process(pli).outputs] == [ALICE]
+
+    def test_receiver_report_treated_like_remb(self):
+        pipeline, _ = build_pipeline_with_meeting()
+        pipeline.install_feedback_rule(BOB, ALICE_VIDEO_SSRC, FeedbackRule(sender=ALICE, forward_remb=True))
+        rr = Datagram(
+            src=BOB,
+            dst=SFU,
+            payload=(ReceiverReport(sender_ssrc=2002, report_blocks=(ReportBlock(ssrc=ALICE_VIDEO_SSRC),)),),
+        )
+        assert [d.dst for d in pipeline.process(rr).outputs] == [ALICE]

@@ -1,0 +1,215 @@
+"""Unit tests for the discrete-event simulator, datagrams, links, and network."""
+
+import pytest
+
+from repro.netsim.datagram import Address, Datagram, PayloadKind, payload_size
+from repro.netsim.link import DEFAULT_ACCESS_PROFILE, Link, LinkProfile, Network
+from repro.netsim.simulator import SimulationError, Simulator
+from repro.rtp.packet import RtpPacket
+from repro.rtp.rtcp import Remb
+from repro.stun.message import make_binding_request
+
+A = Address("10.0.0.2", 6000)
+B = Address("10.0.0.3", 6001)
+
+
+def video_packet(seq=1):
+    return RtpPacket(payload_type=45, sequence_number=seq, timestamp=1000, ssrc=7, payload=b"x" * 100)
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.2, lambda: order.append("b"))
+        sim.schedule(0.1, lambda: order.append("a"))
+        sim.schedule(0.3, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_for_same_timestamp(self):
+        sim = Simulator()
+        order = []
+        for name in "abc":
+            sim.schedule(0.1, lambda n=name: order.append(n))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_run_for(self):
+        sim = Simulator()
+        sim.run_for(2.0)
+        sim.run_for(3.0)
+        assert sim.now == 5.0
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(0.1, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.schedule(1.0, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [1.0, 2.0]
+
+
+class TestDatagram:
+    def test_size_and_kind_derived(self):
+        packet = video_packet()
+        datagram = Datagram(src=A, dst=B, payload=packet)
+        assert datagram.size == packet.size
+        assert datagram.kind == PayloadKind.RTP
+        assert datagram.wire_size == packet.size + 42
+
+    def test_rtcp_kind(self):
+        datagram = Datagram(src=A, dst=B, payload=(Remb(1, 1000.0, (2,)),))
+        assert datagram.kind == PayloadKind.RTCP
+
+    def test_stun_kind(self):
+        request = make_binding_request(bytes(12), "alice")
+        assert Datagram(src=A, dst=B, payload=request).kind == PayloadKind.STUN
+
+    def test_bytes_round_trip(self):
+        datagram = Datagram(src=A, dst=B, payload=video_packet())
+        restored = Datagram.from_bytes(A, B, datagram.to_bytes())
+        assert restored.kind == PayloadKind.RTP
+        assert restored.payload == datagram.payload
+
+    def test_redirect(self):
+        datagram = Datagram(src=A, dst=B, payload=video_packet())
+        moved = datagram.redirect(B, A)
+        assert (moved.src, moved.dst) == (B, A)
+        assert moved.payload == datagram.payload
+
+    def test_payload_size_helper(self):
+        assert payload_size(b"12345") == 5
+
+
+class _Sink:
+    def __init__(self, address):
+        self.address = address
+        self.received = []
+
+    def handle_datagram(self, datagram):
+        self.received.append(datagram)
+
+
+class TestLink:
+    def test_delivery_with_delay(self):
+        sim = Simulator()
+        got = []
+        link = Link(sim, LinkProfile(bandwidth_bps=1e9, propagation_delay_s=0.01), got.append)
+        link.send(Datagram(src=A, dst=B, payload=video_packet()))
+        sim.run()
+        assert len(got) == 1
+        assert sim.now >= 0.01
+
+    def test_serialization_delay_queues_packets(self):
+        sim = Simulator()
+        got = []
+        # 1 Mbit/s: a ~142 byte wire packet takes ~1.1 ms to serialize
+        link = Link(sim, LinkProfile(bandwidth_bps=1e6, propagation_delay_s=0.0), got.append)
+        for seq in range(5):
+            link.send(Datagram(src=A, dst=B, payload=video_packet(seq)))
+        sim.run()
+        assert len(got) == 5
+        assert sim.now > 4 * (142 * 8 / 1e6)
+
+    def test_loss(self):
+        sim = Simulator()
+        got = []
+        link = Link(sim, LinkProfile(loss_rate=1.0), got.append)
+        assert link.send(Datagram(src=A, dst=B, payload=video_packet())) is False
+        sim.run()
+        assert got == [] and link.packets_dropped == 1
+
+    def test_queue_overflow_drops(self):
+        sim = Simulator()
+        got = []
+        profile = LinkProfile(bandwidth_bps=1e6, queue_limit_bytes=500)
+        link = Link(sim, profile, got.append)
+        results = [link.send(Datagram(src=A, dst=B, payload=video_packet(i))) for i in range(20)]
+        assert not all(results)
+        assert link.packets_dropped > 0
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            LinkProfile(bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            LinkProfile(loss_rate=1.5)
+
+
+class TestNetwork:
+    def test_end_to_end_delivery(self):
+        sim = Simulator()
+        net = Network(sim, seed=1)
+        a, b = _Sink(A), _Sink(B)
+        net.attach(a)
+        net.attach(b)
+        net.send(Datagram(src=A, dst=B, payload=video_packet()))
+        sim.run()
+        assert len(b.received) == 1
+        assert b.received[0].sent_at == 0.0
+
+    def test_unknown_destination_dropped_silently(self):
+        sim = Simulator()
+        net = Network(sim, seed=1)
+        a = _Sink(A)
+        net.attach(a)
+        net.send(Datagram(src=A, dst=B, payload=video_packet()))
+        sim.run()
+        assert net.datagrams_delivered == 0
+
+    def test_unknown_source_raises(self):
+        sim = Simulator()
+        net = Network(sim, seed=1)
+        with pytest.raises(KeyError):
+            net.send(Datagram(src=A, dst=B, payload=video_packet()))
+
+    def test_duplicate_attach_rejected(self):
+        sim = Simulator()
+        net = Network(sim, seed=1)
+        net.attach(_Sink(A))
+        with pytest.raises(ValueError):
+            net.attach(_Sink(A))
+
+    def test_downlink_profile_change_applies(self):
+        sim = Simulator()
+        net = Network(sim, seed=1)
+        a, b = _Sink(A), _Sink(B)
+        net.attach(a)
+        net.attach(b)
+        net.set_downlink_profile(B, LinkProfile(loss_rate=1.0))
+        net.send(Datagram(src=A, dst=B, payload=video_packet()))
+        sim.run()
+        assert b.received == []
+
+    def test_detach_stops_delivery(self):
+        sim = Simulator()
+        net = Network(sim, seed=1)
+        a, b = _Sink(A), _Sink(B)
+        net.attach(a)
+        net.attach(b)
+        net.detach(B)
+        net.send(Datagram(src=A, dst=B, payload=video_packet()))
+        sim.run()
+        assert b.received == []

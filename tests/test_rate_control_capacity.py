@@ -1,0 +1,222 @@
+"""Unit tests for the rate-control logic and the analytic capacity models."""
+
+import math
+
+import pytest
+
+from repro.core.capacity import (
+    MeetingShape,
+    ReplicationDesign,
+    RewriteVariant,
+    ScallopCapacityModel,
+    SoftwareSfuCapacityModel,
+    figure15_series,
+    figure16_series,
+    figure17_series,
+    improvement_over_software,
+)
+from repro.core.rate_control import (
+    DecodeTargetTracker,
+    DownlinkFilter,
+    select_decode_target,
+)
+from repro.rtp.av1 import DecodeTarget
+
+
+class TestSelectDecodeTarget:
+    def test_thresholds(self):
+        assert select_decode_target(DecodeTarget.DT2, (), 2_000_000) == DecodeTarget.DT2
+        assert select_decode_target(DecodeTarget.DT2, (), 800_000) == DecodeTarget.DT1
+        assert select_decode_target(DecodeTarget.DT2, (), 300_000) == DecodeTarget.DT0
+
+    def test_upgrade_requires_hysteresis_margin(self):
+        # at DT1, an estimate just above the high threshold is not enough
+        assert select_decode_target(DecodeTarget.DT1, (), 1_250_000) == DecodeTarget.DT1
+        assert select_decode_target(DecodeTarget.DT1, (), 1_500_000) == DecodeTarget.DT2
+
+    def test_custom_thresholds(self):
+        target = select_decode_target(
+            DecodeTarget.DT2, (), 400_000, threshold_high_bps=500_000, threshold_low_bps=200_000
+        )
+        assert target == DecodeTarget.DT1
+
+
+class TestDownlinkFilter:
+    def test_best_receiver_selection(self):
+        filter_fn = DownlinkFilter(alpha=0.5)
+        filter_fn.observe("s", "r1", 1_000_000, now=0.0)
+        filter_fn.observe("s", "r2", 3_000_000, now=0.0)
+        best = filter_fn.best_receiver("s")
+        assert best is not None and best[0] == "r2"
+
+    def test_reselect_reports_changes_once(self):
+        filter_fn = DownlinkFilter(alpha=0.5)
+        filter_fn.observe("s", "r1", 1_000_000, now=0.0)
+        receiver, changed = filter_fn.reselect("s")
+        assert receiver == "r1" and changed
+        receiver, changed = filter_fn.reselect("s")
+        assert receiver == "r1" and not changed
+        # a consistently better downlink eventually takes over
+        for t in range(10):
+            filter_fn.observe("s", "r2", 5_000_000, now=float(t))
+        receiver, changed = filter_fn.reselect("s")
+        assert receiver == "r2" and changed
+
+    def test_ewma_smooths_spikes(self):
+        filter_fn = DownlinkFilter(alpha=0.1)
+        for t in range(20):
+            filter_fn.observe("s", "r1", 1_000_000, now=float(t))
+        filter_fn.observe("s", "r2", 10_000_000, now=20.0)  # single spike
+        filter_fn.observe("s", "r2", 100_000, now=21.0)
+        # r2's EWMA is dominated by its initialization + low second sample
+        estimate_r2 = filter_fn.estimate("s", "r2")
+        assert estimate_r2 < 10_000_000
+
+    def test_forget_receiver(self):
+        filter_fn = DownlinkFilter()
+        filter_fn.observe("s", "r1", 1_000_000, now=0.0)
+        filter_fn.reselect("s")
+        filter_fn.forget_receiver("r1")
+        assert filter_fn.best_receiver("s") is None
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            DownlinkFilter(alpha=0.0)
+
+
+class TestDecodeTargetTracker:
+    def test_change_detection(self):
+        tracker = DecodeTargetTracker()
+        target, changed = tracker.update("s", "r", 2_000_000)
+        assert target == DecodeTarget.DT2 and not changed
+        target, changed = tracker.update("s", "r", 700_000)
+        assert target == DecodeTarget.DT1 and changed
+        target, changed = tracker.update("s", "r", 650_000)
+        assert target == DecodeTarget.DT1 and not changed
+
+    def test_history_is_bounded(self):
+        tracker = DecodeTargetTracker(history_length=4)
+        for estimate in range(10):
+            tracker.update("s", "r", 2_000_000 + estimate)
+        assert len(tracker._history[("s", "r")]) == 4
+
+    def test_forget(self):
+        tracker = DecodeTargetTracker()
+        tracker.update("s", "r", 700_000)
+        tracker.forget("r")
+        assert tracker.current("s", "r") == DecodeTarget.DT2
+
+
+class TestMeetingShape:
+    def test_streams_at_sfu_matches_paper_examples(self):
+        # 10 participants, everyone sending audio+video: 200 streams (2 N^2)
+        assert MeetingShape(participants=10).streams_at_sfu == 200
+        # two-party call: 8 streams
+        assert MeetingShape(participants=2).streams_at_sfu == 8
+
+    def test_rate_adapted_streams(self):
+        shape = MeetingShape(participants=10)
+        assert shape.rate_adapted_streams == 10 * 2
+        one_sender = MeetingShape(participants=10, senders=1)
+        assert one_sender.rate_adapted_streams == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeetingShape(participants=1)
+        with pytest.raises(ValueError):
+            MeetingShape(participants=4, senders=5)
+
+
+class TestSoftwareCapacity:
+    def test_calibration_matches_paper(self):
+        software = SoftwareSfuCapacityModel()
+        assert software.max_meetings(MeetingShape(participants=10)) == pytest.approx(192, rel=0.01)
+        assert software.max_meetings(MeetingShape(participants=2)) == pytest.approx(4_800, rel=0.01)
+
+    def test_quadratic_scaling(self):
+        software = SoftwareSfuCapacityModel()
+        m10 = software.max_meetings(MeetingShape(participants=10))
+        m20 = software.max_meetings(MeetingShape(participants=20))
+        assert m10 / m20 == pytest.approx(4.0, rel=0.01)
+
+
+class TestScallopCapacity:
+    def setup_method(self):
+        self.model = ScallopCapacityModel()
+
+    def test_headline_capacities_match_paper(self):
+        ten = MeetingShape(participants=10)
+        assert self.model.max_meetings_nra(ten) == pytest.approx(128_000, rel=0.05)
+        assert self.model.max_meetings_ra_r(ten) == pytest.approx(42_700, rel=0.05)
+        assert self.model.max_meetings_ra_sr(ten) == pytest.approx(4_300, rel=0.05)
+        assert self.model.max_meetings_two_party() == pytest.approx(533_000, rel=0.01)
+
+    def test_nra_independent_of_meeting_size_until_l1_limit(self):
+        small = self.model.max_meetings_nra(MeetingShape(participants=10))
+        large = self.model.max_meetings_nra(MeetingShape(participants=100))
+        assert small == large  # tree-limited in both cases
+        huge = self.model.max_meetings_nra(MeetingShape(participants=200))
+        assert huge <= small
+
+    def test_ra_sr_scales_inversely_with_senders(self):
+        all_send = self.model.max_meetings_ra_sr(MeetingShape(participants=10))
+        one_sends = self.model.max_meetings_ra_sr(MeetingShape(participants=10, senders=1))
+        assert one_sends == pytest.approx(all_send * 10, rel=0.01)
+
+    def test_rewrite_limit_variants(self):
+        shape = MeetingShape(participants=10)
+        s_lm = self.model.rewrite_limit(shape, RewriteVariant.S_LM)
+        s_lr = self.model.rewrite_limit(shape, RewriteVariant.S_LR)
+        assert s_lm == pytest.approx(2 * s_lr, rel=0.01)
+
+    def test_bandwidth_limit_quadratic(self):
+        bw10 = self.model.bandwidth_limit(MeetingShape(participants=10))
+        bw20 = self.model.bandwidth_limit(MeetingShape(participants=20))
+        assert bw10 / bw20 == pytest.approx(20 * 19 / (10 * 9), rel=0.01)
+
+    def test_two_party_design_requires_two_participants(self):
+        with pytest.raises(ValueError):
+            self.model.max_meetings_for_design(MeetingShape(participants=3), ReplicationDesign.TWO_PARTY)
+
+    def test_overall_minimum_applied(self):
+        shape = MeetingShape(participants=10)
+        combined = self.model.max_meetings(shape, ReplicationDesign.RA_SR, RewriteVariant.S_LR)
+        assert combined <= self.model.max_meetings_ra_sr(shape)
+        assert combined <= self.model.rewrite_limit(shape, RewriteVariant.S_LR)
+
+    def test_best_design_choice(self):
+        assert self.model.best_design(MeetingShape(participants=2), True) == ReplicationDesign.TWO_PARTY
+        assert self.model.best_design(MeetingShape(participants=10), False) == ReplicationDesign.NRA
+        assert self.model.best_design(MeetingShape(participants=10), True) == ReplicationDesign.RA_R
+
+
+class TestFigureSeries:
+    def test_improvement_range_brackets_paper(self):
+        points = figure15_series()
+        lower = min(p.improvement_min for p in points)
+        upper = max(p.improvement_max for p in points)
+        # the paper reports 7x-210x; accept the same order of magnitude
+        assert 2 <= lower <= 20
+        assert 100 <= upper <= 700
+
+    def test_improvement_grows_with_meeting_size(self):
+        small = improvement_over_software(10)
+        large = improvement_over_software(80)
+        assert large.improvement_max > small.improvement_max
+
+    def test_scallop_always_beats_software(self):
+        for point in figure16_series():
+            assert point.scallop_min > point.software_min
+            assert point.scallop_max > point.software_max
+
+    def test_design_space_ordering(self):
+        for point in figure17_series():
+            # NRA packs the most meetings, RA-R fewer, RA-SR the fewest
+            assert point.nra >= point.ra_r >= point.ra_sr
+            assert point.s_lm >= point.s_lr
+            assert point.software < point.ra_sr or point.participants > 90
+
+    def test_overall_capacity_is_min_of_constraints(self):
+        point = figure17_series([10])[0]
+        overall = point.overall(ReplicationDesign.RA_SR, RewriteVariant.S_LR)
+        assert overall == min(point.ra_sr, point.s_lr, point.bandwidth)

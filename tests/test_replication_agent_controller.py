@@ -1,0 +1,240 @@
+"""Unit tests for the replication manager, switch agent, and controller."""
+
+import pytest
+
+from repro.core.capacity import ReplicationDesign, RewriteVariant
+from repro.core.controller import ScallopController, SignalingError
+from repro.core.replication import ParticipantEndpoint, ReplicationManager
+from repro.core.switch_agent import SwitchAgent
+from repro.dataplane.pipeline import ForwardingMode, ScallopPipeline
+from repro.netsim.datagram import Address, Datagram
+from repro.rtp.av1 import DecodeTarget
+from repro.rtp.rtcp import Remb
+from repro.signaling.messages import SignalMessage, SignalType, join_message, leave_message
+from repro.signaling.sdp import make_offer
+from repro.stun.message import make_binding_request
+from repro.webrtc.encoder import RtpPacketizer, SvcEncoder
+
+SFU = Address("10.0.0.1", 5000)
+
+
+def endpoint(index, audio=True, video=True):
+    return ParticipantEndpoint(
+        participant_id=f"p{index}",
+        address=Address(f"10.0.1.{index}", 6000 + index),
+        egress_port=0,
+        audio_ssrc=1000 + index * 10 if audio else None,
+        video_ssrc=1001 + index * 10 if video else None,
+    )
+
+
+class TestReplicationManager:
+    def setup_method(self):
+        self.pipeline = ScallopPipeline(SFU)
+        self.manager = ReplicationManager(self.pipeline)
+
+    def test_two_party_meeting_uses_unicast(self):
+        participants = [endpoint(1), endpoint(2)]
+        state = self.manager.install_meeting("m", participants, ReplicationDesign.TWO_PARTY)
+        assert state.trees == []
+        entry = self.pipeline.stream_table.lookup((participants[0].address, participants[0].video_ssrc))
+        assert entry.mode == ForwardingMode.UNICAST
+        assert entry.unicast_receiver == participants[1].address
+
+    def test_two_party_design_validation(self):
+        with pytest.raises(ValueError):
+            self.manager.install_meeting("m", [endpoint(1), endpoint(2), endpoint(3)], ReplicationDesign.TWO_PARTY)
+
+    def test_nra_meeting_builds_one_tree_group(self):
+        participants = [endpoint(i) for i in range(1, 4)]
+        state = self.manager.install_meeting("m", participants, ReplicationDesign.NRA)
+        assert len(state.trees) == 1
+        assert self.pipeline.pre.num_trees == 1
+        # every participant has stream entries installed for audio and video
+        for participant in participants:
+            for _kind, ssrc in participant.media_ssrcs():
+                assert self.pipeline.stream_table.lookup((participant.address, ssrc)) is not None
+
+    def test_two_nra_meetings_share_a_tree(self):
+        self.manager.install_meeting("m1", [endpoint(i) for i in range(1, 4)], ReplicationDesign.NRA)
+        self.manager.install_meeting("m2", [endpoint(i) for i in range(4, 7)], ReplicationDesign.NRA)
+        assert self.pipeline.pre.num_trees == 1
+        third = self.manager.install_meeting("m3", [endpoint(i) for i in range(7, 10)], ReplicationDesign.NRA)
+        assert self.pipeline.pre.num_trees == 2  # third meeting opens a new tree
+        assert third.l1_xid == 1
+
+    def test_ra_r_meeting_builds_tree_per_quality(self):
+        state = self.manager.install_meeting("m", [endpoint(i) for i in range(1, 4)], ReplicationDesign.RA_R)
+        assert len(state.trees) == 3
+        layers = sorted(t.layer for t in state.trees)
+        assert layers == [0, 1, 2]
+
+    def test_ra_sr_meeting_builds_tree_per_sender_pair_and_quality(self):
+        state = self.manager.install_meeting("m", [endpoint(i) for i in range(1, 5)], ReplicationDesign.RA_SR)
+        # 4 participants -> 2 sender pairs x 3 qualities = 6 trees
+        assert len(state.trees) == 6
+
+    def test_add_and_remove_participant(self):
+        participants = [endpoint(i) for i in range(1, 4)]
+        self.manager.install_meeting("m", participants, ReplicationDesign.NRA)
+        newcomer = endpoint(9)
+        self.manager.add_participant("m", newcomer)
+        assert len(self.manager.meetings["m"].participants) == 4
+        assert self.pipeline.stream_table.lookup((newcomer.address, newcomer.video_ssrc)) is not None
+        self.manager.remove_participant("m", "p1")
+        assert "p1" not in self.manager.meetings["m"].participants
+        assert self.pipeline.stream_table.lookup((participants[0].address, participants[0].video_ssrc)) is None
+
+    def test_remove_last_participant_removes_meeting(self):
+        self.manager.install_meeting("m", [endpoint(1), endpoint(2)], ReplicationDesign.TWO_PARTY)
+        self.manager.remove_participant("m", "p1")
+        self.manager.remove_participant("m", "p2")
+        assert "m" not in self.manager.meetings
+
+    def test_migration_nra_to_ra_r(self):
+        participants = [endpoint(i) for i in range(1, 4)]
+        self.manager.install_meeting("m", participants, ReplicationDesign.NRA)
+        trees_before = self.pipeline.pre.num_trees
+        self.manager.migrate("m", ReplicationDesign.RA_R)
+        state = self.manager.meetings["m"]
+        assert state.design == ReplicationDesign.RA_R
+        assert len(state.trees) == 3
+        assert self.manager.migrations_performed == 1
+        # ingress entries repointed to the new trees
+        entry = self.pipeline.stream_table.lookup((participants[0].address, participants[0].video_ssrc))
+        assert entry.mode == ForwardingMode.REPLICATE_BY_LAYER
+        # old NRA tree group released
+        assert self.pipeline.pre.num_trees >= trees_before  # new trees exist
+        assert self.manager.meetings["m"].tree_group is not None
+
+    def test_migration_to_same_design_is_noop(self):
+        self.manager.install_meeting("m", [endpoint(i) for i in range(1, 4)], ReplicationDesign.NRA)
+        self.manager.migrate("m", ReplicationDesign.NRA)
+        assert self.manager.migrations_performed == 0
+
+    def test_remove_meeting_releases_trees(self):
+        self.manager.install_meeting("m", [endpoint(i) for i in range(1, 4)], ReplicationDesign.RA_R)
+        self.manager.remove_meeting("m")
+        assert self.pipeline.pre.num_trees == 0
+        assert self.pipeline.pre.total_l1_nodes() == 0
+
+
+class TestSwitchAgent:
+    def setup_method(self):
+        self.pipeline = ScallopPipeline(SFU)
+        self.sent = []
+        self.agent = SwitchAgent(self.pipeline, send_fn=self.sent.append, rewrite_variant=RewriteVariant.S_LM)
+        self.participants = [endpoint(i) for i in range(1, 4)]
+        self.agent.configure_meeting("m", self.participants, design=ReplicationDesign.NRA)
+
+    def _remb_from(self, receiver, about_sender, bitrate):
+        packet = Remb(sender_ssrc=9999, bitrate_bps=bitrate, media_ssrcs=(about_sender.video_ssrc,))
+        datagram = Datagram(src=receiver.address, dst=SFU, payload=(packet,))
+        self.agent.handle_cpu_packet(datagram)
+
+    def test_configure_installs_feedback_rules(self):
+        rule = self.pipeline.feedback_table.lookup(
+            (self.participants[1].address, self.participants[0].video_ssrc)
+        )
+        assert rule is not None
+        assert rule.sender == self.participants[0].address
+        assert rule.forward_nack_pli
+
+    def test_stun_request_answered(self):
+        request = make_binding_request(bytes(12), "p1")
+        self.agent.handle_cpu_packet(Datagram(src=self.participants[0].address, dst=SFU, payload=request))
+        assert len(self.sent) == 1
+        assert self.sent[0].dst == self.participants[0].address
+        assert self.agent.counters.stun_handled == 1
+
+    def test_low_remb_installs_adaptation_and_migrates(self):
+        receiver, sender = self.participants[2], self.participants[0]
+        self._remb_from(receiver, sender, bitrate=700_000)
+        assert self.agent.decode_target_for(sender.participant_id, receiver.participant_id) == DecodeTarget.DT1
+        entry = self.pipeline.adaptation_table.lookup((sender.video_ssrc, receiver.address))
+        assert entry is not None
+        assert entry.allowed_templates == frozenset({0, 1, 2})
+        # the meeting was migrated off the NRA design once adaptation started
+        assert self.agent.meeting_design("m") == ReplicationDesign.RA_R
+        assert self.agent.counters.migrations == 1
+
+    def test_recovering_remb_upgrades_templates(self):
+        receiver, sender = self.participants[2], self.participants[0]
+        self._remb_from(receiver, sender, bitrate=700_000)
+        self._remb_from(receiver, sender, bitrate=2_500_000)
+        entry = self.pipeline.adaptation_table.lookup((sender.video_ssrc, receiver.address))
+        assert entry.allowed_templates == frozenset({0, 1, 2, 3, 4})
+
+    def test_filter_function_selects_best_downlink(self):
+        sender = self.participants[0]
+        self._remb_from(self.participants[1], sender, bitrate=3_000_000)
+        self._remb_from(self.participants[2], sender, bitrate=1_000_000)
+        updates = self.agent.run_filter_function()
+        assert updates > 0
+        good = self.pipeline.feedback_table.lookup((self.participants[1].address, sender.video_ssrc))
+        poor = self.pipeline.feedback_table.lookup((self.participants[2].address, sender.video_ssrc))
+        assert good.forward_remb and not poor.forward_remb
+
+    def test_extended_descriptor_analysis(self):
+        sender = self.participants[0]
+        encoder = SvcEncoder(seed=1)
+        packetizer = RtpPacketizer(ssrc=sender.video_ssrc, seed=1)
+        key_packet = packetizer.packetize(encoder.next_frame(0.0))[0]
+        self.agent.handle_cpu_packet(Datagram(src=sender.address, dst=SFU, payload=key_packet))
+        assert self.agent.counters.extended_descriptors_handled == 1
+
+    def test_remove_participant_cleans_up(self):
+        self.agent.remove_participant("m", "p3")
+        assert "p3" not in self.agent.participants_in("m")
+
+
+class TestController:
+    def setup_method(self):
+        self.pipeline = ScallopPipeline(SFU)
+        self.agent = SwitchAgent(self.pipeline)
+        self.controller = ScallopController(SFU, self.agent)
+
+    def _join(self, participant_id, meeting_id="m", index=1):
+        offer = make_offer(participant_id, f"10.0.1.{index}", 6000 + index, ssrc_base=index * 100)
+        return self.controller.handle_signal(join_message(meeting_id, participant_id, offer))
+
+    def test_join_returns_answer_with_sfu_candidates(self):
+        reply = self._join("p1", index=1)
+        assert reply is not None and reply.type == SignalType.ANSWER
+        answer = reply.session_description()
+        for section in answer.media:
+            assert section.candidates[0].ip == SFU.ip
+            assert section.candidates[0].port == SFU.port
+
+    def test_two_party_meeting_gets_two_party_design(self):
+        self._join("p1", index=1)
+        self._join("p2", index=2)
+        assert self.agent.meeting_design("m") == ReplicationDesign.TWO_PARTY
+        assert self.controller.meeting_sizes() == {"m": 2}
+
+    def test_third_participant_switches_to_nra(self):
+        for index in range(1, 4):
+            self._join(f"p{index}", index=index)
+        assert self.agent.meeting_design("m") == ReplicationDesign.NRA
+        assert self.controller.total_participants() == 3
+
+    def test_leave_removes_participant_and_meeting(self):
+        self._join("p1", index=1)
+        self._join("p2", index=2)
+        self.controller.handle_signal(leave_message("m", "p1"))
+        assert self.controller.meeting_sizes() == {"m": 1}
+        self.controller.handle_signal(leave_message("m", "p2"))
+        assert self.controller.meeting_sizes() == {}
+        assert self.controller.counters.meetings_closed == 1
+
+    def test_media_event_for_unknown_participant_raises(self):
+        with pytest.raises(SignalingError):
+            self.controller.handle_signal(
+                SignalMessage(type=SignalType.MEDIA_STARTED, meeting_id="m", participant_id="ghost", media_kind="video")
+            )
+
+    def test_join_without_sdp_raises(self):
+        with pytest.raises(SignalingError):
+            self.controller.handle_signal(
+                SignalMessage(type=SignalType.JOIN, meeting_id="m", participant_id="p1")
+            )

@@ -1,0 +1,123 @@
+"""Unit tests for the RTCP codec (SR/RR/SDES/REMB/NACK/PLI, compound packets)."""
+
+import pytest
+
+from repro.rtp.rtcp import (
+    Nack,
+    PictureLossIndication,
+    ReceiverReport,
+    Remb,
+    ReportBlock,
+    RtcpParseError,
+    SenderReport,
+    SourceDescription,
+    classify_rtcp,
+    parse_compound,
+    serialize_compound,
+)
+from repro.rtp.packet import is_rtcp
+
+
+class TestSenderReport:
+    def test_round_trip(self):
+        report = SenderReport(
+            sender_ssrc=111,
+            ntp_timestamp=0x0123456789ABCDEF,
+            rtp_timestamp=90_000,
+            packet_count=1_000,
+            octet_count=1_000_000,
+        )
+        parsed = parse_compound(report.serialize())
+        assert parsed == [report]
+
+    def test_round_trip_with_report_blocks(self):
+        block = ReportBlock(ssrc=7, fraction_lost=10, cumulative_lost=55, highest_sequence=1234, jitter=90)
+        report = SenderReport(sender_ssrc=1, report_blocks=(block,))
+        parsed = parse_compound(report.serialize())[0]
+        assert parsed.report_blocks == (block,)
+
+    def test_classified_as_rtcp(self):
+        assert is_rtcp(SenderReport(sender_ssrc=1).serialize())
+
+
+class TestReceiverReport:
+    def test_round_trip(self):
+        block = ReportBlock(ssrc=9, fraction_lost=2, cumulative_lost=3, highest_sequence=77, jitter=5)
+        report = ReceiverReport(sender_ssrc=2, report_blocks=(block,))
+        assert parse_compound(report.serialize()) == [report]
+
+    def test_empty_blocks(self):
+        report = ReceiverReport(sender_ssrc=5)
+        assert parse_compound(report.serialize()) == [report]
+
+
+class TestSourceDescription:
+    def test_round_trip(self):
+        sdes = SourceDescription(chunks=((42, "participant-1"), (43, "participant-2")))
+        parsed = parse_compound(sdes.serialize())[0]
+        assert parsed.chunks == sdes.chunks
+
+
+class TestFeedback:
+    def test_nack_round_trip_contiguous(self):
+        nack = Nack(sender_ssrc=1, media_ssrc=2, lost_sequence_numbers=(100, 101, 102))
+        parsed = parse_compound(nack.serialize())[0]
+        assert set(parsed.lost_sequence_numbers) == {100, 101, 102}
+
+    def test_nack_round_trip_sparse(self):
+        lost = (10, 30, 300)
+        nack = Nack(sender_ssrc=1, media_ssrc=2, lost_sequence_numbers=lost)
+        parsed = parse_compound(nack.serialize())[0]
+        assert set(parsed.lost_sequence_numbers) == set(lost)
+
+    def test_pli_round_trip(self):
+        pli = PictureLossIndication(sender_ssrc=3, media_ssrc=4)
+        assert parse_compound(pli.serialize()) == [pli]
+
+    def test_remb_round_trip_small_bitrate(self):
+        remb = Remb(sender_ssrc=1, bitrate_bps=250_000, media_ssrcs=(10,))
+        parsed = parse_compound(remb.serialize())[0]
+        assert parsed.media_ssrcs == (10,)
+        assert parsed.bitrate_bps == pytest.approx(250_000, rel=0.01)
+
+    def test_remb_round_trip_large_bitrate(self):
+        remb = Remb(sender_ssrc=1, bitrate_bps=25_000_000, media_ssrcs=(10, 11))
+        parsed = parse_compound(remb.serialize())[0]
+        assert parsed.bitrate_bps == pytest.approx(25_000_000, rel=0.01)
+
+    def test_remb_exponent_encoding_precision(self):
+        for bitrate in (1_000, 100_000, 1_234_567, 987_654_321):
+            parsed = parse_compound(Remb(1, bitrate, (2,)).serialize())[0]
+            assert parsed.bitrate_bps == pytest.approx(bitrate, rel=0.01)
+
+
+class TestCompound:
+    def test_compound_round_trip(self):
+        packets = [
+            ReceiverReport(sender_ssrc=1, report_blocks=(ReportBlock(ssrc=9),)),
+            Remb(sender_ssrc=1, bitrate_bps=500_000, media_ssrcs=(9,)),
+        ]
+        data = serialize_compound(packets)
+        parsed = parse_compound(data)
+        assert len(parsed) == 2
+        assert isinstance(parsed[0], ReceiverReport)
+        assert isinstance(parsed[1], Remb)
+
+    def test_parse_bad_version_raises(self):
+        data = bytearray(SenderReport(sender_ssrc=1).serialize())
+        data[0] = 0x00
+        with pytest.raises(RtcpParseError):
+            parse_compound(bytes(data))
+
+    def test_parse_truncated_raises(self):
+        data = SenderReport(sender_ssrc=1).serialize()
+        with pytest.raises(RtcpParseError):
+            parse_compound(data[:-2])
+
+    def test_classify(self):
+        assert classify_rtcp(SenderReport(1)) == "SR"
+        assert classify_rtcp(ReceiverReport(1)) == "RR"
+        assert classify_rtcp(SourceDescription()) == "SDES"
+        assert classify_rtcp(Remb(1, 1.0)) == "REMB"
+        assert classify_rtcp(Nack(1, 2)) == "NACK"
+        assert classify_rtcp(PictureLossIndication(1, 2)) == "PLI"

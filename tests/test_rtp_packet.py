@@ -1,0 +1,138 @@
+"""Unit tests for the RTP packet codec."""
+
+import pytest
+
+from repro.rtp.packet import (
+    PT_AUDIO_OPUS,
+    PT_VIDEO_AV1,
+    RTP_HEADER_LEN,
+    RtpHeaderExtension,
+    RtpPacket,
+    RtpParseError,
+    is_rtcp,
+    looks_like_rtp,
+    seq_add,
+    seq_delta,
+)
+
+
+def make_packet(**overrides):
+    defaults = dict(
+        payload_type=PT_VIDEO_AV1,
+        sequence_number=100,
+        timestamp=90_000,
+        ssrc=0xDEADBEEF,
+        marker=True,
+        payload=b"\x01\x02\x03\x04",
+    )
+    defaults.update(overrides)
+    return RtpPacket(**defaults)
+
+
+class TestRtpRoundTrip:
+    def test_basic_round_trip(self):
+        packet = make_packet()
+        assert RtpPacket.parse(packet.serialize()) == packet
+
+    def test_round_trip_with_csrcs(self):
+        packet = make_packet(csrcs=(1, 2, 3))
+        parsed = RtpPacket.parse(packet.serialize())
+        assert parsed.csrcs == (1, 2, 3)
+
+    def test_round_trip_with_extension(self):
+        extension = RtpHeaderExtension(profile=0xBEDE, data=b"\x10\xab\x00\x00")
+        packet = make_packet(extension=extension)
+        parsed = RtpPacket.parse(packet.serialize())
+        assert parsed.extension == extension
+
+    def test_round_trip_empty_payload(self):
+        packet = make_packet(payload=b"")
+        assert RtpPacket.parse(packet.serialize()).payload == b""
+
+    def test_marker_bit_preserved(self):
+        for marker in (True, False):
+            packet = make_packet(marker=marker)
+            assert RtpPacket.parse(packet.serialize()).marker is marker
+
+    def test_boundary_field_values(self):
+        packet = make_packet(sequence_number=65_535, timestamp=2**32 - 1, ssrc=2**32 - 1)
+        parsed = RtpPacket.parse(packet.serialize())
+        assert parsed.sequence_number == 65_535
+        assert parsed.timestamp == 2**32 - 1
+        assert parsed.ssrc == 2**32 - 1
+
+
+class TestRtpValidation:
+    def test_rejects_bad_payload_type(self):
+        with pytest.raises(ValueError):
+            make_packet(payload_type=200)
+
+    def test_rejects_bad_sequence_number(self):
+        with pytest.raises(ValueError):
+            make_packet(sequence_number=70_000)
+
+    def test_rejects_too_many_csrcs(self):
+        with pytest.raises(ValueError):
+            make_packet(csrcs=tuple(range(16)))
+
+    def test_rejects_unaligned_extension(self):
+        with pytest.raises(ValueError):
+            RtpHeaderExtension(profile=0xBEDE, data=b"\x01\x02\x03")
+
+    def test_parse_short_buffer(self):
+        with pytest.raises(RtpParseError):
+            RtpPacket.parse(b"\x80\x60\x00")
+
+    def test_parse_wrong_version(self):
+        data = bytearray(make_packet().serialize())
+        data[0] = 0x00  # version 0
+        with pytest.raises(RtpParseError):
+            RtpPacket.parse(bytes(data))
+
+    def test_parse_truncated_extension(self):
+        extension = RtpHeaderExtension(profile=0xBEDE, data=b"\x10\xab\x00\x00")
+        data = make_packet(extension=extension, payload=b"").serialize()
+        with pytest.raises(RtpParseError):
+            RtpPacket.parse(data[: RTP_HEADER_LEN + 2])
+
+
+class TestHelpers:
+    def test_header_length_and_size(self):
+        packet = make_packet(csrcs=(1,), extension=RtpHeaderExtension(0xBEDE, b"\x00" * 4))
+        assert packet.header_length == RTP_HEADER_LEN + 4 + 4 + 4
+        assert packet.size == packet.header_length + len(packet.payload)
+
+    def test_with_sequence_number_wraps(self):
+        packet = make_packet().with_sequence_number(70_000)
+        assert packet.sequence_number == 70_000 % 65_536
+
+    def test_with_ssrc(self):
+        assert make_packet().with_ssrc(42).ssrc == 42
+
+    def test_is_audio_video(self):
+        assert make_packet(payload_type=PT_AUDIO_OPUS).is_audio()
+        assert make_packet(payload_type=PT_VIDEO_AV1).is_video()
+
+    def test_looks_like_rtp(self):
+        assert looks_like_rtp(make_packet().serialize())
+        assert not looks_like_rtp(b"\x00\x01")
+        assert not looks_like_rtp(b"")
+
+    def test_is_rtcp_false_for_media(self):
+        assert not is_rtcp(make_packet().serialize())
+
+
+class TestSequenceArithmetic:
+    def test_seq_delta_forward(self):
+        assert seq_delta(10, 5) == 5
+
+    def test_seq_delta_backward(self):
+        assert seq_delta(5, 10) == -5
+
+    def test_seq_delta_wraparound(self):
+        assert seq_delta(2, 65_534) == 4
+        assert seq_delta(65_534, 2) == -4
+
+    def test_seq_add_wraps(self):
+        assert seq_add(65_535, 1) == 0
+        assert seq_add(0, -1) == 65_535

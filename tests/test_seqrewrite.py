@@ -1,0 +1,156 @@
+"""Unit tests for the S-LM / S-LR sequence-rewriting heuristics."""
+
+import pytest
+
+from repro.core.seqrewrite import (
+    SequenceRewriterLowMemory,
+    SequenceRewriterLowRetransmission,
+    SkipCadence,
+    ideal_rewrite_map,
+)
+
+REWRITERS = [SequenceRewriterLowMemory, SequenceRewriterLowRetransmission]
+
+
+def feed(rewriter, events):
+    """events: list of (seq, frame, forward) -> list of emitted sequence numbers."""
+    emitted = []
+    for seq, frame, forward in events:
+        out = rewriter.on_packet(seq, frame, forward)
+        if out is not None:
+            emitted.append(out)
+    return emitted
+
+
+class TestSkipCadence:
+    def test_ratio(self):
+        assert SkipCadence(1, 2).ratio == 0.5
+        assert SkipCadence(0, 1).ratio == 0.0
+
+    def test_for_decode_target(self):
+        assert SkipCadence.for_decode_target(2).ratio == 0.0
+        assert SkipCadence.for_decode_target(1).ratio == 0.5
+        assert SkipCadence.for_decode_target(0).ratio == 0.75
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SkipCadence(2, 1)
+        with pytest.raises(ValueError):
+            SkipCadence(0, 0)
+
+
+@pytest.mark.parametrize("cls", REWRITERS)
+class TestRewriterCommonBehaviour:
+    def test_pass_through_when_nothing_suppressed(self, cls):
+        rewriter = cls(SkipCadence(0, 1))
+        events = [(100 + i, i // 3, True) for i in range(30)]
+        emitted = feed(rewriter, events)
+        assert emitted == [100 + i for i in range(30)]
+
+    def test_suppression_closes_gaps(self, cls):
+        rewriter = cls(SkipCadence(1, 2))
+        # frames of 2 packets each; every second frame suppressed
+        events = []
+        seq = 500
+        for frame in range(20):
+            forward = frame % 2 == 0
+            for _ in range(2):
+                events.append((seq, frame, forward))
+                seq += 1
+        emitted = feed(rewriter, events)
+        # forwarded packets must be consecutive: no gaps, no duplicates
+        assert emitted == list(range(emitted[0], emitted[0] + len(emitted)))
+
+    def test_never_emits_duplicates(self, cls):
+        rewriter = cls(SkipCadence(1, 2))
+        events = []
+        seq = 0
+        for frame in range(50):
+            forward = frame % 2 == 0
+            for _ in range(3):
+                events.append((seq, frame, forward))
+                seq += 1
+        # replay some packets out of order / duplicated
+        events = events + events[10:20]
+        emitted = feed(rewriter, events)
+        assert len(emitted) == len(set(emitted))
+
+    def test_sequence_wraparound(self, cls):
+        rewriter = cls(SkipCadence(0, 1))
+        events = [((65_530 + i) % 65_536, i // 2, True) for i in range(12)]
+        emitted = feed(rewriter, events)
+        assert len(emitted) == 12
+        assert len(set(emitted)) == 12
+
+    def test_counters(self, cls):
+        rewriter = cls(SkipCadence(1, 2))
+        feed(rewriter, [(i, i // 2, i % 4 < 2) for i in range(40)])
+        assert rewriter.packets_seen == 40
+        assert rewriter.packets_forwarded + rewriter.packets_suppressed <= 40 + rewriter.packets_dropped_for_safety
+        assert rewriter.state_cells in (3, 6)
+
+
+class TestLowMemorySpecifics:
+    def test_gap_attributed_to_cadence(self):
+        rewriter = SequenceRewriterLowMemory(SkipCadence(1, 2))
+        # packets 0,1 forwarded; packets 2,3 never arrive (they were the
+        # suppressed frame, dropped upstream); packets 4,5 forwarded
+        emitted = feed(
+            rewriter,
+            [(0, 0, True), (1, 0, True), (4, 2, True), (5, 2, True)],
+        )
+        # the 2-packet gap matches the cadence, so roughly half of it is
+        # attributed to suppression: the output gap shrinks
+        assert emitted[0] == 0 and emitted[1] == 1
+        assert emitted[2] - emitted[1] <= 2
+
+    def test_old_packet_dropped_for_safety(self):
+        rewriter = SequenceRewriterLowMemory(SkipCadence(0, 1))
+        feed(rewriter, [(i, 0, True) for i in range(10)])
+        assert rewriter.on_packet(2, 0, True) is None
+        assert rewriter.packets_dropped_for_safety >= 1
+
+
+class TestLowRetransmissionSpecifics:
+    def test_intra_frame_gap_preserved(self):
+        rewriter = SequenceRewriterLowRetransmission(SkipCadence(1, 2))
+        # packets 0..3 belong to frame 7; packet 2 is lost in the network.
+        # Because a frame is never partially suppressed, the gap must remain.
+        emitted = feed(rewriter, [(0, 7, True), (1, 7, True), (3, 7, True)])
+        assert emitted == [0, 1, 3]
+
+    def test_late_packet_of_current_frame_rewritten_correctly(self):
+        rewriter = SequenceRewriterLowRetransmission(SkipCadence(1, 2))
+        emitted = []
+        for seq, frame, forward in [(0, 0, True), (1, 0, True), (2, 1, False), (3, 1, False), (4, 2, True), (6, 2, True)]:
+            out = rewriter.on_packet(seq, frame, forward)
+            if out is not None:
+                emitted.append(out)
+        # the late packet 5 of frame 2 arrives after 6
+        late = rewriter.on_packet(5, 2, True)
+        assert late is not None
+        assert late not in emitted  # no duplicate
+        all_out = sorted(emitted + [late])
+        assert all_out == list(range(all_out[0], all_out[0] + len(all_out)))
+
+    def test_late_packet_of_suppressed_frame_dropped_silently(self):
+        rewriter = SequenceRewriterLowRetransmission(SkipCadence(1, 2))
+        feed(rewriter, [(0, 0, True), (1, 0, True), (2, 1, False), (4, 2, True)])
+        # packet 3 of the suppressed frame 1 shows up late; it must vanish
+        assert rewriter.on_packet(3, 1, False) is None
+
+
+class TestOracle:
+    def test_ideal_map_removes_only_suppressed(self):
+        events = [(0, False, False), (1, True, False), (2, False, True), (3, False, False)]
+        mapping = ideal_rewrite_map(events)
+        assert mapping[0] == 0
+        assert mapping[1] is None          # suppressed: receiver never sees it
+        assert mapping[2] == 1             # lost: keeps its (shifted) slot
+        assert mapping[3] == 2
+
+    def test_ideal_map_is_gap_free_over_suppression(self):
+        events = [(seq, seq % 2 == 1, False) for seq in range(100)]
+        mapping = ideal_rewrite_map(events)
+        values = [v for v in mapping.values() if v is not None]
+        assert values == list(range(50))

@@ -1,0 +1,124 @@
+"""Unit tests for the STUN codec and the SDP/signaling substrate."""
+
+import pytest
+
+from repro.signaling.messages import (
+    SignalMessage,
+    SignalType,
+    answer_message,
+    join_message,
+    leave_message,
+    media_event,
+)
+from repro.signaling.sdp import (
+    IceCandidate,
+    SdpParseError,
+    SessionDescription,
+    make_answer,
+    make_offer,
+)
+from repro.stun.message import (
+    StunMessage,
+    StunParseError,
+    decode_xor_mapped_address,
+    looks_like_stun,
+    make_binding_request,
+    make_binding_response,
+)
+from repro.rtp.packet import looks_like_rtp
+
+TRANSACTION_ID = bytes(range(12))
+
+
+class TestStun:
+    def test_binding_request_round_trip(self):
+        request = make_binding_request(TRANSACTION_ID, username="alice", priority=77)
+        parsed = StunMessage.parse(request.serialize())
+        assert parsed.is_request
+        assert parsed.transaction_id == TRANSACTION_ID
+        assert parsed.attribute(0x0006) == b"alice"
+
+    def test_binding_response_round_trip(self):
+        request = make_binding_request(TRANSACTION_ID, username="alice")
+        response = make_binding_response(request, "192.168.1.10", 4242)
+        parsed = StunMessage.parse(response.serialize())
+        assert parsed.is_success_response
+        assert decode_xor_mapped_address(parsed) == ("192.168.1.10", 4242)
+
+    def test_looks_like_stun(self):
+        request = make_binding_request(TRANSACTION_ID, username="alice")
+        assert looks_like_stun(request.serialize())
+        assert not looks_like_stun(b"\x80\x00\x00\x00\x00\x00\x00\x00")
+
+    def test_stun_is_not_rtp(self):
+        request = make_binding_request(TRANSACTION_ID, username="alice")
+        assert not looks_like_rtp(request.serialize())
+
+    def test_bad_cookie_rejected(self):
+        data = bytearray(make_binding_request(TRANSACTION_ID, "a").serialize())
+        data[4] = 0
+        with pytest.raises(StunParseError):
+            StunMessage.parse(bytes(data))
+
+    def test_transaction_id_length_enforced(self):
+        with pytest.raises(ValueError):
+            StunMessage(method=1, msg_class=0, transaction_id=b"short")
+
+
+class TestSdp:
+    def test_offer_round_trip(self):
+        offer = make_offer("p1", "10.0.0.2", 6000, ssrc_base=100, send_screen=True)
+        parsed = SessionDescription.parse(offer.serialize())
+        assert len(parsed.media) == 3
+        kinds = [m.kind for m in parsed.media]
+        assert kinds == ["audio", "video", "screen"]
+        assert parsed.media[1].svc_mode == "L1T3"
+        assert parsed.ssrcs() == [100, 101, 102]
+
+    def test_candidate_round_trip(self):
+        candidate = IceCandidate("1", 1, "udp", 2130706431, "10.0.0.2", 6000)
+        assert IceCandidate.from_line(candidate.to_line()) == candidate
+
+    def test_candidate_rewrite_points_to_sfu(self):
+        offer = make_offer("p1", "10.0.0.2", 6000, ssrc_base=100)
+        answer = make_answer(offer, "10.0.0.1", 5000)
+        for section in answer.media:
+            assert len(section.candidates) == 1
+            assert section.candidates[0].ip == "10.0.0.1"
+            assert section.candidates[0].port == 5000
+        # SSRCs are untouched so the data plane can match on them
+        assert answer.ssrcs() == offer.ssrcs()
+
+    def test_parse_malformed_candidate(self):
+        with pytest.raises(SdpParseError):
+            IceCandidate.from_line("a=candidate:garbage")
+
+    def test_audio_only_offer(self):
+        offer = make_offer("p1", "10.0.0.2", 6000, ssrc_base=5, send_video=False)
+        assert [m.kind for m in offer.media] == ["audio"]
+
+
+class TestSignaling:
+    def test_join_message_round_trip(self):
+        offer = make_offer("p1", "10.0.0.2", 6000, ssrc_base=100)
+        message = join_message("m1", "p1", offer)
+        restored = SignalMessage.from_json(message.to_json())
+        assert restored.type == SignalType.JOIN
+        assert restored.meeting_id == "m1"
+        parsed_offer = restored.session_description()
+        assert parsed_offer is not None
+        assert parsed_offer.ssrcs() == [100, 101]
+
+    def test_leave_and_media_event(self):
+        leave = leave_message("m1", "p1")
+        assert leave.type == SignalType.LEAVE
+        started = media_event("m1", "p1", "screen", started=True)
+        stopped = media_event("m1", "p1", "screen", started=False)
+        assert started.type == SignalType.MEDIA_STARTED
+        assert stopped.type == SignalType.MEDIA_STOPPED
+
+    def test_answer_message_carries_sdp(self):
+        offer = make_offer("p1", "10.0.0.2", 6000, ssrc_base=100)
+        answer = make_answer(offer, "10.0.0.1", 5000)
+        message = answer_message("m1", "p1", answer)
+        assert message.session_description() is not None

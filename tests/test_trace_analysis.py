@@ -1,0 +1,182 @@
+"""Unit tests for the trace generators, workload models, and analysis helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    LatencySummary,
+    cdf,
+    interarrival_jitter_ms,
+    mean,
+    median,
+    percentile,
+    rate_series,
+    ratio,
+)
+from repro.rtp.av1 import DecodeTarget
+from repro.trace.packet_trace import CampusPacketTrace, SvcAdaptationTrace
+from repro.trace.workload import infrastructure_requirements, weekly_byte_comparison
+from repro.trace.zoom_api import ZoomApiDataset, ZoomApiDatasetConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return ZoomApiDataset.generate(ZoomApiDatasetConfig(num_meetings=800, seed=7))
+
+
+class TestZoomApiDataset:
+    def test_reproducible(self, dataset):
+        again = ZoomApiDataset.generate(ZoomApiDatasetConfig(num_meetings=800, seed=7))
+        assert [m.max_participants for m in again.meetings] == [m.max_participants for m in dataset.meetings]
+
+    def test_meeting_count_and_horizon(self, dataset):
+        assert len(dataset.meetings) == 800
+        horizon = dataset.config.duration_days * 86_400
+        assert all(0 <= m.start_s <= horizon for m in dataset.meetings)
+        assert all(120 <= m.duration_s <= 240 * 60 for m in dataset.meetings)
+
+    def test_two_party_share_near_sixty_percent(self, dataset):
+        assert dataset.two_party_share() == pytest.approx(0.60, abs=0.06)
+
+    def test_streams_grow_superlinearly_with_participants(self, dataset):
+        summary = dataset.streams_per_meeting_summary()
+        small = [summary[n][1] for n in summary if 2 <= n <= 4]
+        large = [summary[n][1] for n in summary if n >= 15]
+        if small and large:
+            assert max(large) > 5 * max(small)
+
+    def test_streams_respect_quadratic_character(self, dataset):
+        # the SFU stream count per meeting never exceeds 3 * N^2
+        for meeting in dataset.meetings:
+            n = meeting.max_participants
+            assert meeting.streams_at_sfu() <= 3 * n * n
+
+    def test_concurrency_series_consistent(self, dataset):
+        series = dataset.concurrency_series(step_s=3600.0)
+        assert series
+        for _time, meetings, participants in series:
+            assert participants >= meetings or meetings == 0
+
+    def test_diurnal_structure(self, dataset):
+        series = dataset.concurrency_series(step_s=3600.0)
+        by_hour = {}
+        for time_s, meetings, _p in series:
+            hour = int(time_s // 3600) % 24
+            by_hour.setdefault(hour, []).append(meetings)
+        working = mean([mean(v) for h, v in by_hour.items() if 9 <= h <= 16])
+        night = mean([mean(v) for h, v in by_hour.items() if h <= 5])
+        assert working > 2 * night
+
+
+class TestCampusPacketTrace:
+    def test_capture_summary_magnitudes(self, dataset):
+        trace = CampusPacketTrace(dataset)
+        summary = trace.capture_summary(duration_s=12 * 3600.0, start_s=8 * 3600.0)
+        assert summary.zoom_packets > 0
+        assert summary.zoom_bytes > 0
+        assert summary.rtp_media_streams > 0
+        # average Zoom packet size should be in the realistic 300-1300 byte band
+        average_size = summary.zoom_bytes / max(summary.zoom_packets, 1)
+        assert 300 < average_size < 1300
+
+    def test_offered_load_control_fraction(self, dataset):
+        trace = CampusPacketTrace(dataset)
+        series = trace.offered_load_series(0.0, 86_400.0, step_s=3600.0)
+        for _t, media_bps, control_bps in series:
+            if media_bps > 0:
+                assert control_bps == pytest.approx(media_bps * 0.0035, rel=0.01)
+
+    def test_peak_offered_load_positive(self, dataset):
+        trace = CampusPacketTrace(dataset)
+        media, control = trace.peak_offered_load(step_s=3600.0)
+        assert media > control > 0
+
+
+class TestSvcAdaptationTrace:
+    def test_receiver_rate_drops_after_adaptation(self):
+        trace = SvcAdaptationTrace(seed=3)
+        receiver = trace.receiver_series(receiver=17, reduce_at_s=100.0, reduce_to=DecodeTarget.DT1)
+        early = mean([s.rate_kbps for s in receiver.samples[40:90]])
+        late = mean([s.rate_kbps for s in receiver.samples[150:200]])
+        assert late < 0.85 * early
+
+    def test_sender_keeps_all_layers(self):
+        trace = SvcAdaptationTrace(seed=3)
+        sender = trace.sender_series()
+        assert all(set(s.bytes_by_layer) == {0, 1, 2} for s in sender.samples[30:])
+
+    def test_layer_breakdown_consistent(self):
+        trace = SvcAdaptationTrace(seed=3)
+        receiver = trace.receiver_series(receiver=12, reduce_at_s=50.0, reduce_to=DecodeTarget.DT0)
+        last = receiver.samples[-1]
+        assert set(last.bytes_by_layer) == {0}
+        assert last.total_bytes == pytest.approx(sum(last.bytes_by_layer.values()))
+
+
+class TestWorkloadModels:
+    def test_infrastructure_requirements(self, dataset):
+        requirement = infrastructure_requirements(dataset)
+        assert requirement.peak_concurrent_meetings > 0
+        assert requirement.peak_concurrent_participants >= requirement.peak_concurrent_meetings
+        assert requirement.software_servers_needed >= 1
+        assert requirement.scallop_switches_needed == 1
+        assert requirement.scallop_agent_share < requirement.software_nic_share
+
+    def test_weekly_byte_comparison_shape(self, dataset):
+        series = weekly_byte_comparison(dataset, step_s=6 * 3600.0)
+        assert len(series) == 28
+        peak_media = max(s[1] for s in series)
+        peak_control = max(s[2] for s in series)
+        assert peak_media > 100 * peak_control
+
+
+class TestAnalysisMetrics:
+    def test_percentile_and_median(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == pytest.approx(50.5)
+        assert median(values) == pytest.approx(50.5)
+        assert percentile(values, 99) == pytest.approx(99.01, abs=0.1)
+        assert percentile([7.0], 95) == 7.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_latency_summary(self):
+        summary = LatencySummary.from_samples([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert summary.count == 5
+        assert summary.median == 3.0
+        assert summary.maximum == 100.0
+        assert summary.p99 > summary.p95 >= summary.median
+
+    def test_cdf_monotonic(self):
+        points = cdf([5.0, 1.0, 3.0, 2.0, 4.0], points=5)
+        values = [v for v, _f in points]
+        fractions = [f for _v, f in points]
+        assert values == sorted(values)
+        assert fractions[-1] == 1.0
+        assert all(0 < f <= 1 for f in fractions)
+
+    def test_jitter_zero_for_constant_transit(self):
+        arrivals = [0.1 * i + 0.05 for i in range(50)]
+        timestamps = [0.1 * i for i in range(50)]
+        assert interarrival_jitter_ms(arrivals, timestamps) == pytest.approx(0.0, abs=1e-9)
+
+    def test_jitter_positive_for_variable_transit(self):
+        arrivals = [0.1 * i + (0.01 if i % 2 else 0.05) for i in range(50)]
+        timestamps = [0.1 * i for i in range(50)]
+        assert interarrival_jitter_ms(arrivals, timestamps) > 1.0
+
+    def test_rate_series(self):
+        events = [0.1, 0.2, 0.3, 1.1, 1.2]
+        series = rate_series(events, bucket_s=1.0)
+        assert series[0][1] == pytest.approx(3.0)
+        assert series[1][1] == pytest.approx(2.0)
+
+    def test_ratio_handles_zero(self):
+        assert ratio(1.0, 0.0) == math.inf
+        assert ratio(0.0, 0.0) == 0.0
+        assert ratio(4.0, 2.0) == 2.0
