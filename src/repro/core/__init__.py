@@ -24,6 +24,7 @@ from .seqrewrite import (
     SequenceRewriterLowRetransmission,
     SkipCadence,
     ideal_rewrite_map,
+    ideal_rewrite_sequence,
 )
 from .replication import MeetingReplicationState, ParticipantEndpoint, ReplicationManager
 from .switch_agent import AgentCounters, SwitchAgent
@@ -50,6 +51,7 @@ __all__ = [
     "SequenceRewriterLowRetransmission",
     "SkipCadence",
     "ideal_rewrite_map",
+    "ideal_rewrite_sequence",
     "MeetingReplicationState",
     "ParticipantEndpoint",
     "ReplicationManager",

@@ -116,20 +116,47 @@ class ScallopSfu:
 
     def handle_datagram(self, datagram: Datagram) -> None:
         """Entry point for every packet the switch receives."""
-        self.stats.packets_in += 1
-        self.stats.bytes_in += datagram.size
         result = self.pipeline.process(datagram)
-
+        self._account_result(datagram, result)
         for output in result.outputs:
-            self.stats.packets_out += 1
-            self.stats.bytes_out += output.size
-            if len(self.forwarding_latency_samples_ms) < 500_000:
-                self.forwarding_latency_samples_ms.append(result.forwarding_delay_s * 1000.0)
             self.simulator.schedule(result.forwarding_delay_s, lambda d=output: self.network.send(d))
 
+    def handle_datagram_batch(self, datagrams: Sequence[Datagram]) -> None:
+        """Entry point for a packet burst (batch-mode network delivery).
+
+        Runs the whole burst through :meth:`ScallopPipeline.process_batch`
+        (same outputs as per-packet processing, amortized overhead) and ships
+        all resulting replicas onward as one burst after the hardware
+        forwarding delay.
+        """
+        results = self.pipeline.process_batch(datagrams)
+        outputs: List[Datagram] = []
+        forwarding_delay_s = SWITCH_FORWARDING_DELAY_S
+        for datagram, result in zip(datagrams, results):
+            self._account_result(datagram, result)
+            if result.outputs:
+                outputs.extend(result.outputs)
+                forwarding_delay_s = max(forwarding_delay_s, result.forwarding_delay_s)
+        if outputs:
+            self.simulator.schedule(
+                forwarding_delay_s, lambda batch=outputs: self.network.send_burst(batch)
+            )
+
+    def _account_result(self, datagram: Datagram, result) -> None:
+        """Per-packet stats/latency/CPU-copy bookkeeping shared by both the
+        per-packet and batch ingress paths."""
+        stats = self.stats
+        stats.packets_in += 1
+        stats.bytes_in += datagram.size
+        latency_samples = self.forwarding_latency_samples_ms
+        for output in result.outputs:
+            stats.packets_out += 1
+            stats.bytes_out += output.size
+            if len(latency_samples) < 500_000:
+                latency_samples.append(result.forwarding_delay_s * 1000.0)
         for copy in result.cpu_copies:
-            self.stats.packets_to_cpu += 1
-            self.stats.bytes_to_cpu += copy.size
+            stats.packets_to_cpu += 1
+            stats.bytes_to_cpu += copy.size
             self.simulator.schedule(
                 AGENT_PROCESSING_DELAY_S, lambda d=copy: self.agent.handle_cpu_packet(d)
             )

@@ -80,21 +80,36 @@ class _RewriterBase:
         self.packets_suppressed = 0
         self.packets_dropped_for_safety = 0
         self._emitted: set = set()
+        # the most advanced rewritten number emitted so far, in wrap-aware
+        # stream order; anchors the duplicate-guard eviction below
+        self._emit_horizon: Optional[int] = None
         # fractional carry for cadence-based gap attribution
         self._gap_carry = 0.0
 
     # -- helpers -------------------------------------------------------------------
 
     def _emit(self, seq: int) -> Optional[int]:
-        rewritten = (seq - self.offset) % SEQ_MOD
+        return self._register((seq - self.offset) % SEQ_MOD)
+
+    def _register(self, rewritten: int) -> Optional[int]:
+        """Emit an already-rewritten number unless it would be a duplicate."""
         if rewritten in self._emitted:
             # never emit duplicates: drop instead (paper's hard rule)
             self.packets_dropped_for_safety += 1
             return None
         self._emitted.add(rewritten)
+        if self._emit_horizon is None or seq_delta(rewritten, self._emit_horizon) > 0:
+            self._emit_horizon = rewritten
         if len(self._emitted) > 4096:
-            # bounded like hardware state; forget the distant past
-            self._emitted = set(sorted(self._emitted)[-2048:])
+            # Bounded like hardware state; forget the distant past.  "Distant"
+            # is measured as circular distance behind the emission horizon: a
+            # plain numeric sort breaks across the 65535 -> 0 wrap, where it
+            # would keep the stale pre-wrap entries (which then collide with
+            # fresh emissions one lap later) and evict the recent ones.
+            horizon = self._emit_horizon
+            self._emitted = set(
+                sorted(self._emitted, key=lambda s: (horizon - s) % SEQ_MOD)[:2048]
+            )
         self.packets_forwarded += 1
         return rewritten
 
@@ -198,7 +213,14 @@ class SequenceRewriterLowRetransmission(_RewriterBase):
         self.packets_seen += 1
         if not forward:
             self.packets_suppressed += 1
-            self.highest_suppressed_frame = max(self.highest_suppressed_frame or 0, frame_number)
+            # frame numbers are 16-bit like sequence numbers, so "highest"
+            # must be wrap-aware: a plain max() freezes at 65535 after the
+            # frame counter wraps (~18 min at 60 fps) and then misclassifies
+            # every late packet against the stale pre-wrap value
+            if self.highest_suppressed_frame is None or seq_delta(
+                frame_number, self.highest_suppressed_frame
+            ) > 0:
+                self.highest_suppressed_frame = frame_number
 
         if self.highest_seq is None:
             self._start_frame(sequence_number, frame_number)
@@ -236,7 +258,8 @@ class SequenceRewriterLowRetransmission(_RewriterBase):
             if not forward:
                 self._current_frame_suppressed = True
             self.highest_seq = sequence_number
-            self.highest_frame = max(self.highest_frame or 0, frame_number)
+            if self.highest_frame is None or seq_delta(frame_number, self.highest_frame) > 0:
+                self.highest_frame = frame_number
             if not forward:
                 self.offset += 1
                 return None
@@ -248,15 +271,11 @@ class SequenceRewriterLowRetransmission(_RewriterBase):
         if frame_number == self.frame_number_current or frame_number in self._frame_offsets:
             # we still know the offset that applied when this frame started
             offset = self._frame_offsets.get(frame_number, self.offset)
-            rewritten = (sequence_number - offset) % SEQ_MOD
-            if rewritten in self._emitted:
-                self.packets_dropped_for_safety += 1
-                return None
-            self._emitted.add(rewritten)
-            self.packets_forwarded += 1
-            return rewritten
-        if self.highest_suppressed_frame is not None and frame_number <= self.highest_suppressed_frame:
-            # late packet of a frame we know we suppressed: drop silently
+            return self._register((sequence_number - offset) % SEQ_MOD)
+        if self.highest_suppressed_frame is not None and seq_delta(
+            frame_number, self.highest_suppressed_frame
+        ) <= 0:
+            # late packet of a frame that may have been suppressed: drop silently
             return None
         if delta >= -2:
             return self._emit(sequence_number)
@@ -275,11 +294,12 @@ class SequenceRewriterLowRetransmission(_RewriterBase):
         """
         if self.frame_number_current is None:
             return self._cadence_guess(missing)
-        skipped_frames = max(0, (new_frame_number - self.frame_number_current - 1) & 0xFFFF)
-        if skipped_frames > 1_000:
-            # an implausible jump (e.g. wildly reordered frame number): treat
-            # the whole gap as loss rather than guessing
+        frame_advance = seq_delta(new_frame_number, self.frame_number_current)
+        if frame_advance <= 0 or frame_advance - 1 > 1_000:
+            # an implausible jump (backwards, reordered, or a gap behind an
+            # already-ended frame): treat the whole gap as loss, not a guess
             return 0
+        skipped_frames = frame_advance - 1
         per_frame = max(1, round(self._packets_per_frame_estimate))
         suppressed_frames = min(skipped_frames, math.ceil(skipped_frames * self.cadence.ratio))
         attribution = suppressed_frames * per_frame
@@ -302,7 +322,11 @@ class SequenceRewriterLowRetransmission(_RewriterBase):
         self.frame_ended = False
         self._frame_offsets[frame_number] = self.offset
         if len(self._frame_offsets) > 8:
-            for old in sorted(self._frame_offsets)[:-8]:
+            # keep the 8 most recent frames in wrap-aware order; a numeric
+            # sort would evict the fresh post-wrap (low-numbered) frames
+            for old in sorted(
+                self._frame_offsets, key=lambda f: (frame_number - f) % SEQ_MOD
+            )[8:]:
                 del self._frame_offsets[old]
 
     def mark_frame_ended(self) -> None:
@@ -314,10 +338,10 @@ class SequenceRewriterLowRetransmission(_RewriterBase):
         return self.STATE_CELLS
 
 
-def ideal_rewrite_map(
+def ideal_rewrite_sequence(
     events: Sequence[Tuple[int, bool, bool]],
-) -> Dict[int, Optional[int]]:
-    """The oracle: ideal rewritten sequence number for every original packet.
+) -> List[Optional[int]]:
+    """Positional oracle: the ideal rewritten number for every event in order.
 
     ``events`` is the ground-truth per-packet history in original sequence
     order: ``(sequence_number, suppressed_by_sfu, lost_before_sfu)``.  The
@@ -325,15 +349,29 @@ def ideal_rewrite_map(
     space — lost packets keep their (rewritten) slot so the receiver NACKs
     them, which is the legitimate behaviour.
 
-    Returns a map from original sequence number to the ideal rewritten number,
-    or ``None`` for packets the receiver should never see (suppressed).
+    Unlike :func:`ideal_rewrite_map` this handles streams longer than one
+    sequence wrap (> 65536 packets), where raw sequence numbers repeat and can
+    no longer serve as dictionary keys.
     """
-    mapping: Dict[int, Optional[int]] = {}
+    ideal: List[Optional[int]] = []
     suppressed_so_far = 0
     for sequence_number, suppressed, _lost in events:
         if suppressed:
-            mapping[sequence_number] = None
+            ideal.append(None)
             suppressed_so_far += 1
         else:
-            mapping[sequence_number] = (sequence_number - suppressed_so_far) % SEQ_MOD
-    return mapping
+            ideal.append((sequence_number - suppressed_so_far) % SEQ_MOD)
+    return ideal
+
+
+def ideal_rewrite_map(
+    events: Sequence[Tuple[int, bool, bool]],
+) -> Dict[int, Optional[int]]:
+    """The oracle keyed by original sequence number (streams up to one wrap).
+
+    Returns a map from original sequence number to the ideal rewritten number,
+    or ``None`` for packets the receiver should never see (suppressed).  For
+    wrap-spanning histories use :func:`ideal_rewrite_sequence`.
+    """
+    ideal = ideal_rewrite_sequence(events)
+    return {event[0]: rewritten for event, rewritten in zip(events, ideal)}

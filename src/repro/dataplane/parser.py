@@ -74,6 +74,9 @@ class ParseResult:
 class IngressParser:
     """The bounded-capability parser at the front of the ingress pipeline."""
 
+    #: Bound on the memoized-parse cache used by the batch fast path.
+    PARSE_CACHE_LIMIT = 8192
+
     def __init__(
         self,
         max_extension_elements: int = MAX_EXTENSION_ELEMENTS,
@@ -83,6 +86,8 @@ class IngressParser:
         self.max_dd_bytes = max_dd_bytes
         self.packets_parsed = 0
         self.cpu_punts = 0
+        self._rtp_parse_cache: dict = {}
+        self.parse_cache_hits = 0
 
     def parse(self, datagram: Datagram) -> ParseResult:
         """Classify a datagram and extract the fields the pipeline matches on."""
@@ -95,6 +100,37 @@ class IngressParser:
         if datagram.kind == PayloadKind.RTP and isinstance(datagram.payload, RtpPacket):
             return self._parse_rtp(datagram.payload)
         return ParseResult(packet_class=PacketClass.UNKNOWN, needs_cpu=True)
+
+    def parse_rtp_cached(self, packet: RtpPacket) -> ParseResult:
+        """Memoized RTP parse used by the batch fast path.
+
+        The parse outcome is fully determined by the payload type, the SSRC,
+        and the raw header-extension bytes, so packets of the same stream
+        whose extension block repeats (every non-boundary packet of a frame,
+        and RTX copies) reuse the frozen :class:`ParseResult` instead of
+        walking the extension elements again.  Punt/parse counters advance
+        exactly as on the uncached path so the accounting stays identical.
+        """
+        extension = packet.extension
+        if extension is None:
+            key = (packet.ssrc, packet.payload_type)
+        else:
+            # flatten to (profile, bytes): bytes cache their hash, the frozen
+            # dataclass recomputes it on every lookup
+            key = (packet.ssrc, packet.payload_type, extension.profile, extension.data)
+        cached = self._rtp_parse_cache.get(key)
+        if cached is not None:
+            self.packets_parsed += 1
+            if cached.needs_cpu:
+                self.cpu_punts += 1
+            self.parse_cache_hits += 1
+            return cached
+        result = self._parse_rtp(packet)
+        self.packets_parsed += 1
+        if len(self._rtp_parse_cache) >= self.PARSE_CACHE_LIMIT:
+            self._rtp_parse_cache.clear()
+        self._rtp_parse_cache[key] = result
+        return result
 
     # -- RTP -----------------------------------------------------------------------
 

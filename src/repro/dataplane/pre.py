@@ -80,6 +80,9 @@ class PacketReplicationEngine:
         self._next_mgid = 1
         self.replications_performed = 0
         self.copies_produced = 0
+        #: Monotonic generation counter bumped on every tree/node mutation so
+        #: forwarding caches built on replication results can detect staleness.
+        self.generation = 0
 
     # ------------------------------------------------------------------ control API
 
@@ -89,6 +92,7 @@ class PacketReplicationEngine:
         mgid = self._next_mgid
         self._next_mgid += 1
         self._trees[mgid] = MulticastTree(mgid=mgid)
+        self.generation += 1
         return mgid
 
     def destroy_tree(self, mgid: int) -> None:
@@ -96,6 +100,7 @@ class PacketReplicationEngine:
         tree = self._trees.pop(mgid, None)
         if tree is None:
             return
+        self.generation += 1
         self.accountant.release_tree(l1_nodes=len(tree.nodes))
         # the tree slot itself was accounted with 0 nodes at creation; node
         # counts were added per add_node call, so balance them out here
@@ -134,11 +139,13 @@ class PacketReplicationEngine:
             prune_enabled=prune_enabled,
         )
         self.accountant.l1_nodes_allocated += 1
+        self.generation += 1
         return node_id
 
     def remove_node(self, mgid: int, node_id: int) -> None:
         tree = self._require_tree(mgid)
         if tree.nodes.pop(node_id, None) is not None:
+            self.generation += 1
             self.accountant.l1_nodes_allocated = max(0, self.accountant.l1_nodes_allocated - 1)
 
     def tree(self, mgid: int) -> MulticastTree:

@@ -31,15 +31,20 @@ class ExactMatchTable(Generic[K, V]):
         self._entries: Dict[K, V] = {}
         self.lookups = 0
         self.hits = 0
+        #: Monotonic write-generation counter; bumped on every install/remove
+        #: so data-plane caches keyed on table contents can detect staleness.
+        self.version = 0
 
     def install(self, key: K, value: V) -> None:
         """Install or overwrite an entry (control-plane operation)."""
         if key not in self._entries and len(self._entries) >= self.max_entries:
             raise TableFull(f"table {self.name} is full ({self.max_entries} entries)")
         self._entries[key] = value
+        self.version += 1
 
     def remove(self, key: K) -> None:
-        self._entries.pop(key, None)
+        if self._entries.pop(key, None) is not None:
+            self.version += 1
 
     def lookup(self, key: K) -> Optional[V]:
         """Data-plane lookup; returns None on a table miss."""

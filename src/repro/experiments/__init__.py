@@ -13,6 +13,13 @@
 """
 
 from .runner import MeetingSetupConfig, Testbed, add_participant, build_scallop_testbed, build_software_testbed
+from .batch_throughput import (
+    BatchThroughputPoint,
+    build_meeting_pipeline,
+    format_batch_sweep,
+    media_ingress,
+    run_batch_throughput_sweep,
+)
 from .table_packets import PacketAccountingResult, format_table, run_packet_accounting
 from .table_resources import ResourceReport, format_report, run_resource_report
 from .fig_latency import LatencyComparisonResult, format_comparison, run_latency_comparison
@@ -57,6 +64,11 @@ __all__ = [
     "add_participant",
     "build_scallop_testbed",
     "build_software_testbed",
+    "BatchThroughputPoint",
+    "build_meeting_pipeline",
+    "format_batch_sweep",
+    "media_ingress",
+    "run_batch_throughput_sweep",
     "PacketAccountingResult",
     "format_table",
     "run_packet_accounting",

@@ -1,0 +1,159 @@
+"""Batched vs. per-packet data-plane throughput across concurrent meetings.
+
+The batch fast path (:meth:`~repro.dataplane.pipeline.ScallopPipeline.process_batch`)
+exists because per-packet operations on independent streams commute: a burst
+can be processed as a batch with byte-identical outputs while the Python-level
+overhead (parsing, table lookup chains, per-replica dict copies) is amortized.
+This module quantifies that claim: it configures N concurrent meetings on one
+pipeline, replays identical AV1 ingress through both paths, and reports
+packets/second for each.
+
+Timing hygiene: the replica datagrams allocated per run are enough to trigger
+generational GC pauses mid-measurement, so collection is deferred while the
+clock runs and both paths take the best of ``repeats`` passes.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..dataplane.pipeline import (
+    ForwardingMode,
+    ReplicaTarget,
+    ScallopPipeline,
+    StreamForwardingEntry,
+)
+from ..dataplane.pre import L2Port
+from ..netsim.datagram import Address, Datagram
+from ..webrtc.encoder import RtpPacketizer, SvcEncoder
+
+SFU_ADDRESS = Address("10.0.0.1", 5000)
+
+
+@dataclass(frozen=True)
+class BatchThroughputPoint:
+    """One sweep point: N meetings, throughput of both processing paths."""
+
+    num_meetings: int
+    num_packets: int
+    per_packet_pps: float
+    batched_pps: float
+
+    @property
+    def speedup(self) -> float:
+        return self.batched_pps / self.per_packet_pps
+
+
+def build_meeting_pipeline(
+    num_meetings: int, participants: int = 8
+) -> Tuple[ScallopPipeline, List[Tuple[Address, int]]]:
+    """A pipeline with ``num_meetings`` replicated meetings, one active video
+    sender each (the campus trace's typical meeting shape); returns the
+    pipeline and the (sender address, ssrc) pairs."""
+    pipeline = ScallopPipeline(SFU_ADDRESS)
+    senders: List[Tuple[Address, int]] = []
+    for meeting in range(num_meetings):
+        mgid = pipeline.pre.create_tree()
+        addresses = [
+            Address(f"10.{1 + meeting // 200}.{meeting % 200}.{index + 2}", 6000 + index)
+            for index in range(participants)
+        ]
+        for rid, address in enumerate(addresses, start=1):
+            pipeline.pre.add_node(
+                mgid, rid=rid, ports=[L2Port(port=rid, l2_xid=rid)], l1_xid=1, prune_enabled=True
+            )
+            pipeline.install_replica_target(
+                mgid, rid, ReplicaTarget(address=address, participant_id=f"m{meeting}-p{rid}")
+            )
+        ssrc = 10_000 + meeting
+        pipeline.install_stream(
+            (addresses[0], ssrc),
+            StreamForwardingEntry(
+                mode=ForwardingMode.REPLICATE,
+                meeting_id=f"meeting-{meeting}",
+                sender=addresses[0],
+                mgid=mgid,
+                rid=1,
+                l2_xid=1,
+            ),
+        )
+        senders.append((addresses[0], ssrc))
+    return pipeline, senders
+
+
+def media_ingress(senders: Sequence[Tuple[Address, int]], frames: int = 12) -> List[Datagram]:
+    """AV1 L1T3 ingress: every sender contributes ``frames`` encoded frames."""
+    traffic: List[Datagram] = []
+    for address, ssrc in senders:
+        encoder = SvcEncoder(target_bitrate_bps=2_200_000, seed=ssrc)
+        packetizer = RtpPacketizer(ssrc=ssrc, seed=ssrc)
+        for index in range(frames):
+            for packet in packetizer.packetize(encoder.next_frame(index / 30)):
+                traffic.append(Datagram(src=address, dst=SFU_ADDRESS, payload=packet))
+    return traffic
+
+
+def measure_point(
+    num_meetings: int,
+    participants: int = 8,
+    frames: int = 12,
+    repeats: int = 3,
+) -> BatchThroughputPoint:
+    """Measure one sweep point, best-of-``repeats`` per path with GC deferred."""
+    best_per_packet = float("inf")
+    best_batched = float("inf")
+    num_packets = 0
+    for _ in range(repeats):
+        reference, senders = build_meeting_pipeline(num_meetings, participants)
+        batched, _ = build_meeting_pipeline(num_meetings, participants)
+        traffic = media_ingress(senders, frames)
+        num_packets = len(traffic)
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            for datagram in traffic:
+                reference.process(datagram)
+            best_per_packet = min(best_per_packet, time.perf_counter() - start)
+
+            start = time.perf_counter()
+            batched.process_batch(traffic)
+            best_batched = min(best_batched, time.perf_counter() - start)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    return BatchThroughputPoint(
+        num_meetings=num_meetings,
+        num_packets=num_packets,
+        per_packet_pps=num_packets / best_per_packet,
+        batched_pps=num_packets / best_batched,
+    )
+
+
+def run_batch_throughput_sweep(
+    meeting_counts: Sequence[int] = (1, 5, 10, 25, 50),
+    participants: int = 8,
+    frames: int = 12,
+    repeats: int = 3,
+) -> List[BatchThroughputPoint]:
+    """Sweep the meeting count and measure both paths at every point."""
+    return [
+        measure_point(count, participants=participants, frames=frames, repeats=repeats)
+        for count in meeting_counts
+    ]
+
+
+def format_batch_sweep(points: Sequence[BatchThroughputPoint]) -> str:
+    lines = [
+        f"{'meetings':>9} {'packets':>9} {'per-packet pps':>15} {'batched pps':>13} {'speedup':>8}"
+    ]
+    for point in points:
+        lines.append(
+            f"{point.num_meetings:>9} {point.num_packets:>9} {point.per_packet_pps:>15,.0f} "
+            f"{point.batched_pps:>13,.0f} {point.speedup:>7.2f}x"
+        )
+    return "\n".join(lines)

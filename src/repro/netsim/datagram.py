@@ -96,6 +96,27 @@ class Datagram:
         """Bytes on the wire, including Ethernet/IP/UDP overhead."""
         return self.size + NETWORK_OVERHEAD_BYTES
 
+    @classmethod
+    def from_fields(cls, fields: dict) -> "Datagram":
+        """Mint an instance directly from a prepared field dict.
+
+        Fast-path constructor for the SFU's replica fan-out: bypasses the
+        frozen-dataclass ``__init__`` (seven guarded ``object.__setattr__``
+        calls) and the size/kind derivation in ``__post_init__``.  ``fields``
+        becomes the instance ``__dict__`` and must therefore contain exactly
+        this dataclass's fields, already validated/derived.
+        """
+        # O(1) guard: a field added to the dataclass but not to the caller's
+        # template shows up as a length mismatch here instead of as a distant
+        # AttributeError (a full key comparison would dominate the fan-out)
+        if len(fields) != len(cls.__dataclass_fields__):
+            raise TypeError(
+                f"from_fields requires exactly the {cls.__name__} fields, got {sorted(fields)}"
+            )
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "__dict__", fields)
+        return instance
+
     def redirect(self, src: Address, dst: Address) -> "Datagram":
         """Return a copy with rewritten addresses (what the SFU egress does)."""
         return replace(self, src=src, dst=dst)

@@ -13,14 +13,20 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional, Protocol, Tuple
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from .datagram import Address, Datagram
 from .simulator import Simulator
 
 
 class Endpoint(Protocol):
-    """Anything that can receive datagrams from the network."""
+    """Anything that can receive datagrams from the network.
+
+    Endpoints may optionally also define ``handle_datagram_batch(datagrams)``;
+    the network then hands them whole bursts (see :meth:`Network.send_burst`)
+    so batch-capable receivers such as the Scallop SFU can amortize per-packet
+    work through their batch APIs.
+    """
 
     address: Address
 
@@ -80,10 +86,12 @@ class Link:
         deliver: Callable[[Datagram], None],
         rng: Optional[random.Random] = None,
         name: str = "link",
+        deliver_batch: Optional[Callable[[List[Datagram]], None]] = None,
     ) -> None:
         self.simulator = simulator
         self.profile = profile
         self.deliver = deliver
+        self.deliver_batch = deliver_batch
         self.rng = rng or random.Random(0)
         self.name = name
         self._busy_until = 0.0
@@ -97,19 +105,57 @@ class Link:
 
     def send(self, datagram: Datagram) -> bool:
         """Enqueue a datagram; returns False if it was dropped."""
+        delay = self._admit(datagram)
+        if delay is None:
+            return False
+        self.simulator.schedule(delay, lambda d=datagram: self.deliver(d))
+        return True
+
+    def send_burst(self, datagrams: Sequence[Datagram]) -> int:
+        """Enqueue a burst; returns how many datagrams were accepted.
+
+        Every datagram passes through exactly the same loss, queue-limit, and
+        delay arithmetic as :meth:`send`, but the accepted packets ride a
+        single simulator event: the burst is delivered in order when its last
+        bit has arrived (the arrival time of the slowest accepted packet).
+        This is the approximation that lets a downstream batch receiver see
+        the whole burst at once; per-packet mode remains the reference
+        behaviour and is what :meth:`send` provides.
+        """
+        accepted: List[Datagram] = []
+        burst_delay = 0.0
+        for datagram in datagrams:
+            delay = self._admit(datagram)
+            if delay is None:
+                continue
+            accepted.append(datagram)
+            if delay > burst_delay:
+                burst_delay = delay
+        if accepted:
+            if self.deliver_batch is not None:
+                self.simulator.schedule(burst_delay, lambda batch=accepted: self.deliver_batch(batch))
+            else:
+                self.simulator.schedule_batch(
+                    burst_delay, [lambda d=datagram: self.deliver(d) for datagram in accepted]
+                )
+        return len(accepted)
+
+    def _admit(self, datagram: Datagram) -> Optional[float]:
+        """Run one datagram through the link model; returns its delivery
+        delay, or ``None`` if it was dropped (loss or queue overflow)."""
         profile = self.profile
         now = self.simulator.now
 
         if profile.loss_rate > 0 and self.rng.random() < profile.loss_rate:
             self.packets_dropped += 1
-            return False
+            return None
 
         serialization = datagram.wire_size * 8.0 / profile.bandwidth_bps
         queue_delay = max(0.0, self._busy_until - now)
         queued_bytes = queue_delay * profile.bandwidth_bps / 8.0
         if queued_bytes + datagram.wire_size > profile.queue_limit_bytes:
             self.packets_dropped += 1
-            return False
+            return None
 
         self._busy_until = max(self._busy_until, now) + serialization
         delay = queue_delay + serialization + profile.propagation_delay_s
@@ -120,8 +166,7 @@ class Link:
 
         self.packets_sent += 1
         self.bytes_sent += datagram.wire_size
-        self.simulator.schedule(delay, lambda d=datagram: self.deliver(d))
-        return True
+        return delay
 
     @property
     def queue_delay(self) -> float:
@@ -166,6 +211,7 @@ class Network:
             self._make_core_hop(address),
             rng=random.Random(self._rng.getrandbits(32)),
             name=f"up:{address}",
+            deliver_batch=self._core_hop_burst,
         )
         self._downlinks[address] = Link(
             self.simulator,
@@ -173,6 +219,7 @@ class Network:
             self._make_delivery(address),
             rng=random.Random(self._rng.getrandbits(32)),
             name=f"down:{address}",
+            deliver_batch=self._make_delivery_burst(address),
         )
 
     def detach(self, address: Address) -> None:
@@ -207,6 +254,30 @@ class Network:
         stamped = replace_sent_at(datagram, self.simulator.now)
         return uplink.send(stamped)
 
+    def send_burst(self, datagrams: Sequence[Datagram]) -> int:
+        """Send a burst of datagrams (e.g. one video frame) as a unit.
+
+        Bursts traverse the same links and arithmetic as :meth:`send` but
+        stay coalesced hop by hop, so an endpoint that implements
+        ``handle_datagram_batch`` (the Scallop SFU) receives them together
+        and can run its batch pipeline.  Datagrams may come from multiple
+        sources; each source's packets use that source's uplink.
+        Returns how many datagrams were accepted by their uplinks.
+        """
+        accepted = 0
+        now = self.simulator.now
+        by_src: Dict[Address, List[Datagram]] = {}
+        for datagram in datagrams:
+            by_src.setdefault(datagram.src, []).append(replace_sent_at(datagram, now))
+        # validate every source before transmitting anything, so a burst with
+        # a detached sender fails atomically instead of half-sent
+        for src in by_src:
+            if src not in self._uplinks:
+                raise KeyError(f"source not attached: {src}")
+        for src, group in by_src.items():
+            accepted += self._uplinks[src].send_burst(group)
+        return accepted
+
     def _make_core_hop(self, src: Address) -> Callable[[Datagram], None]:
         def hop(datagram: Datagram) -> None:
             downlink = self._downlinks.get(datagram.dst)
@@ -215,6 +286,17 @@ class Network:
             downlink.send(datagram)
 
         return hop
+
+    def _core_hop_burst(self, datagrams: List[Datagram]) -> None:
+        """Core hop for bursts: route each destination's share as a burst."""
+        by_dst: Dict[Address, List[Datagram]] = {}
+        for datagram in datagrams:
+            by_dst.setdefault(datagram.dst, []).append(datagram)
+        for dst, group in by_dst.items():
+            downlink = self._downlinks.get(dst)
+            if downlink is None:
+                continue  # destination left the meeting; drop silently
+            downlink.send_burst(group)
 
     def _make_delivery(self, dst: Address) -> Callable[[Datagram], None]:
         def deliver(datagram: Datagram) -> None:
@@ -225,6 +307,21 @@ class Network:
             endpoint.handle_datagram(datagram)
 
         return deliver
+
+    def _make_delivery_burst(self, dst: Address) -> Callable[[List[Datagram]], None]:
+        def deliver_burst(datagrams: List[Datagram]) -> None:
+            endpoint = self._endpoints.get(dst)
+            if endpoint is None:
+                return
+            self.datagrams_delivered += len(datagrams)
+            batch_handler = getattr(endpoint, "handle_datagram_batch", None)
+            if batch_handler is not None:
+                batch_handler(datagrams)
+                return
+            for datagram in datagrams:
+                endpoint.handle_datagram(datagram)
+
+        return deliver_burst
 
 
 def replace_sent_at(datagram: Datagram, time: float) -> Datagram:

@@ -63,6 +63,11 @@ class ClientConfig:
     video_bitrate_bps: float = 2_200_000.0
     frame_rate: float = 30.0
     seed: int = 0
+    #: Send each video frame's packets as one network burst instead of
+    #: back-to-back individual sends.  Bursts stay coalesced across the
+    #: simulated network, so a batch-capable SFU processes the frame through
+    #: its batch pipeline (see :meth:`repro.netsim.link.Network.send_burst`).
+    send_frames_as_bursts: bool = False
 
 
 class WebRtcClient:
@@ -166,9 +171,14 @@ class WebRtcClient:
         now = self.simulator.now
         frame = self.encoder.next_frame(now)
         packets = self.packetizer.packetize(frame)
-        for packet in packets:
-            self._remember_for_rtx(packet)
-            self._send_rtp(packet)
+        if self.config.send_frames_as_bursts:
+            for packet in packets:
+                self._remember_for_rtx(packet)
+            self._send_rtp_burst(packets)
+        else:
+            for packet in packets:
+                self._remember_for_rtx(packet)
+                self._send_rtp(packet)
         self.video_frames_sent += 1
         self._account_sent_frame(now)
         self.simulator.schedule(self.encoder.frame_interval, self._video_tick)
@@ -192,7 +202,7 @@ class WebRtcClient:
         while len(self._rtx_history) > RTX_HISTORY_SIZE:
             self._rtx_history.popitem(last=False)
 
-    def _send_rtp(self, packet: RtpPacket) -> None:
+    def _make_rtp_datagram(self, packet: RtpPacket) -> Datagram:
         datagram = Datagram(
             src=self.address,
             dst=self.remote,
@@ -201,7 +211,15 @@ class WebRtcClient:
         )
         self.packets_sent += 1
         self.bytes_sent += datagram.size
-        self.network.send(datagram)
+        return datagram
+
+    def _send_rtp(self, packet: RtpPacket) -> None:
+        self.network.send(self._make_rtp_datagram(packet))
+
+    def _send_rtp_burst(self, packets: List[RtpPacket]) -> None:
+        if not packets:
+            return
+        self.network.send_burst([self._make_rtp_datagram(packet) for packet in packets])
 
     def _send_rtcp(self, packets: List[RtcpPacket]) -> None:
         if not packets:

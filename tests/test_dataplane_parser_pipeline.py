@@ -11,7 +11,11 @@ from repro.dataplane.pipeline import (
     StreamForwardingEntry,
 )
 from repro.dataplane.pre import L2Port
-from repro.core.seqrewrite import SequenceRewriterLowMemory, SkipCadence
+from repro.core.seqrewrite import (
+    SequenceRewriterLowMemory,
+    SequenceRewriterLowRetransmission,
+    SkipCadence,
+)
 from repro.netsim.datagram import Address, Datagram
 from repro.rtp.av1 import extract_dependency_descriptor
 from repro.rtp.rtcp import Nack, PictureLossIndication, ReceiverReport, Remb, ReportBlock, SenderReport, SourceDescription
@@ -197,6 +201,85 @@ class TestPipelineAdaptation:
         in_use_before = pipeline.stream_indices.in_use
         pipeline.remove_adaptation(ALICE_VIDEO_SSRC, BOB)
         assert pipeline.stream_indices.in_use == in_use_before - 1
+
+
+class TestStreamStateAccounting:
+    """Stream-tracker occupancy must reflect the rewriter's real register
+    footprint (Table 3): 3 cells for S-LM, 6 for S-LR, released on removal."""
+
+    def test_install_charges_real_state_cells(self):
+        pipeline, _ = build_pipeline_with_meeting()
+        assert pipeline.accountant.stream_tracker_cells_used == 0
+        pipeline.install_adaptation(
+            ALICE_VIDEO_SSRC, BOB, frozenset({0, 1}), SequenceRewriterLowMemory(SkipCadence(1, 2))
+        )
+        assert pipeline.accountant.stream_tracker_cells_used == 3
+        pipeline.install_adaptation(
+            ALICE_VIDEO_SSRC, CAROL, frozenset({0, 1}), SequenceRewriterLowRetransmission(SkipCadence(1, 2))
+        )
+        assert pipeline.accountant.stream_tracker_cells_used == 3 + 6
+
+    def test_remove_releases_state_cells(self):
+        pipeline, _ = build_pipeline_with_meeting()
+        pipeline.install_adaptation(
+            ALICE_VIDEO_SSRC, BOB, frozenset({0, 1}), SequenceRewriterLowRetransmission(SkipCadence(1, 2))
+        )
+        pipeline.remove_adaptation(ALICE_VIDEO_SSRC, BOB)
+        assert pipeline.accountant.stream_tracker_cells_used == 0
+
+    def test_reinstall_swaps_charge_without_leaking(self):
+        pipeline, _ = build_pipeline_with_meeting()
+        pipeline.install_adaptation(
+            ALICE_VIDEO_SSRC, BOB, frozenset({0, 1}), SequenceRewriterLowMemory(SkipCadence(1, 2))
+        )
+        pipeline.install_adaptation(
+            ALICE_VIDEO_SSRC, BOB, frozenset({0}), SequenceRewriterLowRetransmission(SkipCadence(3, 4))
+        )
+        assert pipeline.accountant.stream_tracker_cells_used == 6
+
+    def test_same_size_swap_succeeds_at_full_occupancy(self):
+        from repro.dataplane.resources import TofinoCapacities
+
+        # at exactly S-LR capacity a 6-for-6 rewriter swap must not need
+        # old+new cells transiently
+        pipeline = ScallopPipeline(SFU, capacities=TofinoCapacities(stream_tracker_cells=6))
+        pipeline.install_adaptation(
+            ALICE_VIDEO_SSRC, BOB, frozenset({0, 1}), SequenceRewriterLowRetransmission(SkipCadence(1, 2))
+        )
+        pipeline.install_adaptation(
+            ALICE_VIDEO_SSRC, BOB, frozenset({0}), SequenceRewriterLowRetransmission(SkipCadence(3, 4))
+        )
+        assert pipeline.accountant.stream_tracker_cells_used == 6
+        # shrinking swap frees the difference
+        pipeline.install_adaptation(
+            ALICE_VIDEO_SSRC, BOB, frozenset({0}), SequenceRewriterLowMemory(SkipCadence(1, 2))
+        )
+        assert pipeline.accountant.stream_tracker_cells_used == 3
+
+    def test_failed_install_does_not_leak_charge(self):
+        from repro.dataplane.tables import IndexAllocator, TableFull
+
+        # exhaust the index pool so allocation fails *after* the accountant
+        # charge: repeated failures must not accumulate phantom occupancy
+        pipeline, _ = build_pipeline_with_meeting()
+        pipeline.stream_indices = IndexAllocator(0)
+        for _ in range(5):
+            with pytest.raises(TableFull):
+                pipeline.install_adaptation(
+                    ALICE_VIDEO_SSRC, CAROL, frozenset({0}), SequenceRewriterLowMemory(SkipCadence(1, 2))
+                )
+        assert pipeline.accountant.stream_tracker_cells_used == 0
+        assert pipeline.stream_indices.lookup((ALICE_VIDEO_SSRC, CAROL)) is None
+
+    def test_install_remove_churn_is_stable(self):
+        pipeline, _ = build_pipeline_with_meeting()
+        for _ in range(100):
+            pipeline.install_adaptation(
+                ALICE_VIDEO_SSRC, BOB, frozenset({0, 1}), SequenceRewriterLowRetransmission(SkipCadence(1, 2))
+            )
+            pipeline.remove_adaptation(ALICE_VIDEO_SSRC, BOB)
+        assert pipeline.accountant.stream_tracker_cells_used == 0
+        assert pipeline.stream_indices.in_use == 0
 
 
 class TestPipelineFeedbackPath:

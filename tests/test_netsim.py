@@ -59,6 +59,26 @@ class TestSimulator:
         with pytest.raises(SimulationError):
             sim.schedule(-1.0, lambda: None)
 
+    def test_fp_drift_negative_delay_clamped(self):
+        # periodic processes computing absolute deadlines accumulate ULP-scale
+        # error; schedule_at must tolerate an infinitesimally negative delta
+        sim = Simulator()
+        sim.run(until=0.1 + 0.1 + 0.1)  # 0.30000000000000004
+        fired = []
+        sim.schedule_at(0.3, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [sim.now]
+        with pytest.raises(SimulationError):
+            sim.schedule_at(sim.now - 1.0, lambda: None)
+
+    def test_schedule_batch_runs_fifo_at_one_time(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_batch(0.2, [lambda: order.append(("a", sim.now)), lambda: order.append(("b", sim.now))])
+        sim.schedule(0.1, lambda: order.append(("early", sim.now)))
+        sim.run()
+        assert order == [("early", 0.1), ("a", 0.2), ("b", 0.2)]
+
     def test_events_scheduled_during_run(self):
         sim = Simulator()
         seen = []
@@ -156,6 +176,137 @@ class TestLink:
             LinkProfile(bandwidth_bps=0)
         with pytest.raises(ValueError):
             LinkProfile(loss_rate=1.5)
+
+
+class _BatchSink:
+    def __init__(self, address):
+        self.address = address
+        self.received = []
+        self.batches = []
+
+    def handle_datagram(self, datagram):
+        self.received.append(datagram)
+
+    def handle_datagram_batch(self, datagrams):
+        self.batches.append(list(datagrams))
+        self.received.extend(datagrams)
+
+
+class TestLinkBursts:
+    def test_burst_applies_same_admission_math_as_send(self):
+        profile = LinkProfile(bandwidth_bps=1e6, propagation_delay_s=0.001)
+        burst = [Datagram(src=A, dst=B, payload=video_packet(seq)) for seq in range(5)]
+
+        sim_a, got_a = Simulator(), []
+        reference = Link(sim_a, profile, got_a.append)
+        for datagram in burst:
+            reference.send(datagram)
+        sim_a.run()
+
+        sim_b, got_b = Simulator(), []
+        link = Link(sim_b, profile, got_b.append)
+        assert link.send_burst(burst) == 5
+        sim_b.run()
+
+        # same packets in order, same total counters, and the burst arrives
+        # when its last bit would have (the per-packet path's final delivery)
+        assert [d.payload.sequence_number for d in got_b] == [d.payload.sequence_number for d in got_a]
+        assert (link.packets_sent, link.bytes_sent) == (reference.packets_sent, reference.bytes_sent)
+        assert sim_b.now == pytest.approx(sim_a.now)
+
+    def test_burst_respects_loss_and_queue_limit(self):
+        sim = Simulator()
+        got = []
+        link = Link(sim, LinkProfile(loss_rate=1.0), got.append)
+        assert link.send_burst([Datagram(src=A, dst=B, payload=video_packet())]) == 0
+        assert link.packets_dropped == 1
+
+        sim = Simulator()
+        link = Link(sim, LinkProfile(bandwidth_bps=1e6, queue_limit_bytes=500), got.append)
+        accepted = link.send_burst([Datagram(src=A, dst=B, payload=video_packet(i)) for i in range(20)])
+        assert 0 < accepted < 20
+        assert link.packets_dropped == 20 - accepted
+
+    def test_burst_coalesced_into_one_simulator_event(self):
+        sim = Simulator()
+        got = []
+        link = Link(sim, DEFAULT_ACCESS_PROFILE, got.append)
+        link.send_burst([Datagram(src=A, dst=B, payload=video_packet(seq)) for seq in range(10)])
+        sim.run()
+        assert len(got) == 10
+        assert sim.events_processed == 1
+
+
+class TestNetworkBursts:
+    def test_batch_endpoint_receives_whole_burst(self):
+        sim = Simulator()
+        net = Network(sim, seed=1)
+        sender, receiver = _Sink(A), _BatchSink(B)
+        net.attach(sender)
+        net.attach(receiver)
+        burst = [Datagram(src=A, dst=B, payload=video_packet(seq)) for seq in range(4)]
+        assert net.send_burst(burst) == 4
+        sim.run()
+        assert len(receiver.batches) == 1 and len(receiver.batches[0]) == 4
+        assert all(d.sent_at == 0.0 for d in receiver.received)
+
+    def test_plain_endpoint_receives_burst_per_packet(self):
+        sim = Simulator()
+        net = Network(sim, seed=1)
+        sender, receiver = _Sink(A), _Sink(B)
+        net.attach(sender)
+        net.attach(receiver)
+        net.send_burst([Datagram(src=A, dst=B, payload=video_packet(seq)) for seq in range(4)])
+        sim.run()
+        assert [d.payload.sequence_number for d in receiver.received] == [0, 1, 2, 3]
+        assert net.datagrams_delivered == 4
+
+    def test_burst_to_multiple_destinations_routed_per_downlink(self):
+        sim = Simulator()
+        net = Network(sim, seed=1)
+        c = Address("10.0.0.4", 6002)
+        sender, rx_b, rx_c = _Sink(A), _BatchSink(B), _BatchSink(c)
+        net.attach(sender)
+        net.attach(rx_b)
+        net.attach(rx_c)
+        burst = [Datagram(src=A, dst=B, payload=video_packet(1)), Datagram(src=A, dst=c, payload=video_packet(2))]
+        net.send_burst(burst)
+        sim.run()
+        assert len(rx_b.received) == 1 and len(rx_c.received) == 1
+
+    def test_burst_from_unattached_source_raises(self):
+        sim = Simulator()
+        net = Network(sim, seed=1)
+        with pytest.raises(KeyError):
+            net.send_burst([Datagram(src=A, dst=B, payload=video_packet())])
+
+    def test_mixed_burst_with_detached_source_sends_nothing(self):
+        # atomic failure: if any source of the burst is unattached, no part
+        # of the burst may have been transmitted
+        sim = Simulator()
+        net = Network(sim, seed=1)
+        ghost = Address("10.9.9.9", 9999)
+        sender, receiver = _Sink(A), _Sink(B)
+        net.attach(sender)
+        net.attach(receiver)
+        with pytest.raises(KeyError):
+            net.send_burst(
+                [
+                    Datagram(src=A, dst=B, payload=video_packet(1)),
+                    Datagram(src=ghost, dst=B, payload=video_packet(2)),
+                ]
+            )
+        sim.run()
+        assert receiver.received == []
+
+    def test_burst_to_departed_destination_dropped_silently(self):
+        sim = Simulator()
+        net = Network(sim, seed=1)
+        sender = _Sink(A)
+        net.attach(sender)
+        net.send_burst([Datagram(src=A, dst=B, payload=video_packet())])
+        sim.run()
+        assert net.datagrams_delivered == 0
 
 
 class TestNetwork:

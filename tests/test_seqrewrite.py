@@ -7,6 +7,7 @@ from repro.core.seqrewrite import (
     SequenceRewriterLowRetransmission,
     SkipCadence,
     ideal_rewrite_map,
+    ideal_rewrite_sequence,
 )
 
 REWRITERS = [SequenceRewriterLowMemory, SequenceRewriterLowRetransmission]
@@ -138,6 +139,103 @@ class TestLowRetransmissionSpecifics:
         feed(rewriter, [(0, 0, True), (1, 0, True), (2, 1, False), (4, 2, True)])
         # packet 3 of the suppressed frame 1 shows up late; it must vanish
         assert rewriter.on_packet(3, 1, False) is None
+
+
+def wrap_spanning_events(num_frames=78_000, packets_per_frame=2, suppress_every=8):
+    """A meeting long enough for the *rewritten* sequence space to wrap fully
+    (> 129k forwarded packets): every ``suppress_every``-th frame suppressed,
+    every packet arriving in order (suppressed ones with ``forward=False``)."""
+    events = []
+    seq = 0
+    for frame in range(num_frames):
+        forward = frame % suppress_every != suppress_every - 1
+        for _ in range(packets_per_frame):
+            events.append((seq % 65_536, frame % 65_536, forward))
+            seq += 1
+    return events
+
+
+@pytest.mark.parametrize("cls", REWRITERS)
+class TestWrapSpanningStreams:
+    """Regression tests for the duplicate-guard eviction bug: the old numeric
+    trim kept the top-2048 pre-wrap entries forever, so one full lap of the
+    rewritten space later every fresh emission collided with a stale entry
+    and was spuriously dropped for safety."""
+
+    def test_no_spurious_drops_and_ideal_rewrite_across_wraps(self, cls):
+        events = wrap_spanning_events()
+        rewriter = cls(SkipCadence(1, 2))
+        emitted = [rewriter.on_packet(seq, frame, forward) for seq, frame, forward in events]
+        ideal = ideal_rewrite_sequence([(seq, not forward, False) for seq, _frame, forward in events])
+        assert rewriter.packets_dropped_for_safety == 0
+        assert emitted == ideal
+        assert rewriter.packets_forwarded > 65_536 * 2  # genuinely wrap-spanning
+
+    def test_first_wrap_agrees_with_ideal_map(self, cls):
+        # over the first 65536 packets the sequence numbers are still unique,
+        # so the dictionary-keyed oracle applies directly
+        events = wrap_spanning_events(num_frames=32_768)
+        rewriter = cls(SkipCadence(1, 2))
+        mapping = ideal_rewrite_map([(seq, not forward, False) for seq, _frame, forward in events])
+        for seq, frame, forward in events:
+            assert rewriter.on_packet(seq, frame, forward) == mapping[seq]
+
+    def test_reordered_duplicate_after_wrap_still_dropped(self, cls):
+        events = wrap_spanning_events(num_frames=33_000)
+        rewriter = cls(SkipCadence(1, 2))
+        for seq, frame, forward in events:
+            rewriter.on_packet(seq, frame, forward)
+        # replay the most recent forwarded packet: the guard set must still
+        # hold its post-wrap rewritten number even after evictions
+        last_forwarded = next(e for e in reversed(events) if e[2])
+        assert rewriter.on_packet(last_forwarded[0], last_forwarded[1], True) is None
+        assert rewriter.packets_dropped_for_safety == 1
+
+
+class TestFrameNumberWraparound:
+    """S-LR frame tracking must survive the 16-bit frame-number wrap (~18
+    minutes at 60 fps); the old plain max() froze both high-water marks at
+    65535 forever."""
+
+    def feed_across_frame_wrap(self, rewriter, frames_after_wrap=12):
+        seq = 0
+        frame_events = []
+        for frame in range(65_530, 65_536 + frames_after_wrap):
+            frame_number = frame % 65_536
+            forward = frame % 2 == 0  # alternate frames suppressed
+            for _ in range(2):
+                frame_events.append((seq, frame_number, forward))
+                seq += 1
+        for event_seq, frame_number, forward in frame_events:
+            rewriter.on_packet(event_seq % 65_536, frame_number, forward)
+
+    def test_highest_frames_track_past_the_wrap(self):
+        rewriter = SequenceRewriterLowRetransmission(SkipCadence(1, 2))
+        self.feed_across_frame_wrap(rewriter)
+        # the last frame fed is 65547 % 65536 == 11 (suppressed); both
+        # high-water marks must have crossed the wrap instead of freezing
+        assert rewriter.highest_frame == 11
+        assert rewriter.highest_suppressed_frame == 11
+
+    def test_late_packet_classification_after_wrap(self):
+        rewriter = SequenceRewriterLowRetransmission(SkipCadence(1, 2))
+        self.feed_across_frame_wrap(rewriter)
+        # a late packet of a recent *forwarded* post-wrap frame whose offset
+        # is still remembered must be emitted, not swallowed as "suppressed"
+        emitted_before = rewriter.packets_forwarded
+        late_frame = rewriter.frame_number_current
+        late = rewriter.on_packet((rewriter.highest_seq - 1) % 65_536, late_frame, True)
+        assert late is not None
+        assert rewriter.packets_forwarded == emitted_before + 1
+
+    def test_late_packet_of_old_suppressed_frame_still_silently_dropped(self):
+        rewriter = SequenceRewriterLowRetransmission(SkipCadence(1, 2))
+        self.feed_across_frame_wrap(rewriter)
+        drops_before = rewriter.packets_dropped_for_safety
+        # frame 65531 was suppressed long ago (pre-wrap): silently dropped,
+        # not counted as a safety drop
+        assert rewriter.on_packet(3, 65_531, False) is None
+        assert rewriter.packets_dropped_for_safety == drops_before
 
 
 class TestOracle:
