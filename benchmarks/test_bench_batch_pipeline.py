@@ -1,15 +1,40 @@
-"""Batched vs. per-packet data-plane throughput across 1-50 meetings.
+"""Batched vs. per-packet data-plane throughput across 1-50 meetings, plus
+the sharded-engine throughput trajectory.
 
-Not a paper figure: this benchmark guards the batch fast path introduced for
-the production-scale roadmap.  ``process_batch`` must (a) stay byte-identical
-to the per-packet reference path and (b) actually amortize the per-packet
-overhead — at the 50-meeting scenario it must clear a 3x throughput margin.
+Not a paper figure: these benchmarks guard the batch fast path and the
+flow-sharded engine introduced for the production-scale roadmap.
+``process_batch`` must (a) stay byte-identical to the per-packet reference
+path and (b) actually amortize the per-packet overhead — at the 50-meeting
+scenario it must clear a 3x throughput margin.  The shard sweep additionally
+records packets/sec of ``ShardedScallopPipeline`` at k in {1, 4} into a
+``BENCH_shard_throughput.json`` artifact so the perf trajectory is tracked
+across PRs.
+
+Why the shard sweep asserts *bounded overhead* rather than speedup: with the
+in-process ``serial`` executor all shards execute under one CPython GIL, so
+k-way sharding does the same Python work as one datapath plus
+partition/reassembly — flat throughput is the expected ceiling, and the
+number to watch is how little the partitioning costs.  The parallel path is
+the ``executor="process"`` escape hatch behind the same API (per-shard worker
+processes, exercised for correctness in tests/test_sharded_pipeline.py); its
+wall-clock win materializes once per-packet work outweighs pickling, which
+this behavioural model's microsecond-scale packets do not.
 """
 
+import json
+import os
+
 from benchmarks.conftest import run_once
-from repro.experiments import format_batch_sweep, run_batch_throughput_sweep
+from repro.experiments import (
+    format_batch_sweep,
+    format_shard_sweep,
+    run_batch_throughput_sweep,
+    run_shard_throughput_sweep,
+)
 
 MEETING_COUNTS = [1, 10, 50]
+SHARD_COUNTS = [1, 4]
+SHARD_ARTIFACT_ENV = "BENCH_SHARD_THROUGHPUT_JSON"
 
 
 def test_batch_pipeline_throughput(benchmark):
@@ -30,3 +55,46 @@ def test_batch_pipeline_throughput(benchmark):
     # reported in extra_info but not asserted on, to keep shared-runner
     # timing noise from failing CI without a code defect
     assert by_meetings[50].speedup >= 3.0
+
+
+def test_shard_pipeline_throughput(benchmark):
+    points = run_once(
+        benchmark, run_shard_throughput_sweep, shard_counts=SHARD_COUNTS, num_meetings=50, repeats=3
+    )
+    print()
+    print(format_shard_sweep(points))
+    by_shards = {p.n_shards: p for p in points}
+    speedup = by_shards[4].pps / by_shards[1].pps
+    benchmark.extra_info["pps_k1"] = round(by_shards[1].pps)
+    benchmark.extra_info["pps_k4"] = round(by_shards[4].pps)
+    benchmark.extra_info["speedup_k4_vs_k1"] = round(speedup, 3)
+
+    artifact_path = os.environ.get(SHARD_ARTIFACT_ENV, "BENCH_shard_throughput.json")
+    with open(artifact_path, "w") as handle:
+        json.dump(
+            {
+                "benchmark": "shard_throughput_50_meetings",
+                "executor": "serial",
+                "points": [
+                    {
+                        "n_shards": point.n_shards,
+                        "num_packets": point.num_packets,
+                        "pps": round(point.pps),
+                    }
+                    for point in points
+                ],
+                "speedup_k4_vs_k1": round(speedup, 3),
+                "note": (
+                    "serial executor: shards share one GIL, so flat throughput is the "
+                    "expected ceiling; this tracks partition/reassembly overhead. "
+                    "executor='process' is the parallel escape hatch behind the same API."
+                ),
+            },
+            handle,
+            indent=2,
+        )
+
+    # GIL-bound by construction (see module docstring): require the
+    # partition/reassembly overhead at k=4 to stay within 40% of the k=1
+    # engine rather than asserting an impossible serial speedup
+    assert speedup >= 0.6

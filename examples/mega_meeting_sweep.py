@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Mega-meeting sweep: push many concurrent meetings through the data plane.
 
-Two parts, both centred on the batched fast path:
+Three parts, centred on the batched fast path and the flow-sharded engine:
 
 1. **Pipeline throughput sweep** — configure 1..50 concurrent meetings on one
    :class:`~repro.dataplane.pipeline.ScallopPipeline`, replay the same media
@@ -11,9 +11,17 @@ Two parts, both centred on the batched fast path:
    immutable meta view across replicas, so its advantage holds as the meeting
    population grows.
 
-2. **End-to-end burst mode** — run a short simulated multi-meeting call with
-   ``frame_bursts`` enabled, where each video frame traverses the network as
-   one coalesced burst and the SFU ingests it through the batch API.
+2. **Shard-count sweep** — the same 50-meeting ingress through
+   :class:`~repro.dataplane.sharding.ShardedScallopPipeline` at k in
+   {1, 2, 4}: flows partition across share-nothing datapath shards with
+   byte-identical outputs.  Under the in-process serial executor the sweep
+   quantifies the GIL bound (flat throughput, small partitioning overhead);
+   ``executor="process"`` is the parallel escape hatch behind the same API.
+
+3. **End-to-end burst mode** — run a short simulated multi-meeting call with
+   ``frame_bursts`` enabled and a 4-shard SFU, where each video frame
+   traverses the network as one schedule-preserving burst and the SFU ingests
+   it through the sharded batch engine.
 
 Run with:  python examples/mega_meeting_sweep.py
 """
@@ -22,16 +30,21 @@ from repro.experiments import (
     MeetingSetupConfig,
     build_scallop_testbed,
     format_batch_sweep,
+    format_shard_sweep,
     run_batch_throughput_sweep,
+    run_shard_throughput_sweep,
 )
 
 MEETING_SIZES = [1, 5, 10, 25, 50]
+SHARD_COUNTS = [1, 2, 4]
 
 
 def run_burst_mode_call() -> None:
     print()
-    print("=== end-to-end burst mode (10 meetings x 3 participants, 10 s) ===")
-    config = MeetingSetupConfig(num_meetings=10, participants_per_meeting=3, frame_bursts=True)
+    print("=== end-to-end burst mode (10 meetings x 3 participants, 4 shards, 10 s) ===")
+    config = MeetingSetupConfig(
+        num_meetings=10, participants_per_meeting=3, frame_bursts=True, n_shards=4
+    )
     testbed = build_scallop_testbed(config)
     testbed.run_for(10.0)
     sfu = testbed.sfu
@@ -42,9 +55,11 @@ def run_burst_mode_call() -> None:
         f"SFU forwarded {sfu.stats.packets_out} packets from {sfu.stats.packets_in} ingress; "
         f"data plane handled {shares['packets'] * 100:.2f}% of packets"
     )
+    parser = sfu.pipeline.parser_stats()
+    busy = [shard.counters.data_plane_packets for shard in sfu.pipeline.shards]
     print(
         f"{len(rates)} inbound video streams at {sum(rates) / len(rates):.1f} fps mean "
-        f"(parse cache hits: {sfu.pipeline.parser.parse_cache_hits})"
+        f"(parse cache hits: {parser.parse_cache_hits}; per-shard packets: {busy})"
     )
 
 
@@ -52,6 +67,10 @@ def main() -> None:
     print("=== pipeline throughput, 8 participants/meeting ===")
     points = run_batch_throughput_sweep(meeting_counts=MEETING_SIZES)
     print(format_batch_sweep(points))
+    print()
+    print("=== sharded engine at 50 meetings (serial executor: GIL-bound by design) ===")
+    shard_points = run_shard_throughput_sweep(shard_counts=SHARD_COUNTS, num_meetings=50)
+    print(format_shard_sweep(shard_points))
     run_burst_mode_call()
 
 

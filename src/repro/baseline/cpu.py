@@ -65,6 +65,14 @@ class CpuCore:
         self.wakeup_latency_s = wakeup_latency_s
         self._rng = random.Random(seed)
         self._busy_until = 0.0
+        #: Monotone admission clock: batch-mode callers submit packets at
+        #: their true (schedule-preserved) arrival times, which can step
+        #: behind packets already admitted from a different delivery path;
+        #: a core observes work in admission order, so late submissions are
+        #: lifted to this frontier (otherwise the utilization window reads a
+        #: negative elapsed time as full saturation and the noise model
+        #: explodes).
+        self._clock = 0.0
         self._window_start = 0.0
         self._window_busy = 0.0
         self.stats = CpuStats()
@@ -80,6 +88,16 @@ class CpuCore:
         plus service plus scheduling noise), or ``None`` if the packet was
         dropped because the core's backlog exceeded its limit.
         """
+        # monotone view of time for the utilization window and noise model:
+        # batch-mode callers submit packets at their true (schedule-preserved)
+        # arrival times, which can step slightly behind work already admitted
+        # from another delivery path; the queue math below tolerates that, but
+        # a backwards clock would make the utilization window read a ~zero
+        # elapsed time as full saturation and the noise model explode
+        if now > self._clock:
+            self._clock = now
+        clock = self._clock
+
         backlog = max(0.0, self._busy_until - now)
         if backlog > self.queue_limit_s:
             self.stats.packets_dropped += 1
@@ -89,7 +107,7 @@ class CpuCore:
         start = max(now, self._busy_until)
         self._busy_until = start + service
 
-        utilization = self.utilization(now)
+        utilization = self.utilization(clock)
         noise = 0.0
         if self.wakeup_latency_s > 0:
             # user-space wakeup (epoll + read + thread dispatch) paid even on
@@ -106,7 +124,7 @@ class CpuCore:
         self.stats.packets_processed += 1
         self.stats.busy_time_s += service
         self.stats.total_queue_delay_s += queue_delay
-        self._account_window(now, service)
+        self._account_window(clock, service)
         return queue_delay + service + noise
 
     def utilization(self, now: float, window_s: float = 1.0) -> float:

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..dataplane.pipeline import ScallopPipeline, SWITCH_FORWARDING_DELAY_S
 from ..dataplane.resources import DEFAULT_CAPACITIES, TofinoCapacities
+from ..dataplane.sharding import ShardedScallopPipeline
 from ..netsim.datagram import Address, Datagram
 from ..netsim.link import Network, SFU_PORT_PROFILE, LinkProfile
 from ..netsim.simulator import Simulator
@@ -59,11 +60,22 @@ class ScallopSfu:
         uplink_profile: Optional[LinkProfile] = None,
         downlink_profile: Optional[LinkProfile] = None,
         adaptation_thresholds_bps: Optional[Tuple[float, float]] = None,
+        n_shards: int = 1,
+        shard_executor: str = "serial",
     ) -> None:
         self.address = address
         self.simulator = simulator
         self.network = network
-        self.pipeline = ScallopPipeline(address, capacities)
+        #: ``n_shards=1`` keeps the single-datapath reference engine;
+        #: ``n_shards>=2`` partitions every ingress burst by flow across
+        #: share-nothing datapath shards behind the same pipeline API (the
+        #: outputs are byte-identical either way).
+        if n_shards > 1 or shard_executor != "serial":
+            self.pipeline = ShardedScallopPipeline(
+                address, n_shards=n_shards, capacities=capacities, executor=shard_executor
+            )
+        else:
+            self.pipeline = ScallopPipeline(address, capacities)
         if adaptation_thresholds_bps is not None:
             high, low = adaptation_thresholds_bps
 
@@ -106,6 +118,13 @@ class ScallopSfu:
     def stop(self) -> None:
         self._running = False
 
+    def close(self) -> None:
+        """Stop periodic work and release pipeline backend resources (the
+        sharded engine's process executor spawns per-shard worker pools that
+        would otherwise outlive the simulation)."""
+        self.stop()
+        self.pipeline.close()
+
     def _filter_tick(self) -> None:
         if not self._running:
             return
@@ -138,6 +157,10 @@ class ScallopSfu:
                 outputs.extend(result.outputs)
                 forwarding_delay_s = max(forwarding_delay_s, result.forwarding_delay_s)
         if outputs:
+            # the replicas carry their per-packet switch-egress times
+            # (ingress arrival + forwarding delay) in ``arrived_at``, so the
+            # network admits each one on its true schedule even though the
+            # whole burst rides this single event
             self.simulator.schedule(
                 forwarding_delay_s, lambda batch=outputs: self.network.send_burst(batch)
             )
@@ -154,12 +177,18 @@ class ScallopSfu:
             stats.bytes_out += output.size
             if len(latency_samples) < 500_000:
                 latency_samples.append(result.forwarding_delay_s * 1000.0)
+        now = self.simulator.now
         for copy in result.cpu_copies:
             stats.packets_to_cpu += 1
             stats.bytes_to_cpu += copy.size
-            self.simulator.schedule(
-                AGENT_PROCESSING_DELAY_S, lambda d=copy: self.agent.handle_cpu_packet(d)
+            # under burst ingest the copy's true arrival can precede this
+            # (coalesced) event; anchor the agent delay on the schedule so
+            # CPU-path timing matches per-packet delivery
+            arrived = copy.arrived_at
+            delay = AGENT_PROCESSING_DELAY_S if arrived is None else max(
+                0.0, arrived + AGENT_PROCESSING_DELAY_S - now
             )
+            self.simulator.schedule(delay, lambda d=copy: self.agent.handle_cpu_packet(d))
 
     def _agent_send(self, datagram: Datagram) -> None:
         """Packets originated by the switch agent (e.g. STUN responses)."""

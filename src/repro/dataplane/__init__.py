@@ -11,11 +11,14 @@ from .resources import (
 from .tables import ExactMatchTable, IndexAllocator, RegisterArray, TableFull
 from .pre import L1Node, L2Port, MulticastTree, PacketReplicationEngine, Replica
 from .parser import IngressParser, PacketClass, ParseResult
+from .resources import ShardResourceAccountant
 from .pipeline import (
     AdaptationEntry,
     FeedbackRule,
     ForwardingMode,
+    PipelineControlPlane,
     PipelineCounters,
+    PipelineDatapath,
     PipelineResult,
     ReplicaTarget,
     ScallopPipeline,
@@ -23,6 +26,7 @@ from .pipeline import (
     StreamForwardingEntry,
     SWITCH_FORWARDING_DELAY_S,
 )
+from .sharding import ShardedScallopPipeline, flow_shard
 
 __all__ = [
     "DEFAULT_CAPACITIES",
@@ -46,11 +50,16 @@ __all__ = [
     "AdaptationEntry",
     "FeedbackRule",
     "ForwardingMode",
+    "PipelineControlPlane",
     "PipelineCounters",
+    "PipelineDatapath",
     "PipelineResult",
     "ReplicaTarget",
     "ScallopPipeline",
     "SequenceRewriter",
+    "ShardResourceAccountant",
+    "ShardedScallopPipeline",
     "StreamForwardingEntry",
     "SWITCH_FORWARDING_DELAY_S",
+    "flow_shard",
 ]

@@ -15,11 +15,28 @@ Everything else (STUN, RTCP feedback analysis, extended AV1 descriptors) is
 copied or punted to the switch CPU, which is exactly the split Table 1
 quantifies.
 
-The pipeline can be driven per packet (:meth:`ScallopPipeline.process`, the
-reference path) or per burst (:meth:`ScallopPipeline.process_batch`, the fast
+Architecturally the model is split the way the paper splits the system:
+
+* :class:`PipelineControlPlane` owns everything the switch agent writes —
+  match-action tables, the PRE configuration, stream-index allocation, the
+  sequence-rewriter register file, and resource accounting.  All writes fan
+  out to every attached datapath (per-shard register copies), so a datapath
+  never blocks on another datapath's state.
+* :class:`PipelineDatapath` is the per-packet engine: it holds only
+  read-mostly references into the control plane plus private state (parser,
+  counters, memoized flow resolution, its rewriter register view).  Per-flow
+  operations commute (the Scalable Commutativity Rule), so datapaths can be
+  replicated into shards that share nothing but the control plane — see
+  :class:`~repro.dataplane.sharding.ShardedScallopPipeline`.
+* :class:`ScallopPipeline` is the single-datapath composition of the two,
+  preserving the original one-object API used throughout the repo.
+
+The datapath can be driven per packet (:meth:`PipelineDatapath.process`, the
+reference path) or per burst (:meth:`PipelineDatapath.process_batch`, the fast
 path used by multi-meeting sweeps).  Both produce byte-identical outputs; the
 batch path amortizes parsing and table-lookup work behind caches that are
-invalidated on every control-plane write.
+invalidated on every control-plane write (tracked through per-table write
+generations, compared against the datapath's own generation stamp).
 """
 
 from __future__ import annotations
@@ -27,7 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 from types import MappingProxyType
-from typing import Callable, Dict, FrozenSet, List, Optional, Protocol, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Protocol, Sequence, Set, Tuple
 
 from ..netsim.datagram import Address, Datagram, PayloadKind
 from ..rtp.packet import RtpPacket
@@ -44,18 +61,6 @@ from .parser import IngressParser, PacketClass, ParseResult
 from .pre import L2Port, PacketReplicationEngine, Replica
 from .resources import DEFAULT_CAPACITIES, ResourceAccountant, TofinoCapacities
 from .tables import ExactMatchTable, IndexAllocator, RegisterArray
-
-def _tally_account(
-    tally: Dict[Tuple[str, bool], List[int]], label: str, to_cpu: bool, size: int
-) -> None:
-    """Accumulate one packet into a batch accounting tally (see
-    :meth:`PipelineCounters.account_tally`)."""
-    entry = tally.get((label, to_cpu))
-    if entry is None:
-        tally[(label, to_cpu)] = [1, size]
-    else:
-        entry[0] += 1
-        entry[1] += size
 
 #: Fixed pipeline traversal latency of the switch (ingress + PRE + egress).
 #: Tofino-class devices forward in well under a microsecond; the slightly
@@ -134,7 +139,13 @@ class FeedbackRule:
 
 @dataclass
 class PipelineCounters:
-    """Packet/byte accounting used by Table 1, Figure 22 and the tests."""
+    """Packet/byte accounting used by Table 1, Figure 22 and the tests.
+
+    Both the per-packet path (:meth:`account`) and the batch path (a tally
+    accumulated with :meth:`accumulate` and folded in with
+    :meth:`account_tally`) route through the single :meth:`_add` helper, so
+    the two accounting paths cannot drift apart.
+    """
 
     data_plane_packets: int = 0
     data_plane_bytes: int = 0
@@ -149,11 +160,38 @@ class PipelineCounters:
     def account(self, packet_class: PacketClass, size: int, to_cpu: bool) -> None:
         self._add(packet_class.value, to_cpu, 1, size)
 
+    @staticmethod
+    def accumulate(
+        tally: Dict[Tuple[str, bool], List[int]], label: str, to_cpu: bool, size: int
+    ) -> None:
+        """Accumulate one packet into a batch accounting tally (the batch
+        path's deferred equivalent of :meth:`account`)."""
+        entry = tally.get((label, to_cpu))
+        if entry is None:
+            tally[(label, to_cpu)] = [1, size]
+        else:
+            entry[0] += 1
+            entry[1] += size
+
     def account_tally(self, tally: Dict[Tuple[str, bool], List[int]]) -> None:
         """Fold a batch's accumulated ``(label, to_cpu) -> [packets, bytes]``
         tallies in; equivalent to calling :meth:`account` per packet."""
         for (label, to_cpu), (packets, size) in tally.items():
             self._add(label, to_cpu, packets, size)
+
+    def merge(self, other: "PipelineCounters") -> None:
+        """Fold another counter set in (used to aggregate shard counters)."""
+        self.data_plane_packets += other.data_plane_packets
+        self.data_plane_bytes += other.data_plane_bytes
+        self.cpu_packets += other.cpu_packets
+        self.cpu_bytes += other.cpu_bytes
+        self.replicas_out += other.replicas_out
+        self.adaptation_drops += other.adaptation_drops
+        self.table_misses += other.table_misses
+        for label, packets in other.by_class_packets.items():
+            self.by_class_packets[label] = self.by_class_packets.get(label, 0) + packets
+        for label, size in other.by_class_bytes.items():
+            self.by_class_bytes[label] = self.by_class_bytes.get(label, 0) + size
 
     def _add(self, label: str, to_cpu: bool, packets: int, size: int) -> None:
         self.by_class_packets[label] = self.by_class_packets.get(label, 0) + packets
@@ -195,8 +233,21 @@ class _CachedResolution:
     replica_misses: int
 
 
-class ScallopPipeline:
-    """The data plane: configured by the control plane, driven per packet."""
+class PipelineControlPlane:
+    """Everything the switch agent writes: tables, PRE, registers, resources.
+
+    The control plane is the single writer of all match-action and register
+    state.  Datapaths (one for :class:`ScallopPipeline`, N for the sharded
+    engine) attach themselves via :meth:`attach_datapath`; every
+    sequence-rewriter register write then fans out to each attached datapath's
+    register view, and every table/PRE write bumps the corresponding write
+    generation so datapath caches invalidate on their next batch.
+
+    Resource charges land in one global :class:`ResourceAccountant` ledger.
+    When a charge-scope router is installed (sharded mode), per-flow stream
+    state is additionally attributed to the owning shard's
+    :class:`~repro.dataplane.resources.ShardResourceAccountant` view.
+    """
 
     def __init__(
         self,
@@ -206,7 +257,6 @@ class ScallopPipeline:
         self.sfu_address = sfu_address
         self.capacities = capacities
         self.accountant = ResourceAccountant(capacities)
-        self.parser = IngressParser()
         self.pre = PacketReplicationEngine(self.accountant)
 
         self.stream_table: ExactMatchTable[Tuple[Address, int], StreamForwardingEntry] = ExactMatchTable(
@@ -226,20 +276,49 @@ class ScallopPipeline:
         )
 
         self.stream_indices = IndexAllocator(capacities.stream_tracker_cells)
+        #: Canonical rewriter register file; shard datapaths hold fanned-out
+        #: copies so their packet path never reads another shard's registers.
         self.stream_trackers: RegisterArray[SequenceRewriter] = RegisterArray(
             "stream_tracker", size=capacities.stream_tracker_cells
         )
 
-        self.counters = PipelineCounters()
+        self._datapaths: List["PipelineDatapath"] = []
+        #: Optional hook (set by the sharded engine) mapping a sender SSRC to
+        #: the per-shard accountant view its stream state is attributed to.
+        self._charge_scope_router: Optional[Callable[[int], Optional[object]]] = None
+        #: Which scope each adaptation key's cells were attributed to, so a
+        #: release always balances the original attribution even if routing
+        #: would resolve differently at release time.
+        self._tracker_charges: Dict[Tuple[int, Address], Tuple[Optional[object], int]] = {}
 
-        # Batch fast-path state: forwarding resolution memoized per flow and
-        # invalidated whenever the control plane touches the stream table, the
-        # replica table, or the PRE (detected via their write generations, so
-        # even direct `pipeline.pre` mutations are caught).
-        self._entry_cache: Dict[Tuple[Address, int], Optional[StreamForwardingEntry]] = {}
-        self._resolution_cache: Dict[Tuple[Address, int, int], _CachedResolution] = {}
-        self._cache_stamp: Tuple[int, int, int, int] = (-1, -1, -1, -1)
-        self._layer_by_template: Dict[int, int] = {}
+    # ------------------------------------------------------------------ datapath wiring
+
+    def attach_datapath(self, datapath: "PipelineDatapath") -> None:
+        """Register a datapath for register-write fan-out."""
+        self._datapaths.append(datapath)
+        # late attach: replay current register contents into the new view
+        # (a no-op scan for the usual attach-before-any-install order)
+        if datapath.trackers is not self.stream_trackers:
+            for index, value in self.stream_trackers.used_entries():
+                datapath.trackers.write(index, value)
+
+    def set_charge_scope_router(self, router: Optional[Callable[[int], Optional[object]]]) -> None:
+        self._charge_scope_router = router
+
+    def write_stamp(self) -> Tuple[int, int, int, int]:
+        """Aggregate write generation over all cache-relevant control state."""
+        return (
+            self.stream_table.version,
+            self.replica_table.version,
+            self.adaptation_table.version,
+            self.pre.generation,
+        )
+
+    def _write_tracker(self, index: int, rewriter: Optional[SequenceRewriter]) -> None:
+        self.stream_trackers.write(index, rewriter)
+        for datapath in self._datapaths:
+            if datapath.trackers is not self.stream_trackers:
+                datapath.trackers.write(index, rewriter)
 
     # ------------------------------------------------------------------ control API
 
@@ -251,6 +330,11 @@ class ScallopPipeline:
     def remove_stream(self, key: Tuple[Address, int]) -> None:
         self.stream_table.remove(key)
         self.ssrc_table.remove(key[1])
+
+    def ssrc_owner(self, ssrc: int) -> Optional[Address]:
+        """Control-plane read of a media SSRC's sender address (no data-plane
+        lookup counters are bumped)."""
+        return self.ssrc_table.peek(ssrc)
 
     def install_replica_target(self, mgid: int, rid: int, target: ReplicaTarget) -> None:
         self.replica_table.install((mgid, rid), target)
@@ -278,7 +362,7 @@ class ScallopPipeline:
         existing_index = self.stream_indices.lookup(key)
         old_cells = 0
         if existing_index is not None:
-            old = self.stream_trackers.read(existing_index)
+            old = self.stream_trackers.peek(existing_index)
             if old is not None:
                 old_cells = getattr(old, "state_cells", 1)
         # charge only the net growth, so a same-size swap succeeds even at
@@ -300,13 +384,25 @@ class ScallopPipeline:
             raise
         if cells < old_cells:
             self.accountant.release_stream_state(old_cells - cells)
-        self.stream_trackers.write(index, rewriter)
+        self._retag_tracker_charge(key, sender_ssrc, cells)
+        self._write_tracker(index, rewriter)
         return index
+
+    def _retag_tracker_charge(self, key: Tuple[int, Address], sender_ssrc: int, cells: int) -> None:
+        """Move the per-shard attribution of this key's cells onto the scope
+        the charge-scope router currently resolves (ledger totals unchanged)."""
+        old_scope, old_attributed = self._tracker_charges.pop(key, (None, 0))
+        if old_scope is not None:
+            old_scope.note_stream_state(-old_attributed)
+        scope = self._charge_scope_router(sender_ssrc) if self._charge_scope_router else None
+        if scope is not None and cells:
+            scope.note_stream_state(cells)
+            self._tracker_charges[key] = (scope, cells)
 
     def update_adaptation_templates(
         self, sender_ssrc: int, receiver: Address, allowed_templates: FrozenSet[int]
     ) -> None:
-        existing = self.adaptation_table.lookup((sender_ssrc, receiver))
+        existing = self.adaptation_table.peek((sender_ssrc, receiver))
         if existing is None:
             raise KeyError("no adaptation entry installed for this stream")
         self.adaptation_table.install(
@@ -315,20 +411,91 @@ class ScallopPipeline:
         )
 
     def remove_adaptation(self, sender_ssrc: int, receiver: Address) -> None:
-        entry = self.adaptation_table.lookup((sender_ssrc, receiver))
+        key = (sender_ssrc, receiver)
+        entry = self.adaptation_table.peek(key)
         if entry is not None:
-            rewriter = self.stream_trackers.read(entry.stream_index)
+            rewriter = self.stream_trackers.peek(entry.stream_index)
             if rewriter is not None:
                 self.accountant.release_stream_state(getattr(rewriter, "state_cells", 1))
-            self.stream_trackers.clear(entry.stream_index)
-            self.stream_indices.release((sender_ssrc, receiver))
-            self.adaptation_table.remove((sender_ssrc, receiver))
+            self._retag_tracker_charge(key, sender_ssrc, 0)
+            self._write_tracker(entry.stream_index, None)
+            self.stream_indices.release(key)
+            self.adaptation_table.remove(key)
 
     def install_feedback_rule(self, receiver: Address, media_ssrc: int, rule: FeedbackRule) -> None:
         self.feedback_table.install((receiver, media_ssrc), rule)
 
     def remove_feedback_rule(self, receiver: Address, media_ssrc: int) -> None:
         self.feedback_table.remove((receiver, media_ssrc))
+
+    # ------------------------------------------------------------------ pickling (process-shard escape hatch)
+
+    def __getstate__(self) -> dict:
+        """Snapshot for shipping a read-only replica to a worker process:
+        datapath backrefs and charge-scope plumbing stay with the coordinator."""
+        state = dict(self.__dict__)
+        state["_datapaths"] = []
+        state["_charge_scope_router"] = None
+        state["_tracker_charges"] = {}
+        return state
+
+
+class PipelineDatapath:
+    """The per-packet engine: parses, matches, replicates, rewrites.
+
+    Holds only private state (parser, counters, flow-resolution caches, its
+    rewriter register view) plus read-mostly references into the shared
+    :class:`PipelineControlPlane`.  Per-flow operations commute, so multiple
+    datapaths over one control plane process disjoint flow partitions with
+    results identical to a single datapath (see
+    :class:`~repro.dataplane.sharding.ShardedScallopPipeline`).
+    """
+
+    #: Hard bound on the memoized-flow caches (misses are cached too, so junk
+    #: traffic with random flow keys must not grow them without limit; 64k
+    #: entries keeps the worst case in the tens of megabytes while covering
+    #: every legitimate flow the stream tracker can hold).
+    RESOLUTION_CACHE_LIMIT = 1 << 16
+
+    def __init__(
+        self,
+        control: PipelineControlPlane,
+        trackers: Optional[RegisterArray] = None,
+        shard_id: int = 0,
+    ) -> None:
+        self.control = control
+        self.shard_id = shard_id
+        self.sfu_address = control.sfu_address
+        self.parser = IngressParser()
+        self.counters = PipelineCounters()
+        #: This datapath's rewriter register view.  The single-datapath
+        #: pipeline shares the control plane's canonical array; shard
+        #: datapaths get their own fanned-out copy.
+        self.trackers: RegisterArray[SequenceRewriter] = (
+            trackers if trackers is not None else control.stream_trackers
+        )
+        #: Rewriter register indices read since the last sync point; the
+        #: process-pool shard runner uses this to ship mutated rewriter state
+        #: back to the coordinator after each batch.
+        self.touched_tracker_indices: Set[int] = set()
+
+        # read-mostly bindings into the control plane (hot-path aliases)
+        self.pre = control.pre
+        self.stream_table = control.stream_table
+        self.replica_table = control.replica_table
+        self.adaptation_table = control.adaptation_table
+        self.feedback_table = control.feedback_table
+
+        # Batch fast-path state: forwarding resolution memoized per flow and
+        # invalidated whenever the control plane touches the stream table, the
+        # replica table, or the PRE (detected via their write generations, so
+        # even direct `pipeline.pre` mutations are caught).  The stamp is this
+        # datapath's private generation counter — shards resynchronize with
+        # the control plane independently.
+        self._entry_cache: Dict[Tuple[Address, int], Optional[StreamForwardingEntry]] = {}
+        self._resolution_cache: Dict[Tuple[Address, int, int], _CachedResolution] = {}
+        self._cache_stamp: Tuple[int, int, int, int] = (-1, -1, -1, -1)
+        self._layer_by_template: Dict[int, int] = {}
 
     # ------------------------------------------------------------------ data path
 
@@ -389,22 +556,11 @@ class ScallopPipeline:
 
     def _ensure_resolution_cache_fresh(self) -> None:
         """Drop memoized forwarding state if the control plane wrote anything."""
-        stamp = (
-            self.stream_table.version,
-            self.replica_table.version,
-            self.adaptation_table.version,
-            self.pre.generation,
-        )
+        stamp = self.control.write_stamp()
         if stamp != self._cache_stamp:
             self._entry_cache.clear()
             self._resolution_cache.clear()
             self._cache_stamp = stamp
-
-    #: Hard bound on the memoized-flow caches (misses are cached too, so junk
-    #: traffic with random flow keys must not grow them without limit; 64k
-    #: entries keeps the worst case in the tens of megabytes while covering
-    #: every legitimate flow the stream tracker can hold).
-    RESOLUTION_CACHE_LIMIT = 1 << 16
 
     def _process_media_fast(
         self, datagram: Datagram, tally: Dict[Tuple[str, bool], List[int]]
@@ -413,6 +569,7 @@ class ScallopPipeline:
         packet: RtpPacket = datagram.payload  # type: ignore[assignment]
         parse = self.parser.parse_rtp_cached(packet)
         result = PipelineResult(parse=parse)
+        accumulate = PipelineCounters.accumulate
 
         flow = (datagram.src, packet.ssrc)
         try:
@@ -423,11 +580,11 @@ class ScallopPipeline:
             entry = self._entry_cache[flow] = self.stream_table.lookup(flow)
         if entry is None:
             self.counters.table_misses += 1
-            _tally_account(tally, parse.packet_class.value, False, datagram.size)
+            accumulate(tally, parse.packet_class.value, False, datagram.size)
             return result
 
         to_cpu = parse.needs_cpu and parse.has_extended_descriptor
-        _tally_account(tally, parse.packet_class.value, to_cpu, datagram.size)
+        accumulate(tally, parse.packet_class.value, to_cpu, datagram.size)
         if to_cpu:
             result.cpu_copies.append(datagram)
 
@@ -467,11 +624,13 @@ class ScallopPipeline:
             "size": packet.size,
             "kind": PayloadKind.RTP,
             "sent_at": 0.0,
+            "arrived_at": self._egress_schedule(datagram),
             "meta": None,
         }
         outputs = result.outputs
         counters = self.counters
-        trackers_read = self.stream_trackers.read
+        trackers_read = self.trackers.read
+        touched = self.touched_tracker_indices
         mint = Datagram.from_fields
         copy_fields = dict
         replicas_out = 0
@@ -484,6 +643,7 @@ class ScallopPipeline:
                 if rewriter is None:
                     out_packet = packet if forward else None
                 else:
+                    touched.add(adaptation.stream_index)
                     new_seq = rewriter.on_packet(sequence_number, frame_number, forward)
                     out_packet = None if new_seq is None else packet.with_sequence_number(new_seq)
                 if out_packet is None:
@@ -503,6 +663,15 @@ class ScallopPipeline:
         counters.replicas_out += replicas_out
         return result
 
+    @staticmethod
+    def _egress_schedule(datagram: Datagram) -> Optional[float]:
+        """Per-packet departure time of this packet's replicas under
+        schedule-preserving burst delivery: the ingress arrival plus the fixed
+        traversal latency (``None`` outside burst mode, where the simulator's
+        per-packet events carry the timing)."""
+        arrived_at = datagram.arrived_at
+        return None if arrived_at is None else arrived_at + SWITCH_FORWARDING_DELAY_S
+
     # -- media -------------------------------------------------------------------
 
     def _handle_media(self, datagram: Datagram, parse: ParseResult, result: PipelineResult) -> None:
@@ -519,6 +688,7 @@ class ScallopPipeline:
             result.cpu_copies.append(datagram)
 
         is_video = parse.packet_class == PacketClass.RTP_VIDEO
+        egress_schedule = self._egress_schedule(datagram)
         targets = self._resolve_targets(entry, parse)
         for target in targets:
             out_packet: Optional[RtpPacket] = packet
@@ -532,6 +702,7 @@ class ScallopPipeline:
                 src=self.sfu_address,
                 dst=target.address,
                 payload=out_packet,
+                arrived_at=egress_schedule,
                 meta=dict(datagram.meta, origin=datagram.src, origin_ssrc=packet.ssrc),
             )
             result.outputs.append(out)
@@ -599,9 +770,10 @@ class ScallopPipeline:
         if entry is None:
             return packet
         forward = parse.template_id is None or parse.template_id in entry.allowed_templates
-        rewriter = self.stream_trackers.read(entry.stream_index)
+        rewriter = self.trackers.read(entry.stream_index)
         if rewriter is None:
             return packet if forward else None
+        self.touched_tracker_indices.add(entry.stream_index)
         frame_number = parse.frame_number if parse.frame_number is not None else 0
         new_seq = rewriter.on_packet(packet.sequence_number, frame_number, forward)
         if new_seq is None:
@@ -619,9 +791,15 @@ class ScallopPipeline:
         if entry is None:
             self.counters.table_misses += 1
             return
+        egress_schedule = self._egress_schedule(datagram)
         for target in self._resolve_targets(entry, parse):
             result.outputs.append(
-                Datagram(src=self.sfu_address, dst=target.address, payload=datagram.payload)
+                Datagram(
+                    src=self.sfu_address,
+                    dst=target.address,
+                    payload=datagram.payload,
+                    arrived_at=egress_schedule,
+                )
             )
             self.counters.replicas_out += 1
 
@@ -652,9 +830,15 @@ class ScallopPipeline:
                 if not forward_needs_selection and not rule.forward_nack_pli:
                     continue
                 forwarded.setdefault(rule.sender, []).append(packet)
+        egress_schedule = self._egress_schedule(datagram)
         for sender, packet_list in forwarded.items():
             result.outputs.append(
-                Datagram(src=self.sfu_address, dst=sender, payload=tuple(packet_list))
+                Datagram(
+                    src=self.sfu_address,
+                    dst=sender,
+                    payload=tuple(packet_list),
+                    arrived_at=egress_schedule,
+                )
             )
             self.counters.replicas_out += 1
 
@@ -663,3 +847,115 @@ class ScallopPipeline:
     def _punt(self, datagram: Datagram, parse: ParseResult, result: PipelineResult) -> None:
         self.counters.account(parse.packet_class, datagram.size, to_cpu=True)
         result.cpu_copies.append(datagram)
+
+
+class ControlPlaneFacade:
+    """Shared delegation surface over ``self.control``.
+
+    Both the single-datapath :class:`ScallopPipeline` and the sharded engine
+    expose the control plane's tables/registers/ledger and its write API as
+    their own attributes; keeping the delegation in one mixin means a new
+    control-plane capability surfaces on both engines at once (the "drop-in
+    replacement" contract between them cannot silently diverge).
+    """
+
+    control: PipelineControlPlane
+
+    def _bind_control_api(self) -> None:
+        """Bind the control plane's write API as instance methods."""
+        control = self.control
+        self.install_stream = control.install_stream
+        self.remove_stream = control.remove_stream
+        self.ssrc_owner = control.ssrc_owner
+        self.install_replica_target = control.install_replica_target
+        self.remove_replica_target = control.remove_replica_target
+        self.install_adaptation = control.install_adaptation
+        self.update_adaptation_templates = control.update_adaptation_templates
+        self.remove_adaptation = control.remove_adaptation
+        self.install_feedback_rule = control.install_feedback_rule
+        self.remove_feedback_rule = control.remove_feedback_rule
+
+    @property
+    def capacities(self) -> TofinoCapacities:
+        return self.control.capacities
+
+    @property
+    def accountant(self) -> ResourceAccountant:
+        return self.control.accountant
+
+    @property
+    def pre(self) -> PacketReplicationEngine:
+        return self.control.pre
+
+    @property
+    def stream_table(self) -> ExactMatchTable:
+        return self.control.stream_table
+
+    @property
+    def replica_table(self) -> ExactMatchTable:
+        return self.control.replica_table
+
+    @property
+    def adaptation_table(self) -> ExactMatchTable:
+        return self.control.adaptation_table
+
+    @property
+    def feedback_table(self) -> ExactMatchTable:
+        return self.control.feedback_table
+
+    @property
+    def ssrc_table(self) -> ExactMatchTable:
+        return self.control.ssrc_table
+
+    @property
+    def stream_indices(self) -> IndexAllocator:
+        return self.control.stream_indices
+
+    @stream_indices.setter
+    def stream_indices(self, allocator: IndexAllocator) -> None:
+        self.control.stream_indices = allocator
+
+    @property
+    def stream_trackers(self) -> RegisterArray:
+        return self.control.stream_trackers
+
+
+class ScallopPipeline(ControlPlaneFacade):
+    """One control plane driving one datapath: the original single-engine API.
+
+    Everything external code touched on the pre-split pipeline is still here —
+    tables, PRE, accountant, counters, parser, the control methods and the
+    ``process``/``process_batch`` entry points — now delegating to the
+    composed :class:`PipelineControlPlane` and :class:`PipelineDatapath`.
+    """
+
+    RESOLUTION_CACHE_LIMIT = PipelineDatapath.RESOLUTION_CACHE_LIMIT
+
+    def __init__(
+        self,
+        sfu_address: Address,
+        capacities: TofinoCapacities = DEFAULT_CAPACITIES,
+    ) -> None:
+        self.control = PipelineControlPlane(sfu_address, capacities)
+        self.datapath = PipelineDatapath(self.control)
+        self.control.attach_datapath(self.datapath)
+        self.sfu_address = sfu_address
+
+        # hot entry points bound directly (no wrapper frame on the data path)
+        self.process = self.datapath.process
+        self.process_batch = self.datapath.process_batch
+        self._bind_control_api()
+
+    # -- datapath state ------------------------------------------------------------
+
+    @property
+    def parser(self) -> IngressParser:
+        return self.datapath.parser
+
+    @property
+    def counters(self) -> PipelineCounters:
+        return self.datapath.counters
+
+    def close(self) -> None:
+        """No backend resources to release (API parity with the sharded
+        engine, so SFU teardown can close either pipeline uniformly)."""

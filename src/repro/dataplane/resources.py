@@ -143,6 +143,62 @@ class ResourceExhausted(RuntimeError):
     """Raised when a hardware resource budget would be exceeded."""
 
 
+class ShardResourceAccountant:
+    """Per-shard charge/release view routed through one global ledger.
+
+    The sharded pipeline partitions flows across datapath shards, but the
+    Tofino capacities are a property of the one physical switch: every
+    allocation must be admission-checked against the single global
+    :class:`ResourceAccountant`.  This view forwards all charge/release
+    traffic to that ledger while keeping a per-shard tally, so operators can
+    see how occupancy distributes across shards (skew diagnosis) without the
+    ledger ever being split.
+    """
+
+    def __init__(self, ledger: ResourceAccountant, shard_id: int) -> None:
+        self.ledger = ledger
+        self.shard_id = shard_id
+        self.stream_tracker_cells_used = 0
+        self.exact_match_entries_used = 0
+
+    # -- forwarding allocation hooks (ledger-checked) ---------------------------
+
+    def allocate_stream_state(self, cells: int = 1) -> None:
+        self.ledger.allocate_stream_state(cells)
+        self.stream_tracker_cells_used += cells
+
+    def release_stream_state(self, cells: int = 1) -> None:
+        self.ledger.release_stream_state(cells)
+        self.stream_tracker_cells_used = max(0, self.stream_tracker_cells_used - cells)
+
+    def allocate_match_entries(self, entries: int) -> None:
+        self.ledger.allocate_match_entries(entries)
+        self.exact_match_entries_used += entries
+
+    def release_match_entries(self, entries: int) -> None:
+        self.ledger.release_match_entries(entries)
+        self.exact_match_entries_used = max(0, self.exact_match_entries_used - entries)
+
+    # -- attribution-only adjustments -------------------------------------------
+
+    def note_stream_state(self, cells_delta: int) -> None:
+        """Re-attribute already-ledgered cells to this shard (used when the
+        control plane retags an existing charge; the global ledger total is
+        unchanged)."""
+        self.stream_tracker_cells_used = max(0, self.stream_tracker_cells_used + cells_delta)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def utilization(self) -> Dict[str, float]:
+        """This shard's share of the *global* capacity (sums over shards plus
+        any unattributed control-plane charges equal the ledger's numbers)."""
+        caps = self.ledger.capacities
+        return {
+            "stream_tracker_cells": self.stream_tracker_cells_used / caps.stream_tracker_cells,
+            "exact_match_entries": self.exact_match_entries_used / caps.exact_match_entries,
+        }
+
+
 def table3_rows(
     peak_campus_egress_bps: float = 1.2e9,
     max_egress_bps: float = 197e9,

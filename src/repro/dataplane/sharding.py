@@ -1,0 +1,397 @@
+"""Flow-sharded Scallop pipeline: N share-nothing datapaths, one control plane.
+
+Scallop's scaling argument is that per-flow packet operations are independent
+(the Scalable Commutativity Rule): two packets of different ``(src, ssrc)``
+flows touch disjoint forwarding, adaptation, and rewriter state.  The sharded
+engine exploits that by partitioning every ingress burst with a deterministic
+``hash(src, ssrc) % n_shards`` and running each partition through its own
+:class:`~repro.dataplane.pipeline.PipelineDatapath` — private parser, private
+counters, private flow-resolution caches, private sequence-rewriter register
+view — while a single :class:`~repro.dataplane.pipeline.PipelineControlPlane`
+remains the only shared state (tables and PRE configuration are read-mostly;
+control-plane writes fan out and bump generations that each shard observes
+independently).  Results are reassembled in input order, byte-identical to
+the unsharded pipeline; resource charges land in one global
+:class:`~repro.dataplane.resources.ResourceAccountant` ledger with per-shard
+attribution views.
+
+Execution backends
+------------------
+
+``serial`` (default) runs the shards in-process, one after another.  This
+models the partitioning and keeps all state live, but offers no wall-clock
+speedup: the shards' Python bytecode all contends for one interpreter and one
+GIL, so k serial shards do the same work as one datapath plus partitioning
+overhead.  That bound is a property of CPython, not of the architecture — the
+per-shard state is already share-nothing.
+
+``process`` is the escape hatch for real parallelism: each shard is pinned to
+its own single-worker process pool holding a replica of the control plane
+(resynchronized whenever any control-plane write generation moves).  Batches
+are shipped to the workers concurrently and mutated sequence-rewriter state is
+shipped back and folded into the coordinator's canonical registers after
+every batch, so control-plane reads and later resyncs always see current
+state.  The trade is serialization: datagrams and results cross process
+boundaries by pickling, which for this behavioural model (small Python
+objects, microsecond-scale per-packet work) usually costs more than it buys.
+The backend exists so that the same API scales when per-packet work grows
+(e.g. real codec or crypto work per packet), and is exercised for correctness
+by the test suite.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netsim.datagram import Address, Datagram
+from ..rtp.packet import RtpPacket
+from .pipeline import (
+    ControlPlaneFacade,
+    PipelineControlPlane,
+    PipelineCounters,
+    PipelineDatapath,
+    PipelineResult,
+)
+from .resources import (
+    DEFAULT_CAPACITIES,
+    ShardResourceAccountant,
+    TofinoCapacities,
+)
+from .tables import RegisterArray
+
+
+def flow_shard(src: Address, ssrc: int, n_shards: int) -> int:
+    """Deterministic flow -> shard mapping.
+
+    Uses CRC32 over the canonical flow string rather than Python's ``hash``:
+    string hashing is randomized per interpreter (PYTHONHASHSEED), and the
+    process backend needs the coordinator and every worker to agree on the
+    partitioning across process boundaries and across runs.
+    """
+    return zlib.crc32(f"{src.ip}:{src.port}/{ssrc}".encode("ascii")) % n_shards
+
+
+@dataclass(frozen=True)
+class ShardParserStats:
+    """Aggregated ingress-parser tallies across all shards."""
+
+    packets_parsed: int
+    cpu_punts: int
+    parse_cache_hits: int
+
+
+class SerialShardRunner:
+    """Run each shard's partition inline on the calling thread."""
+
+    def __init__(self, engine: "ShardedScallopPipeline") -> None:
+        self._engine = engine
+
+    def run_batches(self, partitions: Sequence[List[Datagram]]) -> List[List[PipelineResult]]:
+        shards = self._engine.shards
+        return [
+            shards[shard_id].process_batch(partition) if partition else []
+            for shard_id, partition in enumerate(partitions)
+        ]
+
+    def close(self) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------------- process backend
+
+#: Worker-process shard state, keyed by shard id.  Each shard is pinned to a
+#: dedicated single-worker pool, so a worker only ever sees one shard id.
+_WORKER_SHARDS: Dict[int, "_WorkerShardState"] = {}
+
+
+@dataclass
+class _WorkerShardState:
+    stamp: Tuple[int, ...]
+    control: PipelineControlPlane
+    datapath: PipelineDatapath
+
+
+def _worker_process_batch(
+    shard_id: int,
+    stamp: Tuple[int, ...],
+    control_blob: Optional[bytes],
+    datagrams: List[Datagram],
+):
+    """Process one shard batch inside a worker process.
+
+    Returns ``(results, counters, parser_delta, pre_delta, tracker_updates)``
+    where the deltas cover exactly this batch (the coordinator folds them into
+    its own shard counters) and ``tracker_updates`` maps register index to the
+    post-batch rewriter object for every register this batch touched.
+    """
+    state = _WORKER_SHARDS.get(shard_id)
+    if state is None or state.stamp != stamp:
+        if control_blob is None:
+            raise RuntimeError(
+                f"shard {shard_id}: worker state stale at stamp {stamp} but no control snapshot shipped"
+            )
+        control: PipelineControlPlane = pickle.loads(control_blob)
+        datapath = PipelineDatapath(control, shard_id=shard_id)
+        control.attach_datapath(datapath)
+        state = _WorkerShardState(stamp=stamp, control=control, datapath=datapath)
+        _WORKER_SHARDS[shard_id] = state
+    datapath = state.datapath
+    datapath.counters = PipelineCounters()
+    parser = datapath.parser
+    parsed0, punts0, hits0 = parser.packets_parsed, parser.cpu_punts, parser.parse_cache_hits
+    pre = state.control.pre
+    repl0, copies0 = pre.replications_performed, pre.copies_produced
+    datapath.touched_tracker_indices.clear()
+
+    results = datapath.process_batch(datagrams)
+
+    trackers = state.control.stream_trackers
+    tracker_updates = {
+        index: trackers.peek(index) for index in datapath.touched_tracker_indices
+    }
+    parser_delta = (
+        parser.packets_parsed - parsed0,
+        parser.cpu_punts - punts0,
+        parser.parse_cache_hits - hits0,
+    )
+    pre_delta = (pre.replications_performed - repl0, pre.copies_produced - copies0)
+    return results, datapath.counters, parser_delta, pre_delta, tracker_updates
+
+
+class ProcessShardRunner:
+    """Dispatch shard partitions to per-shard single-worker process pools.
+
+    Shard state must stay pinned to one OS process (rewriter registers and
+    parse caches live there between batches), so each shard gets its own
+    ``ProcessPoolExecutor(max_workers=1)`` rather than one shared pool whose
+    scheduler could bounce a shard between workers.
+    """
+
+    def __init__(self, engine: "ShardedScallopPipeline") -> None:
+        self._engine = engine
+        self._executors: List[Optional[object]] = [None] * engine.n_shards
+        self._shipped_stamp: List[Optional[Tuple[int, ...]]] = [None] * engine.n_shards
+
+    def _executor(self, shard_id: int):
+        executor = self._executors[shard_id]
+        if executor is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            executor = ProcessPoolExecutor(max_workers=1)
+            self._executors[shard_id] = executor
+        return executor
+
+    def run_batches(self, partitions: Sequence[List[Datagram]]) -> List[List[PipelineResult]]:
+        engine = self._engine
+        stamp = engine.control_stamp()
+        snapshot: Optional[bytes] = None
+        futures: Dict[int, object] = {}
+        for shard_id, partition in enumerate(partitions):
+            if not partition:
+                continue
+            blob = None
+            if self._shipped_stamp[shard_id] != stamp:
+                if snapshot is None:
+                    snapshot = pickle.dumps(engine.control)
+                blob = snapshot
+                self._shipped_stamp[shard_id] = stamp
+            futures[shard_id] = self._executor(shard_id).submit(
+                _worker_process_batch, shard_id, stamp, blob, partition
+            )
+        all_results: List[List[PipelineResult]] = [[] for _ in partitions]
+        for shard_id, future in futures.items():
+            results, counters, parser_delta, pre_delta, tracker_updates = future.result()
+            all_results[shard_id] = results
+            shard = engine.shards[shard_id]
+            shard.counters.merge(counters)
+            parser = shard.parser
+            parser.packets_parsed += parser_delta[0]
+            parser.cpu_punts += parser_delta[1]
+            parser.parse_cache_hits += parser_delta[2]
+            engine.pre.replications_performed += pre_delta[0]
+            engine.pre.copies_produced += pre_delta[1]
+            for index, rewriter in tracker_updates.items():
+                engine.control._write_tracker(index, rewriter)
+        return all_results
+
+    def close(self) -> None:
+        for executor in self._executors:
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+        self._executors = [None] * self._engine.n_shards
+        self._shipped_stamp = [None] * self._engine.n_shards
+
+
+class ShardedScallopPipeline(ControlPlaneFacade):
+    """N flow-partitioned datapaths behind the one-pipeline API.
+
+    Drop-in replacement for :class:`~repro.dataplane.pipeline.ScallopPipeline`:
+    the whole control surface (table installs, adaptation lifecycle, feedback
+    rules) and both data-path entry points (``process``/``process_batch``)
+    behave identically, and the outputs are byte-for-byte the same as the
+    single-datapath engine for any shard count.  ``counters`` aggregates the
+    per-shard tallies on read; ``utilization()`` reads the single global
+    resource ledger that all shards charge through.
+    """
+
+    def __init__(
+        self,
+        sfu_address: Address,
+        n_shards: int = 2,
+        capacities: TofinoCapacities = DEFAULT_CAPACITIES,
+        executor: str = "serial",
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if executor not in ("serial", "process"):
+            raise ValueError(f"unknown shard executor: {executor!r}")
+        self.sfu_address = sfu_address
+        self.n_shards = n_shards
+        self.executor = executor
+        self.control = PipelineControlPlane(sfu_address, capacities)
+        self.shard_accountants = [
+            ShardResourceAccountant(self.control.accountant, shard_id)
+            for shard_id in range(n_shards)
+        ]
+        self.shards: List[PipelineDatapath] = []
+        for shard_id in range(n_shards):
+            datapath = PipelineDatapath(
+                self.control,
+                trackers=RegisterArray(
+                    f"stream_tracker/shard{shard_id}", size=capacities.stream_tracker_cells
+                ),
+                shard_id=shard_id,
+            )
+            self.control.attach_datapath(datapath)
+            self.shards.append(datapath)
+        self.control.set_charge_scope_router(self._charge_scope_for_ssrc)
+        # control API and table/register/ledger delegation shared with
+        # ScallopPipeline via ControlPlaneFacade, so the switch agent and
+        # replication manager are oblivious to sharding
+        self._bind_control_api()
+
+        self._flow_shard_cache: Dict[Tuple[Address, int], int] = {}
+        self._runner = (
+            ProcessShardRunner(self) if executor == "process" else SerialShardRunner(self)
+        )
+
+    # ------------------------------------------------------------------ partitioning
+
+    def shard_for_flow(self, src: Address, ssrc: int) -> int:
+        """The shard that owns flow ``(src, ssrc)`` (stable for the engine's
+        lifetime, so per-flow rewriter state never migrates)."""
+        return flow_shard(src, ssrc, self.n_shards)
+
+    #: Bound on the flow->shard cache (junk traffic must not grow it forever).
+    FLOW_SHARD_CACHE_LIMIT = 1 << 16
+
+    def _shard_of(self, datagram: Datagram) -> int:
+        payload = datagram.payload
+        # non-RTP traffic (RTCP compounds, STUN, junk) has no media SSRC; it
+        # partitions by source only, which keeps one sender's control traffic
+        # ordered within a shard
+        ssrc = payload.ssrc if isinstance(payload, RtpPacket) else -1
+        key = (datagram.src, ssrc)
+        shard = self._flow_shard_cache.get(key)
+        if shard is None:
+            if len(self._flow_shard_cache) >= self.FLOW_SHARD_CACHE_LIMIT:
+                self._flow_shard_cache.clear()
+            shard = self.shard_for_flow(datagram.src, ssrc)
+            self._flow_shard_cache[key] = shard
+        return shard
+
+    def _charge_scope_for_ssrc(self, sender_ssrc: int) -> Optional[ShardResourceAccountant]:
+        """Route a stream-state charge to the accountant view of the shard
+        that owns the sender's flow (unknown senders stay unattributed; the
+        global ledger is charged either way)."""
+        src = self.control.ssrc_owner(sender_ssrc)
+        if src is None:
+            return None
+        return self.shard_accountants[self.shard_for_flow(src, sender_ssrc)]
+
+    def control_stamp(self) -> Tuple[int, ...]:
+        """Write generation over *all* control state (wider than the flow
+        caches' stamp: worker replicas must also refresh on feedback/ssrc
+        table writes, which the in-process shards read live)."""
+        control = self.control
+        return (
+            control.stream_table.version,
+            control.replica_table.version,
+            control.adaptation_table.version,
+            control.feedback_table.version,
+            control.ssrc_table.version,
+            control.pre.generation,
+        )
+
+    # ------------------------------------------------------------------ data path
+
+    def process(self, datagram: Datagram) -> PipelineResult:
+        """Run one packet through the shard that owns its flow."""
+        if not isinstance(self._runner, SerialShardRunner):
+            # shard state (rewriter registers, caches) lives in the worker
+            # processes; processing inline on the coordinator would fork the
+            # sequence-rewriter state without any stamp change to resync it
+            return self.process_batch([datagram])[0]
+        return self.shards[self._shard_of(datagram)].process(datagram)
+
+    def process_batch(self, datagrams: Sequence[Datagram]) -> List[PipelineResult]:
+        """Partition a burst by flow, process per shard, reassemble in input
+        order (byte-identical to the unsharded pipeline)."""
+        if self.n_shards == 1 and isinstance(self._runner, SerialShardRunner):
+            return self.shards[0].process_batch(datagrams)
+        partitions: List[List[Datagram]] = [[] for _ in range(self.n_shards)]
+        slots: List[List[int]] = [[] for _ in range(self.n_shards)]
+        shard_of = self._shard_of
+        for index, datagram in enumerate(datagrams):
+            shard = shard_of(datagram)
+            partitions[shard].append(datagram)
+            slots[shard].append(index)
+        shard_results = self._runner.run_batches(partitions)
+        results: List[Optional[PipelineResult]] = [None] * len(datagrams)
+        for shard, indices in enumerate(slots):
+            for slot, result in zip(indices, shard_results[shard]):
+                results[slot] = result
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Release backend resources (worker processes, for ``process``)."""
+        self._runner.close()
+
+    def __enter__(self) -> "ShardedScallopPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ aggregated datapath state
+
+    @property
+    def counters(self) -> PipelineCounters:
+        """Merged snapshot of all shard counters (equals the unsharded
+        pipeline's counters for identical traffic)."""
+        merged = PipelineCounters()
+        for shard in self.shards:
+            merged.merge(shard.counters)
+        return merged
+
+    @property
+    def parser(self) -> ShardParserStats:
+        """Aggregated parser tallies (``packets_parsed``/``cpu_punts`` match
+        the unsharded pipeline; cache hits depend on the partitioning)."""
+        return self.parser_stats()
+
+    def parser_stats(self) -> ShardParserStats:
+        return ShardParserStats(
+            packets_parsed=sum(shard.parser.packets_parsed for shard in self.shards),
+            cpu_punts=sum(shard.parser.cpu_punts for shard in self.shards),
+            parse_cache_hits=sum(shard.parser.parse_cache_hits for shard in self.shards),
+        )
+
+    def shard_utilization(self) -> List[Dict[str, float]]:
+        """Per-shard attribution of the globally-ledgered resource usage."""
+        return [accountant.utilization() for accountant in self.shard_accountants]

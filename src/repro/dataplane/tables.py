@@ -54,6 +54,11 @@ class ExactMatchTable(Generic[K, V]):
             self.hits += 1
         return value
 
+    def peek(self, key: K) -> Optional[V]:
+        """Control-plane read: same result as :meth:`lookup` without
+        perturbing the data-plane ``lookups``/``hits`` tallies."""
+        return self._entries.get(key)
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -81,6 +86,7 @@ class RegisterArray(Generic[V]):
         self.name = name
         self.size = size
         self._cells: List[Optional[V]] = [initial] * size
+        self._used = size if initial is not None else 0
         self.accesses = 0
 
     def read(self, index: int) -> Optional[V]:
@@ -88,9 +94,19 @@ class RegisterArray(Generic[V]):
         self.accesses += 1
         return self._cells[index]
 
+    def peek(self, index: int) -> Optional[V]:
+        """Control-plane read that does not count as a data-plane access."""
+        self._check_index(index)
+        return self._cells[index]
+
     def write(self, index: int, value: Optional[V]) -> None:
         self._check_index(index)
         self.accesses += 1
+        old = self._cells[index]
+        if old is None and value is not None:
+            self._used += 1
+        elif old is not None and value is None:
+            self._used -= 1
         self._cells[index] = value
 
     def clear(self, index: int) -> None:
@@ -101,7 +117,14 @@ class RegisterArray(Generic[V]):
             raise IndexError(f"register index {index} out of range for {self.name}[{self.size}]")
 
     def used_cells(self) -> int:
-        return sum(1 for cell in self._cells if cell is not None)
+        return self._used
+
+    def used_entries(self) -> Iterator[Tuple[int, V]]:
+        """Iterate the occupied cells as (index, value) pairs."""
+        if self._used:
+            for index, cell in enumerate(self._cells):
+                if cell is not None:
+                    yield index, cell
 
 
 class IndexAllocator:

@@ -15,10 +15,14 @@
 from .runner import MeetingSetupConfig, Testbed, add_participant, build_scallop_testbed, build_software_testbed
 from .batch_throughput import (
     BatchThroughputPoint,
+    ShardThroughputPoint,
     build_meeting_pipeline,
     format_batch_sweep,
+    format_shard_sweep,
+    measure_shard_point,
     media_ingress,
     run_batch_throughput_sweep,
+    run_shard_throughput_sweep,
 )
 from .table_packets import PacketAccountingResult, format_table, run_packet_accounting
 from .table_resources import ResourceReport, format_report, run_resource_report
@@ -32,12 +36,15 @@ from .fig_rate_adaptation import (
 )
 from .fig_scalability import (
     ScalabilityHeadline,
+    ShardScalingPoint,
     format_design_space,
     format_headline,
+    format_shard_scaling,
     headline_numbers,
     run_design_space_sweep,
     run_improvement_sweep,
     run_minmax_sweep,
+    run_shard_scaling_sweep,
 )
 from .fig_seqrewrite import (
     RewriteOverheadPoint,
@@ -65,10 +72,14 @@ __all__ = [
     "build_scallop_testbed",
     "build_software_testbed",
     "BatchThroughputPoint",
+    "ShardThroughputPoint",
     "build_meeting_pipeline",
     "format_batch_sweep",
+    "format_shard_sweep",
+    "measure_shard_point",
     "media_ingress",
     "run_batch_throughput_sweep",
+    "run_shard_throughput_sweep",
     "PacketAccountingResult",
     "format_table",
     "run_packet_accounting",
@@ -87,12 +98,15 @@ __all__ = [
     "format_rate_adaptation",
     "run_rate_adaptation",
     "ScalabilityHeadline",
+    "ShardScalingPoint",
     "format_design_space",
     "format_headline",
+    "format_shard_scaling",
     "headline_numbers",
     "run_design_space_sweep",
     "run_improvement_sweep",
     "run_minmax_sweep",
+    "run_shard_scaling_sweep",
     "RewriteOverheadPoint",
     "evaluate_loss_rate",
     "format_sweep",

@@ -27,6 +27,7 @@ from ..dataplane.pipeline import (
     StreamForwardingEntry,
 )
 from ..dataplane.pre import L2Port
+from ..dataplane.sharding import ShardedScallopPipeline
 from ..netsim.datagram import Address, Datagram
 from ..webrtc.encoder import RtpPacketizer, SvcEncoder
 
@@ -48,12 +49,15 @@ class BatchThroughputPoint:
 
 
 def build_meeting_pipeline(
-    num_meetings: int, participants: int = 8
+    num_meetings: int, participants: int = 8, pipeline=None
 ) -> Tuple[ScallopPipeline, List[Tuple[Address, int]]]:
     """A pipeline with ``num_meetings`` replicated meetings, one active video
     sender each (the campus trace's typical meeting shape); returns the
-    pipeline and the (sender address, ssrc) pairs."""
-    pipeline = ScallopPipeline(SFU_ADDRESS)
+    pipeline and the (sender address, ssrc) pairs.  Pass ``pipeline`` to
+    configure a pre-built engine (e.g. a sharded one) instead of a fresh
+    :class:`ScallopPipeline`."""
+    if pipeline is None:
+        pipeline = ScallopPipeline(SFU_ADDRESS)
     senders: List[Tuple[Address, int]] = []
     for meeting in range(num_meetings):
         mgid = pipeline.pre.create_tree()
@@ -145,6 +149,101 @@ def run_batch_throughput_sweep(
         measure_point(count, participants=participants, frames=frames, repeats=repeats)
         for count in meeting_counts
     ]
+
+
+@dataclass(frozen=True)
+class ShardThroughputPoint:
+    """One shard-sweep point: the sharded engine at ``n_shards`` on a fixed
+    multi-meeting workload."""
+
+    num_meetings: int
+    n_shards: int
+    executor: str
+    num_packets: int
+    pps: float
+
+
+def measure_shard_point(
+    n_shards: int,
+    num_meetings: int = 50,
+    participants: int = 8,
+    frames: int = 12,
+    repeats: int = 3,
+    executor: str = "serial",
+) -> ShardThroughputPoint:
+    """Measure ``process_batch`` throughput of the sharded engine at one
+    shard count (best-of-``repeats`` with GC deferred, like
+    :func:`measure_point`)."""
+    best = float("inf")
+    num_packets = 0
+    for _ in range(repeats):
+        engine = ShardedScallopPipeline(SFU_ADDRESS, n_shards=n_shards, executor=executor)
+        try:
+            engine, senders = build_meeting_pipeline(num_meetings, participants, pipeline=engine)
+            traffic = media_ingress(senders, frames)
+            num_packets = len(traffic)
+            gc.collect()
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                engine.process_batch(traffic)
+                best = min(best, time.perf_counter() - start)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+        finally:
+            engine.close()
+    return ShardThroughputPoint(
+        num_meetings=num_meetings,
+        n_shards=n_shards,
+        executor=executor,
+        num_packets=num_packets,
+        pps=num_packets / best,
+    )
+
+
+def run_shard_throughput_sweep(
+    shard_counts: Sequence[int] = (1, 2, 4),
+    num_meetings: int = 50,
+    participants: int = 8,
+    frames: int = 12,
+    repeats: int = 3,
+    executor: str = "serial",
+) -> List[ShardThroughputPoint]:
+    """Sweep shard counts on a fixed workload.
+
+    With the default ``serial`` executor this measures the *cost* of
+    partitioning: all shards execute on one interpreter under one GIL, so
+    throughput is flat-to-slightly-lower as k grows — the point of the sweep
+    is to track that overhead across PRs and to catch regressions in the
+    partition/reassembly path.  The ``process`` executor is the parallel
+    escape hatch; its win depends on per-packet work dwarfing pickling cost.
+    """
+    return [
+        measure_shard_point(
+            k,
+            num_meetings=num_meetings,
+            participants=participants,
+            frames=frames,
+            repeats=repeats,
+            executor=executor,
+        )
+        for k in shard_counts
+    ]
+
+
+def format_shard_sweep(points: Sequence[ShardThroughputPoint]) -> str:
+    baseline = points[0].pps if points else 0.0
+    baseline_k = points[0].n_shards if points else 1
+    relative = f"vs k={baseline_k}"
+    lines = [f"{'shards':>7} {'executor':>9} {'packets':>9} {'pps':>13} {relative:>9}"]
+    for point in points:
+        lines.append(
+            f"{point.n_shards:>7} {point.executor:>9} {point.num_packets:>9} "
+            f"{point.pps:>13,.0f} {point.pps / baseline:>8.2f}x"
+        )
+    return "\n".join(lines)
 
 
 def format_batch_sweep(points: Sequence[BatchThroughputPoint]) -> str:

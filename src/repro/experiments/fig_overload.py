@@ -73,6 +73,11 @@ class OverloadConfig:
     saturation_participants: int = 80
     video_bitrate_bps: float = 2_200_000.0
     seed: int = 5
+    #: Deliver frames as coalesced schedule-preserving bursts.  The software
+    #: SFU ingests them through ``handle_datagram_batch`` (same modelled CPU
+    #: cost per packet), so Figures 3/4 compare the baseline like-for-like
+    #: with the batched/sharded Scallop path at high meeting counts.
+    frame_bursts: bool = False
 
     @property
     def frame_rate(self) -> float:
@@ -103,6 +108,7 @@ def run_overload_experiment(config: Optional[OverloadConfig] = None) -> Overload
         frame_rate=config.frame_rate,
         send_audio=False,
         seed=config.seed,
+        frame_bursts=config.frame_bursts,
     )
     cpu = CpuPool(cores=1, base_cost_s=config.per_packet_cost_s(), per_byte_cost_s=0.0, seed=config.seed)
     # The paper's overload experiment does not constrain any downlink, so the

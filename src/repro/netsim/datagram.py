@@ -83,6 +83,14 @@ class Datagram:
     size: int = 0                      # UDP payload bytes; derived if zero
     kind: PayloadKind = PayloadKind.OTHER
     sent_at: float = 0.0               # stamped by the sending endpoint
+    #: Schedule-preserving burst timestamp: when this datagram travels inside
+    #: a coalesced burst, the time it would have arrived at (or, on the send
+    #: side, departed towards) its current hop under per-packet delivery.
+    #: ``None`` outside burst mode, where the simulator's per-packet events
+    #: carry the timing.  Links stamp it on every burst hop; receivers use it
+    #: as the packet's true arrival time so estimators (GCC) observe real
+    #: pacing even though the burst rides a single simulator event.
+    arrived_at: Optional[float] = None
     meta: dict = field(default_factory=dict, compare=False, hash=False)
 
     def __post_init__(self) -> None:
@@ -116,6 +124,18 @@ class Datagram:
         instance = object.__new__(cls)
         object.__setattr__(instance, "__dict__", fields)
         return instance
+
+    def __getstate__(self) -> dict:
+        # replicas share one read-only MappingProxyType meta view, which
+        # cannot be pickled; materialize it so datagrams can cross process
+        # boundaries (the sharded pipeline's process-pool escape hatch)
+        state = dict(self.__dict__)
+        if not isinstance(state["meta"], dict):
+            state["meta"] = dict(state["meta"])
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        object.__setattr__(self, "__dict__", state)
 
     def redirect(self, src: Address, dst: Address) -> "Datagram":
         """Return a copy with rewritten addresses (what the SFU egress does)."""

@@ -7,6 +7,17 @@ captures the properties the paper varies — bandwidth, propagation delay,
 jitter, random loss, and reordering — and a :class:`Link` enforces them with a
 simple FIFO queue (serialization delay + bounded queueing, i.e. a token-less
 tail-drop queue like a home router).
+
+Bursts are **deliver-with-schedule**: a burst rides one simulator event per
+hop, but every datagram inside it carries the arrival timestamp it would have
+had under per-packet delivery (``Datagram.arrived_at``, re-stamped hop by
+hop through the same admission arithmetic as :meth:`Link.send`).  Receivers
+therefore observe true per-packet pacing — GCC's inter-arrival filter sees
+the same timings in burst mode as in per-packet mode — while batch-capable
+endpoints still ingest one batch per event.  On the receive side the network
+keeps a per-endpoint RX queue: every burst landing at an endpoint is drained
+in one pass, so batch sizes follow instantaneous load (an IO-driven dataplane
+draining its socket) instead of the sender's fixed frame-burst size.
 """
 
 from __future__ import annotations
@@ -23,9 +34,9 @@ class Endpoint(Protocol):
     """Anything that can receive datagrams from the network.
 
     Endpoints may optionally also define ``handle_datagram_batch(datagrams)``;
-    the network then hands them whole bursts (see :meth:`Network.send_burst`)
-    so batch-capable receivers such as the Scallop SFU can amortize per-packet
-    work through their batch APIs.
+    the network then hands them whole RX-queue drains (see
+    :meth:`Network.send_burst`) so batch-capable receivers such as the Scallop
+    SFU can amortize per-packet work through their batch APIs.
     """
 
     address: Address
@@ -70,6 +81,10 @@ SFU_PORT_PROFILE = LinkProfile(bandwidth_bps=1_000_000_000.0, propagation_delay_
 DEFAULT_ACCESS_PROFILE = LinkProfile(bandwidth_bps=50_000_000.0, propagation_delay_s=0.01)
 
 
+def _arrival_key(datagram: Datagram) -> float:
+    return datagram.arrived_at if datagram.arrived_at is not None else 0.0
+
+
 class Link:
     """A one-way link delivering datagrams to a destination callback.
 
@@ -87,6 +102,7 @@ class Link:
         rng: Optional[random.Random] = None,
         name: str = "link",
         deliver_batch: Optional[Callable[[List[Datagram]], None]] = None,
+        admission_coalesce_window_s: float = 0.0,
     ) -> None:
         self.simulator = simulator
         self.profile = profile
@@ -95,6 +111,22 @@ class Link:
         self.rng = rng or random.Random(0)
         self.name = name
         self._busy_until = 0.0
+        #: Monotone admission clock — a backstop for bursts from different
+        #: sources reaching a shared link as separate events: their packets'
+        #: scheduled admission times can interleave into the past relative to
+        #: packets already admitted, and lifting late-admitted packets to this
+        #: frontier keeps the queue model FIFO-in-admission-order instead of
+        #: charging them phantom queue backlog built by "future" packets.
+        #: The admission-coalescing window below exists to make such lifts
+        #: rare: sub-bursts landing within the window are merged and admitted
+        #: in true arrival order, which preserves the interleaved pacing a
+        #: per-packet simulation would produce.
+        self._admission_frontier = 0.0
+        #: Merge window for burst admissions on shared links (0 = admit each
+        #: ``send_burst`` call immediately).
+        self.admission_coalesce_window_s = admission_coalesce_window_s
+        self._pending_burst: List[Datagram] = []
+        self._pending_flush = False
         self.packets_sent = 0
         self.packets_dropped = 0
         self.bytes_sent = 0
@@ -105,6 +137,11 @@ class Link:
 
     def send(self, datagram: Datagram) -> bool:
         """Enqueue a datagram; returns False if it was dropped."""
+        # admission is FIFO: a burst held for admission coalescing arrived
+        # first and must claim its queue slots before this packet, or the
+        # per-packet path would overtake it and skew the burst's schedule
+        if self._pending_burst:
+            self._flush_pending_burst()
         delay = self._admit(datagram)
         if delay is None:
             return False
@@ -112,39 +149,80 @@ class Link:
         return True
 
     def send_burst(self, datagrams: Sequence[Datagram]) -> int:
-        """Enqueue a burst; returns how many datagrams were accepted.
+        """Enqueue a burst with deliver-with-schedule semantics; returns how
+        many datagrams were accepted.
 
         Every datagram passes through exactly the same loss, queue-limit, and
-        delay arithmetic as :meth:`send`, but the accepted packets ride a
-        single simulator event: the burst is delivered in order when its last
-        bit has arrived (the arrival time of the slowest accepted packet).
-        This is the approximation that lets a downstream batch receiver see
-        the whole burst at once; per-packet mode remains the reference
-        behaviour and is what :meth:`send` provides.
+        delay arithmetic as :meth:`send`, evaluated at the datagram's own
+        admission time: its ``arrived_at`` stamp from the previous hop, or
+        "now" for a freshly originated burst (a sender emits a frame's packets
+        back-to-back at one instant, so this matches per-packet sends).
+        Admission happens in true arrival order — each call's datagrams are
+        sorted by schedule first, and on a link with an admission-coalescing
+        window, sub-bursts from separate upstream events landing within the
+        window are merged before admission — so the queue model sees the same
+        interleaving a per-packet simulation would.  Each accepted packet is
+        re-stamped with its per-packet arrival time at the far end, and the
+        merged burst rides a single simulator event at the last packet's
+        arrival.  Returns how many datagrams were admitted (for a coalescing
+        link, how many were enqueued for the deferred admission).
         """
+        pending = list(datagrams)
+        if self.admission_coalesce_window_s <= 0.0:
+            return self._admit_burst(pending)
+        self._pending_burst.extend(pending)
+        if not self._pending_flush:
+            self._pending_flush = True
+            self.simulator.schedule(self.admission_coalesce_window_s, self._flush_pending_burst)
+        return len(pending)
+
+    def _flush_pending_burst(self) -> None:
+        self._pending_flush = False
+        pending, self._pending_burst = self._pending_burst, []
+        if pending:
+            self._admit_burst(pending)
+
+    def _admit_burst(self, datagrams: List[Datagram]) -> int:
+        now = self.simulator.now
+        # admit in true arrival order (stable on ties, i.e. send order): the
+        # queue/busy arithmetic, the RNG draws, and the far end must all see
+        # packets in the order a per-packet simulation would produce
+        datagrams.sort(key=_arrival_key)
         accepted: List[Datagram] = []
-        burst_delay = 0.0
+        last_arrival = now
         for datagram in datagrams:
-            delay = self._admit(datagram)
+            at = datagram.arrived_at
+            if at is None:
+                at = now
+            delay = self._admit(datagram, at)
             if delay is None:
                 continue
-            accepted.append(datagram)
-            if delay > burst_delay:
-                burst_delay = delay
+            arrival = at + delay
+            accepted.append(replace(datagram, arrived_at=arrival))
+            if arrival > last_arrival:
+                last_arrival = arrival
         if accepted:
+            accepted.sort(key=_arrival_key)  # jitter/reordering can permute
+            event_delay = max(0.0, last_arrival - now)
             if self.deliver_batch is not None:
-                self.simulator.schedule(burst_delay, lambda batch=accepted: self.deliver_batch(batch))
+                self.simulator.schedule(event_delay, lambda batch=accepted: self.deliver_batch(batch))
             else:
                 self.simulator.schedule_batch(
-                    burst_delay, [lambda d=datagram: self.deliver(d) for datagram in accepted]
+                    event_delay, [lambda d=datagram: self.deliver(d) for datagram in accepted]
                 )
         return len(accepted)
 
-    def _admit(self, datagram: Datagram) -> Optional[float]:
-        """Run one datagram through the link model; returns its delivery
-        delay, or ``None`` if it was dropped (loss or queue overflow)."""
+    def _admit(self, datagram: Datagram, at: Optional[float] = None) -> Optional[float]:
+        """Run one datagram through the link model at admission time ``at``
+        (default: now); returns its delivery delay relative to ``at``, or
+        ``None`` if it was dropped (loss or queue overflow)."""
         profile = self.profile
-        now = self.simulator.now
+        origin = self.simulator.now if at is None else at
+        now = origin
+        if now < self._admission_frontier:
+            now = self._admission_frontier
+        else:
+            self._admission_frontier = now
 
         if profile.loss_rate > 0 and self.rng.random() < profile.loss_rate:
             self.packets_dropped += 1
@@ -158,7 +236,9 @@ class Link:
             return None
 
         self._busy_until = max(self._busy_until, now) + serialization
-        delay = queue_delay + serialization + profile.propagation_delay_s
+        # the returned delay is relative to the caller's admission time, so a
+        # frontier lift shows up as extra queueing delay
+        delay = (now - origin) + queue_delay + serialization + profile.propagation_delay_s
         if profile.jitter_s > 0:
             delay += self.rng.uniform(0, profile.jitter_s)
         if profile.reorder_rate > 0 and self.rng.random() < profile.reorder_rate:
@@ -182,12 +262,27 @@ class Network:
     as a normal endpoint with a high-bandwidth profile.
     """
 
-    def __init__(self, simulator: Simulator, seed: int = 0) -> None:
+    def __init__(
+        self, simulator: Simulator, seed: int = 0, rx_coalesce_window_s: float = 0.0
+    ) -> None:
         self.simulator = simulator
         self._rng = random.Random(seed)
         self._endpoints: Dict[Address, Endpoint] = {}
         self._uplinks: Dict[Address, Link] = {}
         self._downlinks: Dict[Address, Link] = {}
+        #: Per-endpoint receive queues for burst deliveries: every burst
+        #: landing at an endpoint is appended here and drained in one pass,
+        #: so the batch an endpoint sees grows with instantaneous load
+        #: (adaptive batch sizing) instead of the sender's frame-burst size.
+        self._rx_queues: Dict[Address, List[Datagram]] = {}
+        self._rx_drain_pending: Dict[Address, bool] = {}
+        #: NIC-style interrupt moderation for burst deliveries: bursts that
+        #: land within this window of the first pending one join the same
+        #: RX-queue drain.  Because datagrams carry their true arrival times
+        #: (deliver-with-schedule), widening the window changes only *event*
+        #: times, never the packet timings receivers measure; 0 coalesces
+        #: same-instant deliveries only.
+        self.rx_coalesce_window_s = rx_coalesce_window_s
         self.datagrams_delivered = 0
 
     # -- topology management --------------------------------------------------
@@ -205,6 +300,11 @@ class Network:
         self._endpoints[address] = endpoint
         up_profile = uplink or DEFAULT_ACCESS_PROFILE
         down_profile = downlink or DEFAULT_ACCESS_PROFILE
+        # uplinks must keep admission_coalesce_window_s == 0: each sender's
+        # bursts arrive in one event (no cross-source merging to do), and
+        # Network.send_burst's accepted-count return relies on uplink
+        # admission being synchronous (a coalescing link can only report how
+        # many datagrams it enqueued, not how many survive admission)
         self._uplinks[address] = Link(
             self.simulator,
             up_profile,
@@ -220,6 +320,11 @@ class Network:
             rng=random.Random(self._rng.getrandbits(32)),
             name=f"down:{address}",
             deliver_batch=self._make_delivery_burst(address),
+            # a downlink is the shared fan-in point of the star: sub-bursts
+            # from many uplinks land as separate events, and merging them
+            # within the moderation window lets the link admit them in true
+            # arrival order (interleaved, as per-packet delivery would)
+            admission_coalesce_window_s=self.rx_coalesce_window_s,
         )
 
     def detach(self, address: Address) -> None:
@@ -227,6 +332,8 @@ class Network:
         self._endpoints.pop(address, None)
         self._uplinks.pop(address, None)
         self._downlinks.pop(address, None)
+        self._rx_queues.pop(address, None)
+        self._rx_drain_pending.pop(address, None)
 
     def endpoint(self, address: Address) -> Optional[Endpoint]:
         return self._endpoints.get(address)
@@ -251,17 +358,23 @@ class Network:
         uplink = self._uplinks.get(datagram.src)
         if uplink is None:
             raise KeyError(f"source not attached: {datagram.src}")
-        stamped = replace_sent_at(datagram, self.simulator.now)
+        # per-packet mode: the simulator event carries the timing, so any
+        # stale burst schedule from an earlier hop must not leak through
+        stamped = replace(datagram, sent_at=self.simulator.now, arrived_at=None)
         return uplink.send(stamped)
 
     def send_burst(self, datagrams: Sequence[Datagram]) -> int:
         """Send a burst of datagrams (e.g. one video frame) as a unit.
 
-        Bursts traverse the same links and arithmetic as :meth:`send` but
-        stay coalesced hop by hop, so an endpoint that implements
-        ``handle_datagram_batch`` (the Scallop SFU) receives them together
-        and can run its batch pipeline.  Datagrams may come from multiple
-        sources; each source's packets use that source's uplink.
+        Bursts traverse the same links and arithmetic as :meth:`send` with
+        per-packet arrival schedules preserved hop by hop (deliver-with-
+        schedule), so an endpoint that implements ``handle_datagram_batch``
+        (the Scallop SFU) receives them together and can run its batch
+        pipeline while timing-sensitive receivers still observe true pacing.
+        Datagrams may come from multiple sources; each source's packets use
+        that source's uplink.  A datagram whose ``arrived_at`` is already set
+        (the SFU stamps its replicas with their switch-egress times) is
+        admitted to its uplink at that time rather than "now".
         Returns how many datagrams were accepted by their uplinks.
         """
         accepted = 0
@@ -310,18 +423,41 @@ class Network:
 
     def _make_delivery_burst(self, dst: Address) -> Callable[[List[Datagram]], None]:
         def deliver_burst(datagrams: List[Datagram]) -> None:
-            endpoint = self._endpoints.get(dst)
-            if endpoint is None:
+            if dst not in self._endpoints:
                 return
-            self.datagrams_delivered += len(datagrams)
-            batch_handler = getattr(endpoint, "handle_datagram_batch", None)
-            if batch_handler is not None:
-                batch_handler(datagrams)
-                return
-            for datagram in datagrams:
-                endpoint.handle_datagram(datagram)
+            queue = self._rx_queues.setdefault(dst, [])
+            queue.extend(datagrams)
+            # coalesce: every burst landing at this endpoint within the
+            # moderation window joins the queue before the (single) drain
+            # event runs, so the endpoint sees one load-sized batch per event
+            if not self._rx_drain_pending.get(dst):
+                self._rx_drain_pending[dst] = True
+                self.simulator.schedule(self.rx_coalesce_window_s, lambda: self._drain_rx_queue(dst))
 
         return deliver_burst
+
+    def _drain_rx_queue(self, dst: Address) -> None:
+        """Hand an endpoint everything queued for it (adaptive batch size)."""
+        if dst in self._rx_drain_pending:
+            self._rx_drain_pending[dst] = False
+        # (a drain whose endpoint detached mid-window must not resurrect the
+        # popped bookkeeping keys for the departed address)
+        queue = self._rx_queues.get(dst)
+        if not queue:
+            return
+        batch = queue[:]
+        queue.clear()
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None:
+            return
+        self.datagrams_delivered += len(batch)
+        batch_handler = getattr(endpoint, "handle_datagram_batch", None)
+        if batch_handler is not None:
+            batch_handler(batch)
+            return
+        handle = endpoint.handle_datagram
+        for datagram in batch:
+            handle(datagram)
 
 
 def replace_sent_at(datagram: Datagram, time: float) -> Datagram:

@@ -315,8 +315,26 @@ class WebRtcClient:
         elif datagram.kind == PayloadKind.STUN and isinstance(datagram.payload, StunMessage):
             self._handle_stun(datagram.payload, datagram)
 
+    def handle_datagram_batch(self, datagrams: List[Datagram]) -> None:
+        """Drain one RX-queue batch (deliver-with-schedule burst mode).
+
+        The client still processes every packet individually — a browser has
+        no batch semantics — but receiving the drain as one call keeps the
+        burst coalesced end to end.  Per-packet timing is taken from each
+        datagram's ``arrived_at`` schedule (see :meth:`_receive_clock`), so
+        jitter, latency, and GCC measurements are unaffected by coalescing.
+        """
+        for datagram in datagrams:
+            self.handle_datagram(datagram)
+
+    def _receive_clock(self, datagram: Datagram) -> float:
+        """The packet's true arrival time: its burst schedule if it rode a
+        coalesced burst, the current event time otherwise."""
+        arrived_at = datagram.arrived_at
+        return self.simulator.now if arrived_at is None else arrived_at
+
     def _handle_rtp(self, packet: RtpPacket, datagram: Datagram) -> None:
-        now = self.simulator.now
+        now = self._receive_clock(datagram)
         tx_time = datagram.meta.get("tx_time")
         if tx_time is not None:
             self.rtp_latency_samples_ms.append((now - tx_time) * 1000.0)
@@ -383,7 +401,7 @@ class WebRtcClient:
         elif message.is_success_response:
             sent_at = self._stun_pending.pop(message.transaction_id, None)
             if sent_at is not None:
-                self.rtt_samples_ms.append((self.simulator.now - sent_at) * 1000.0)
+                self.rtt_samples_ms.append((self._receive_clock(datagram) - sent_at) * 1000.0)
 
     # ------------------------------------------------------------------ stats
 

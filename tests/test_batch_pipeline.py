@@ -139,6 +139,9 @@ class TestBatchEquivalence:
         for start in range(0, len(traffic), 7):
             parts.extend(chunked.process_batch(traffic[start : start + 7]))
         assert_equivalent(whole, parts)
+        # per-packet and batched accounting flow through one helper
+        # (PipelineCounters._add), so chunking must not perturb any tally
+        assert dataclasses.asdict(one_shot.counters) == dataclasses.asdict(chunked.counters)
 
     def test_replica_meta_is_immutable_view(self):
         batched, _ = build_pipeline()

@@ -103,6 +103,19 @@ class TestFigures15to17:
         design = run_design_space_sweep([2, 10, 50])
         assert len(format_design_space(design).splitlines()) == 4
 
+    def test_shard_scaling_sweep_reports_efficiency(self):
+        from repro.experiments import format_shard_scaling, run_shard_scaling_sweep
+
+        points = run_shard_scaling_sweep(shard_counts=(1, 2), num_meetings=2, repeats=1)
+        assert [p.n_shards for p in points] == [1, 2]
+        assert points[0].speedup == pytest.approx(1.0)
+        assert points[0].efficiency == pytest.approx(1.0)
+        # serial shards share one interpreter: efficiency at k=2 is bounded
+        # by the GIL (the sweep quantifies it, it cannot exceed ~1)
+        assert 0.0 < points[1].efficiency <= 1.2
+        assert points[1].speedup == pytest.approx(points[1].efficiency * 2)
+        assert len(format_shard_scaling(points).splitlines()) == 3
+
 
 class TestFigure14RateAdaptation:
     def test_constrained_participant_is_adapted_without_freezing(self):
