@@ -27,6 +27,7 @@ from ..netsim.link import LinkProfile, Network
 from ..netsim.simulator import Simulator
 from ..rtp.av1 import DecodeTarget, TemplateStructure, extract_dependency_descriptor
 from ..rtp.packet import PT_AUDIO_OPUS, RtpPacket, SEQ_MOD
+from ..rtp.wire import PacketView
 from ..rtp.rtcp import Nack, PictureLossIndication, ReceiverReport, Remb, RtcpPacket, SenderReport
 from ..signaling.messages import join_message, leave_message
 from ..stun.message import StunMessage, make_binding_response
@@ -186,6 +187,12 @@ class SoftwareSfu:
     def _dispatch(self, datagram: Datagram, receive_delay_s: float = 0.0) -> None:
         if datagram.kind == PayloadKind.RTP and isinstance(datagram.payload, RtpPacket):
             self._forward_media(datagram, datagram.payload, receive_delay_s)
+        elif datagram.kind == PayloadKind.RTP and isinstance(datagram.payload, PacketView):
+            # a split proxy terminates the stream in user space: wire-native
+            # ingress is decoded once here and re-originated per receiver as
+            # object packets (which is exactly the per-copy work the paper's
+            # baseline pays and Scallop's header rewrite avoids)
+            self._forward_media(datagram, datagram.payload.to_packet(), receive_delay_s)
         elif datagram.kind == PayloadKind.RTCP:
             self._handle_rtcp(datagram)
         elif datagram.kind == PayloadKind.STUN and isinstance(datagram.payload, StunMessage):

@@ -24,6 +24,7 @@ from ..dataplane.pipeline import FeedbackRule, ScallopPipeline
 from ..netsim.datagram import Address, Datagram, PayloadKind
 from ..rtp.av1 import DecodeTarget, TemplateStructure, extract_dependency_descriptor
 from ..rtp.packet import RtpPacket
+from ..rtp.wire import PacketView
 from ..rtp.rtcp import Nack, PictureLossIndication, ReceiverReport, Remb, RtcpPacket, SenderReport
 from ..stun.message import StunMessage, make_binding_response
 from .capacity import ReplicationDesign, RewriteVariant
@@ -96,39 +97,51 @@ class SwitchAgent:
         participants: Sequence[ParticipantEndpoint],
         design: Optional[ReplicationDesign] = None,
     ) -> None:
-        """(Re)install a meeting's replication state and feedback rules."""
-        if meeting_id in self.replication.meetings:
-            self.replication.remove_meeting(meeting_id)
-            for pid in [p for p, s in self._participants.items() if s.meeting_id == meeting_id]:
-                self._forget_participant(pid)
-        self.replication.install_meeting(meeting_id, participants, design=design)
-        for participant in participants:
-            self._register_participant(meeting_id, participant)
-        self._install_feedback_rules(meeting_id)
-        self.counters.rule_updates += 1
+        """(Re)install a meeting's replication state and feedback rules.
 
-    def add_participant(self, meeting_id: str, participant: ParticipantEndpoint) -> None:
-        if meeting_id not in self.replication.meetings:
-            self.replication.install_meeting(meeting_id, [participant])
-        else:
-            self.replication.add_participant(meeting_id, participant)
-        self._register_participant(meeting_id, participant)
-        self._install_feedback_rules(meeting_id)
-        self.counters.rule_updates += 1
-
-    def remove_participant(self, meeting_id: str, participant_id: str) -> None:
-        if meeting_id in self.replication.meetings:
-            self.replication.remove_participant(meeting_id, participant_id)
-        self._forget_participant(participant_id)
-        self.downlink_filter.forget_receiver(participant_id)
-        self.downlink_filter.forget_sender(participant_id)
-        self.decode_targets.forget(participant_id)
-        if meeting_id in self.replication.meetings:
+        All meeting-lifecycle writes run inside
+        :meth:`~repro.dataplane.pipeline.PipelineControlPlane.batched_writes`,
+        so a join that installs dozens of table entries and PRE nodes bumps
+        each write generation once — datapath caches invalidate once per
+        join, and process-executor workers resync on one snapshot instead of
+        one per write.
+        """
+        with self.pipeline.batched_writes():
+            if meeting_id in self.replication.meetings:
+                self.replication.remove_meeting(meeting_id)
+                for pid in [p for p, s in self._participants.items() if s.meeting_id == meeting_id]:
+                    self._forget_participant(pid)
+            self.replication.install_meeting(meeting_id, participants, design=design)
+            for participant in participants:
+                self._register_participant(meeting_id, participant)
             self._install_feedback_rules(meeting_id)
         self.counters.rule_updates += 1
 
+    def add_participant(self, meeting_id: str, participant: ParticipantEndpoint) -> None:
+        with self.pipeline.batched_writes():
+            if meeting_id not in self.replication.meetings:
+                self.replication.install_meeting(meeting_id, [participant])
+            else:
+                self.replication.add_participant(meeting_id, participant)
+            self._register_participant(meeting_id, participant)
+            self._install_feedback_rules(meeting_id)
+        self.counters.rule_updates += 1
+
+    def remove_participant(self, meeting_id: str, participant_id: str) -> None:
+        with self.pipeline.batched_writes():
+            if meeting_id in self.replication.meetings:
+                self.replication.remove_participant(meeting_id, participant_id)
+            self._forget_participant(participant_id)
+            self.downlink_filter.forget_receiver(participant_id)
+            self.downlink_filter.forget_sender(participant_id)
+            self.decode_targets.forget(participant_id)
+            if meeting_id in self.replication.meetings:
+                self._install_feedback_rules(meeting_id)
+        self.counters.rule_updates += 1
+
     def migrate_meeting(self, meeting_id: str, design: ReplicationDesign) -> None:
-        self.replication.migrate(meeting_id, design)
+        with self.pipeline.batched_writes():
+            self.replication.migrate(meeting_id, design)
         self.counters.migrations += 1
 
     def meeting_design(self, meeting_id: str) -> Optional[ReplicationDesign]:
@@ -187,6 +200,10 @@ class SwitchAgent:
                 self._handle_rtcp(datagram.src, packet)
         elif datagram.kind == PayloadKind.RTP and isinstance(datagram.payload, RtpPacket):
             self._handle_extended_descriptor(datagram.src, datagram.payload)
+        elif datagram.kind == PayloadKind.RTP and isinstance(datagram.payload, PacketView):
+            # wire-native CPU copy (extended descriptor punt): the agent is
+            # software — decoding once here is precisely the paper's split
+            self._handle_extended_descriptor(datagram.src, datagram.payload.to_packet())
 
     def _handle_stun(self, datagram: Datagram) -> None:
         message: StunMessage = datagram.payload  # type: ignore[assignment]
@@ -274,27 +291,28 @@ class SwitchAgent:
         SFU wrapper, mirroring the periodic EWMA maximum selection of §5.3.
         """
         updates = 0
-        for sender_id, state in list(self._participants.items()):
-            best, changed = self.downlink_filter.reselect(sender_id)
-            if best is None or not changed:
-                continue
-            meeting = self.replication.meetings.get(state.meeting_id)
-            if meeting is None:
-                continue
-            for receiver in meeting.participants.values():
-                if receiver.participant_id == sender_id:
+        with self.pipeline.batched_writes():
+            for sender_id, state in list(self._participants.items()):
+                best, changed = self.downlink_filter.reselect(sender_id)
+                if best is None or not changed:
                     continue
-                for _kind, ssrc in state.endpoint.media_ssrcs():
-                    self.pipeline.install_feedback_rule(
-                        receiver.address,
-                        ssrc,
-                        FeedbackRule(
-                            sender=state.endpoint.address,
-                            forward_remb=(receiver.participant_id == best),
-                            forward_nack_pli=True,
-                        ),
-                    )
-                    updates += 1
+                meeting = self.replication.meetings.get(state.meeting_id)
+                if meeting is None:
+                    continue
+                for receiver in meeting.participants.values():
+                    if receiver.participant_id == sender_id:
+                        continue
+                    for _kind, ssrc in state.endpoint.media_ssrcs():
+                        self.pipeline.install_feedback_rule(
+                            receiver.address,
+                            ssrc,
+                            FeedbackRule(
+                                sender=state.endpoint.address,
+                                forward_remb=(receiver.participant_id == best),
+                                forward_nack_pli=True,
+                            ),
+                        )
+                        updates += 1
         if updates:
             self.counters.rule_updates += updates
         return updates

@@ -25,6 +25,7 @@ from ..rtp.extensions import (
     decode_extensions,
 )
 from ..rtp.packet import PT_AUDIO_OPUS, RtpPacket
+from ..rtp.wire import PacketView
 from ..rtp.rtcp import (
     Nack,
     PictureLossIndication,
@@ -97,7 +98,11 @@ class IngressParser:
             return ParseResult(packet_class=PacketClass.STUN, needs_cpu=True)
         if datagram.kind == PayloadKind.RTCP:
             return self._parse_rtcp(datagram)
-        if datagram.kind == PayloadKind.RTP and isinstance(datagram.payload, RtpPacket):
+        if datagram.kind == PayloadKind.RTP and isinstance(
+            datagram.payload, (RtpPacket, PacketView)
+        ):
+            # _parse_rtp reads only payload_type/ssrc/extension, which both
+            # the object model and the wire-native view expose identically
             return self._parse_rtp(datagram.payload)
         return ParseResult(packet_class=PacketClass.UNKNOWN, needs_cpu=True)
 
@@ -118,6 +123,24 @@ class IngressParser:
             # flatten to (profile, bytes): bytes cache their hash, the frozen
             # dataclass recomputes it on every lookup
             key = (packet.ssrc, packet.payload_type, extension.profile, extension.data)
+        return self._memoized_parse(key, packet)
+
+    def parse_rtp_wire_cached(self, view: PacketView) -> ParseResult:
+        """Memoized RTP parse for wire-native packets (the zero-decode path).
+
+        Shares the memo dictionary (and key space) with
+        :meth:`parse_rtp_cached`: the key is the tuple of exactly the bytes
+        the parse outcome depends on, so mixed wire/object traffic of the
+        same stream hits one cache.  The header fields are read straight off
+        the buffer; only a cache miss walks the extension elements (through
+        the same :meth:`_parse_rtp` the object path uses, so the resulting
+        :class:`ParseResult` is identical field for field).
+        """
+        return self._memoized_parse(view.parse_key(), view)
+
+    def _memoized_parse(self, key: tuple, packet: "RtpPacket | PacketView") -> ParseResult:
+        """Shared cache lookup + punt/parse accounting for both RTP fast
+        paths (object and wire build only the key differently)."""
         cached = self._rtp_parse_cache.get(key)
         if cached is not None:
             self.packets_parsed += 1
@@ -134,7 +157,7 @@ class IngressParser:
 
     # -- RTP -----------------------------------------------------------------------
 
-    def _parse_rtp(self, packet: RtpPacket) -> ParseResult:
+    def _parse_rtp(self, packet: "RtpPacket | PacketView") -> ParseResult:
         if packet.payload_type == PT_AUDIO_OPUS:
             return ParseResult(packet_class=PacketClass.RTP_AUDIO, ssrc=packet.ssrc, parse_depth=12)
 

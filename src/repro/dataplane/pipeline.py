@@ -41,13 +41,15 @@ generations, compared against the datapath's own generation stamp).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from enum import Enum
 from types import MappingProxyType
-from typing import Callable, Dict, FrozenSet, List, Optional, Protocol, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Protocol, Sequence, Set, Tuple
 
 from ..netsim.datagram import Address, Datagram, PayloadKind
 from ..rtp.packet import RtpPacket
+from ..rtp.wire import PacketView
 from ..rtp.rtcp import (
     Nack,
     PictureLossIndication,
@@ -290,6 +292,10 @@ class PipelineControlPlane:
         #: release always balances the original attribution even if routing
         #: would resolve differently at release time.
         self._tracker_charges: Dict[Tuple[int, Address], Tuple[Optional[object], int]] = {}
+        #: Write-batching state (:meth:`batched_writes`): nesting depth and
+        #: the register indices whose datapath fan-out is deferred.
+        self._write_batch_depth = 0
+        self._deferred_tracker_indices: Set[int] = set()
 
     # ------------------------------------------------------------------ datapath wiring
 
@@ -316,9 +322,82 @@ class PipelineControlPlane:
 
     def _write_tracker(self, index: int, rewriter: Optional[SequenceRewriter]) -> None:
         self.stream_trackers.write(index, rewriter)
+        if self._write_batch_depth:
+            # inside batched_writes(): the canonical register is current (so
+            # later control reads in the same batch see it), but the per-shard
+            # fan-out is coalesced to one write per index at batch exit
+            self._deferred_tracker_indices.add(index)
+            return
         for datapath in self._datapaths:
             if datapath.trackers is not self.stream_trackers:
                 datapath.trackers.write(index, rewriter)
+
+    # ------------------------------------------------------------------ write batching
+
+    @contextmanager
+    def batched_writes(self) -> Iterator["PipelineControlPlane"]:
+        """Coalesce a burst of control-plane writes into one generation bump.
+
+        Meeting setup installs dozens of table entries, PRE nodes, and
+        rewriter registers back to back; outside this context every one of
+        them bumps a write generation (invalidating every datapath's
+        memoized flow resolution and, under the process executor, forcing a
+        fresh control-plane snapshot per write) and fans register writes out
+        to every shard view individually.  Inside the context, each touched
+        table/PRE bumps its generation exactly once at exit and register
+        fan-out happens once per index.
+
+        All writes remain immediately visible to control-plane *reads*
+        (``peek``/allocator state); only the change *notifications* are
+        deferred.  The context is therefore not meant to be held across
+        datapath batches — it brackets pure control-plane sections such as a
+        meeting join, which is how :class:`~repro.core.switch_agent.SwitchAgent`
+        uses it.  Reentrant: nested contexts commit at the outermost exit.
+        """
+        self._begin_write_batch()
+        try:
+            yield self
+        finally:
+            self._end_write_batch()
+
+    def install_many(self):
+        """Alias for :meth:`batched_writes` (reads better at call sites that
+        batch a known plural of installs)."""
+        return self.batched_writes()
+
+    def _all_tables(self) -> Tuple[ExactMatchTable, ...]:
+        return (
+            self.stream_table,
+            self.replica_table,
+            self.adaptation_table,
+            self.feedback_table,
+            self.ssrc_table,
+        )
+
+    def _begin_write_batch(self) -> None:
+        self._write_batch_depth += 1
+        if self._write_batch_depth > 1:
+            return
+        for table in self._all_tables():
+            table.defer_version_bumps()
+        self.pre.defer_generation_bumps()
+
+    def _end_write_batch(self) -> None:
+        self._write_batch_depth -= 1
+        if self._write_batch_depth:
+            return
+        deferred = self._deferred_tracker_indices
+        if deferred:
+            trackers = self.stream_trackers
+            for index in sorted(deferred):
+                value = trackers.peek(index)
+                for datapath in self._datapaths:
+                    if datapath.trackers is not trackers:
+                        datapath.trackers.write(index, value)
+            deferred.clear()
+        for table in self._all_tables():
+            table.commit_version_bumps()
+        self.pre.commit_generation_bumps()
 
     # ------------------------------------------------------------------ control API
 
@@ -437,6 +516,8 @@ class PipelineControlPlane:
         state["_datapaths"] = []
         state["_charge_scope_router"] = None
         state["_tracker_charges"] = {}
+        state["_write_batch_depth"] = 0
+        state["_deferred_tracker_indices"] = set()
         return state
 
 
@@ -501,6 +582,17 @@ class PipelineDatapath:
 
     def process(self, datagram: Datagram) -> PipelineResult:
         """Run one ingress packet through the pipeline."""
+        if datagram.kind is PayloadKind.RTP and isinstance(datagram.payload, PacketView):
+            # wire-native media never materializes an RtpPacket: the single
+            # packet runs through the (cached) wire path with its accounting
+            # folded in immediately, so per-packet and batch wire processing
+            # stay indistinguishable
+            self._ensure_resolution_cache_fresh()
+            tally: Dict[Tuple[str, bool], List[int]] = {}
+            result = self._process_media_wire(datagram, tally)
+            if tally:
+                self.counters.account_tally(tally)
+            return result
         parse = self.parser.parse(datagram)
         result = PipelineResult(parse=parse)
 
@@ -541,15 +633,21 @@ class PipelineDatapath:
         results: List[PipelineResult] = []
         append = results.append
         fast_media = self._process_media_fast
+        wire_media = self._process_media_wire
         rtp_kind = PayloadKind.RTP
         # per-batch accounting tally, folded into the counters once at the
         # end; the counter state after the batch equals per-packet accounting
         tally: Dict[Tuple[str, bool], List[int]] = {}
         for datagram in datagrams:
-            if datagram.kind is rtp_kind and isinstance(datagram.payload, RtpPacket):
-                append(fast_media(datagram, tally))
-            else:
-                append(self.process(datagram))
+            if datagram.kind is rtp_kind:
+                payload = datagram.payload
+                if isinstance(payload, RtpPacket):
+                    append(fast_media(datagram, tally))
+                    continue
+                if isinstance(payload, PacketView):
+                    append(wire_media(datagram, tally))
+                    continue
+            append(self.process(datagram))
         if tally:
             self.counters.account_tally(tally)
         return results
@@ -658,6 +756,122 @@ class PipelineDatapath:
             instance_fields = copy_fields(fields)
             instance_fields["dst"] = target.address
             instance_fields["payload"] = out_packet
+            outputs.append(mint(instance_fields))
+            replicas_out += 1
+        counters.replicas_out += replicas_out
+        return result
+
+    def _process_media_wire(
+        self, datagram: Datagram, tally: Dict[Tuple[str, bool], List[int]]
+    ) -> PipelineResult:
+        """Wire-native twin of :meth:`_process_media_fast`.
+
+        The payload is a :class:`~repro.rtp.wire.PacketView` — raw wire bytes
+        with struct-offset accessors — so no :class:`RtpPacket` is ever
+        constructed: header fields are read straight off the buffer, flow
+        resolution shares the same memoized caches as the object path, and
+        sequence rewriting patches a single ``bytearray`` copy in place per
+        rewritten replica (replicas that need no rewrite alias the ingress
+        buffer).  Outputs serialize byte-identically to the object path's,
+        and every counter advances identically (property-tested in
+        ``tests/test_wire_packet_view.py``).
+        """
+        view: PacketView = datagram.payload  # type: ignore[assignment]
+        parse = self.parser.parse_rtp_wire_cached(view)
+        result = PipelineResult(parse=parse)
+        accumulate = PipelineCounters.accumulate
+
+        ssrc = parse.ssrc if parse.ssrc is not None else view.ssrc
+        flow = (datagram.src, ssrc)
+        try:
+            entry = self._entry_cache[flow]
+        except KeyError:
+            if len(self._entry_cache) >= self.RESOLUTION_CACHE_LIMIT:
+                self._entry_cache.clear()
+            entry = self._entry_cache[flow] = self.stream_table.lookup(flow)
+        if entry is None:
+            self.counters.table_misses += 1
+            accumulate(tally, parse.packet_class.value, False, datagram.size)
+            return result
+
+        to_cpu = parse.needs_cpu and parse.has_extended_descriptor
+        accumulate(tally, parse.packet_class.value, to_cpu, datagram.size)
+        if to_cpu:
+            result.cpu_copies.append(datagram)
+
+        layer = self._media_layer(entry, parse)
+        key = (datagram.src, ssrc, layer)
+        resolution = self._resolution_cache.get(key)
+        if resolution is None:
+            targets, raw_replicas, misses = self._resolve_targets_detail(entry, layer)
+            paired = tuple(
+                (target, self.adaptation_table.lookup((ssrc, target.address)))
+                for target in targets
+            )
+            resolution = _CachedResolution(paired, raw_replicas, misses)
+            if len(self._resolution_cache) >= self.RESOLUTION_CACHE_LIMIT:
+                self._resolution_cache.clear()
+            self._resolution_cache[key] = resolution
+        else:
+            if resolution.raw_replicas is not None:
+                self.pre.replications_performed += 1
+                self.pre.copies_produced += resolution.raw_replicas
+            if resolution.replica_misses:
+                self.counters.table_misses += resolution.replica_misses
+
+        is_video = parse.packet_class is PacketClass.RTP_VIDEO
+        template_id = parse.template_id
+        frame_number = parse.frame_number if parse.frame_number is not None else 0
+        sequence_number = -1  # decoded lazily: only rewritten flows need it
+        shared_meta = None
+        fields = {
+            "src": self.sfu_address,
+            "dst": None,
+            "payload": view,
+            "size": datagram.size,
+            "kind": PayloadKind.RTP,
+            "sent_at": 0.0,
+            "arrived_at": self._egress_schedule(datagram),
+            "meta": None,
+        }
+        outputs = result.outputs
+        counters = self.counters
+        trackers_read = self.trackers.read
+        touched = self.touched_tracker_indices
+        mint = Datagram.from_fields
+        copy_fields = dict
+        replicas_out = 0
+        for target, adaptation in resolution.targets:
+            out_payload: Optional[PacketView] = view
+            if is_video and adaptation is not None:
+                forward = template_id is None or template_id in adaptation.allowed_templates
+                rewriter = trackers_read(adaptation.stream_index)
+                if rewriter is None:
+                    out_payload = view if forward else None
+                else:
+                    touched.add(adaptation.stream_index)
+                    if sequence_number < 0:
+                        sequence_number = view.sequence_number
+                    new_seq = rewriter.on_packet(sequence_number, frame_number, forward)
+                    if new_seq is None:
+                        out_payload = None
+                    elif new_seq == sequence_number:
+                        # byte-identical rewrite: alias the ingress buffer
+                        out_payload = view
+                    else:
+                        out_payload = view.with_sequence_number(new_seq)
+                if out_payload is None:
+                    result.dropped_replicas += 1
+                    counters.adaptation_drops += 1
+                    continue
+            if shared_meta is None:
+                shared_meta = MappingProxyType(
+                    dict(datagram.meta, origin=datagram.src, origin_ssrc=ssrc)
+                )
+                fields["meta"] = shared_meta
+            instance_fields = copy_fields(fields)
+            instance_fields["dst"] = target.address
+            instance_fields["payload"] = out_payload
             outputs.append(mint(instance_fields))
             replicas_out += 1
         counters.replicas_out += replicas_out
@@ -874,6 +1088,8 @@ class ControlPlaneFacade:
         self.remove_adaptation = control.remove_adaptation
         self.install_feedback_rule = control.install_feedback_rule
         self.remove_feedback_rule = control.remove_feedback_rule
+        self.batched_writes = control.batched_writes
+        self.install_many = control.install_many
 
     @property
     def capacities(self) -> TofinoCapacities:

@@ -83,6 +83,24 @@ class PacketReplicationEngine:
         #: Monotonic generation counter bumped on every tree/node mutation so
         #: forwarding caches built on replication results can detect staleness.
         self.generation = 0
+        self._generation_deferred = False
+        self._pending_bump = False
+
+    def _bump_generation(self) -> None:
+        if self._generation_deferred:
+            self._pending_bump = True
+        else:
+            self.generation += 1
+
+    def defer_generation_bumps(self) -> None:
+        """Coalesce generation bumps during control-plane write batching."""
+        self._generation_deferred = True
+
+    def commit_generation_bumps(self) -> None:
+        self._generation_deferred = False
+        if self._pending_bump:
+            self._pending_bump = False
+            self.generation += 1
 
     # ------------------------------------------------------------------ control API
 
@@ -92,7 +110,7 @@ class PacketReplicationEngine:
         mgid = self._next_mgid
         self._next_mgid += 1
         self._trees[mgid] = MulticastTree(mgid=mgid)
-        self.generation += 1
+        self._bump_generation()
         return mgid
 
     def destroy_tree(self, mgid: int) -> None:
@@ -100,7 +118,7 @@ class PacketReplicationEngine:
         tree = self._trees.pop(mgid, None)
         if tree is None:
             return
-        self.generation += 1
+        self._bump_generation()
         self.accountant.release_tree(l1_nodes=len(tree.nodes))
         # the tree slot itself was accounted with 0 nodes at creation; node
         # counts were added per add_node call, so balance them out here
@@ -139,13 +157,13 @@ class PacketReplicationEngine:
             prune_enabled=prune_enabled,
         )
         self.accountant.l1_nodes_allocated += 1
-        self.generation += 1
+        self._bump_generation()
         return node_id
 
     def remove_node(self, mgid: int, node_id: int) -> None:
         tree = self._require_tree(mgid)
         if tree.nodes.pop(node_id, None) is not None:
-            self.generation += 1
+            self._bump_generation()
             self.accountant.l1_nodes_allocated = max(0, self.accountant.l1_nodes_allocated - 1)
 
     def tree(self, mgid: int) -> MulticastTree:

@@ -28,15 +28,21 @@ per-shard state is already share-nothing.
 ``process`` is the escape hatch for real parallelism: each shard is pinned to
 its own single-worker process pool holding a replica of the control plane
 (resynchronized whenever any control-plane write generation moves).  Batches
-are shipped to the workers concurrently and mutated sequence-rewriter state is
-shipped back and folded into the coordinator's canonical registers after
-every batch, so control-plane reads and later resyncs always see current
-state.  The trade is serialization: datagrams and results cross process
-boundaries by pickling, which for this behavioural model (small Python
-objects, microsecond-scale per-packet work) usually costs more than it buys.
-The backend exists so that the same API scales when per-packet work grows
-(e.g. real codec or crypto work per packet), and is exercised for correctness
-by the test suite.
+cross the process boundary through the **zero-pickle packed transport**
+(:mod:`repro.dataplane.shardcodec`): each shard receives one flat
+length-prefixed blob carrying only what the datapath reads — source address,
+wire size, and the RTP header region; media payload bytes never leave the
+coordinator.  Results return as packed rewrite descriptions (destination +
+optional rewritten sequence number per replica) that the coordinator replays
+against the original payloads it kept, and mutated sequence-rewriter state
+returns as packed register images
+(:func:`repro.core.seqrewrite.pack_rewriter_state`) folded into the canonical
+registers after every batch.  Pickle survives in exactly two places: the rare
+control-plane snapshot on generation change, and per-record fallbacks for
+traffic the packed forms cannot express (RTCP feedback fan-out, exotic
+rewriter classes).  Per-batch transport volume is tracked in
+:attr:`ProcessShardRunner.transport` so benchmarks can compare it against the
+old pickled object graphs.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netsim.datagram import Address, Datagram
 from ..rtp.packet import RtpPacket
+from ..rtp.wire import PacketView
 from .pipeline import (
     ControlPlaneFacade,
     PipelineControlPlane,
@@ -59,6 +66,14 @@ from .resources import (
     DEFAULT_CAPACITIES,
     ShardResourceAccountant,
     TofinoCapacities,
+)
+from .shardcodec import (
+    decode_ingress_batch,
+    decode_result_batch,
+    decode_tracker_updates,
+    encode_ingress_batch,
+    encode_result_batch,
+    encode_tracker_updates,
 )
 from .tables import RegisterArray
 
@@ -118,14 +133,16 @@ def _worker_process_batch(
     shard_id: int,
     stamp: Tuple[int, ...],
     control_blob: Optional[bytes],
-    datagrams: List[Datagram],
+    batch_blob: bytes,
 ):
-    """Process one shard batch inside a worker process.
+    """Process one packed shard batch inside a worker process.
 
-    Returns ``(results, counters, parser_delta, pre_delta, tracker_updates)``
-    where the deltas cover exactly this batch (the coordinator folds them into
-    its own shard counters) and ``tracker_updates`` maps register index to the
-    post-batch rewriter object for every register this batch touched.
+    ``batch_blob`` is the zero-pickle ingress blob
+    (:func:`~repro.dataplane.shardcodec.encode_ingress_batch`); the worker
+    reconstructs header-only datagram views, runs them through its datapath,
+    and returns ``(results_blob, fallback_blob, counters, parser_delta,
+    pre_delta, tracker_blob)``, where the blobs are the packed result and
+    rewriter-register codecs and the deltas cover exactly this batch.
     """
     state = _WORKER_SHARDS.get(shard_id)
     if state is None or state.stamp != stamp:
@@ -146,19 +163,51 @@ def _worker_process_batch(
     repl0, copies0 = pre.replications_performed, pre.copies_produced
     datapath.touched_tracker_indices.clear()
 
+    datagrams = decode_ingress_batch(batch_blob, state.control.sfu_address)
     results = datapath.process_batch(datagrams)
+    results_blob, fallback_blob = encode_result_batch(results, datagrams)
 
     trackers = state.control.stream_trackers
-    tracker_updates = {
-        index: trackers.peek(index) for index in datapath.touched_tracker_indices
-    }
+    tracker_blob = encode_tracker_updates(
+        {index: trackers.peek(index) for index in datapath.touched_tracker_indices}
+    )
     parser_delta = (
         parser.packets_parsed - parsed0,
         parser.cpu_punts - punts0,
         parser.parse_cache_hits - hits0,
     )
     pre_delta = (pre.replications_performed - repl0, pre.copies_produced - copies0)
-    return results, datapath.counters, parser_delta, pre_delta, tracker_updates
+    return results_blob, fallback_blob, datapath.counters, parser_delta, pre_delta, tracker_blob
+
+
+@dataclass
+class ShardTransportStats:
+    """Bytes crossing the coordinator/worker boundary (per runner lifetime).
+
+    ``batch_bytes_out`` counts packed ingress blobs, ``result_bytes_in`` the
+    packed result + fallback blobs, ``tracker_bytes_in`` the packed rewriter
+    register images, and ``snapshot_bytes_out`` the pickled control-plane
+    snapshots (shipped only on generation change).  The shard benchmark
+    compares these against ``pickle.dumps`` of the same object graphs to
+    quantify the transport shrink.
+    """
+
+    batches: int = 0
+    batch_bytes_out: int = 0
+    result_bytes_in: int = 0
+    tracker_bytes_in: int = 0
+    snapshot_bytes_out: int = 0
+    snapshots_shipped: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "batches": self.batches,
+            "batch_bytes_out": self.batch_bytes_out,
+            "result_bytes_in": self.result_bytes_in,
+            "tracker_bytes_in": self.tracker_bytes_in,
+            "snapshot_bytes_out": self.snapshot_bytes_out,
+            "snapshots_shipped": self.snapshots_shipped,
+        }
 
 
 class ProcessShardRunner:
@@ -167,13 +216,17 @@ class ProcessShardRunner:
     Shard state must stay pinned to one OS process (rewriter registers and
     parse caches live there between batches), so each shard gets its own
     ``ProcessPoolExecutor(max_workers=1)`` rather than one shared pool whose
-    scheduler could bounce a shard between workers.
+    scheduler could bounce a shard between workers.  Partitions ship as
+    packed ingress blobs and come back as packed rewrite descriptions that
+    are replayed against the original datagrams (kept coordinator-side), so
+    media payload bytes never cross the process boundary in either direction.
     """
 
     def __init__(self, engine: "ShardedScallopPipeline") -> None:
         self._engine = engine
         self._executors: List[Optional[object]] = [None] * engine.n_shards
         self._shipped_stamp: List[Optional[Tuple[int, ...]]] = [None] * engine.n_shards
+        self.transport = ShardTransportStats()
 
     def _executor(self, shard_id: int):
         executor = self._executors[shard_id]
@@ -188,6 +241,7 @@ class ProcessShardRunner:
         engine = self._engine
         stamp = engine.control_stamp()
         snapshot: Optional[bytes] = None
+        transport = self.transport
         futures: Dict[int, object] = {}
         for shard_id, partition in enumerate(partitions):
             if not partition:
@@ -198,13 +252,24 @@ class ProcessShardRunner:
                     snapshot = pickle.dumps(engine.control)
                 blob = snapshot
                 self._shipped_stamp[shard_id] = stamp
+                transport.snapshot_bytes_out += len(snapshot)
+                transport.snapshots_shipped += 1
+            batch_blob = encode_ingress_batch(partition)
+            transport.batches += 1
+            transport.batch_bytes_out += len(batch_blob)
             futures[shard_id] = self._executor(shard_id).submit(
-                _worker_process_batch, shard_id, stamp, blob, partition
+                _worker_process_batch, shard_id, stamp, blob, batch_blob
             )
         all_results: List[List[PipelineResult]] = [[] for _ in partitions]
         for shard_id, future in futures.items():
-            results, counters, parser_delta, pre_delta, tracker_updates = future.result()
-            all_results[shard_id] = results
+            results_blob, fallback_blob, counters, parser_delta, pre_delta, tracker_blob = (
+                future.result()
+            )
+            transport.result_bytes_in += len(results_blob) + len(fallback_blob)
+            transport.tracker_bytes_in += len(tracker_blob)
+            all_results[shard_id] = decode_result_batch(
+                results_blob, fallback_blob, partitions[shard_id], engine.sfu_address
+            )
             shard = engine.shards[shard_id]
             shard.counters.merge(counters)
             parser = shard.parser
@@ -213,7 +278,7 @@ class ProcessShardRunner:
             parser.parse_cache_hits += parser_delta[2]
             engine.pre.replications_performed += pre_delta[0]
             engine.pre.copies_produced += pre_delta[1]
-            for index, rewriter in tracker_updates.items():
+            for index, rewriter in decode_tracker_updates(tracker_blob):
                 engine.control._write_tracker(index, rewriter)
         return all_results
 
@@ -292,8 +357,10 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         payload = datagram.payload
         # non-RTP traffic (RTCP compounds, STUN, junk) has no media SSRC; it
         # partitions by source only, which keeps one sender's control traffic
-        # ordered within a shard
-        ssrc = payload.ssrc if isinstance(payload, RtpPacket) else -1
+        # ordered within a shard.  Wire-native views partition exactly like
+        # their object twins (same SSRC off the buffer), so mixed-encoding
+        # traffic of one flow always lands on one shard.
+        ssrc = payload.ssrc if isinstance(payload, (RtpPacket, PacketView)) else -1
         key = (datagram.src, ssrc)
         shard = self._flow_shard_cache.get(key)
         if shard is None:
@@ -395,3 +462,34 @@ class ShardedScallopPipeline(ControlPlaneFacade):
     def shard_utilization(self) -> List[Dict[str, float]]:
         """Per-shard attribution of the globally-ledgered resource usage."""
         return [accountant.utilization() for accountant in self.shard_accountants]
+
+    def shard_load(self) -> List[Dict[str, float]]:
+        """Per-shard skew report: packet/replica counts next to occupancy.
+
+        One row per shard, combining the datapath's traffic tallies with the
+        shard accountant's occupancy attribution — the observable that
+        ROADMAP's skew-aware rebalancing will act on, surfaced today in
+        ``BENCH_shard_throughput.json``.
+        """
+        rows: List[Dict[str, float]] = []
+        for shard, accountant in zip(self.shards, self.shard_accountants):
+            counters = shard.counters
+            rows.append(
+                {
+                    "shard": shard.shard_id,
+                    "data_plane_packets": counters.data_plane_packets,
+                    "cpu_packets": counters.cpu_packets,
+                    "replicas_out": counters.replicas_out,
+                    "stream_tracker_cells": accountant.stream_tracker_cells_used,
+                    "stream_tracker_occupancy": accountant.utilization()["stream_tracker_cells"],
+                }
+            )
+        return rows
+
+    def transport_stats(self) -> Optional[Dict[str, int]]:
+        """Coordinator/worker transport volume (``None`` for the serial
+        executor, which moves no bytes)."""
+        runner = self._runner
+        if isinstance(runner, ProcessShardRunner):
+            return runner.transport.as_dict()
+        return None

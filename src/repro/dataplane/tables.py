@@ -34,16 +34,39 @@ class ExactMatchTable(Generic[K, V]):
         #: Monotonic write-generation counter; bumped on every install/remove
         #: so data-plane caches keyed on table contents can detect staleness.
         self.version = 0
+        #: Version-bump deferral (control-plane write batching): while
+        #: deferred, writes mutate entries immediately but the generation
+        #: moves only once, at :meth:`commit_version_bumps`.
+        self._version_deferred = False
+        self._pending_bump = False
 
     def install(self, key: K, value: V) -> None:
         """Install or overwrite an entry (control-plane operation)."""
         if key not in self._entries and len(self._entries) >= self.max_entries:
             raise TableFull(f"table {self.name} is full ({self.max_entries} entries)")
         self._entries[key] = value
-        self.version += 1
+        self._bump_version()
 
     def remove(self, key: K) -> None:
         if self._entries.pop(key, None) is not None:
+            self._bump_version()
+
+    def _bump_version(self) -> None:
+        if self._version_deferred:
+            self._pending_bump = True
+        else:
+            self.version += 1
+
+    def defer_version_bumps(self) -> None:
+        """Start coalescing generation bumps (see
+        :meth:`~repro.dataplane.pipeline.PipelineControlPlane.batched_writes`)."""
+        self._version_deferred = True
+
+    def commit_version_bumps(self) -> None:
+        """Stop coalescing; if anything was written, bump the generation once."""
+        self._version_deferred = False
+        if self._pending_bump:
+            self._pending_bump = False
             self.version += 1
 
     def lookup(self, key: K) -> Optional[V]:

@@ -20,6 +20,7 @@ from .batch_throughput import (
     format_batch_sweep,
     format_shard_sweep,
     measure_shard_point,
+    measure_shard_transport,
     media_ingress,
     run_batch_throughput_sweep,
     run_shard_throughput_sweep,
@@ -77,6 +78,7 @@ __all__ = [
     "format_batch_sweep",
     "format_shard_sweep",
     "measure_shard_point",
+    "measure_shard_transport",
     "media_ingress",
     "run_batch_throughput_sweep",
     "run_shard_throughput_sweep",

@@ -16,19 +16,23 @@ clock runs and both paths take the best of ``repeats`` passes.
 from __future__ import annotations
 
 import gc
+import pickle
 import time
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..dataplane.pipeline import (
     ForwardingMode,
+    PipelineCounters,
     ReplicaTarget,
     ScallopPipeline,
     StreamForwardingEntry,
 )
 from ..dataplane.pre import L2Port
-from ..dataplane.sharding import ShardedScallopPipeline
+from ..dataplane.shardcodec import encode_ingress_batch, encode_result_batch
+from ..dataplane.sharding import ShardedScallopPipeline, flow_shard
 from ..netsim.datagram import Address, Datagram
+from ..rtp.wire import PacketView
 from ..webrtc.encoder import RtpPacketizer, SvcEncoder
 
 SFU_ADDRESS = Address("10.0.0.1", 5000)
@@ -88,15 +92,23 @@ def build_meeting_pipeline(
     return pipeline, senders
 
 
-def media_ingress(senders: Sequence[Tuple[Address, int]], frames: int = 12) -> List[Datagram]:
-    """AV1 L1T3 ingress: every sender contributes ``frames`` encoded frames."""
+def media_ingress(
+    senders: Sequence[Tuple[Address, int]], frames: int = 12, wire_native: bool = False
+) -> List[Datagram]:
+    """AV1 L1T3 ingress: every sender contributes ``frames`` encoded frames.
+
+    ``wire_native=True`` encodes each packet once into a packed
+    :class:`~repro.rtp.wire.PacketView` buffer (the representation a
+    wire-native sender emits), exercising the pipeline's zero-object path.
+    """
     traffic: List[Datagram] = []
     for address, ssrc in senders:
         encoder = SvcEncoder(target_bitrate_bps=2_200_000, seed=ssrc)
         packetizer = RtpPacketizer(ssrc=ssrc, seed=ssrc)
         for index in range(frames):
             for packet in packetizer.packetize(encoder.next_frame(index / 30)):
-                traffic.append(Datagram(src=address, dst=SFU_ADDRESS, payload=packet))
+                payload = PacketView.from_packet(packet) if wire_native else packet
+                traffic.append(Datagram(src=address, dst=SFU_ADDRESS, payload=payload))
     return traffic
 
 
@@ -161,6 +173,14 @@ class ShardThroughputPoint:
     executor: str
     num_packets: int
     pps: float
+    #: Ingress representation: "object" (RtpPacket dataclasses) or "wire"
+    #: (packed PacketView buffers).
+    ingress: str = "object"
+    #: Per-shard skew from the final measured run (groundwork for ROADMAP's
+    #: skew-aware rebalancing): packets each shard processed and its
+    #: stream-tracker occupancy attribution.
+    shard_packets: Tuple[int, ...] = ()
+    shard_occupancy: Tuple[float, ...] = ()
 
 
 def measure_shard_point(
@@ -170,18 +190,37 @@ def measure_shard_point(
     frames: int = 12,
     repeats: int = 3,
     executor: str = "serial",
+    wire_native: bool = False,
+    warmup_packets: int = 64,
 ) -> ShardThroughputPoint:
     """Measure ``process_batch`` throughput of the sharded engine at one
     shard count (best-of-``repeats`` with GC deferred, like
-    :func:`measure_point`)."""
+    :func:`measure_point`).
+
+    ``warmup_packets`` ingress packets run before the clock starts so every
+    backend is measured at steady state: the process executor spawns its
+    per-shard worker pools and ships the (one-time) control-plane snapshot on
+    first contact, costs that belong to meeting setup rather than per-batch
+    forwarding.
+    """
     best = float("inf")
     num_packets = 0
+    shard_packets: Tuple[int, ...] = ()
+    shard_occupancy: Tuple[float, ...] = ()
     for _ in range(repeats):
         engine = ShardedScallopPipeline(SFU_ADDRESS, n_shards=n_shards, executor=executor)
         try:
             engine, senders = build_meeting_pipeline(num_meetings, participants, pipeline=engine)
-            traffic = media_ingress(senders, frames)
+            traffic = media_ingress(senders, frames, wire_native=wire_native)
             num_packets = len(traffic)
+            if warmup_packets:
+                # replaying a slice is safe here because this workload
+                # installs no sequence rewriters (nothing is stateful across
+                # the replay); zero the skew tallies afterwards so the
+                # shard_load() rows cover exactly the timed run
+                engine.process_batch(traffic[:warmup_packets])
+                for shard in engine.shards:
+                    shard.counters = PipelineCounters()
             gc.collect()
             gc_was_enabled = gc.isenabled()
             gc.disable()
@@ -192,6 +231,9 @@ def measure_shard_point(
             finally:
                 if gc_was_enabled:
                     gc.enable()
+            load = engine.shard_load()
+            shard_packets = tuple(int(row["data_plane_packets"]) for row in load)
+            shard_occupancy = tuple(row["stream_tracker_occupancy"] for row in load)
         finally:
             engine.close()
     return ShardThroughputPoint(
@@ -200,6 +242,9 @@ def measure_shard_point(
         executor=executor,
         num_packets=num_packets,
         pps=num_packets / best,
+        ingress="wire" if wire_native else "object",
+        shard_packets=shard_packets,
+        shard_occupancy=shard_occupancy,
     )
 
 
@@ -210,6 +255,7 @@ def run_shard_throughput_sweep(
     frames: int = 12,
     repeats: int = 3,
     executor: str = "serial",
+    wire_native: bool = False,
 ) -> List[ShardThroughputPoint]:
     """Sweep shard counts on a fixed workload.
 
@@ -218,7 +264,8 @@ def run_shard_throughput_sweep(
     throughput is flat-to-slightly-lower as k grows — the point of the sweep
     is to track that overhead across PRs and to catch regressions in the
     partition/reassembly path.  The ``process`` executor is the parallel
-    escape hatch; its win depends on per-packet work dwarfing pickling cost.
+    escape hatch, fed by the zero-pickle packed shard transport; pass
+    ``wire_native=True`` to feed either executor packed ingress buffers.
     """
     return [
         measure_shard_point(
@@ -228,19 +275,72 @@ def run_shard_throughput_sweep(
             frames=frames,
             repeats=repeats,
             executor=executor,
+            wire_native=wire_native,
         )
         for k in shard_counts
     ]
+
+
+def measure_shard_transport(
+    n_shards: int = 4,
+    num_meetings: int = 50,
+    participants: int = 8,
+    frames: int = 12,
+) -> Dict[str, float]:
+    """Quantify the packed shard transport against pickled object graphs.
+
+    Partitions the standard 50-meeting ingress exactly the way the sharded
+    engine would, encodes every partition with the packed ingress codec, runs
+    the partitions through serial shards to obtain the results a worker would
+    return, and encodes those with the packed result codec — then measures
+    the same objects under ``pickle.dumps`` (what the process executor used
+    to ship).  Returns per-batch byte totals and the shrink factors.
+    """
+    engine, senders = build_meeting_pipeline(
+        num_meetings,
+        participants,
+        pipeline=ShardedScallopPipeline(SFU_ADDRESS, n_shards=n_shards, executor="serial"),
+    )
+    traffic = media_ingress(senders, frames)
+    partitions: List[List[Datagram]] = [[] for _ in range(n_shards)]
+    for datagram in traffic:
+        partitions[flow_shard(datagram.src, datagram.payload.ssrc, n_shards)].append(datagram)
+
+    packed_ingress = pickle_ingress = packed_results = pickle_results = 0
+    for shard_id, partition in enumerate(partitions):
+        if not partition:
+            continue
+        packed_ingress += len(encode_ingress_batch(partition))
+        pickle_ingress += len(pickle.dumps(partition, protocol=pickle.HIGHEST_PROTOCOL))
+        results = engine.shards[shard_id].process_batch(partition)
+        blob, fallback = encode_result_batch(results, partition)
+        packed_results += len(blob) + len(fallback)
+        pickle_results += len(pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL))
+    engine.close()
+    packed_total = packed_ingress + packed_results
+    pickle_total = pickle_ingress + pickle_results
+    return {
+        "num_packets": len(traffic),
+        "packed_ingress_bytes": packed_ingress,
+        "pickle_ingress_bytes": pickle_ingress,
+        "packed_result_bytes": packed_results,
+        "pickle_result_bytes": pickle_results,
+        "ingress_shrink": pickle_ingress / packed_ingress if packed_ingress else 0.0,
+        "result_shrink": pickle_results / packed_results if packed_results else 0.0,
+        "total_shrink": pickle_total / packed_total if packed_total else 0.0,
+    }
 
 
 def format_shard_sweep(points: Sequence[ShardThroughputPoint]) -> str:
     baseline = points[0].pps if points else 0.0
     baseline_k = points[0].n_shards if points else 1
     relative = f"vs k={baseline_k}"
-    lines = [f"{'shards':>7} {'executor':>9} {'packets':>9} {'pps':>13} {relative:>9}"]
+    lines = [
+        f"{'shards':>7} {'executor':>9} {'ingress':>8} {'packets':>9} {'pps':>13} {relative:>9}"
+    ]
     for point in points:
         lines.append(
-            f"{point.n_shards:>7} {point.executor:>9} {point.num_packets:>9} "
+            f"{point.n_shards:>7} {point.executor:>9} {point.ingress:>8} {point.num_packets:>9} "
             f"{point.pps:>13,.0f} {point.pps / baseline:>8.2f}x"
         )
     return "\n".join(lines)

@@ -47,6 +47,14 @@ class MeetingSetupConfig:
     #: reference engine; >=2 partitions bursts by flow across share-nothing
     #: datapath shards with byte-identical outputs).
     n_shards: int = 1
+    #: Shard execution backend ("serial" in-process, or "process" for the
+    #: per-shard worker pools fed by the zero-pickle packed transport).
+    shard_executor: str = "serial"
+    #: Clients emit RTP wire-natively (packed :class:`~repro.rtp.wire.PacketView`
+    #: buffers encoded once at the sender, forwarded/rewritten in place by the
+    #: SFU, decoded once at the receiver).  Observable simulation behaviour is
+    #: identical to the object representation.
+    wire_native: bool = False
     #: RX interrupt-moderation window used when ``frame_bursts`` is on:
     #: bursts landing at an endpoint within this window drain as one batch,
     #: so batch sizes follow instantaneous load.  Packet timings are carried
@@ -104,6 +112,7 @@ def _make_client(
         frame_rate=config.frame_rate,
         seed=config.seed * 1000 + meeting_index * 37 + participant_index,
         send_frames_as_bursts=config.frame_bursts,
+        wire_native=config.wire_native,
     )
     client = WebRtcClient(client_config, testbed.simulator, testbed.network)
     testbed.network.attach(client, uplink=config.access_uplink, downlink=config.access_downlink)
@@ -135,6 +144,7 @@ def build_scallop_testbed(
         uplink_profile=sfu_link,
         downlink_profile=sfu_link,
         n_shards=config.n_shards,
+        shard_executor=config.shard_executor,
     )
     testbed = Testbed(simulator=simulator, network=network, sfu=sfu)
     for meeting_index in range(config.num_meetings):

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Union
 
 from ..rtp.packet import RtpPacket, is_rtcp, looks_like_rtp
 from ..rtp.rtcp import RtcpPacket, parse_compound, serialize_compound
+from ..rtp.wire import PacketView
 from ..stun.message import StunMessage, looks_like_stun
 
 #: Fixed per-packet overhead: Ethernet (14) + IPv4 (20) + UDP (8) headers.
@@ -41,12 +42,12 @@ class PayloadKind(str, Enum):
     OTHER = "other"
 
 
-Payload = Union[RtpPacket, Sequence[RtcpPacket], StunMessage, bytes]
+Payload = Union[RtpPacket, PacketView, Sequence[RtcpPacket], StunMessage, bytes]
 
 
 def classify_payload(payload: Payload) -> PayloadKind:
     """Classify a parsed payload object."""
-    if isinstance(payload, RtpPacket):
+    if isinstance(payload, (RtpPacket, PacketView)):
         return PayloadKind.RTP
     if isinstance(payload, StunMessage):
         return PayloadKind.STUN
@@ -65,6 +66,8 @@ def classify_payload(payload: Payload) -> PayloadKind:
 def payload_size(payload: Payload) -> int:
     """UDP payload size in bytes of a parsed payload object."""
     if isinstance(payload, RtpPacket):
+        return payload.size
+    if isinstance(payload, PacketView):
         return payload.size
     if isinstance(payload, StunMessage):
         return len(payload.serialize())
@@ -149,6 +152,9 @@ class Datagram:
         """Serialize the UDP payload through the real protocol codecs."""
         if isinstance(self.payload, RtpPacket):
             return self.payload.serialize()
+        if isinstance(self.payload, PacketView):
+            # wire-native payloads ARE the serialization (encoded once)
+            return bytes(self.payload)
         if isinstance(self.payload, StunMessage):
             return self.payload.serialize()
         if isinstance(self.payload, bytes):
@@ -164,4 +170,21 @@ class Datagram:
             return cls(src=src, dst=dst, payload=tuple(parse_compound(data)), size=len(data))
         if looks_like_rtp(data):
             return cls(src=src, dst=dst, payload=RtpPacket.parse(data), size=len(data))
+        return cls(src=src, dst=dst, payload=data, size=len(data))
+
+    @classmethod
+    def from_wire(cls, src: Address, dst: Address, data: bytes) -> "Datagram":
+        """Like :meth:`from_bytes` but keeps RTP wire-native.
+
+        RTP media stays a zero-copy :class:`~repro.rtp.wire.PacketView` over
+        ``data`` (decoded lazily, field by field, only where a consumer asks);
+        STUN/RTCP — which are control traffic the CPU genuinely parses — go
+        through the object codecs as before.
+        """
+        if looks_like_stun(data):
+            return cls(src=src, dst=dst, payload=StunMessage.parse(data), size=len(data))
+        if is_rtcp(data):
+            return cls(src=src, dst=dst, payload=tuple(parse_compound(data)), size=len(data))
+        if looks_like_rtp(data):
+            return cls(src=src, dst=dst, payload=PacketView(data), size=len(data))
         return cls(src=src, dst=dst, payload=data, size=len(data))

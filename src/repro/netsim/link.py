@@ -18,6 +18,12 @@ endpoints still ingest one batch per event.  On the receive side the network
 keeps a per-endpoint RX queue: every burst landing at an endpoint is drained
 in one pass, so batch sizes follow instantaneous load (an IO-driven dataplane
 draining its socket) instead of the sender's fixed frame-burst size.
+
+Burst hops are payload-agnostic: re-stamping ``arrived_at`` copies the
+datagram *record*, never its payload, so wire-native packets
+(:class:`~repro.rtp.wire.PacketView` buffers encoded once at the sender)
+ride every hop — links, merges, RX drains — as the same packed bytes until
+the receiving endpoint decodes them exactly once.
 """
 
 from __future__ import annotations

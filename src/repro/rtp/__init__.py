@@ -35,6 +35,7 @@ from .av1 import (
     template_needed_by,
     temporal_layer_for_template,
 )
+from .wire import PacketView, pack_rtp_header
 from .rtcp import (
     Nack,
     PictureLossIndication,
@@ -59,6 +60,8 @@ __all__ = [
     "looks_like_rtp",
     "seq_add",
     "seq_delta",
+    "PacketView",
+    "pack_rtp_header",
     "EXT_ID_AV1_DEPENDENCY_DESCRIPTOR",
     "ExtensionElement",
     "decode_extensions",

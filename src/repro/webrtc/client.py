@@ -26,6 +26,7 @@ from ..netsim.datagram import Address, Datagram, PayloadKind
 from ..netsim.link import Network
 from ..netsim.simulator import Simulator
 from ..rtp.packet import PT_AUDIO_OPUS, PT_VIDEO_AV1, RtpPacket
+from ..rtp.wire import PacketView
 from ..rtp.rtcp import (
     Nack,
     PictureLossIndication,
@@ -68,6 +69,13 @@ class ClientConfig:
     #: simulated network, so a batch-capable SFU processes the frame through
     #: its batch pipeline (see :meth:`repro.netsim.link.Network.send_burst`).
     send_frames_as_bursts: bool = False
+    #: Emit RTP wire-natively: each outgoing packet is encoded **once** into
+    #: a packed :class:`~repro.rtp.wire.PacketView` buffer at send time, the
+    #: SFU forwards/rewrites the buffer without ever materializing an
+    #: ``RtpPacket``, and the receiving client decodes **once** on arrival.
+    #: Observable behaviour (timings, sizes, decoded media) is identical to
+    #: the object representation; only the per-hop re-modelling cost is gone.
+    wire_native: bool = False
 
 
 class WebRtcClient:
@@ -206,7 +214,9 @@ class WebRtcClient:
         datagram = Datagram(
             src=self.address,
             dst=self.remote,
-            payload=packet,
+            # wire-native mode: serialize once here; every later hop (links,
+            # SFU ingress/egress, receiver) works on the packed buffer
+            payload=PacketView.from_packet(packet) if self.config.wire_native else packet,
             meta={"tx_time": self.simulator.now},
         )
         self.packets_sent += 1
@@ -309,6 +319,10 @@ class WebRtcClient:
         """Entry point called by the network for every delivered datagram."""
         if datagram.kind == PayloadKind.RTP and isinstance(datagram.payload, RtpPacket):
             self._handle_rtp(datagram.payload, datagram)
+        elif datagram.kind == PayloadKind.RTP and isinstance(datagram.payload, PacketView):
+            # wire-native delivery: the browser decodes the packet exactly
+            # once, here, at the edge of the receive pipeline
+            self._handle_rtp(datagram.payload.to_packet(), datagram)
         elif datagram.kind == PayloadKind.RTCP:
             for packet in datagram.payload:  # type: ignore[union-attr]
                 self._handle_rtcp(packet)

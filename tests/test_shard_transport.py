@@ -1,0 +1,321 @@
+"""Equivalence and round-trip suite for the zero-pickle shard transport.
+
+Covers the three packed codecs in :mod:`repro.dataplane.shardcodec` (ingress
+batches, result descriptions, rewriter register images), the rewriter state
+codec in :mod:`repro.core.seqrewrite`, and the end-to-end contract: the
+sharded engine fed packed wire-native ingress through either executor must be
+byte-identical to the single-datapath reference engine fed object ingress —
+for k in {1, 4} on both backends.  Also pins the transport's raison d'être:
+per-batch serialization bytes shrink at least 5x against pickled object
+graphs on media traffic.
+"""
+
+import dataclasses
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.seqrewrite import (
+    SequenceRewriterLowMemory,
+    SequenceRewriterLowRetransmission,
+    SkipCadence,
+    pack_rewriter_state,
+    unpack_rewriter_state,
+)
+from repro.dataplane.pipeline import ScallopPipeline
+from repro.dataplane.shardcodec import (
+    decode_ingress_batch,
+    decode_result_batch,
+    decode_tracker_updates,
+    encode_ingress_batch,
+    encode_result_batch,
+    encode_tracker_updates,
+)
+from repro.dataplane.sharding import ShardedScallopPipeline
+from repro.netsim.datagram import Address, Datagram, PayloadKind
+from repro.rtp.rtcp import Remb, SenderReport
+from repro.rtp.wire import PacketView
+from repro.stun.message import make_binding_request
+from repro.webrtc.encoder import RtpPacketizer, SvcEncoder
+
+from test_sharded_pipeline import MeetingScenario, apply_op
+
+SFU = Address("10.0.0.1", 5000)
+
+
+# --------------------------------------------------------------------------- ingress codec
+
+
+def _mixed_batch():
+    sender = Address("10.5.0.2", 6000)
+    receiver = Address("10.5.0.3", 6001)
+    encoder = SvcEncoder(seed=9)
+    packetizer = RtpPacketizer(ssrc=321, seed=9)
+    packets = packetizer.packetize(encoder.next_frame(0.0))
+    batch = [
+        Datagram(src=sender, dst=SFU, payload=packets[0], meta={"tx_time": 1.5}),
+        Datagram(src=sender, dst=SFU, payload=PacketView.from_packet(packets[1])),
+        Datagram(src=receiver, dst=SFU, payload=(SenderReport(sender_ssrc=321),), arrived_at=2.5),
+        Datagram(
+            src=receiver,
+            dst=SFU,
+            payload=(Remb(777, 1e6, (321,)),),
+            arrived_at=3.25,
+        ),
+        Datagram(src=sender, dst=SFU, payload=make_binding_request(bytes(12), "user")),
+        Datagram(src=receiver, dst=SFU, payload=b"\x99" * 17),  # junk, kind OTHER
+    ]
+    return batch
+
+
+class TestIngressCodec:
+    def test_round_trip_preserves_what_the_datapath_reads(self):
+        batch = _mixed_batch()
+        decoded = decode_ingress_batch(encode_ingress_batch(batch), SFU)
+        assert len(decoded) == len(batch)
+        for original, twin in zip(batch, decoded):
+            assert twin.src == original.src
+            assert twin.dst == SFU
+            assert twin.size == original.size
+            assert twin.kind == original.kind
+        # RTP records become header-only views with identical header fields
+        for index in (0, 1):
+            original, twin = batch[index], decoded[index]
+            view = twin.payload
+            assert isinstance(view, PacketView)
+            source = original.payload
+            assert view.ssrc == source.ssrc
+            assert view.sequence_number == source.sequence_number
+            assert view.extension == source.extension
+        # control traffic round-trips through its codecs with timing intact
+        assert decoded[2].payload == batch[2].payload
+        assert decoded[2].arrived_at == batch[2].arrived_at
+        assert decoded[3].arrived_at == batch[3].arrived_at
+        assert decoded[4].payload.transaction_id == batch[4].payload.transaction_id
+        assert decoded[5].payload == batch[5].payload
+
+    def test_payload_bytes_stay_home(self):
+        # an RTP record costs its header plus a fixed few bytes — the media
+        # payload must not be in the blob
+        sender = Address("10.5.0.2", 6000)
+        packet = RtpPacketizer(ssrc=1, seed=1).packetize(SvcEncoder(seed=1).next_frame(0.0))[0]
+        blob = encode_ingress_batch([Datagram(src=sender, dst=SFU, payload=packet)])
+        assert len(blob) < packet.header_length + 64
+        assert packet.payload not in blob
+
+
+# --------------------------------------------------------------------------- rewriter codec
+
+events = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),    # sequence advance
+        st.integers(min_value=0, max_value=2),     # frame advance
+        st.booleans(),                             # forward?
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+class OddRewriter:
+    """Protocol-conformant but unknown to the packed codec (module-level so
+    the pickle fallback can serialize it)."""
+
+    state_cells = 1
+
+    def on_packet(self, seq, frame, forward):
+        return seq
+
+
+def _drive(rewriter, steps, seq0=65_500, frame0=65_530):
+    """Feed a synthetic event stream (wrap-crossing seeds) and collect outputs."""
+    outputs = []
+    seq, frame = seq0, frame0
+    for seq_step, frame_step, forward in steps:
+        seq = (seq + seq_step) % 65536
+        frame = (frame + frame_step) % 65536
+        outputs.append(rewriter.on_packet(seq, frame, forward))
+    return outputs
+
+
+class TestRewriterStateCodec:
+    @pytest.mark.parametrize("cls", [SequenceRewriterLowMemory, SequenceRewriterLowRetransmission])
+    @given(before=events, after=events)
+    @settings(max_examples=60, deadline=None)
+    def test_clone_continues_identically(self, cls, before, after):
+        original = cls(SkipCadence(1, 2))
+        _drive(original, before)
+        clone = unpack_rewriter_state(pack_rewriter_state(original))
+        assert type(clone) is type(original)
+        assert clone.cadence == original.cadence
+        assert _drive(clone, after) == _drive(original, after)
+        assert clone.packets_seen == original.packets_seen
+        assert clone.packets_forwarded == original.packets_forwarded
+        assert clone.packets_dropped_for_safety == original.packets_dropped_for_safety
+
+    def test_packed_form_is_compact(self):
+        rewriter = SequenceRewriterLowRetransmission(SkipCadence(1, 2))
+        rng = random.Random(5)
+        _drive(rewriter, [(rng.randint(0, 3), rng.randint(0, 1), rng.random() < 0.6) for _ in range(500)])
+        packed = pack_rewriter_state(rewriter)
+        pickled = pickle.dumps(rewriter, protocol=pickle.HIGHEST_PROTOCOL)
+        assert len(packed) < len(pickled)
+
+    def test_unknown_rewriter_class_rejected(self):
+        class Custom:
+            pass
+
+        with pytest.raises(TypeError):
+            pack_rewriter_state(Custom())
+
+    def test_tracker_update_blob(self):
+        lm = SequenceRewriterLowMemory(SkipCadence(0, 1))
+        _drive(lm, [(1, 0, True)] * 5)
+        blob = encode_tracker_updates({3: lm, 9: None, 11: OddRewriter()})
+        updates = dict(decode_tracker_updates(blob))
+        assert set(updates) == {3, 9, 11}
+        assert updates[9] is None
+        assert type(updates[3]) is SequenceRewriterLowMemory
+        assert updates[3].packets_seen == 5
+        assert type(updates[11]).__name__ == "OddRewriter"
+
+
+# --------------------------------------------------------------------------- engine equivalence
+
+
+def _wire_twin_chunk(chunk):
+    """The same traffic with every RTP payload packed wire-natively."""
+    from repro.rtp.packet import RtpPacket
+
+    out = []
+    for datagram in chunk:
+        payload = datagram.payload
+        if isinstance(payload, RtpPacket):
+            out.append(dataclasses.replace(datagram, payload=PacketView.from_packet(payload)))
+        else:
+            out.append(datagram)
+    return out
+
+
+def assert_packed_results_match(reference_results, packed_results):
+    assert len(reference_results) == len(packed_results)
+    for expected, actual in zip(reference_results, packed_results):
+        assert actual.parse == expected.parse
+        assert actual.dropped_replicas == expected.dropped_replicas
+        assert len(actual.outputs) == len(expected.outputs)
+        for out_expected, out_actual in zip(expected.outputs, actual.outputs):
+            assert out_actual.dst == out_expected.dst
+            assert out_actual.size == out_expected.size
+            assert out_actual.arrived_at == out_expected.arrived_at
+            assert out_actual.to_bytes() == out_expected.to_bytes()
+            assert dict(out_actual.meta) == dict(out_expected.meta)
+        assert [c.to_bytes() for c in actual.cpu_copies] == [
+            c.to_bytes() for c in expected.cpu_copies
+        ]
+
+
+class TestPackedBatchEquivalence:
+    """Wire-native packed ingress through the sharded engine must match the
+    object-model reference engine byte for byte — k in {1, 4}, both
+    executors, across control-plane churn."""
+
+    @pytest.mark.parametrize("n_shards", [1, 4])
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_packed_vs_object_through_sharded_engine(self, n_shards, executor):
+        seed = 23
+        scenario_a, scenario_b = MeetingScenario(seed), MeetingScenario(seed)
+        reference = scenario_a.configure(ScallopPipeline(SFU))
+        sharded = scenario_b.configure(
+            ShardedScallopPipeline(SFU, n_shards=n_shards, executor=executor)
+        )
+        try:
+            for phase in range(2):
+                for op in scenario_a.churn_ops(seed * 7 + phase):
+                    apply_op(reference, op)
+                    apply_op(sharded, op)
+                chunk = scenario_a.traffic_chunk(seed * 13 + phase)
+                wire_chunk = _wire_twin_chunk(scenario_b.traffic_chunk(seed * 13 + phase))
+                reference_results = [reference.process(d) for d in chunk]
+                packed_results = sharded.process_batch(wire_chunk)
+                assert_packed_results_match(reference_results, packed_results)
+            assert dataclasses.asdict(reference.counters) == dataclasses.asdict(sharded.counters)
+            assert reference.counters.adaptation_drops > 0
+            if executor == "process":
+                transport = sharded.transport_stats()
+                assert transport is not None and transport["batches"] >= 1
+                assert transport["batch_bytes_out"] > 0
+        finally:
+            sharded.close()
+
+    def test_process_executor_object_ingress_still_identical(self):
+        # the packed transport must not require wire-native senders: plain
+        # RtpPacket ingress crosses it too (headers re-packed on the fly)
+        seed = 29
+        scenario_a, scenario_b = MeetingScenario(seed), MeetingScenario(seed)
+        reference = scenario_a.configure(ScallopPipeline(SFU))
+        sharded = scenario_b.configure(ShardedScallopPipeline(SFU, n_shards=4, executor="process"))
+        try:
+            for op in scenario_a.churn_ops(seed):
+                apply_op(reference, op)
+                apply_op(sharded, op)
+            chunk = scenario_a.traffic_chunk(seed)
+            reference_results = [reference.process(d) for d in chunk]
+            packed_results = sharded.process_batch(scenario_b.traffic_chunk(seed))
+            # object ingress in, object outputs back: full Datagram equality
+            for expected, actual in zip(reference_results, packed_results):
+                assert actual.parse == expected.parse
+                assert actual.outputs == expected.outputs
+                assert [dict(o.meta) for o in actual.outputs] == [
+                    dict(o.meta) for o in expected.outputs
+                ]
+        finally:
+            sharded.close()
+
+
+class TestTransportShrink:
+    def test_media_batch_shrinks_at_least_5x_vs_pickle(self):
+        sender = Address("10.7.0.2", 6000)
+        encoder = SvcEncoder(target_bitrate_bps=2_200_000, seed=2)
+        packetizer = RtpPacketizer(ssrc=555, seed=2)
+        batch = []
+        for index in range(12):
+            for packet in packetizer.packetize(encoder.next_frame(index / 30)):
+                batch.append(Datagram(src=sender, dst=SFU, payload=packet))
+        packed = encode_ingress_batch(batch)
+        pickled = pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
+        assert len(pickled) / len(packed) >= 5.0
+
+    def test_result_direction_round_trip_and_shrink(self):
+        engine = ScallopPipeline(SFU)
+        from repro.dataplane.pipeline import ForwardingMode, ReplicaTarget, StreamForwardingEntry
+        from repro.dataplane.pre import L2Port
+
+        mgid = engine.pre.create_tree()
+        addresses = [Address(f"10.8.0.{i + 2}", 6000 + i) for i in range(5)]
+        for rid, address in enumerate(addresses, start=1):
+            engine.pre.add_node(mgid, rid=rid, ports=[L2Port(port=rid, l2_xid=rid)], l1_xid=1, prune_enabled=True)
+            engine.install_replica_target(mgid, rid, ReplicaTarget(address=address, participant_id=f"p{rid}"))
+        engine.install_stream(
+            (addresses[0], 42),
+            StreamForwardingEntry(
+                mode=ForwardingMode.REPLICATE, meeting_id="m", sender=addresses[0], mgid=mgid, rid=1, l2_xid=1
+            ),
+        )
+        engine.install_adaptation(
+            42, addresses[1], frozenset({0, 1}), SequenceRewriterLowRetransmission(SkipCadence(1, 2))
+        )
+        encoder = SvcEncoder(seed=4)
+        packetizer = RtpPacketizer(ssrc=42, seed=4)
+        batch = []
+        for index in range(10):
+            for packet in packetizer.packetize(encoder.next_frame(index / 30)):
+                batch.append(Datagram(src=addresses[0], dst=SFU, payload=packet))
+        results = engine.process_batch(batch)
+        blob, fallback = encode_result_batch(results, batch)
+        restored = decode_result_batch(blob, fallback, batch, SFU)
+        assert_packed_results_match(results, restored)
+        pickled = pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL)
+        assert len(pickled) / (len(blob) + len(fallback)) >= 5.0

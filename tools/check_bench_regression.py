@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for the shard-throughput artifact.
+
+Compares a freshly generated ``BENCH_shard_throughput.json`` against the
+committed baseline and fails when the k=1 serial object-ingress engine (the
+stable reference point every other sweep point is normalized to) regresses by
+more than the allowed fraction.  Shared-runner noise is real, so the default
+gate is deliberately loose (25%) — it exists to catch code-level collapses
+(an accidentally disabled cache, a quadratic hot path), not 5% jitter.
+
+Usage:
+    python tools/check_bench_regression.py BASELINE.json FRESH.json [--max-regression 0.25]
+
+Exit status 0 on pass, 1 on regression, 2 on malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def reference_pps(artifact: dict) -> float:
+    """The k=1 / serial / object-ingress pps of a shard-throughput artifact.
+
+    Accepts both the current schema (per-point ``executor``/``ingress``
+    fields) and the pre-wire-path schema (top-level ``executor`` only).
+    """
+    for point in artifact.get("points", []):
+        if (
+            point.get("n_shards") == 1
+            and point.get("executor", artifact.get("executor", "serial")) == "serial"
+            and point.get("ingress", "object") == "object"
+        ):
+            return float(point["pps"])
+    raise KeyError("no k=1 serial object-ingress point in artifact")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_shard_throughput.json")
+    parser.add_argument("fresh", help="freshly generated BENCH_shard_throughput.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="maximum allowed fractional pps drop at k=1 serial (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline) as handle:
+            baseline = reference_pps(json.load(handle))
+        with open(args.fresh) as handle:
+            fresh = reference_pps(json.load(handle))
+    except (OSError, KeyError, ValueError) as error:
+        print(f"check_bench_regression: cannot read artifacts: {error}", file=sys.stderr)
+        return 2
+
+    floor = baseline * (1.0 - args.max_regression)
+    verdict = "OK" if fresh >= floor else "REGRESSION"
+    print(
+        f"shard throughput k=1 serial: baseline {baseline:,.0f} pps, "
+        f"fresh {fresh:,.0f} pps, floor {floor:,.0f} pps -> {verdict}"
+    )
+    if fresh < floor:
+        print(
+            f"check_bench_regression: k=1 serial pps regressed more than "
+            f"{args.max_regression:.0%} against the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
