@@ -6,9 +6,12 @@ flow-sharded engine introduced for the production-scale roadmap.
 ``process_batch`` must (a) stay byte-identical to the per-packet reference
 path and (b) actually amortize the per-packet overhead — at the 50-meeting
 scenario it must clear a 3x throughput margin.  The shard sweep additionally
-records packets/sec of ``ShardedScallopPipeline`` at k in {1, 4} into a
-``BENCH_shard_throughput.json`` artifact so the perf trajectory is tracked
-across PRs.
+records packets/sec of ``ShardedScallopPipeline`` at k in {1, 4} into an
+untracked ``BENCH_shard_throughput.local.json`` artifact (path overridable
+via ``BENCH_SHARD_THROUGHPUT_JSON``) so the perf trajectory is tracked
+across PRs; the committed ``BENCH_shard_throughput.json`` is the regression
+baseline CI gates that fresh artifact against, refreshed only deliberately
+(from a CI artifact), never by a routine bench run.
 
 Why the shard sweep asserts *bounded overhead* rather than speedup: with the
 in-process ``serial`` executor all shards execute under one CPython GIL, so
@@ -38,6 +41,14 @@ from repro.experiments import (
 MEETING_COUNTS = [1, 10, 50]
 SHARD_COUNTS = [1, 4]
 SHARD_ARTIFACT_ENV = "BENCH_SHARD_THROUGHPUT_JSON"
+# The serial sweep feeds the committed regression baseline, and every
+# headline ratio normalizes to the k=1 serial/object point — a single slow
+# pass there skews all of them at once, so the serial points get best-of-5
+# rather than best-of-3.  The process-executor points keep best-of-3: they
+# are neither the gate reference nor plausibility-asserted, and each extra
+# repeat re-spawns the per-shard worker pools.
+SHARD_REPEATS = 5
+PROCESS_REPEATS = 3
 
 
 def test_batch_pipeline_throughput(benchmark):
@@ -73,14 +84,18 @@ def _run_full_shard_sweep():
     """The serial object-ingress sweep (regression baseline) plus the
     wire-native serial point and the packed process-executor points."""
     points = run_shard_throughput_sweep(
-        shard_counts=SHARD_COUNTS, num_meetings=50, repeats=3
+        shard_counts=SHARD_COUNTS, num_meetings=50, repeats=SHARD_REPEATS
     )
     points.append(
-        measure_shard_point(1, num_meetings=50, repeats=3, executor="serial", wire_native=True)
+        measure_shard_point(
+            1, num_meetings=50, repeats=SHARD_REPEATS, executor="serial", wire_native=True
+        )
     )
     for k in SHARD_COUNTS:
         points.append(
-            measure_shard_point(k, num_meetings=50, repeats=3, executor="process", wire_native=True)
+            measure_shard_point(
+                k, num_meetings=50, repeats=PROCESS_REPEATS, executor="process", wire_native=True
+            )
         )
     return points
 
@@ -106,7 +121,13 @@ def test_shard_pipeline_throughput(benchmark):
 
     transport = measure_shard_transport(n_shards=4, num_meetings=50)
 
-    artifact_path = os.environ.get(SHARD_ARTIFACT_ENV, "BENCH_shard_throughput.json")
+    # default to an untracked *.local.json so no bench run (local or CI) can
+    # dirty the committed regression baseline; the env var exists for tools
+    # that need the artifact somewhere else.  Written before the asserts on
+    # purpose: the fresh measurement can never touch the committed baseline,
+    # so a failing run should still leave its point data behind for
+    # diagnosis (CI uploads it via if: always()).
+    artifact_path = os.environ.get(SHARD_ARTIFACT_ENV, "BENCH_shard_throughput.local.json")
     with open(artifact_path, "w") as handle:
         json.dump(
             {
@@ -137,6 +158,17 @@ def test_shard_pipeline_throughput(benchmark):
     # partition/reassembly overhead at k=4 to stay within 40% of the k=1
     # engine rather than asserting an impossible serial speedup
     assert speedup >= 0.6
+    # ...and the converse plausibility check: under one GIL, k=4 serial does
+    # strictly more work than k=1, so a big apparent serial "speedup" means
+    # the k=1 reference pass was an outlier-slow run.  That point is both the
+    # committed regression baseline and the normalizer for every headline
+    # ratio, so fail loudly rather than let such a run be promoted to the
+    # baseline (10% headroom for shared-runner jitter on top of best-of-5).
+    assert speedup <= 1.1, (
+        f"serial k=4/k=1 speedup {speedup:.3f} > 1.1 is implausible under one "
+        "GIL; the k=1 serial/object baseline run was likely noise-depressed — "
+        "do not promote this run's artifact to the committed baseline"
+    )
     # the packed transport's whole point: per-batch serialization volume
     # must shrink by at least 5x against pickled object graphs (it is
     # typically >10x — only headers and rewrite descriptions cross)
