@@ -31,7 +31,9 @@ import os
 from benchmarks.conftest import run_once
 from repro.experiments import (
     format_batch_sweep,
+    format_rebalance_point,
     format_shard_sweep,
+    measure_rebalance_point,
     measure_shard_point,
     measure_shard_transport,
     run_batch_throughput_sweep,
@@ -121,6 +123,16 @@ def test_shard_pipeline_throughput(benchmark):
 
     transport = measure_shard_transport(n_shards=4, num_meetings=50)
 
+    # skewed-workload sweep: hot senders colocated by the CRC32 default, the
+    # placement loop migrates them apart.  Deterministic (packet counts, not
+    # timings), so the "rebalance" rows are safe to gate CI on.
+    rebalance = measure_rebalance_point(n_shards=4, num_meetings=50)
+    print()
+    print(format_rebalance_point(rebalance))
+    benchmark.extra_info["rebalance_skew_static"] = round(rebalance.skew_static, 3)
+    benchmark.extra_info["rebalance_skew_rebalanced"] = round(rebalance.skew_rebalanced, 3)
+    benchmark.extra_info["rebalance_skew_reduction"] = round(rebalance.skew_reduction, 3)
+
     # default to an untracked *.local.json so no bench run (local or CI) can
     # dirty the committed regression baseline; the env var exists for tools
     # that need the artifact somewhere else.  Written before the asserts on
@@ -140,6 +152,18 @@ def test_shard_pipeline_throughput(benchmark):
                     key: (round(value, 2) if isinstance(value, float) else value)
                     for key, value in transport.items()
                 },
+                "rebalance": {
+                    "n_shards": rebalance.n_shards,
+                    "num_meetings": rebalance.num_meetings,
+                    "num_packets": rebalance.num_packets,
+                    "batches": rebalance.batches,
+                    "skew_static": round(rebalance.skew_static, 4),
+                    "skew_rebalanced": round(rebalance.skew_rebalanced, 4),
+                    "skew_reduction": round(rebalance.skew_reduction, 4),
+                    "migrations": rebalance.migrations,
+                    "shard_packets_static": list(rebalance.shard_packets_static),
+                    "shard_packets_rebalanced": list(rebalance.shard_packets_rebalanced),
+                },
                 "note": (
                     "serial/object points track partition overhead under one GIL "
                     "(flat throughput is the expected ceiling). serial/wire measures "
@@ -147,7 +171,11 @@ def test_shard_pipeline_throughput(benchmark):
                     "process/wire points run the per-shard worker pools over the "
                     "zero-pickle packed shard transport; 'transport' compares that "
                     "transport's per-batch bytes against pickle.dumps of the same "
-                    "object graphs (headers ship, payload bytes stay home)."
+                    "object graphs (headers ship, payload bytes stay home). "
+                    "'rebalance' is the skewed-workload sweep: Zipf hot senders "
+                    "colocated by the CRC32 default vs the same workload with the "
+                    "placement control loop armed (deterministic packet counts; "
+                    "skew_rebalanced is CI-gated against this baseline)."
                 ),
             },
             handle,
@@ -173,3 +201,10 @@ def test_shard_pipeline_throughput(benchmark):
     # must shrink by at least 5x against pickled object graphs (it is
     # typically >10x — only headers and rewrite descriptions cross)
     assert transport["total_shrink"] >= 5.0
+    # the placement loop's whole point: on the Zipf hot-sender workload the
+    # rebalancer must cut max/mean per-shard packet skew at least 2x vs the
+    # static CRC32 map (deterministic counts — no timing noise headroom)
+    assert rebalance.skew_reduction >= 2.0, (
+        f"rebalancer cut skew only {rebalance.skew_reduction:.2f}x "
+        f"({rebalance.skew_static:.2f}x -> {rebalance.skew_rebalanced:.2f}x)"
+    )

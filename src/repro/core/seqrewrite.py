@@ -502,6 +502,37 @@ def unpack_rewriter_state(
     return rewriter
 
 
+def extract_flow_state(
+    trackers, indices: Sequence[int]
+) -> Dict[int, Optional[bytes]]:
+    """Extract one flow's rewriter register images for a live migration.
+
+    ``trackers`` is any register array exposing ``peek(index)``; ``indices``
+    are the flow's stream-tracker cells (one per adapted receiver, from
+    :meth:`~repro.dataplane.pipeline.PipelineControlPlane.tracker_indices_for_ssrc`).
+    Returns ``index -> packed image`` (``None`` for empty cells), the exact
+    payload a migration ships between shards.  Rewriter classes outside the
+    packed codec raise :class:`TypeError` — migration callers fall back to
+    shipping the object itself (serial mode) or pickling (process mode).
+    """
+    return {
+        index: (None if rewriter is None else pack_rewriter_state(rewriter))
+        for index, rewriter in ((index, trackers.peek(index)) for index in indices)
+    }
+
+
+def clone_rewriter(
+    rewriter: Union["SequenceRewriterLowMemory", "SequenceRewriterLowRetransmission"],
+) -> Union["SequenceRewriterLowMemory", "SequenceRewriterLowRetransmission"]:
+    """Exact clone through the packed register image.
+
+    The clone and the original produce identical ``on_packet`` outputs for any
+    subsequent event sequence — used by migration tests to snapshot in-flight
+    state (mid-wraparound included) at the moment a flow changes shards.
+    """
+    return unpack_rewriter_state(pack_rewriter_state(rewriter))
+
+
 def ideal_rewrite_sequence(
     events: Sequence[Tuple[int, bool, bool]],
 ) -> List[Optional[int]]:

@@ -8,6 +8,7 @@ from .resources import (
     TofinoCapacities,
     table3_rows,
 )
+from .resources import attribution_skew
 from .tables import ExactMatchTable, IndexAllocator, RegisterArray, TableFull
 from .pre import L1Node, L2Port, MulticastTree, PacketReplicationEngine, Replica
 from .parser import IngressParser, PacketClass, ParseResult
@@ -26,6 +27,8 @@ from .pipeline import (
     StreamForwardingEntry,
     SWITCH_FORWARDING_DELAY_S,
 )
+from .loadstats import FlowLoadRow, FlowLoadTracker
+from .rebalance import FlowMigration, MigrationPlan, RebalancerConfig, ShardRebalancer
 from .sharding import ShardedScallopPipeline, flow_shard
 
 __all__ = [
@@ -34,6 +37,7 @@ __all__ = [
     "ResourceExhausted",
     "ResourceUsage",
     "TofinoCapacities",
+    "attribution_skew",
     "table3_rows",
     "ExactMatchTable",
     "IndexAllocator",
@@ -57,6 +61,12 @@ __all__ = [
     "ReplicaTarget",
     "ScallopPipeline",
     "SequenceRewriter",
+    "FlowLoadRow",
+    "FlowLoadTracker",
+    "FlowMigration",
+    "MigrationPlan",
+    "RebalancerConfig",
+    "ShardRebalancer",
     "ShardResourceAccountant",
     "ShardedScallopPipeline",
     "StreamForwardingEntry",

@@ -276,6 +276,18 @@ class PipelineControlPlane:
         self.ssrc_table: ExactMatchTable[int, Address] = ExactMatchTable(
             "ssrc_owner", max_entries=capacities.exact_match_entries
         )
+        #: Placement exception table for the sharded engine's two-level flow
+        #: routing: flows absent here follow the default CRC32 hash, flows
+        #: present are pinned to the recorded shard id.  Owned by the control
+        #: plane and generation-stamped like the match-action tables, so the
+        #: engine's flow-routing cache invalidates on every placement write;
+        #: deliberately *not* part of :meth:`write_stamp` — datapath packet
+        #: processing never reads placement, only the partitioner does, so a
+        #: migration must not invalidate datapath caches or force a worker
+        #: snapshot reship.
+        self.placement_table: ExactMatchTable[Tuple[Address, int], int] = ExactMatchTable(
+            "flow_placement", max_entries=capacities.exact_match_entries
+        )
 
         self.stream_indices = IndexAllocator(capacities.stream_tracker_cells)
         #: Canonical rewriter register file; shard datapaths hold fanned-out
@@ -292,6 +304,10 @@ class PipelineControlPlane:
         #: release always balances the original attribution even if routing
         #: would resolve differently at release time.
         self._tracker_charges: Dict[Tuple[int, Address], Tuple[Optional[object], int]] = {}
+        #: Reverse index for live migration: which receivers hold adaptation
+        #: state for a given sender SSRC, so a flow's rewriter register
+        #: indices can be enumerated without scanning the adaptation table.
+        self._adaptation_receivers: Dict[int, Set[Address]] = {}
         #: Write-batching state (:meth:`batched_writes`): nesting depth and
         #: the register indices whose datapath fan-out is deferred.
         self._write_batch_depth = 0
@@ -372,6 +388,7 @@ class PipelineControlPlane:
             self.adaptation_table,
             self.feedback_table,
             self.ssrc_table,
+            self.placement_table,
         )
 
     def _begin_write_batch(self) -> None:
@@ -464,6 +481,7 @@ class PipelineControlPlane:
         if cells < old_cells:
             self.accountant.release_stream_state(old_cells - cells)
         self._retag_tracker_charge(key, sender_ssrc, cells)
+        self._adaptation_receivers.setdefault(sender_ssrc, set()).add(receiver)
         self._write_tracker(index, rewriter)
         return index
 
@@ -500,12 +518,57 @@ class PipelineControlPlane:
             self._write_tracker(entry.stream_index, None)
             self.stream_indices.release(key)
             self.adaptation_table.remove(key)
+            receivers = self._adaptation_receivers.get(sender_ssrc)
+            if receivers is not None:
+                receivers.discard(receiver)
+                if not receivers:
+                    del self._adaptation_receivers[sender_ssrc]
 
     def install_feedback_rule(self, receiver: Address, media_ssrc: int, rule: FeedbackRule) -> None:
         self.feedback_table.install((receiver, media_ssrc), rule)
 
     def remove_feedback_rule(self, receiver: Address, media_ssrc: int) -> None:
         self.feedback_table.remove((receiver, media_ssrc))
+
+    # ------------------------------------------------------------------ placement (shard migration)
+
+    def install_placement(self, src: Address, ssrc: int, shard_id: int) -> None:
+        """Pin flow ``(src, ssrc)`` to ``shard_id`` (placement exception)."""
+        self.placement_table.install((src, ssrc), shard_id)
+
+    def remove_placement(self, src: Address, ssrc: int) -> None:
+        """Drop a placement exception; the flow reverts to the CRC32 default."""
+        self.placement_table.remove((src, ssrc))
+
+    def placement_of(self, src: Address, ssrc: int) -> Optional[int]:
+        """Control-plane read of a flow's pinned shard (``None`` = hashed)."""
+        return self.placement_table.peek((src, ssrc))
+
+    def tracker_indices_for_ssrc(self, sender_ssrc: int) -> List[int]:
+        """Rewriter register indices holding state for a sender SSRC's
+        adaptation entries — the per-flow state a live migration must move."""
+        receivers = self._adaptation_receivers.get(sender_ssrc)
+        if not receivers:
+            return []
+        indices: List[int] = []
+        for receiver in receivers:
+            index = self.stream_indices.lookup((sender_ssrc, receiver))
+            if index is not None:
+                indices.append(index)
+        return indices
+
+    def reattribute_ssrc_charges(self, sender_ssrc: int) -> None:
+        """Re-route a sender SSRC's stream-state attribution through the
+        charge-scope router (called after its flow migrates shards; the
+        global ledger totals are unchanged — only the per-shard views move)."""
+        receivers = self._adaptation_receivers.get(sender_ssrc)
+        if not receivers:
+            return
+        for receiver in list(receivers):
+            key = (sender_ssrc, receiver)
+            _scope, cells = self._tracker_charges.get(key, (None, 0))
+            if cells:
+                self._retag_tracker_charge(key, sender_ssrc, cells)
 
     # ------------------------------------------------------------------ pickling (process-shard escape hatch)
 
@@ -1122,6 +1185,10 @@ class ControlPlaneFacade:
     @property
     def ssrc_table(self) -> ExactMatchTable:
         return self.control.ssrc_table
+
+    @property
+    def placement_table(self) -> ExactMatchTable:
+        return self.control.placement_table
 
     @property
     def stream_indices(self) -> IndexAllocator:

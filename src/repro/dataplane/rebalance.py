@@ -1,0 +1,192 @@
+"""Load-aware shard placement policy: skew in, migration plans out.
+
+This is the *policy* leg of the telemetry -> policy -> migration control loop.
+:class:`~repro.dataplane.loadstats.FlowLoadTracker` supplies smoothed per-flow
+and per-shard packet rates; this module turns observed skew into an explicit
+:class:`MigrationPlan` — a list of ``flow -> shard`` moves — that the sharded
+engine executes at the next batch boundary
+(:meth:`~repro.dataplane.sharding.ShardedScallopPipeline.apply_migrations`).
+The policy never touches engine state itself, so it is trivially unit-testable
+and the same planner drives both executors.
+
+The algorithm is **greedy hottest-flow-to-coldest-shard**: while the plan's
+projected load still leaves the hottest shard above target, take the hottest
+movable flow on the (projected) hottest shard and move it to the (projected)
+coldest shard.  Greedy is the right tool here: placements are re-decided every
+epoch against fresh telemetry, so an optimal one-shot bin packing would be
+stale by its second epoch anyway, and greedy's worst case (a flow bigger than
+the per-shard mean, which no placement can fix) is detected and skipped.
+
+Stability knobs (all on :class:`RebalancerConfig`) — rebalancers oscillate
+unless they are deliberately damped, so every decision is gated three ways:
+
+``trigger_ratio`` / ``target_ratio`` (hysteresis)
+    The planner does nothing until max/mean per-shard load exceeds
+    ``trigger_ratio`` (the high-water mark), and once planning it stops as
+    soon as the projected ratio falls below ``target_ratio`` (the low-water
+    mark, strictly smaller).  The gap between the two is the hysteresis band:
+    a system balanced to ``target_ratio`` must drift all the way past
+    ``trigger_ratio`` before the planner acts again, so borderline skew
+    cannot cause migration every epoch.
+
+``migration_budget`` (churn bound per epoch)
+    At most this many flows move per plan.  Each migration invalidates the
+    engine's flow-routing cache and, under the process executor, ships the
+    flow's rewriter register images to the destination worker — bounded churn
+    keeps that cost strictly amortized.  Whatever skew the budget leaves
+    behind is picked up next epoch, by which time the telemetry has also seen
+    the effect of this epoch's moves.
+
+``cooldown_epochs`` (per-flow damping)
+    A flow that just moved may not move again for this many epochs.  Without
+    it, two near-equal hot flows can ping-pong between two shards on
+    alternating epochs while the EWMA catches up with their last move.
+
+``min_flow_rate``
+    Flows below this smoothed rate are never moved: their contribution is
+    noise-level, and migrating them spends budget without moving load.
+
+Every decision is projected, not measured: within one plan the planner moves
+flows against its own running projection of per-shard load, so a single plan
+cannot overshoot by moving three hot flows onto the same cold shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .loadstats import FlowKey, FlowLoadTracker
+
+
+@dataclass(frozen=True)
+class RebalancerConfig:
+    """Knobs of the placement policy (see the module docstring for rationale)."""
+
+    #: Decide placements every this many observed batches.
+    epoch_batches: int = 8
+    #: High-water mark: plan only when max/mean shard load exceeds this.
+    trigger_ratio: float = 1.25
+    #: Low-water mark: stop moving once the projected ratio falls below this.
+    target_ratio: float = 1.10
+    #: Maximum flows migrated per epoch.
+    migration_budget: int = 4
+    #: Epochs a freshly migrated flow is pinned before it may move again.
+    cooldown_epochs: int = 2
+    #: Smoothed packets/batch below which a flow is never worth moving.
+    min_flow_rate: float = 0.5
+    #: EWMA smoothing factor handed to the telemetry tracker.
+    ewma_alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.epoch_batches < 1:
+            raise ValueError("epoch_batches must be >= 1")
+        if not self.target_ratio >= 1.0:
+            raise ValueError("target_ratio must be >= 1.0")
+        if self.trigger_ratio <= self.target_ratio:
+            raise ValueError("trigger_ratio must exceed target_ratio (hysteresis band)")
+        if self.migration_budget < 1:
+            raise ValueError("migration_budget must be >= 1")
+
+
+@dataclass(frozen=True)
+class FlowMigration:
+    """One planned move: ``flow`` leaves ``from_shard`` for ``to_shard``."""
+
+    flow: FlowKey
+    from_shard: int
+    to_shard: int
+    #: Smoothed packets/batch the move transfers (diagnostics).
+    rate: float
+
+
+@dataclass
+class MigrationPlan:
+    """The policy's output for one epoch."""
+
+    migrations: List[FlowMigration] = field(default_factory=list)
+    #: max/mean shard-load ratio the plan was computed against.
+    observed_skew: float = 1.0
+    #: Projected max/mean ratio after all planned moves execute.
+    projected_skew: float = 1.0
+
+    def __bool__(self) -> bool:
+        return bool(self.migrations)
+
+
+class ShardRebalancer:
+    """Greedy hottest-flow-to-coldest-shard planner with hysteresis."""
+
+    def __init__(self, n_shards: int, config: Optional[RebalancerConfig] = None) -> None:
+        self.n_shards = n_shards
+        self.config = config or RebalancerConfig()
+        self.epochs_planned = 0
+        self.flows_migrated = 0
+
+    def plan(self, tracker: FlowLoadTracker) -> MigrationPlan:
+        """Compute this epoch's migrations from the tracker's smoothed rates.
+
+        Pure function of the telemetry (plus the planner's own tallies): it
+        mutates no engine state and returns an empty plan whenever the skew
+        sits inside the hysteresis band or nothing movable would improve it.
+        """
+        config = self.config
+        self.epochs_planned += 1
+        loads = list(tracker.shard_rates)
+        total = sum(loads)
+        plan = MigrationPlan(observed_skew=tracker.skew_ratio(), projected_skew=tracker.skew_ratio())
+        if self.n_shards < 2 or total <= 0.0:
+            return plan
+        mean = total / self.n_shards
+        if max(loads) / mean <= config.trigger_ratio:
+            return plan  # inside the hysteresis band: leave placement alone
+
+        cooldown_floor = tracker.batches_observed - config.cooldown_epochs * config.epoch_batches
+        moved: set = set()
+        for _ in range(config.migration_budget):
+            hot = max(range(self.n_shards), key=loads.__getitem__)
+            cold = min(range(self.n_shards), key=loads.__getitem__)
+            if loads[hot] / mean <= config.target_ratio:
+                break  # reached the low-water mark: stop early
+            candidate = self._best_move(tracker, hot, cold, loads, moved, cooldown_floor)
+            if candidate is None:
+                break  # nothing movable improves the projection
+            key, rate = candidate
+            loads[hot] -= rate
+            loads[cold] += rate
+            moved.add(key)
+            plan.migrations.append(
+                FlowMigration(flow=key, from_shard=hot, to_shard=cold, rate=rate)
+            )
+        plan.projected_skew = max(loads) / mean
+        self.flows_migrated += len(plan.migrations)
+        return plan
+
+    def _best_move(
+        self,
+        tracker: FlowLoadTracker,
+        hot: int,
+        cold: int,
+        loads: Sequence[float],
+        moved: set,
+        cooldown_floor: int,
+    ) -> Optional[Tuple[FlowKey, float]]:
+        """The hottest flow on ``hot`` whose move to ``cold`` shrinks the gap.
+
+        A move only helps while the transferred rate is smaller than the
+        hot/cold load gap; moving more than the gap just relabels which shard
+        is hot (the ping-pong the cooldown also guards against).  Flows still
+        in cooldown, below the noise floor, or already moved this epoch are
+        skipped.
+        """
+        gap = loads[hot] - loads[cold]
+        if gap <= 0.0:
+            return None
+        for key, row in tracker.hottest_flows(hot, min_rate=self.config.min_flow_rate):
+            if key in moved:
+                continue
+            if row.last_migrated_batch >= cooldown_floor and row.last_migrated_batch >= 0:
+                continue
+            if row.rate < gap:  # strictly shrinks the hot/cold gap
+                return key, row.rate
+        return None

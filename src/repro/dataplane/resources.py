@@ -151,8 +151,11 @@ class ShardResourceAccountant:
     allocation must be admission-checked against the single global
     :class:`ResourceAccountant`.  This view forwards all charge/release
     traffic to that ledger while keeping a per-shard tally, so operators can
-    see how occupancy distributes across shards (skew diagnosis) without the
-    ledger ever being split.
+    see how occupancy distributes across shards without the ledger ever
+    being split.  The attribution is *live*: when the placement control loop
+    migrates a flow, the control plane re-routes its cells to the destination
+    shard's view (:meth:`note_stream_state`), so occupancy skew read through
+    :func:`attribution_skew` always reflects the current placement.
     """
 
     def __init__(self, ledger: ResourceAccountant, shard_id: int) -> None:
@@ -183,8 +186,8 @@ class ShardResourceAccountant:
 
     def note_stream_state(self, cells_delta: int) -> None:
         """Re-attribute already-ledgered cells to this shard (used when the
-        control plane retags an existing charge; the global ledger total is
-        unchanged)."""
+        control plane retags an existing charge — adaptation reinstalls and
+        live flow migrations; the global ledger total is unchanged)."""
         self.stream_tracker_cells_used = max(0, self.stream_tracker_cells_used + cells_delta)
 
     # -- reporting ---------------------------------------------------------------
@@ -197,6 +200,21 @@ class ShardResourceAccountant:
             "stream_tracker_cells": self.stream_tracker_cells_used / caps.stream_tracker_cells,
             "exact_match_entries": self.exact_match_entries_used / caps.exact_match_entries,
         }
+
+
+def attribution_skew(accountants: "List[ShardResourceAccountant]") -> float:
+    """Max/mean stream-tracker occupancy across shard attribution views.
+
+    1.0 means perfectly even state placement.  A diagnostic reduction for
+    operators and tests; the placement policy itself currently ranks flows by
+    packet rate only (folding occupancy into the ranking is a ROADMAP open
+    item).  Returns 1.0 when nothing is attributed (no skew to speak of).
+    """
+    cells = [accountant.stream_tracker_cells_used for accountant in accountants]
+    total = sum(cells)
+    if not cells or total <= 0:
+        return 1.0
+    return max(cells) / (total / len(cells))
 
 
 def table3_rows(

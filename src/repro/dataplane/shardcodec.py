@@ -17,9 +17,12 @@ framework):
     region)`` — the payload stays on the coordinator, and the worker
     reconstructs a truncated :class:`~repro.rtp.wire.PacketView` whose header
     accessors are all the datapath touches.  Every record carries an intern-
-    table index for its source address.  Non-RTP control traffic (RTCP
-    compounds, STUN) is rare on the hot path and rides along pickled per
-    record; raw junk bytes ship verbatim.
+    table index for its source address.  RTCP compounds ship as
+    length-prefixed *wire-format* compound records
+    (:func:`~repro.rtp.rtcp.serialize_compound`), decoded back through the
+    real codec on the worker — the shard transport speaks RTCP, not pickle.
+    STUN is rare enough to ride along pickled per record; raw junk bytes ship
+    verbatim.
 
 ``encode_result_batch`` / ``decode_result_batch``
     Results come back as *rewrite descriptions*, not packets: per input
@@ -29,9 +32,12 @@ framework):
     makes the round trip exact — object-model ingress yields object-model
     outputs, wire-native ingress yields wire-native outputs, and CPU copies
     alias the original ingress datagram (true aliasing, which pickle could
-    never give back).  Results the description language cannot express
-    (RTCP feedback fan-out, whose outputs are per-receiver packet subsets)
-    fall back to one pickled ``PipelineResult`` each.
+    never give back).  RTCP feedback fan-out — per-receiver *subsets* of the
+    ingress compound — packs as destination + packet indices into that
+    compound, replayed against the coordinator's original packet objects
+    (index-based, so the lossy REMB mantissa encoding never touches the
+    replayed floats).  Only results genuinely outside the description
+    language fall back to one pickled ``PipelineResult`` each.
 
 ``encode_tracker_updates`` / ``decode_tracker_updates``
     Mutated sequence-rewriter registers return as packed register images
@@ -51,6 +57,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netsim.datagram import Address, Datagram, PayloadKind
 from ..rtp.packet import RtpPacket
+from ..rtp.rtcp import (
+    Nack,
+    PictureLossIndication,
+    ReceiverReport,
+    Remb,
+    SenderReport,
+    SourceDescription,
+    parse_compound,
+    serialize_compound,
+)
 from ..rtp.wire import PacketView, pack_rtp_header
 from .parser import PacketClass, ParseResult
 from .pipeline import SWITCH_FORWARDING_DELAY_S, PipelineResult
@@ -63,11 +79,25 @@ _F64 = struct.Struct("!d")
 # ingress record tags
 _ING_RTP_HEADER = 0     # header-only wire record (payload stays home)
 _ING_RAW_BYTES = 1      # opaque payload bytes, shipped verbatim
-_ING_PICKLED = 2        # typed control payload (RTCP compound, STUN message)
+_ING_PICKLED = 2        # typed control payload (STUN message, exotic types)
+_ING_RTCP_COMPOUND = 3  # wire-format RTCP compound (serialize_compound)
 
 # result record tags
 _RES_PACKED = 0
 _RES_PICKLED = 1
+_RES_FEEDBACK = 2       # RTCP feedback fan-out: dst + compound packet indices
+
+#: The closed set of RTCP packet types whose wire codec round-trips count and
+#: order exactly (so index-based feedback results stay aligned); anything else
+#: in a compound falls back to the pickled record form.
+_RTCP_WIRE_TYPES = (
+    SenderReport,
+    ReceiverReport,
+    SourceDescription,
+    Nack,
+    PictureLossIndication,
+    Remb,
+)
 
 #: Stable wire order of the :class:`PacketClass` enum (appending is fine,
 #: reordering is not — both ends of the transport share this module).
@@ -155,6 +185,17 @@ def encode_ingress_batch(datagrams: Sequence[Datagram]) -> bytes:
             body += _encode_arrival(datagram.arrived_at)
             body += _U32.pack(len(payload))
             body += payload
+        elif isinstance(payload, (tuple, list)) and payload and all(
+            isinstance(packet, _RTCP_WIRE_TYPES) for packet in payload
+        ):
+            # RTCP compound: ship the real wire format, not a pickled tuple
+            compound = serialize_compound(payload)
+            body += _U8.pack(_ING_RTCP_COMPOUND)
+            body += _U16.pack(src_id)
+            body += _U32.pack(datagram.size)
+            body += _encode_arrival(datagram.arrived_at)
+            body += _U32.pack(len(compound))
+            body += compound
         else:
             blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
             body += _U8.pack(_ING_PICKLED)
@@ -228,7 +269,12 @@ def decode_ingress_batch(blob: bytes, dst: Address) -> List[Datagram]:
         cursor += 4
         chunk = blob[cursor : cursor + length]
         cursor += length
-        payload = chunk if tag == _ING_RAW_BYTES else pickle.loads(chunk)
+        if tag == _ING_RAW_BYTES:
+            payload = chunk
+        elif tag == _ING_RTCP_COMPOUND:
+            payload = tuple(parse_compound(chunk))
+        else:
+            payload = pickle.loads(chunk)
         datagrams.append(
             Datagram(src=src, dst=dst, payload=payload, size=size, arrived_at=arrived_at)
         )
@@ -262,41 +308,25 @@ def encode_result_batch(
     body = bytearray()
     fallbacks: List[PipelineResult] = []
     for result, ingress in zip(results, inputs):
-        packed = _try_pack_result(result, ingress, interner)
+        if result.parse.packet_class is PacketClass.RTCP_FEEDBACK:
+            packed = _try_pack_feedback(result, ingress, interner)
+            tag = _RES_FEEDBACK
+        else:
+            packed = _try_pack_result(result, ingress, interner)
+            tag = _RES_PACKED
         if packed is None:
             body += _U8.pack(_RES_PICKLED)
             fallbacks.append(result)
         else:
-            body += _U8.pack(_RES_PACKED)
+            body += _U8.pack(tag)
             body += packed
     blob = _U32.pack(len(results)) + interner.encode() + bytes(body)
     fallback_blob = pickle.dumps(fallbacks, protocol=pickle.HIGHEST_PROTOCOL)
     return blob, fallback_blob
 
 
-def _try_pack_result(
-    result: PipelineResult, ingress: Datagram, interner: _AddressInterner
-) -> Optional[bytes]:
-    parse = result.parse
-    if parse.packet_class is PacketClass.RTCP_FEEDBACK:
-        return None
-    if len(result.cpu_copies) > 1:
-        return None
-    if result.cpu_copies and result.cpu_copies[0] is not ingress:
-        return None
-    in_payload = ingress.payload
-    outputs: List[Tuple[int, Optional[int]]] = []
-    for output in result.outputs:
-        out_payload = output.payload
-        if out_payload is in_payload:
-            outputs.append((interner.intern(output.dst), None))
-        elif isinstance(out_payload, (PacketView, RtpPacket)) and isinstance(
-            in_payload, (PacketView, RtpPacket)
-        ):
-            outputs.append((interner.intern(output.dst), out_payload.sequence_number))
-        else:
-            return None
-
+def _pack_parse(parse: ParseResult) -> bytes:
+    """Pack the shared ParseResult prefix of a result record."""
     pflags = 0
     extras = bytearray()
     if parse.ssrc is not None:
@@ -316,12 +346,75 @@ def _try_pack_result(
         pflags |= _PFLAG_EXTENDED
     if parse.needs_cpu:
         pflags |= _PFLAG_NEEDS_CPU
-
     out = bytearray()
     out += _U8.pack(_CLASS_INDEX[parse.packet_class])
     out += _U8.pack(pflags)
     out += extras
     out += _U16.pack(parse.parse_depth)
+    return bytes(out)
+
+
+def _try_pack_feedback(
+    result: PipelineResult, ingress: Datagram, interner: _AddressInterner
+) -> Optional[bytes]:
+    """Pack an RTCP feedback fan-out as per-destination packet indices.
+
+    Feedback outputs are per-receiver *subsets* of the ingress compound, so
+    the packed form is ``dst + indices into that compound``; the coordinator
+    replays the indices against the original packet objects it kept (exact by
+    construction — no re-serialization of the packets themselves).
+    """
+    if len(result.cpu_copies) != 1 or result.cpu_copies[0] is not ingress:
+        return None
+    compound = ingress.payload
+    if not isinstance(compound, (tuple, list)) or len(compound) > 255:
+        return None
+    index_of = {id(packet): index for index, packet in enumerate(compound)}
+    outputs: List[Tuple[int, List[int]]] = []
+    for output in result.outputs:
+        packets = output.payload
+        if not isinstance(packets, (tuple, list)) or len(packets) > 255:
+            return None
+        indices: List[int] = []
+        for packet in packets:
+            index = index_of.get(id(packet))
+            if index is None:
+                return None
+            indices.append(index)
+        outputs.append((interner.intern(output.dst), indices))
+
+    out = bytearray(_pack_parse(result.parse))
+    out += _U16.pack(result.dropped_replicas)
+    out += _U16.pack(len(outputs))
+    for dst_id, indices in outputs:
+        out += _U16.pack(dst_id)
+        out += _U8.pack(len(indices))
+        out += bytes(indices)
+    return bytes(out)
+
+
+def _try_pack_result(
+    result: PipelineResult, ingress: Datagram, interner: _AddressInterner
+) -> Optional[bytes]:
+    parse = result.parse
+    if len(result.cpu_copies) > 1:
+        return None
+    if result.cpu_copies and result.cpu_copies[0] is not ingress:
+        return None
+    in_payload = ingress.payload
+    outputs: List[Tuple[int, Optional[int]]] = []
+    for output in result.outputs:
+        out_payload = output.payload
+        if out_payload is in_payload:
+            outputs.append((interner.intern(output.dst), None))
+        elif isinstance(out_payload, (PacketView, RtpPacket)) and isinstance(
+            in_payload, (PacketView, RtpPacket)
+        ):
+            outputs.append((interner.intern(output.dst), out_payload.sequence_number))
+        else:
+            return None
+
+    out = bytearray(_pack_parse(parse))
     out += _U8.pack(_RFLAG_CPU_COPY if result.cpu_copies else 0)
     out += _U16.pack(result.dropped_replicas)
     out += _U16.pack(len(outputs))
@@ -406,6 +499,39 @@ def decode_result_batch(
             )
             parse_cache[parse_key] = parse
         cls = parse.packet_class
+        if tag == _RES_FEEDBACK:
+            # feedback fan-out: replay packet indices against the original
+            # compound the coordinator kept (per-receiver subsets, aliased)
+            (dropped,) = u16_at(blob, cursor)
+            (n_outputs,) = u16_at(blob, cursor + 2)
+            cursor += 4
+            result = PipelineResult(parse=parse)
+            result.dropped_replicas = dropped
+            result.cpu_copies.append(ingress)
+            if n_outputs:
+                compound = ingress.payload
+                arrived_at = ingress.arrived_at
+                egress_schedule = (
+                    None if arrived_at is None else arrived_at + SWITCH_FORWARDING_DELAY_S
+                )
+                for _ in range(n_outputs):
+                    (dst_id,) = u16_at(blob, cursor)
+                    n_packets = blob[cursor + 2]
+                    cursor += 3
+                    packets = tuple(
+                        compound[blob[cursor + offset]] for offset in range(n_packets)
+                    )
+                    cursor += n_packets
+                    result.outputs.append(
+                        Datagram(
+                            src=sfu_address,
+                            dst=addresses[dst_id],
+                            payload=packets,
+                            arrived_at=egress_schedule,
+                        )
+                    )
+            results.append(result)
+            continue
         rflags = blob[cursor]
         cursor += 1
         (dropped,) = u16_at(blob, cursor)

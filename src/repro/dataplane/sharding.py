@@ -43,6 +43,24 @@ traffic the packed forms cannot express (RTCP feedback fan-out, exotic
 rewriter classes).  Per-batch transport volume is tracked in
 :attr:`ProcessShardRunner.transport` so benchmarks can compare it against the
 old pickled object graphs.
+
+Load-aware placement
+--------------------
+
+The flow -> shard map is a **two-level lookup**: a generation-stamped
+placement exception table owned by the control plane
+(:attr:`~repro.dataplane.pipeline.PipelineControlPlane.placement_table`)
+consulted first, with the deterministic CRC32 hash as the default for every
+flow not pinned there.  :meth:`ShardedScallopPipeline.enable_rebalancing`
+closes the loop around it: per-flow packet counts collected while
+partitioning feed an EWMA tracker (:mod:`repro.dataplane.loadstats`), a
+greedy hysteresis-damped policy (:mod:`repro.dataplane.rebalance`) turns
+observed skew into migration plans, and :meth:`ShardedScallopPipeline.migrate_flow`
+executes them at batch boundaries — the migrating sender's rewriter register
+state follows the flow (shared objects in ``serial`` mode; packed
+:func:`~repro.core.seqrewrite.pack_rewriter_state` images shipped to the
+destination worker in ``process`` mode), so outputs remain byte-identical to
+the unsharded pipeline across every migration epoch.
 """
 
 from __future__ import annotations
@@ -50,11 +68,13 @@ from __future__ import annotations
 import pickle
 import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..netsim.datagram import Address, Datagram
 from ..rtp.packet import RtpPacket
 from ..rtp.wire import PacketView
+from .loadstats import FlowKey, FlowLoadTracker
+from .rebalance import MigrationPlan, RebalancerConfig, ShardRebalancer
 from .pipeline import (
     ControlPlaneFacade,
     PipelineControlPlane,
@@ -111,6 +131,11 @@ class SerialShardRunner:
             for shard_id, partition in enumerate(partitions)
         ]
 
+    def on_flow_migrated(self, src: Address, ssrc: int, to_shard: int) -> None:
+        """No state to move: in-process shard register views alias the same
+        rewriter objects (control-plane fan-out writes one object to every
+        view), so the migrated flow's state is already wherever it lands."""
+
     def close(self) -> None:
         pass
 
@@ -134,6 +159,7 @@ def _worker_process_batch(
     stamp: Tuple[int, ...],
     control_blob: Optional[bytes],
     batch_blob: bytes,
+    migration_blob: Optional[bytes] = None,
 ):
     """Process one packed shard batch inside a worker process.
 
@@ -143,6 +169,14 @@ def _worker_process_batch(
     and returns ``(results_blob, fallback_blob, counters, parser_delta,
     pre_delta, tracker_blob)``, where the blobs are the packed result and
     rewriter-register codecs and the deltas cover exactly this batch.
+
+    ``migration_blob`` carries packed rewriter register images
+    (:func:`~repro.dataplane.shardcodec.encode_tracker_updates`) for flows the
+    control plane just migrated *onto* this shard: the coordinator's canonical
+    registers hold their latest state (mutated on whichever shard owned them
+    last), and the images are applied before any packet of this batch runs, so
+    a migrated flow's sequence space continues exactly where it left off —
+    with no control-plane snapshot (and therefore no pickle) involved.
     """
     state = _WORKER_SHARDS.get(shard_id)
     if state is None or state.stamp != stamp:
@@ -155,6 +189,11 @@ def _worker_process_batch(
         control.attach_datapath(datapath)
         state = _WorkerShardState(stamp=stamp, control=control, datapath=datapath)
         _WORKER_SHARDS[shard_id] = state
+    if migration_blob is not None:
+        # migrated-in rewriter state lands in this worker's register file
+        # (the datapath shares the control replica's canonical array)
+        for index, rewriter in decode_tracker_updates(migration_blob):
+            state.control._write_tracker(index, rewriter)
     datapath = state.datapath
     datapath.counters = PipelineCounters()
     parser = datapath.parser
@@ -186,16 +225,20 @@ class ShardTransportStats:
 
     ``batch_bytes_out`` counts packed ingress blobs, ``result_bytes_in`` the
     packed result + fallback blobs, ``tracker_bytes_in`` the packed rewriter
-    register images, and ``snapshot_bytes_out`` the pickled control-plane
-    snapshots (shipped only on generation change).  The shard benchmark
-    compares these against ``pickle.dumps`` of the same object graphs to
-    quantify the transport shrink.
+    register images, ``migration_bytes_out`` the packed register images
+    shipped to a migration's destination worker (zero-pickle, measured so the
+    cost of placement churn is visible), and ``snapshot_bytes_out`` the
+    pickled control-plane snapshots (shipped only on generation change).  The
+    shard benchmark compares these against ``pickle.dumps`` of the same
+    object graphs to quantify the transport shrink.
     """
 
     batches: int = 0
     batch_bytes_out: int = 0
     result_bytes_in: int = 0
     tracker_bytes_in: int = 0
+    migration_bytes_out: int = 0
+    migrations_shipped: int = 0
     snapshot_bytes_out: int = 0
     snapshots_shipped: int = 0
 
@@ -205,6 +248,8 @@ class ShardTransportStats:
             "batch_bytes_out": self.batch_bytes_out,
             "result_bytes_in": self.result_bytes_in,
             "tracker_bytes_in": self.tracker_bytes_in,
+            "migration_bytes_out": self.migration_bytes_out,
+            "migrations_shipped": self.migrations_shipped,
             "snapshot_bytes_out": self.snapshot_bytes_out,
             "snapshots_shipped": self.snapshots_shipped,
         }
@@ -226,7 +271,20 @@ class ProcessShardRunner:
         self._engine = engine
         self._executors: List[Optional[object]] = [None] * engine.n_shards
         self._shipped_stamp: List[Optional[Tuple[int, ...]]] = [None] * engine.n_shards
+        #: Register indices whose state must ship to a shard's worker before
+        #: its next batch (flows migrated onto that shard since its last
+        #: dispatch); drained into a packed tracker-image blob per dispatch.
+        self._pending_migrations: List[Set[int]] = [set() for _ in range(engine.n_shards)]
         self.transport = ShardTransportStats()
+
+    def on_flow_migrated(self, src: Address, ssrc: int, to_shard: int) -> None:
+        """Queue the migrating flow's rewriter register images for the
+        destination worker.  The coordinator's canonical registers are current
+        (every batch folds worker mutations back), so the images are read at
+        dispatch time and cross as packed state — never pickle."""
+        indices = self._engine.control.tracker_indices_for_ssrc(ssrc)
+        if indices:
+            self._pending_migrations[to_shard].update(indices)
 
     def _executor(self, shard_id: int):
         executor = self._executors[shard_id]
@@ -243,6 +301,7 @@ class ProcessShardRunner:
         snapshot: Optional[bytes] = None
         transport = self.transport
         futures: Dict[int, object] = {}
+        trackers = engine.control.stream_trackers
         for shard_id, partition in enumerate(partitions):
             if not partition:
                 continue
@@ -254,11 +313,25 @@ class ProcessShardRunner:
                 self._shipped_stamp[shard_id] = stamp
                 transport.snapshot_bytes_out += len(snapshot)
                 transport.snapshots_shipped += 1
+            migration_blob = None
+            pending = self._pending_migrations[shard_id]
+            if pending:
+                if blob is None:
+                    # zero-pickle migration: ship the flow's current register
+                    # images read off the coordinator's canonical array
+                    migration_blob = encode_tracker_updates(
+                        {index: trackers.peek(index) for index in pending}
+                    )
+                    transport.migration_bytes_out += len(migration_blob)
+                    transport.migrations_shipped += 1
+                # a full snapshot (blob is not None) already carries the
+                # canonical registers, migrated state included
+                pending.clear()
             batch_blob = encode_ingress_batch(partition)
             transport.batches += 1
             transport.batch_bytes_out += len(batch_blob)
             futures[shard_id] = self._executor(shard_id).submit(
-                _worker_process_batch, shard_id, stamp, blob, batch_blob
+                _worker_process_batch, shard_id, stamp, blob, batch_blob, migration_blob
             )
         all_results: List[List[PipelineResult]] = [[] for _ in partitions]
         for shard_id, future in futures.items():
@@ -288,6 +361,7 @@ class ProcessShardRunner:
                 executor.shutdown(wait=False, cancel_futures=True)
         self._executors = [None] * self._engine.n_shards
         self._shipped_stamp = [None] * self._engine.n_shards
+        self._pending_migrations = [set() for _ in range(self._engine.n_shards)]
 
 
 class ShardedScallopPipeline(ControlPlaneFacade):
@@ -308,6 +382,8 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         n_shards: int = 2,
         capacities: TofinoCapacities = DEFAULT_CAPACITIES,
         executor: str = "serial",
+        rebalance: bool = False,
+        rebalance_config: Optional[RebalancerConfig] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -339,21 +415,42 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         self._bind_control_api()
 
         self._flow_shard_cache: Dict[Tuple[Address, int], int] = {}
+        #: Placement-table generation the flow-routing cache was built at;
+        #: a migration bumps the table version and the cache drops wholesale
+        #: at the next batch boundary (two-level lookups are cheap to rebuild).
+        self._placement_version = self.control.placement_table.version
         self._runner = (
             ProcessShardRunner(self) if executor == "process" else SerialShardRunner(self)
         )
 
+        # telemetry -> policy -> migration loop (off by default: telemetry
+        # costs one per-flow tally pass per batch on the partitioning path)
+        self.load_tracker: Optional[FlowLoadTracker] = None
+        self.rebalancer: Optional[ShardRebalancer] = None
+        self.migrations_applied = 0
+        if rebalance or rebalance_config is not None:
+            self.enable_rebalancing(rebalance_config)
+
     # ------------------------------------------------------------------ partitioning
 
     def shard_for_flow(self, src: Address, ssrc: int) -> int:
-        """The shard that owns flow ``(src, ssrc)`` (stable for the engine's
-        lifetime, so per-flow rewriter state never migrates)."""
+        """The shard that currently owns flow ``(src, ssrc)``.
+
+        Two-level lookup: the control plane's placement exception table wins
+        (flows the rebalancer has migrated), everything else falls through to
+        the deterministic CRC32 default.  Per-flow rewriter state follows the
+        owner across migrations (see :meth:`migrate_flow`).
+        """
+        pinned = self.control.placement_table.peek((src, ssrc))
+        if pinned is not None and 0 <= pinned < self.n_shards:
+            return pinned
         return flow_shard(src, ssrc, self.n_shards)
 
     #: Bound on the flow->shard cache (junk traffic must not grow it forever).
     FLOW_SHARD_CACHE_LIMIT = 1 << 16
 
-    def _shard_of(self, datagram: Datagram) -> int:
+    @staticmethod
+    def _flow_key(datagram: Datagram) -> Tuple[Address, int]:
         payload = datagram.payload
         # non-RTP traffic (RTCP compounds, STUN, junk) has no media SSRC; it
         # partitions by source only, which keeps one sender's control traffic
@@ -361,14 +458,28 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         # their object twins (same SSRC off the buffer), so mixed-encoding
         # traffic of one flow always lands on one shard.
         ssrc = payload.ssrc if isinstance(payload, (RtpPacket, PacketView)) else -1
-        key = (datagram.src, ssrc)
+        return (datagram.src, ssrc)
+
+    def _shard_of_key(self, key: Tuple[Address, int]) -> int:
         shard = self._flow_shard_cache.get(key)
         if shard is None:
             if len(self._flow_shard_cache) >= self.FLOW_SHARD_CACHE_LIMIT:
                 self._flow_shard_cache.clear()
-            shard = self.shard_for_flow(datagram.src, ssrc)
+            shard = self.shard_for_flow(key[0], key[1])
             self._flow_shard_cache[key] = shard
         return shard
+
+    def _shard_of(self, datagram: Datagram) -> int:
+        return self._shard_of_key(self._flow_key(datagram))
+
+    def _sync_placement_cache(self) -> None:
+        """Drop the flow-routing cache if the placement table moved (its
+        version stamps every migration, exactly like the match-action
+        tables' write generations stamp datapath caches)."""
+        version = self.control.placement_table.version
+        if version != self._placement_version:
+            self._flow_shard_cache.clear()
+            self._placement_version = version
 
     def _charge_scope_for_ssrc(self, sender_ssrc: int) -> Optional[ShardResourceAccountant]:
         """Route a stream-state charge to the accountant view of the shard
@@ -382,7 +493,10 @@ class ShardedScallopPipeline(ControlPlaneFacade):
     def control_stamp(self) -> Tuple[int, ...]:
         """Write generation over *all* control state (wider than the flow
         caches' stamp: worker replicas must also refresh on feedback/ssrc
-        table writes, which the in-process shards read live)."""
+        table writes, which the in-process shards read live).  The placement
+        table is deliberately absent: workers never read placement (the
+        coordinator partitions), so a migration must not force a snapshot —
+        migrated rewriter state ships as packed register images instead."""
         control = self.control
         return (
             control.stream_table.version,
@@ -402,26 +516,119 @@ class ShardedScallopPipeline(ControlPlaneFacade):
             # processes; processing inline on the coordinator would fork the
             # sequence-rewriter state without any stamp change to resync it
             return self.process_batch([datagram])[0]
+        self._sync_placement_cache()
         return self.shards[self._shard_of(datagram)].process(datagram)
 
     def process_batch(self, datagrams: Sequence[Datagram]) -> List[PipelineResult]:
         """Partition a burst by flow, process per shard, reassemble in input
-        order (byte-identical to the unsharded pipeline)."""
+        order (byte-identical to the unsharded pipeline).
+
+        When rebalancing is enabled the batch is also a telemetry sample and
+        a migration opportunity: per-flow packet counts collected during
+        partitioning feed the EWMA tracker, and every ``epoch_batches``-th
+        batch the policy may migrate flows — strictly *after* this batch's
+        results are complete, so a flow is never split across shards within
+        one batch and outputs stay byte-identical across placement changes.
+        """
         if self.n_shards == 1 and isinstance(self._runner, SerialShardRunner):
             return self.shards[0].process_batch(datagrams)
+        self._sync_placement_cache()
         partitions: List[List[Datagram]] = [[] for _ in range(self.n_shards)]
         slots: List[List[int]] = [[] for _ in range(self.n_shards)]
-        shard_of = self._shard_of
-        for index, datagram in enumerate(datagrams):
-            shard = shard_of(datagram)
-            partitions[shard].append(datagram)
-            slots[shard].append(index)
+        tracker = self.load_tracker
+        if tracker is None:
+            shard_of = self._shard_of
+            for index, datagram in enumerate(datagrams):
+                shard = shard_of(datagram)
+                partitions[shard].append(datagram)
+                slots[shard].append(index)
+        else:
+            flow_key = self._flow_key
+            shard_of_key = self._shard_of_key
+            flow_counts: Dict[FlowKey, int] = {}
+            flow_shards: Dict[FlowKey, int] = {}
+            for index, datagram in enumerate(datagrams):
+                key = flow_key(datagram)
+                shard = shard_of_key(key)
+                partitions[shard].append(datagram)
+                slots[shard].append(index)
+                count = flow_counts.get(key)
+                if count is None:
+                    flow_counts[key] = 1
+                    flow_shards[key] = shard
+                else:
+                    flow_counts[key] = count + 1
         shard_results = self._runner.run_batches(partitions)
         results: List[Optional[PipelineResult]] = [None] * len(datagrams)
         for shard, indices in enumerate(slots):
             for slot, result in zip(indices, shard_results[shard]):
                 results[slot] = result
+        if tracker is not None:
+            tracker.observe_batch(flow_counts, flow_shards)
+            self._maybe_rebalance()
         return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ placement control loop
+
+    def enable_rebalancing(self, config: Optional[RebalancerConfig] = None) -> None:
+        """Arm the telemetry -> policy -> migration loop on this engine."""
+        config = config or RebalancerConfig()
+        self.load_tracker = FlowLoadTracker(self.n_shards, alpha=config.ewma_alpha)
+        self.rebalancer = ShardRebalancer(self.n_shards, config)
+
+    def _maybe_rebalance(self) -> None:
+        """Run the placement policy at epoch boundaries (between batches)."""
+        rebalancer = self.rebalancer
+        tracker = self.load_tracker
+        if rebalancer is None or tracker is None:
+            return
+        if tracker.batches_observed % rebalancer.config.epoch_batches:
+            return
+        tracker.observe_shard_load(self.shard_load())
+        plan = rebalancer.plan(tracker)
+        if plan:
+            self.apply_migrations(plan)
+
+    def apply_migrations(self, plan: MigrationPlan) -> int:
+        """Execute a migration plan; returns how many flows actually moved."""
+        applied = 0
+        for migration in plan.migrations:
+            src, ssrc = migration.flow
+            if self.migrate_flow(src, ssrc, migration.to_shard):
+                applied += 1
+        return applied
+
+    def migrate_flow(self, src: Address, ssrc: int, to_shard: int) -> bool:
+        """Live-migrate flow ``(src, ssrc)`` to ``to_shard`` at the next batch
+        boundary.
+
+        Installs (or, when the target is the flow's CRC32 default, removes)
+        the placement exception — bumping the placement generation, which
+        drops the flow-routing cache — re-attributes the flow's stream-state
+        occupancy to the destination shard's accountant view, and hands the
+        runner the flow's rewriter register indices so the process executor
+        ships their packed images to the destination worker with its next
+        batch.  Safe while traffic is in flight because routing is only read
+        at batch partitioning time: the current batch completed with the old
+        placement, the next one sees the new placement and the moved state.
+        """
+        if not 0 <= to_shard < self.n_shards:
+            raise ValueError(f"shard {to_shard} out of range for {self.n_shards} shards")
+        if self.shard_for_flow(src, ssrc) == to_shard:
+            return False
+        if flow_shard(src, ssrc, self.n_shards) == to_shard:
+            # moving "back home": the default hash already says to_shard, so
+            # the exception entry is redundant — drop it instead of pinning
+            self.control.remove_placement(src, ssrc)
+        else:
+            self.control.install_placement(src, ssrc, to_shard)
+        self._runner.on_flow_migrated(src, ssrc, to_shard)
+        if ssrc >= 0:
+            self.control.reattribute_ssrc_charges(ssrc)
+        if self.load_tracker is not None:
+            self.load_tracker.note_migration((src, ssrc), to_shard)
+        self.migrations_applied += 1
+        return True
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -467,9 +674,9 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         """Per-shard skew report: packet/replica counts next to occupancy.
 
         One row per shard, combining the datapath's traffic tallies with the
-        shard accountant's occupancy attribution — the observable that
-        ROADMAP's skew-aware rebalancing will act on, surfaced today in
-        ``BENCH_shard_throughput.json``.
+        shard accountant's occupancy attribution — the observable the
+        placement control loop (:meth:`enable_rebalancing`) acts on, surfaced
+        in ``BENCH_shard_throughput.json``.
         """
         rows: List[Dict[str, float]] = []
         for shard, accountant in zip(self.shards, self.shard_accountants):

@@ -15,15 +15,21 @@
 from .runner import MeetingSetupConfig, Testbed, add_participant, build_scallop_testbed, build_software_testbed
 from .batch_throughput import (
     BatchThroughputPoint,
+    RebalancePoint,
     ShardThroughputPoint,
     build_meeting_pipeline,
+    build_skewed_meeting_pipeline,
     format_batch_sweep,
+    format_rebalance_point,
     format_shard_sweep,
+    measure_rebalance_point,
     measure_shard_point,
     measure_shard_transport,
     media_ingress,
     run_batch_throughput_sweep,
     run_shard_throughput_sweep,
+    skewed_media_ingress,
+    zipf_frames,
 )
 from .table_packets import PacketAccountingResult, format_table, run_packet_accounting
 from .table_resources import ResourceReport, format_report, run_resource_report
@@ -73,15 +79,21 @@ __all__ = [
     "build_scallop_testbed",
     "build_software_testbed",
     "BatchThroughputPoint",
+    "RebalancePoint",
     "ShardThroughputPoint",
     "build_meeting_pipeline",
+    "build_skewed_meeting_pipeline",
     "format_batch_sweep",
+    "format_rebalance_point",
     "format_shard_sweep",
+    "measure_rebalance_point",
     "measure_shard_point",
     "measure_shard_transport",
     "media_ingress",
     "run_batch_throughput_sweep",
     "run_shard_throughput_sweep",
+    "skewed_media_ingress",
+    "zipf_frames",
     "PacketAccountingResult",
     "format_table",
     "run_packet_accounting",

@@ -29,6 +29,7 @@ from ..dataplane.pipeline import (
     StreamForwardingEntry,
 )
 from ..dataplane.pre import L2Port
+from ..dataplane.rebalance import RebalancerConfig
 from ..dataplane.shardcodec import encode_ingress_batch, encode_result_batch
 from ..dataplane.sharding import ShardedScallopPipeline, flow_shard
 from ..netsim.datagram import Address, Datagram
@@ -279,6 +280,231 @@ def run_shard_throughput_sweep(
         )
         for k in shard_counts
     ]
+
+
+# --------------------------------------------------------------------------- skewed workloads / rebalancing
+
+
+def zipf_weights(count: int, exponent: float = 0.9) -> List[float]:
+    """Zipf-style popularity weights: meeting ``i`` gets ``1 / (i+1)^s``."""
+    return [1.0 / (rank + 1) ** exponent for rank in range(count)]
+
+
+def zipf_frames(
+    count: int, base_frames: int = 18, exponent: float = 1.2, floor: int = 1
+) -> List[int]:
+    """Frames per batch for each meeting under a Zipf activity distribution
+    (hottest meeting sends ``base_frames`` frames per batch, the tail decays
+    as ``1/rank^s`` down to ``floor``)."""
+    weights = zipf_weights(count, exponent)
+    return [max(floor, round(base_frames * weight / weights[0])) for weight in weights]
+
+
+def build_skewed_meeting_pipeline(
+    num_meetings: int,
+    n_shards: int,
+    participants: int = 8,
+    colocate_hot: int = 4,
+    pipeline=None,
+    participants_by_meeting: Optional[Sequence[int]] = None,
+) -> Tuple[object, List[Tuple[Address, int]]]:
+    """A meeting population whose hottest senders collide onto one shard.
+
+    Same shape as :func:`build_meeting_pipeline`, but the ``colocate_hot``
+    hottest meetings get sender SSRCs chosen (deterministically, by scanning
+    candidates) so the default CRC32 placement puts them all on shard 0 —
+    the adversarial-but-realistic hash collision ROADMAP motivates ("a few
+    hot senders pin one shard").  Combined with Zipf activity this yields a
+    static max/mean packet skew well above 2x at k=4, which is the workload
+    the rebalancer is benchmarked (and CI-gated) against.
+    """
+    if pipeline is None:
+        pipeline = ScallopPipeline(SFU_ADDRESS)
+    senders: List[Tuple[Address, int]] = []
+    for meeting in range(num_meetings):
+        mgid = pipeline.pre.create_tree()
+        size = (
+            participants_by_meeting[meeting]
+            if participants_by_meeting is not None
+            else participants
+        )
+        addresses = [
+            Address(f"10.{1 + meeting // 200}.{meeting % 200}.{index + 2}", 6000 + index)
+            for index in range(size)
+        ]
+        for rid, address in enumerate(addresses, start=1):
+            pipeline.pre.add_node(
+                mgid, rid=rid, ports=[L2Port(port=rid, l2_xid=rid)], l1_xid=1, prune_enabled=True
+            )
+            pipeline.install_replica_target(
+                mgid, rid, ReplicaTarget(address=address, participant_id=f"m{meeting}-p{rid}")
+            )
+        ssrc = 10_000 + meeting * 50
+        if meeting < colocate_hot:
+            while flow_shard(addresses[0], ssrc, n_shards) != 0:
+                ssrc += 1
+        pipeline.install_stream(
+            (addresses[0], ssrc),
+            StreamForwardingEntry(
+                mode=ForwardingMode.REPLICATE,
+                meeting_id=f"meeting-{meeting}",
+                sender=addresses[0],
+                mgid=mgid,
+                rid=1,
+                l2_xid=1,
+            ),
+        )
+        senders.append((addresses[0], ssrc))
+    return pipeline, senders
+
+
+def skewed_media_ingress(
+    senders: Sequence[Tuple[Address, int]],
+    frames_by_sender: Sequence[int],
+) -> List[Datagram]:
+    """One batch of Zipf-skewed AV1 ingress: sender ``i`` contributes
+    ``frames_by_sender[i]`` frames.  Deterministic per sender, so replaying
+    it models a steady-state load epoch (safe because the skewed workloads
+    install no sequence rewriters — nothing is stateful across the replay)."""
+    traffic: List[Datagram] = []
+    for (address, ssrc), frames in zip(senders, frames_by_sender):
+        encoder = SvcEncoder(target_bitrate_bps=2_200_000, seed=ssrc)
+        packetizer = RtpPacketizer(ssrc=ssrc, seed=ssrc)
+        for index in range(frames):
+            for packet in packetizer.packetize(encoder.next_frame(index / 30)):
+                traffic.append(Datagram(src=address, dst=SFU_ADDRESS, payload=packet))
+    return traffic
+
+
+@dataclass(frozen=True)
+class RebalancePoint:
+    """One skewed-sweep point: static CRC32 placement vs. the closed
+    telemetry -> policy -> migration loop on the identical workload."""
+
+    n_shards: int
+    num_meetings: int
+    num_packets: int
+    batches: int
+    #: Final-batch max/mean per-shard packet skew under static CRC32.
+    skew_static: float
+    #: Same workload and batch with the rebalancer armed.
+    skew_rebalanced: float
+    migrations: int
+    shard_packets_static: Tuple[int, ...]
+    shard_packets_rebalanced: Tuple[int, ...]
+
+    @property
+    def skew_reduction(self) -> float:
+        """How many times the rebalancer cut the max/mean packet skew."""
+        return self.skew_static / self.skew_rebalanced if self.skew_rebalanced else 0.0
+
+
+def _final_batch_shard_packets(
+    engine: ShardedScallopPipeline,
+    senders: Sequence[Tuple[Address, int]],
+    frames_by_sender: Sequence[int],
+    batches: int,
+) -> Tuple[Tuple[int, ...], int]:
+    """Replay ``batches`` identical skewed batches (a steady-state load
+    epoch each); return the per-shard packet counts of the final batch alone
+    (counters zeroed before it) plus the total packets per batch."""
+    num_packets = 0
+    traffic = skewed_media_ingress(senders, frames_by_sender)
+    num_packets = len(traffic)
+    for batch_index in range(batches):
+        if batch_index == batches - 1:
+            for shard in engine.shards:
+                shard.counters = PipelineCounters()
+        engine.process_batch(traffic)
+    return (
+        tuple(int(row["data_plane_packets"]) for row in engine.shard_load()),
+        num_packets,
+    )
+
+
+def measure_rebalance_point(
+    n_shards: int = 4,
+    num_meetings: int = 50,
+    participants: int = 8,
+    batches: int = 24,
+    base_frames: int = 18,
+    zipf_exponent: float = 1.2,
+    colocate_hot: int = 14,
+    config: Optional[RebalancerConfig] = None,
+) -> RebalancePoint:
+    """Measure the rebalancer's skew cut on a Zipf-skewed hot-sender workload.
+
+    Two runs over byte-identical traffic: a static-CRC32 engine and one with
+    :meth:`~repro.dataplane.sharding.ShardedScallopPipeline.enable_rebalancing`
+    armed (short epochs so the loop converges within ``batches``).  Both
+    figures are the max/mean per-shard packet ratio of the *final* batch —
+    i.e. after the control loop has converged — so the point is deterministic
+    (packet counts, not timings) and safe to gate CI on.
+    """
+    if config is None:
+        # short epochs + a tight target so the loop converges (and bottoms
+        # out) well within the measured window; budget 6 keeps per-epoch
+        # churn bounded while still draining a 14-hot-flow pileup
+        config = RebalancerConfig(
+            epoch_batches=2, trigger_ratio=1.15, target_ratio=1.05, migration_budget=6
+        )
+    frames_by_sender = zipf_frames(num_meetings, base_frames, zipf_exponent)
+
+    static_engine, senders = build_skewed_meeting_pipeline(
+        num_meetings,
+        n_shards,
+        participants,
+        colocate_hot=colocate_hot,
+        pipeline=ShardedScallopPipeline(SFU_ADDRESS, n_shards=n_shards, executor="serial"),
+    )
+    static_packets, num_packets = _final_batch_shard_packets(
+        static_engine, senders, frames_by_sender, batches
+    )
+    static_engine.close()
+
+    rebalanced_engine, senders = build_skewed_meeting_pipeline(
+        num_meetings,
+        n_shards,
+        participants,
+        colocate_hot=colocate_hot,
+        pipeline=ShardedScallopPipeline(
+            SFU_ADDRESS, n_shards=n_shards, executor="serial", rebalance_config=config
+        ),
+    )
+    rebalanced_packets, _ = _final_batch_shard_packets(
+        rebalanced_engine, senders, frames_by_sender, batches
+    )
+    migrations = rebalanced_engine.migrations_applied
+    rebalanced_engine.close()
+
+    def skew(shard_packets: Tuple[int, ...]) -> float:
+        mean = sum(shard_packets) / len(shard_packets)
+        return max(shard_packets) / mean if mean else 0.0
+
+    return RebalancePoint(
+        n_shards=n_shards,
+        num_meetings=num_meetings,
+        num_packets=num_packets,
+        batches=batches,
+        skew_static=skew(static_packets),
+        skew_rebalanced=skew(rebalanced_packets),
+        migrations=migrations,
+        shard_packets_static=static_packets,
+        shard_packets_rebalanced=rebalanced_packets,
+    )
+
+
+def format_rebalance_point(point: RebalancePoint) -> str:
+    lines = [
+        f"skewed workload: {point.num_meetings} meetings, {point.num_packets} packets/batch, "
+        f"k={point.n_shards}",
+        f"{'placement':>12} {'per-shard packets':>28} {'max/mean':>9}",
+        f"{'static':>12} {str(list(point.shard_packets_static)):>28} {point.skew_static:>8.2f}x",
+        f"{'rebalanced':>12} {str(list(point.shard_packets_rebalanced)):>28} "
+        f"{point.skew_rebalanced:>8.2f}x",
+        f"skew cut {point.skew_reduction:.2f}x via {point.migrations} migrations",
+    ]
+    return "\n".join(lines)
 
 
 def measure_shard_transport(

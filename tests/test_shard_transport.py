@@ -275,6 +275,132 @@ class TestPackedBatchEquivalence:
             sharded.close()
 
 
+class TestRtcpCompoundCodec:
+    """The packed RTCP compound record (ROADMAP open item 3): control traffic
+    crosses the shard transport as its real wire format, not pickle, and
+    feedback fan-out results replay as packet indices against the
+    coordinator's original compound objects."""
+
+    @staticmethod
+    def _feedback_pipeline():
+        from repro.dataplane.pipeline import (
+            FeedbackRule,
+            ForwardingMode,
+            ReplicaTarget,
+            StreamForwardingEntry,
+        )
+        from repro.dataplane.pre import L2Port
+
+        engine = ScallopPipeline(SFU)
+        sender = Address("10.9.0.2", 6000)
+        receivers = [Address("10.9.0.3", 6001), Address("10.9.0.4", 6002)]
+        mgid = engine.pre.create_tree()
+        for rid, address in enumerate([sender] + receivers, start=1):
+            engine.pre.add_node(
+                mgid, rid=rid, ports=[L2Port(port=rid, l2_xid=rid)], l1_xid=1, prune_enabled=True
+            )
+            engine.install_replica_target(
+                mgid, rid, ReplicaTarget(address=address, participant_id=f"p{rid}")
+            )
+        engine.install_stream(
+            (sender, 99),
+            StreamForwardingEntry(
+                mode=ForwardingMode.REPLICATE, meeting_id="m", sender=sender, mgid=mgid, rid=1, l2_xid=1
+            ),
+        )
+        for receiver in receivers:
+            engine.install_feedback_rule(
+                receiver, 99, FeedbackRule(sender=sender, forward_remb=True, forward_nack_pli=True)
+            )
+        return engine, sender, receivers
+
+    def test_rtcp_ingress_ships_wire_format_not_pickle(self):
+        from repro.rtp.rtcp import Nack, PictureLossIndication, parse_compound
+
+        receiver = Address("10.9.0.3", 6001)
+        compound = (
+            Remb(2000, 1_000_000.0, (99,)),
+            Nack(2000, 99, (5, 6, 9)),
+            PictureLossIndication(2000, 99),
+        )
+        batch = [Datagram(src=receiver, dst=SFU, payload=compound, arrived_at=1.25)]
+        blob = encode_ingress_batch(batch)
+        # a pickled tuple would embed the dataclass import paths; the wire
+        # record must not
+        assert b"repro.rtp.rtcp" not in blob
+        assert b"Remb" not in blob
+        decoded = decode_ingress_batch(blob, SFU)
+        twin = decoded[0]
+        assert twin.size == batch[0].size
+        assert twin.arrived_at == batch[0].arrived_at
+        assert [type(p) for p in twin.payload] == [type(p) for p in compound]
+        # everything the datapath and agent read survives the wire round trip
+        assert twin.payload[1].lost_sequence_numbers == (5, 6, 9)
+        assert twin.payload[0].media_ssrcs == (99,)
+        assert twin.payload[0].bitrate_bps == 1_000_000.0
+        # and the record *is* the compound wire format
+        assert parse_compound(batch[0].to_bytes()) == list(twin.payload)
+
+    def test_feedback_fanout_packed_without_pickle_fallback(self):
+        from repro.rtp.rtcp import Nack
+
+        engine, sender, receivers = self._feedback_pipeline()
+        compound = (
+            Remb(2000, 1_000_000.0, (99,)),
+            Nack(2000, 99, (7,)),
+        )
+        batch = [
+            Datagram(src=receivers[0], dst=SFU, payload=compound, arrived_at=0.5),
+            Datagram(src=receivers[1], dst=SFU, payload=(Nack(2001, 99, (8,)),)),
+        ]
+        results = engine.process_batch(batch)
+        assert any(r.outputs for r in results), "feedback rules produced no fan-out"
+        blob, fallback = encode_result_batch(results, batch)
+        assert pickle.loads(fallback) == [], "feedback fell back to pickle"
+        restored = decode_result_batch(blob, fallback, batch, SFU)
+        assert_packed_results_match(results, restored)
+        # replayed outputs alias the coordinator's original packet objects
+        for original, twin in zip(results, restored):
+            for out_original, out_twin in zip(original.outputs, twin.outputs):
+                for packet_original, packet_twin in zip(out_original.payload, out_twin.payload):
+                    assert packet_twin is packet_original
+            if twin.cpu_copies:
+                assert twin.cpu_copies[0] is batch[restored.index(twin)]
+
+    def test_feedback_equivalent_to_pickle_path_through_process_executor(self):
+        # end to end: a sharded process engine whose feedback crosses the
+        # packed compound codec must match the reference engine that never
+        # serializes anything (the pickle path's own reference)
+        seed = 31
+        scenario_a, scenario_b = MeetingScenario(seed), MeetingScenario(seed)
+        reference = scenario_a.configure(ScallopPipeline(SFU))
+        sharded = scenario_b.configure(ShardedScallopPipeline(SFU, n_shards=2, executor="process"))
+        try:
+            from repro.dataplane.pipeline import FeedbackRule
+
+            for scenario, engine in ((scenario_a, reference), (scenario_b, sharded)):
+                for meeting in scenario.meetings:
+                    sender = meeting["addresses"][0]
+                    for receiver in meeting["addresses"][1:]:
+                        engine.install_feedback_rule(
+                            receiver,
+                            meeting["video_ssrc"],
+                            FeedbackRule(sender=sender, forward_remb=True, forward_nack_pli=True),
+                        )
+            chunk = scenario_a.traffic_chunk(seed)
+            reference_results = [reference.process(d) for d in chunk]
+            sharded_results = sharded.process_batch(scenario_b.traffic_chunk(seed))
+            assert_packed_results_match(reference_results, sharded_results)
+            forwarded_feedback = sum(
+                len(r.outputs)
+                for r in reference_results
+                if r.parse.packet_class.value == "rtcp_feedback"
+            )
+            assert forwarded_feedback > 0
+        finally:
+            sharded.close()
+
+
 class TestTransportShrink:
     def test_media_batch_shrinks_at_least_5x_vs_pickle(self):
         sender = Address("10.7.0.2", 6000)

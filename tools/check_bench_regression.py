@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
 """Benchmark-regression gate for the shard-throughput artifact.
 
-Compares a freshly generated ``BENCH_shard_throughput.json`` against the
-committed baseline and fails when the k=1 serial object-ingress engine (the
-stable reference point every other sweep point is normalized to) regresses by
-more than the allowed fraction.  Shared-runner noise is real, so the default
-gate is deliberately loose (25%) — it exists to catch code-level collapses
-(an accidentally disabled cache, a quadratic hot path), not 5% jitter.
+Two gates against the committed ``BENCH_shard_throughput.json`` baseline:
+
+1. **Throughput**: the k=1 serial object-ingress pps (the stable reference
+   point every other sweep point is normalized to) must not drop more than
+   the allowed fraction.  Shared-runner noise is real, so the default gate is
+   deliberately loose (25%) — it exists to catch code-level collapses (an
+   accidentally disabled cache, a quadratic hot path), not 5% jitter.
+2. **Placement skew**: the skewed-sweep point's rebalanced max/mean per-shard
+   packet skew (``rebalance.skew_rebalanced``) must not regress more than the
+   same fraction.  Unlike pps this number is a deterministic packet count, so
+   a failure here is always a real policy/migration defect, never jitter; the
+   25% headroom only absorbs deliberate workload retunes.  Skipped (with a
+   note) when either artifact predates the ``rebalance`` key.
 
 Usage:
     python tools/check_bench_regression.py BASELINE.json FRESH.json [--max-regression 0.25]
@@ -37,6 +44,59 @@ def reference_pps(artifact: dict) -> float:
     raise KeyError("no k=1 serial object-ingress point in artifact")
 
 
+def rebalanced_skew(artifact: dict) -> float:
+    """The skewed-sweep point's rebalanced max/mean per-shard packet skew.
+
+    Raises :class:`KeyError` when the artifact predates the ``rebalance``
+    key (pre-placement-subsystem schema).
+    """
+    return float(artifact["rebalance"]["skew_rebalanced"])
+
+
+def check_skew_gate(baseline_artifact: dict, fresh_artifact: dict, max_regression: float) -> bool:
+    """Gate the rebalanced shard-skew ratio; returns True when it passes.
+
+    The ratio's floor is 1.0 (a perfectly even placement), so the allowed
+    regression is applied to the *excess* over 1.0: a baseline of 1.02 must
+    not balloon past 1.0 + 0.02 * 1.25.  Gating the raw ratio instead would
+    let a near-perfect baseline absorb a 25-percentage-point collapse.
+
+    The gate is skipped only when the *baseline* predates the ``rebalance``
+    key; once the baseline carries it, a fresh artifact without it means the
+    benchmark stopped emitting the rows — that fails, it must not silently
+    erode the gate.
+    """
+    try:
+        baseline = rebalanced_skew(baseline_artifact)
+    except (KeyError, TypeError, ValueError):
+        print("shard skew (rebalanced): baseline predates the 'rebalance' rows, gate skipped")
+        return True
+    try:
+        fresh = rebalanced_skew(fresh_artifact)
+    except (KeyError, TypeError, ValueError):
+        print(
+            "check_bench_regression: baseline has 'rebalance' rows but the fresh "
+            "artifact does not — the skewed sweep stopped being measured",
+            file=sys.stderr,
+        )
+        return False
+    ceiling = 1.0 + (baseline - 1.0) * (1.0 + max_regression)
+    verdict = "OK" if fresh <= ceiling else "REGRESSION"
+    print(
+        f"shard skew (rebalanced): baseline {baseline:.4f}x, "
+        f"fresh {fresh:.4f}x, ceiling {ceiling:.4f}x -> {verdict}"
+    )
+    if fresh > ceiling:
+        print(
+            f"check_bench_regression: rebalanced shard skew regressed more than "
+            f"{max_regression:.0%} against the committed baseline (deterministic "
+            "packet counts — this is a policy/migration defect, not noise)",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_shard_throughput.json")
@@ -45,19 +105,22 @@ def main(argv=None) -> int:
         "--max-regression",
         type=float,
         default=0.25,
-        help="maximum allowed fractional pps drop at k=1 serial (default 0.25)",
+        help="maximum allowed fractional regression for both gates (default 0.25)",
     )
     args = parser.parse_args(argv)
 
     try:
         with open(args.baseline) as handle:
-            baseline = reference_pps(json.load(handle))
+            baseline_artifact = json.load(handle)
         with open(args.fresh) as handle:
-            fresh = reference_pps(json.load(handle))
+            fresh_artifact = json.load(handle)
+        baseline = reference_pps(baseline_artifact)
+        fresh = reference_pps(fresh_artifact)
     except (OSError, KeyError, ValueError) as error:
         print(f"check_bench_regression: cannot read artifacts: {error}", file=sys.stderr)
         return 2
 
+    failed = False
     floor = baseline * (1.0 - args.max_regression)
     verdict = "OK" if fresh >= floor else "REGRESSION"
     print(
@@ -70,8 +133,11 @@ def main(argv=None) -> int:
             f"{args.max_regression:.0%} against the committed baseline",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+
+    if not check_skew_gate(baseline_artifact, fresh_artifact, args.max_regression):
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
