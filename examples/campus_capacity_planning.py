@@ -7,6 +7,11 @@ fleet of 32-core software SFUs versus a single Scallop switch, and prints the
 replication-design capacity table of Figure 17 for the campus's typical
 meeting shapes.
 
+This example is analytic (capacity arithmetic, no packet simulation); the
+simulated workloads it sizes for live in :mod:`repro.scenario` — e.g.
+``python -m repro.scenario zipf_hotset`` simulates the heterogeneous
+Zipf-sized meeting population this planner reasons about.
+
 Run with:  python examples/campus_capacity_planning.py
 """
 

@@ -1,75 +1,81 @@
 #!/usr/bin/env python3
-"""A classroom call where one student is on a congested downlink.
+"""A classroom call where one student's downlink degrades mid-meeting.
 
-Reproduces the behaviour of Figure 14: when the third participant's downlink
-degrades, Scallop's switch agent lowers the decode target for the streams that
-participant receives (dropping the top AV1 temporal layer in the data plane
-and rewriting sequence numbers), while every other participant keeps full
-quality and the senders keep encoding at their full rate.
+Reproduces the behaviour of Figure 14 through the scenario API: the workload
+is declared as a :class:`repro.scenario.Scenario` whose :class:`Schedule`
+contains a timed link-profile phase change — at t=20 s the third
+participant's downlink drops to 1.2 Mbit/s.  Scallop's switch agent then
+lowers the decode target for the streams that participant receives (dropping
+the top AV1 temporal layer in the data plane and rewriting sequence numbers)
+while every other participant keeps full quality and the senders keep
+encoding at their full rate.
+
+The canned ``degrading_uplink`` library scenario is the uplink-side sibling
+(``python -m repro.scenario degrading_uplink``): loss and shrinking
+bandwidth on a *sender's* uplink, exercising NACK/RTX and GCC instead of
+receiver-side adaptation.
 
 Run with:  python examples/constrained_participant.py
 """
 
-from repro.core import ScallopSfu
-from repro.netsim import Address, LinkProfile, Network, Simulator
-from repro.webrtc import ClientConfig, WebRtcClient
+from repro.netsim import LinkProfile
+from repro.scenario import BackendSpec, MeetingSpec, Scenario, Schedule, build_scenario
 
-SFU_ADDRESS = Address("10.0.0.1", 5000)
 VIDEO_BITRATE_BPS = 650_000
+CONSTRAINT_AT_S = 20.0
 CONSTRAINED_DOWNLINK = LinkProfile(
     bandwidth_bps=1_200_000, propagation_delay_s=0.01, queue_limit_bytes=60_000
 )
 
 
 def main() -> None:
-    simulator = Simulator()
-    network = Network(simulator, seed=7)
-    sfu = ScallopSfu(
-        SFU_ADDRESS,
-        simulator,
-        network,
-        # decode-target thresholds scaled to the 650 kbit/s streams in use
-        adaptation_thresholds_bps=(VIDEO_BITRATE_BPS * 0.8, VIDEO_BITRATE_BPS * 0.4),
+    scenario = Scenario(
+        name="constrained-participant",
+        meetings=(
+            MeetingSpec(
+                participants=3, meeting_id="seminar", video_bitrate_bps=VIDEO_BITRATE_BPS
+            ),
+        ),
+        backend=BackendSpec(
+            # decode-target thresholds scaled to the 650 kbit/s streams in use
+            adaptation_thresholds_bps=(VIDEO_BITRATE_BPS * 0.8, VIDEO_BITRATE_BPS * 0.4),
+        ),
+        # phase 2 is data, not imperative code: p3's downlink degrades at t=20
+        schedule=Schedule().set_link(
+            CONSTRAINT_AT_S, "seminar", 2, downlink=CONSTRAINED_DOWNLINK
+        ),
+        duration_s=60.0,
+        seed=7,
     )
-    sfu.start()
 
-    clients = []
-    for index in range(3):
-        config = ClientConfig(
-            participant_id=f"p{index + 1}",
-            meeting_id="seminar",
-            address=Address(f"10.0.2.{index + 1}", 6100 + index),
-            remote=SFU_ADDRESS,
-            video_bitrate_bps=VIDEO_BITRATE_BPS,
-            seed=index,
-        )
-        client = WebRtcClient(config, simulator, network)
-        network.attach(client)
-        sfu.join(client)
-        client.start()
-        clients.append(client)
+    with build_scenario(scenario) as run:
+        sfu = run.sfu
+        clients = run.meeting("seminar")
 
-    constrained = clients[2]
+        print("phase 1: every downlink healthy")
+        run.run_for(CONSTRAINT_AT_S)
+        report(run, clients)
 
-    print("phase 1: every downlink healthy")
-    simulator.run_for(20.0)
-    report(simulator, sfu, clients)
+        print("\nphase 2: p3's downlink drops to 1.2 Mbit/s (scheduled link event)")
+        run.run_for(40.0)
+        report(run, clients)
 
-    print("\nphase 2: p3's downlink drops to 1.2 Mbit/s")
-    network.set_downlink_profile(constrained.address, CONSTRAINED_DOWNLINK)
-    simulator.run_for(40.0)
-    report(simulator, sfu, clients)
-
-    print("\ndecode targets chosen by the switch agent towards p3:")
-    for sender in clients[:2]:
-        target = sfu.agent.decode_target_for(sender.config.participant_id, "p3")
-        print(f"  {sender.config.participant_id} -> p3: DT{int(target)} ({target.frame_rate:.1f} fps)")
-    print(f"meeting replication design: {sfu.agent.meeting_design('seminar').value}")
-    print(f"data-plane adaptation drops: {sfu.pipeline.counters.adaptation_drops}")
+        constrained_id = clients[2].config.participant_id
+        print(f"\ndecode targets chosen by the switch agent towards {constrained_id}:")
+        for sender in clients[:2]:
+            target = sfu.agent.decode_target_for(sender.config.participant_id, constrained_id)
+            print(
+                f"  {sender.config.participant_id} -> {constrained_id}: "
+                f"DT{int(target)} ({target.frame_rate:.1f} fps)"
+            )
+        print(f"meeting replication design: {sfu.agent.meeting_design('seminar').value}")
+        print(f"data-plane adaptation drops: {sfu.pipeline.counters.adaptation_drops}")
+        for at_s, message in run.event_log:
+            print(f"event @ {at_s:.1f}s: {message}")
 
 
-def report(simulator, sfu, clients) -> None:
-    now = simulator.now
+def report(run, clients) -> None:
+    now = run.simulator.now
     for client in clients:
         rates = [stream.frame_rate(4.0, now) for stream in client.video_receivers.values()]
         freezes = sum(stream.freeze_events for stream in client.video_receivers.values())

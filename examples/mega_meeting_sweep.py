@@ -18,17 +18,21 @@ Three parts, centred on the batched fast path and the flow-sharded engine:
    quantifies the GIL bound (flat throughput, small partitioning overhead);
    ``executor="process"`` is the parallel escape hatch behind the same API.
 
-3. **End-to-end burst mode** — run a short simulated multi-meeting call with
-   ``frame_bursts`` enabled and a 4-shard SFU, where each video frame
-   traverses the network as one schedule-preserving burst and the SFU ingests
-   it through the sharded batch engine.
+3. **End-to-end burst mode** — a declarative multi-meeting
+   :class:`repro.scenario.Scenario` with ``frame_bursts`` traffic and a
+   4-shard SFU, where each video frame traverses the network as one
+   schedule-preserving burst and the SFU ingests it through the sharded
+   batch engine.  (The canned ``zipf_hotset`` scenario is the heterogeneous
+   sibling: ``python -m repro.scenario zipf_hotset``.)
 
 4. **Load-aware placement** (``--skew``) — replay a Zipf-skewed population
    (meeting sizes and per-meeting activity both Zipf-distributed, the hottest
    senders colocated by the CRC32 default the way a real hash collision pins
    them) through a 4-shard engine with the rebalancer armed, and print the
    before/after ``shard_load()`` skew table plus the migrations the placement
-   loop executed.
+   loop executed.  With heterogeneous meeting sizes the policy's
+   egress-weighted flow ranking balances *replica* work (the fan-out each
+   packet actually costs), so watch the replica-skew line, not just packets.
 
 Run with:  python examples/mega_meeting_sweep.py [--skew]
 """
@@ -37,8 +41,6 @@ import argparse
 
 from repro.dataplane import PipelineCounters, RebalancerConfig, ShardedScallopPipeline
 from repro.experiments import (
-    MeetingSetupConfig,
-    build_scallop_testbed,
     build_skewed_meeting_pipeline,
     format_batch_sweep,
     format_shard_sweep,
@@ -48,6 +50,7 @@ from repro.experiments import (
     zipf_frames,
 )
 from repro.netsim.datagram import Address
+from repro.scenario import BackendSpec, Scenario, TrafficSpec, build_scenario
 
 MEETING_SIZES = [1, 5, 10, 25, 50]
 SHARD_COUNTS = [1, 2, 4]
@@ -59,6 +62,7 @@ def format_shard_load(rows) -> str:
         f"{'shard':>6} {'packets':>9} {'replicas':>9} {'cpu':>6} {'occupancy':>10}"
     ]
     mean = sum(row["data_plane_packets"] for row in rows) / max(1, len(rows))
+    replica_mean = sum(row["replicas_out"] for row in rows) / max(1, len(rows))
     for row in rows:
         lines.append(
             f"{int(row['shard']):>6} {int(row['data_plane_packets']):>9} "
@@ -68,6 +72,11 @@ def format_shard_load(rows) -> str:
     if mean:
         peak = max(row["data_plane_packets"] for row in rows)
         lines.append(f"{'':>6} max/mean packet skew: {peak / mean:.2f}x")
+    if replica_mean:
+        # with Zipf meeting *sizes* the egress-weighted policy balances
+        # replica work, so this is the ratio the placement loop drives down
+        replica_peak = max(row["replicas_out"] for row in rows)
+        lines.append(f"{'':>6} max/mean replica skew: {replica_peak / replica_mean:.2f}x")
     return "\n".join(lines)
 
 
@@ -119,25 +128,30 @@ def run_skewed_rebalance_demo(num_meetings: int = 50, n_shards: int = 4) -> None
 def run_burst_mode_call() -> None:
     print()
     print("=== end-to-end burst mode (10 meetings x 3 participants, 4 shards, 10 s) ===")
-    config = MeetingSetupConfig(
-        num_meetings=10, participants_per_meeting=3, frame_bursts=True, n_shards=4
+    scenario = Scenario.uniform(
+        num_meetings=10,
+        participants_per_meeting=3,
+        name="burst-mode-call",
+        backend=BackendSpec(kind="scallop", n_shards=4),
+        traffic=TrafficSpec(frame_bursts=True),
+        duration_s=10.0,
     )
-    testbed = build_scallop_testbed(config)
-    testbed.run_for(10.0)
-    sfu = testbed.sfu
-    reports = [client.get_stats() for client in testbed.clients]
-    rates = [s.frames_per_second for report in reports for s in report.inbound_video]
-    shares = sfu.data_plane_fraction()
-    print(
-        f"SFU forwarded {sfu.stats.packets_out} packets from {sfu.stats.packets_in} ingress; "
-        f"data plane handled {shares['packets'] * 100:.2f}% of packets"
-    )
-    parser = sfu.pipeline.parser_stats()
-    busy = [shard.counters.data_plane_packets for shard in sfu.pipeline.shards]
-    print(
-        f"{len(rates)} inbound video streams at {sum(rates) / len(rates):.1f} fps mean "
-        f"(parse cache hits: {parser.parse_cache_hits}; per-shard packets: {busy})"
-    )
+    with build_scenario(scenario) as testbed:
+        testbed.run()
+        sfu = testbed.sfu
+        reports = [client.get_stats() for client in testbed.clients]
+        rates = [s.frames_per_second for report in reports for s in report.inbound_video]
+        shares = sfu.data_plane_fraction()
+        print(
+            f"SFU forwarded {sfu.stats.packets_out} packets from {sfu.stats.packets_in} ingress; "
+            f"data plane handled {shares['packets'] * 100:.2f}% of packets"
+        )
+        parser = sfu.pipeline.parser_stats()
+        busy = [shard.counters.data_plane_packets for shard in sfu.pipeline.shards]
+        print(
+            f"{len(rates)} inbound video streams at {sum(rates) / len(rates):.1f} fps mean "
+            f"(parse cache hits: {parser.parse_cache_hits}; per-shard packets: {busy})"
+        )
 
 
 def main() -> None:

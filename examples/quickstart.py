@@ -1,72 +1,77 @@
 #!/usr/bin/env python3
 """Quickstart: run a three-party video conference through Scallop.
 
-Builds the simulated network, starts the Scallop SFU (Tofino-like data plane +
-switch agent + controller), signs three WebRTC clients into a meeting, runs
-the call for 30 simulated seconds, and prints what each participant received
-and how much of the workload stayed in the data plane.
+Declares the workload as a :class:`repro.scenario.Scenario` (the public
+workload API: meetings, schedule, backend, traffic model all in one spec),
+builds it, runs the call for 30 simulated seconds, and prints what each
+participant received and how much of the workload stayed in the data plane.
+
+Beyond this flat call, the canned scenario library covers the interesting
+workload families (run them with ``python -m repro.scenario <name>``):
+
+=================  ==========================================================
+Scenario           Exercises
+=================  ==========================================================
+steady             Flat population: forwarding, replication trees, feedback
+                   rules, the data-plane/CPU split of Table 1.
+churn_storm        Joins + leaves + a link-profile phase change on a sharded
+                   dataplane with the load-aware rebalancer armed.
+flash_crowd        A two-party call a crowd piles into: TWO_PARTY -> NRA
+                   design promotion and controller reconfiguration storms.
+degrading_uplink   Phased uplink loss/bandwidth decay: NACK/RTX, GCC, and
+                   sequence rewriting under uplink loss.
+zipf_hotset        Zipf meeting sizes on a sharded wire-native dataplane
+                   with egress-weighted rebalancing.
+=================  ==========================================================
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.core import ScallopSfu
-from repro.netsim import Address, Network, Simulator
-from repro.webrtc import ClientConfig, WebRtcClient
+from repro.scenario import MeetingSpec, Scenario, build_scenario
 
-SFU_ADDRESS = Address("10.0.0.1", 5000)
-MEETING_ID = "quickstart-meeting"
 CALL_DURATION_S = 30.0
 
 
 def main() -> None:
-    simulator = Simulator()
-    network = Network(simulator, seed=1)
+    scenario = Scenario(
+        name="quickstart",
+        meetings=(
+            MeetingSpec(
+                participants=3,
+                meeting_id="quickstart-meeting",
+                video_bitrate_bps=2_200_000,
+            ),
+        ),
+        duration_s=CALL_DURATION_S,
+        seed=1,
+    )
 
-    # The SFU: a programmable switch plus its two-tier software control plane.
-    sfu = ScallopSfu(SFU_ADDRESS, simulator, network)
-    sfu.start()
+    with build_scenario(scenario) as run:
+        run.run()
 
-    # Three participants, each sending AV1 L1T3 video and Opus audio.
-    clients = []
-    for index in range(3):
-        config = ClientConfig(
-            participant_id=f"participant-{index + 1}",
-            meeting_id=MEETING_ID,
-            address=Address(f"10.0.1.{index + 1}", 6000 + index),
-            remote=SFU_ADDRESS,
-            video_bitrate_bps=2_200_000,
-            seed=index,
-        )
-        client = WebRtcClient(config, simulator, network)
-        network.attach(client)
-        sfu.join(client)       # SDP offer/answer through the controller
-        client.start()
-        clients.append(client)
+        print(f"=== quickstart-meeting after {CALL_DURATION_S:.0f} simulated seconds ===")
+        for client in run.clients:
+            stats = client.get_stats()
+            fps = ", ".join(f"{s.frames_per_second:.1f}" for s in stats.inbound_video)
+            jitter = ", ".join(f"{s.jitter_ms:.2f}" for s in stats.inbound_video)
+            print(
+                f"{client.config.participant_id}: {len(stats.inbound_video)} video streams "
+                f"at [{fps}] fps, jitter [{jitter}] ms, "
+                f"{len(stats.inbound_audio)} audio streams"
+            )
 
-    simulator.run_for(CALL_DURATION_S)
-
-    print(f"=== {MEETING_ID} after {CALL_DURATION_S:.0f} simulated seconds ===")
-    for client in clients:
-        stats = client.get_stats()
-        fps = ", ".join(f"{s.frames_per_second:.1f}" for s in stats.inbound_video)
-        jitter = ", ".join(f"{s.jitter_ms:.2f}" for s in stats.inbound_video)
+        sfu = run.sfu
+        shares = sfu.data_plane_fraction()
         print(
-            f"{client.config.participant_id}: {len(stats.inbound_video)} video streams "
-            f"at [{fps}] fps, jitter [{jitter}] ms, "
-            f"{len(stats.inbound_audio)} audio streams"
+            f"data plane handled {shares['packets'] * 100:.2f}% of packets "
+            f"and {shares['bytes'] * 100:.2f}% of bytes "
+            f"(paper reports 96.46% / 99.65%)"
         )
-
-    shares = sfu.data_plane_fraction()
-    print(
-        f"data plane handled {shares['packets'] * 100:.2f}% of packets "
-        f"and {shares['bytes'] * 100:.2f}% of bytes "
-        f"(paper reports 96.46% / 99.65%)"
-    )
-    print(
-        f"switch agent processed {sfu.agent.counters.packets_processed} packets, "
-        f"installed {sfu.agent.counters.rule_updates} rule updates, "
-        f"answered {sfu.agent.counters.stun_handled} STUN checks"
-    )
+        print(
+            f"switch agent processed {sfu.agent.counters.packets_processed} packets, "
+            f"installed {sfu.agent.counters.rule_updates} rule updates, "
+            f"answered {sfu.agent.counters.stun_handled} STUN checks"
+        )
 
 
 if __name__ == "__main__":

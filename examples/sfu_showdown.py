@@ -6,6 +6,12 @@ Runs the same two-party call through both SFUs to compare forwarding latency
 meetings to show the QoE collapse of Figures 3 and 4 — something that cannot
 happen on the Scallop data plane, whose forwarding cost is constant per packet.
 
+Both experiments build their topologies through :mod:`repro.scenario` (the
+latency comparison swaps only the ``BackendSpec`` between the two runs; the
+overload sweep drives imperative joins into an open-ended scenario).  The
+canned ``flash_crowd`` scenario (``python -m repro.scenario flash_crowd``)
+is the churn-flavoured cousin of the overload sweep.
+
 Run with:  python examples/sfu_showdown.py
 """
 

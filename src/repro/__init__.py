@@ -14,13 +14,19 @@ The package is organized as the paper's system is:
   designs, sequence rewriting, capacity models, and the integrated SFU.
 * :mod:`repro.baseline` — the Mediasoup-like split-proxy software SFU.
 * :mod:`repro.trace` — synthetic campus Zoom API / packet-trace generators.
-* :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.scenario` — the declarative workload API: meeting populations,
+  churn schedules, backend specs, and a canned scenario library
+  (``python -m repro.scenario``).
+* :mod:`repro.experiments` — one module per paper table/figure (topologies
+  built through :mod:`repro.scenario`).
 
 Quickstart::
 
-    from repro.experiments import run_packet_accounting, format_table
-    result = run_packet_accounting(duration_s=30.0)
-    print(format_table(result))
+    from repro.scenario import MeetingSpec, Scenario, build_scenario
+    scenario = Scenario(meetings=(MeetingSpec(participants=3),), duration_s=30.0)
+    with build_scenario(scenario) as run:
+        run.run()
+        print(run.meeting_stats())
 """
 
 from .core.scallop import ScallopSfu
@@ -33,11 +39,18 @@ from .core.capacity import (
 )
 from .baseline.software_sfu import SoftwareSfu
 from .netsim import Address, Datagram, LinkProfile, Network, Simulator
+from .scenario import BackendSpec, MeetingSpec, Scenario, Schedule, TrafficSpec, build_scenario
 from .webrtc import ClientConfig, WebRtcClient
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BackendSpec",
+    "MeetingSpec",
+    "Scenario",
+    "Schedule",
+    "TrafficSpec",
+    "build_scenario",
     "ScallopSfu",
     "MeetingShape",
     "ReplicationDesign",

@@ -132,6 +132,13 @@ class SoftwareSfu:
         client.remote = self.address
 
     def leave(self, client: WebRtcClient) -> None:
+        """Tear down a departed participant's split-proxy session state.
+
+        Releases the SSRC routes, the per-receiver adaptation/renumbering
+        state the survivors held about the leaver's streams, and the
+        retransmission cache entries of those streams — after a leave the SFU
+        tracks only the surviving population.
+        """
         address = client.config.address
         participant = self._participants.pop(address, None)
         if participant is None:
@@ -141,6 +148,17 @@ class SoftwareSfu:
             members.remove(address)
         if not members:
             self._meetings.pop(participant.meeting_id, None)
+        departed_ssrcs = {
+            ssrc for ssrc in (participant.audio_ssrc, participant.video_ssrc) if ssrc is not None
+        }
+        for ssrc in departed_ssrcs:
+            self._by_ssrc.pop(ssrc, None)
+        for other in self._participants.values():
+            for ssrc in departed_ssrcs:
+                other.decode_targets.pop(ssrc, None)
+                other.out_sequence.pop(ssrc, None)
+        for key in [k for k in self._rtx_cache if k[0] in departed_ssrcs]:
+            del self._rtx_cache[key]
 
     def meeting_size(self, meeting_id: str) -> int:
         return len(self._meetings.get(meeting_id, []))

@@ -19,9 +19,10 @@ examples and experiments read like the paper's methodology.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..dataplane.pipeline import ScallopPipeline, SWITCH_FORWARDING_DELAY_S
+from ..dataplane.rebalance import RebalancerConfig
 from ..dataplane.resources import DEFAULT_CAPACITIES, TofinoCapacities
 from ..dataplane.sharding import ShardedScallopPipeline
 from ..netsim.datagram import Address, Datagram
@@ -62,17 +63,27 @@ class ScallopSfu:
         adaptation_thresholds_bps: Optional[Tuple[float, float]] = None,
         n_shards: int = 1,
         shard_executor: str = "serial",
+        rebalance: Union[bool, RebalancerConfig, None] = None,
     ) -> None:
         self.address = address
         self.simulator = simulator
         self.network = network
+        if rebalance is True:
+            rebalance = RebalancerConfig()
+        elif rebalance is False:
+            rebalance = None
         #: ``n_shards=1`` keeps the single-datapath reference engine;
-        #: ``n_shards>=2`` partitions every ingress burst by flow across
-        #: share-nothing datapath shards behind the same pipeline API (the
-        #: outputs are byte-identical either way).
-        if n_shards > 1 or shard_executor != "serial":
+        #: ``n_shards>=2`` (or any sharded-only feature such as the process
+        #: executor or the load-aware rebalancer) partitions every ingress
+        #: burst by flow across share-nothing datapath shards behind the same
+        #: pipeline API (the outputs are byte-identical either way).
+        if n_shards > 1 or shard_executor != "serial" or rebalance is not None:
             self.pipeline = ShardedScallopPipeline(
-                address, n_shards=n_shards, capacities=capacities, executor=shard_executor
+                address,
+                n_shards=n_shards,
+                capacities=capacities,
+                executor=shard_executor,
+                rebalance_config=rebalance,
             )
         else:
             self.pipeline = ScallopPipeline(address, capacities)

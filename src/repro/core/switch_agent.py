@@ -128,7 +128,21 @@ class SwitchAgent:
         self.counters.rule_updates += 1
 
     def remove_participant(self, meeting_id: str, participant_id: str) -> None:
+        """Tear down everything a departing participant consumed.
+
+        Beyond the replication state (ingress entries, PRE nodes — handled by
+        the replication manager's rebuild), a leave must release the
+        participant's *egress-side* data-plane state: the rate-adaptation
+        entries in which they appear as receiver or sender (freeing their
+        sequence-rewriter registers and the accountant's stream-state
+        charges) and every feedback rule addressed to or about them.  After a
+        leave the control plane holds state only for the surviving
+        population.
+        """
         with self.pipeline.batched_writes():
+            state = self._participants.get(participant_id)
+            if state is not None:
+                self._teardown_participant_state(state.endpoint)
             if meeting_id in self.replication.meetings:
                 self.replication.remove_participant(meeting_id, participant_id)
             self._forget_participant(participant_id)
@@ -138,6 +152,30 @@ class SwitchAgent:
             if meeting_id in self.replication.meetings:
                 self._install_feedback_rules(meeting_id)
         self.counters.rule_updates += 1
+
+    def _teardown_participant_state(self, endpoint: ParticipantEndpoint) -> None:
+        """Release adaptation entries and feedback rules involving a leaver."""
+        address = endpoint.address
+        ssrcs = {ssrc for _kind, ssrc in endpoint.media_ssrcs()}
+        for key in [
+            k for k in self._adaptation_installed if k[1] == address or k[0] in ssrcs
+        ]:
+            self.pipeline.remove_adaptation(key[0], key[1])
+            del self._adaptation_installed[key]
+        stale_rules = [
+            k
+            for k, _rule in self.pipeline.feedback_table.entries()
+            if k[0] == address or k[1] in ssrcs
+        ]
+        for receiver, media_ssrc in stale_rules:
+            self.pipeline.remove_feedback_rule(receiver, media_ssrc)
+        # shard-placement state of the departed flows: pins in the placement
+        # exception table and (on a rebalancing engine) load-tracker rows
+        forget_endpoint = getattr(self.pipeline, "forget_endpoint", None)
+        if forget_endpoint is not None:
+            forget_endpoint(address)
+        else:
+            self.pipeline.control.remove_placements_for(address)
 
     def migrate_meeting(self, meeting_id: str, design: ReplicationDesign) -> None:
         with self.pipeline.batched_writes():

@@ -39,7 +39,7 @@ Design notes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..netsim.datagram import Address
 
@@ -53,11 +53,20 @@ class FlowLoadRow:
     """Smoothed load state of one flow."""
 
     shard: int
-    rate: float = 0.0           # EWMA packets per batch
+    rate: float = 0.0           # EWMA packets per batch (ingress)
+    #: EWMA *replicas* per batch: the flow's egress fan-out.  A sender in a
+    #: 10-participant meeting costs ~3x the egress work of one in a
+    #: 3-participant meeting at equal ingress rate; this term is what lets
+    #: the placement policy balance egress work, not just ingress packets.
+    egress_rate: float = 0.0
     packets_total: int = 0      # lifetime packet count (diagnostics)
     last_seen_batch: int = 0    # batch index of the last observation
     #: Batch index of the flow's last migration (policy cooldown input).
     last_migrated_batch: int = -1
+
+    def weight(self, egress_weight: float = 0.0) -> float:
+        """The flow's load contribution: ingress rate plus weighted fan-out."""
+        return self.rate + egress_weight * self.egress_rate
 
 
 class FlowLoadTracker:
@@ -91,12 +100,16 @@ class FlowLoadTracker:
         self,
         flow_counts: Mapping[FlowKey, int],
         flow_shards: Mapping[FlowKey, int],
+        flow_replicas: Optional[Mapping[FlowKey, int]] = None,
     ) -> None:
         """Fold one batch's per-flow packet counts into the moving averages.
 
         ``flow_counts`` maps each flow seen this batch to its packet count;
         ``flow_shards`` maps it to the shard that processed it (the engine's
-        current placement).  Flows *not* seen this batch decay toward zero.
+        current placement); ``flow_replicas`` (optional) maps it to the
+        egress replicas the batch produced for it, feeding the per-flow
+        fan-out EWMA the policy's egress weighting reads.  Flows *not* seen
+        this batch decay toward zero.
         """
         self.batches_observed += 1
         batch = self.batches_observed
@@ -107,14 +120,17 @@ class FlowLoadTracker:
         shard_totals = [0.0] * self.n_shards
         for key, count in flow_counts.items():
             shard = flow_shards[key]
+            replicas = flow_replicas.get(key, 0) if flow_replicas is not None else 0
             row = flows.get(key)
             if row is None:
                 if len(flows) >= self.max_flows:
                     self._evict_coldest()
                 row = flows[key] = FlowLoadRow(shard=shard)
                 row.rate = float(count)
+                row.egress_rate = float(replicas)
             else:
                 row.rate = alpha * count + decay * row.rate
+                row.egress_rate = alpha * replicas + decay * row.egress_rate
                 row.shard = shard
             row.packets_total += count
             row.last_seen_batch = batch
@@ -122,6 +138,7 @@ class FlowLoadTracker:
         for key, row in flows.items():
             if row.last_seen_batch != batch:
                 row.rate *= decay
+                row.egress_rate *= decay
             shard_totals[row.shard] += row.rate
         for shard in range(self.n_shards):
             self.shard_rates[shard] = shard_totals[shard]
@@ -132,6 +149,15 @@ class FlowLoadTracker:
             shard = int(row["shard"])
             if 0 <= shard < self.n_shards:
                 self.shard_occupancy[shard] = float(row["stream_tracker_occupancy"])
+
+    def forget_flows(self, src: Address) -> int:
+        """Drop every tracked flow of ``src`` (participant leave); the rows
+        would only decay toward zero otherwise, and a later joiner reusing
+        the address must start from fresh telemetry."""
+        stale = [key for key in self.flows if key[0] == src]
+        for key in stale:
+            del self.flows[key]
+        return len(stale)
 
     def note_migration(self, key: FlowKey, to_shard: int) -> None:
         """Record that a flow was just migrated (policy cooldown anchor)."""
@@ -154,16 +180,34 @@ class FlowLoadTracker:
         mean = total / self.n_shards
         return max(self.shard_rates) / mean
 
+    def shard_weights(self, egress_weight: float = 0.0) -> List[float]:
+        """Per-shard load including the egress fan-out term.
+
+        With ``egress_weight=0`` this equals :attr:`shard_rates` (ingress
+        packets only); a positive weight folds each flow's replica fan-out
+        in, so the policy balances the work the SFU actually performs —
+        egress replication — not just ingress packet counts.
+        """
+        totals = [0.0] * self.n_shards
+        for row in self.flows.values():
+            totals[row.shard] += row.weight(egress_weight)
+        return totals
+
     def hottest_flows(
-        self, shard: int, min_rate: float = 0.0
+        self, shard: int, min_rate: float = 0.0, egress_weight: float = 0.0
     ) -> List[Tuple[FlowKey, FlowLoadRow]]:
-        """Flows currently placed on ``shard``, hottest first."""
+        """Flows currently placed on ``shard``, heaviest first.
+
+        Ranking and the noise floor both use :meth:`FlowLoadRow.weight`, so
+        with an egress weight a modest-ingress/huge-fan-out sender outranks
+        a chattier sender whose meeting is small.
+        """
         rows = [
             (key, row)
             for key, row in self.flows.items()
-            if row.shard == shard and row.rate > min_rate
+            if row.shard == shard and row.weight(egress_weight) > min_rate
         ]
-        rows.sort(key=lambda item: item[1].rate, reverse=True)
+        rows.sort(key=lambda item: item[1].weight(egress_weight), reverse=True)
         return rows
 
     def snapshot(self) -> Dict[str, object]:

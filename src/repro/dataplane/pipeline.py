@@ -544,6 +544,18 @@ class PipelineControlPlane:
         """Control-plane read of a flow's pinned shard (``None`` = hashed)."""
         return self.placement_table.peek((src, ssrc))
 
+    def remove_placements_for(self, src: Address) -> int:
+        """Drop every placement exception pinned for flows of ``src``.
+
+        Called on participant leave: a migrated-then-departed flow must not
+        leak its pin forever (nor hand it to a later joiner that reuses the
+        deterministic address/SSRC pair).  Returns how many were removed.
+        """
+        stale = [key for key, _shard in self.placement_table.entries() if key[0] == src]
+        for key in stale:
+            self.placement_table.remove(key)
+        return len(stale)
+
     def tracker_indices_for_ssrc(self, sender_ssrc: int) -> List[int]:
         """Rewriter register indices holding state for a sender SSRC's
         adaptation entries — the per-flow state a live migration must move."""

@@ -46,6 +46,18 @@ unless they are deliberately damped, so every decision is gated three ways:
     Flows below this smoothed rate are never moved: their contribution is
     noise-level, and migrating them spends budget without moving load.
 
+``egress_weight``
+    How strongly a flow's *replica fan-out* counts toward its load.  Packet
+    rate alone under-weights senders in big meetings: a 10-participant
+    meeting costs ~3x the egress replication of a 3-participant one at equal
+    ingress rate.  The telemetry tracks a per-flow egress EWMA
+    (:attr:`~repro.dataplane.loadstats.FlowLoadRow.egress_rate`, fed from the
+    replicas each batch actually produced), and every planning quantity —
+    shard loads, trigger/target ratios, flow ranking, the hot/cold gap — uses
+    ``rate + egress_weight * egress_rate``, so the policy balances the work
+    the SFU performs (egress replication), not just ingress packet counts.
+    ``0.0`` restores pure ingress-rate balancing.
+
 Every decision is projected, not measured: within one plan the planner moves
 flows against its own running projection of per-shard load, so a single plan
 cannot overshoot by moving three hot flows onto the same cold shard.
@@ -73,10 +85,13 @@ class RebalancerConfig:
     migration_budget: int = 4
     #: Epochs a freshly migrated flow is pinned before it may move again.
     cooldown_epochs: int = 2
-    #: Smoothed packets/batch below which a flow is never worth moving.
+    #: Smoothed load units below which a flow is never worth moving.
     min_flow_rate: float = 0.5
     #: EWMA smoothing factor handed to the telemetry tracker.
     ewma_alpha: float = 0.3
+    #: Weight of a flow's egress replica fan-out in its load contribution
+    #: (``weight = rate + egress_weight * egress_rate``); 0 = ingress only.
+    egress_weight: float = 1.0
 
     def __post_init__(self) -> None:
         if self.epoch_batches < 1:
@@ -87,6 +102,8 @@ class RebalancerConfig:
             raise ValueError("trigger_ratio must exceed target_ratio (hysteresis band)")
         if self.migration_budget < 1:
             raise ValueError("migration_budget must be >= 1")
+        if self.egress_weight < 0.0:
+            raise ValueError("egress_weight must be >= 0 (0 = ingress-only balancing)")
 
 
 @dataclass(frozen=True)
@@ -96,7 +113,8 @@ class FlowMigration:
     flow: FlowKey
     from_shard: int
     to_shard: int
-    #: Smoothed packets/batch the move transfers (diagnostics).
+    #: Smoothed load units (packets + weighted egress replicas per batch)
+    #: the move transfers (diagnostics).
     rate: float
 
 
@@ -132,9 +150,15 @@ class ShardRebalancer:
         """
         config = self.config
         self.epochs_planned += 1
-        loads = list(tracker.shard_rates)
+        # loads are egress-weighted: a shard hosting few-but-fanned-out flows
+        # ranks as hot even when its ingress packet rate looks moderate
+        loads = tracker.shard_weights(config.egress_weight)
         total = sum(loads)
-        plan = MigrationPlan(observed_skew=tracker.skew_ratio(), projected_skew=tracker.skew_ratio())
+        if self.n_shards >= 2 and total > 0.0:
+            observed = max(loads) / (total / self.n_shards)
+        else:
+            observed = 1.0
+        plan = MigrationPlan(observed_skew=observed, projected_skew=observed)
         if self.n_shards < 2 or total <= 0.0:
             return plan
         mean = total / self.n_shards
@@ -171,22 +195,28 @@ class ShardRebalancer:
         moved: set,
         cooldown_floor: int,
     ) -> Optional[Tuple[FlowKey, float]]:
-        """The hottest flow on ``hot`` whose move to ``cold`` shrinks the gap.
+        """The heaviest flow on ``hot`` whose move to ``cold`` shrinks the gap.
 
-        A move only helps while the transferred rate is smaller than the
-        hot/cold load gap; moving more than the gap just relabels which shard
+        A move only helps while the transferred load is smaller than the
+        hot/cold gap; moving more than the gap just relabels which shard
         is hot (the ping-pong the cooldown also guards against).  Flows still
         in cooldown, below the noise floor, or already moved this epoch are
-        skipped.
+        skipped.  Load is the egress-weighted flow weight, so the planner
+        prefers moving a big meeting's sender over an equally chatty sender
+        whose fan-out is small.
         """
         gap = loads[hot] - loads[cold]
         if gap <= 0.0:
             return None
-        for key, row in tracker.hottest_flows(hot, min_rate=self.config.min_flow_rate):
+        egress_weight = self.config.egress_weight
+        for key, row in tracker.hottest_flows(
+            hot, min_rate=self.config.min_flow_rate, egress_weight=egress_weight
+        ):
             if key in moved:
                 continue
             if row.last_migrated_batch >= cooldown_floor and row.last_migrated_batch >= 0:
                 continue
-            if row.rate < gap:  # strictly shrinks the hot/cold gap
-                return key, row.rate
+            weight = row.weight(egress_weight)
+            if weight < gap:  # strictly shrinks the hot/cold gap
+                return key, weight
         return None

@@ -21,7 +21,9 @@ framework):
     length-prefixed *wire-format* compound records
     (:func:`~repro.rtp.rtcp.serialize_compound`), decoded back through the
     real codec on the worker — the shard transport speaks RTCP, not pickle.
-    STUN is rare enough to ride along pickled per record; raw junk bytes ship
+    STUN ships the same way: the real RFC 5389 wire format
+    (:meth:`~repro.stun.message.StunMessage.serialize`), re-parsed on the
+    worker, so *no ingress record type pickles* anymore; raw junk bytes ship
     verbatim.
 
 ``encode_result_batch`` / ``decode_result_batch``
@@ -46,7 +48,8 @@ framework):
 
 Pickle remains in exactly two places, both deliberate: the rare control-plane
 snapshot on generation change (shipped by the runner, not this codec), and
-the per-record fallbacks above.
+the per-record fallbacks above (exotic payload types only — every regular
+ingress record type now crosses as its real wire format).
 """
 
 from __future__ import annotations
@@ -68,6 +71,7 @@ from ..rtp.rtcp import (
     serialize_compound,
 )
 from ..rtp.wire import PacketView, pack_rtp_header
+from ..stun.message import StunMessage
 from .parser import PacketClass, ParseResult
 from .pipeline import SWITCH_FORWARDING_DELAY_S, PipelineResult
 
@@ -79,8 +83,9 @@ _F64 = struct.Struct("!d")
 # ingress record tags
 _ING_RTP_HEADER = 0     # header-only wire record (payload stays home)
 _ING_RAW_BYTES = 1      # opaque payload bytes, shipped verbatim
-_ING_PICKLED = 2        # typed control payload (STUN message, exotic types)
+_ING_PICKLED = 2        # typed control payload (exotic types only)
 _ING_RTCP_COMPOUND = 3  # wire-format RTCP compound (serialize_compound)
+_ING_STUN = 4           # wire-format STUN message (RFC 5389 serialize/parse)
 
 # result record tags
 _RES_PACKED = 0
@@ -196,6 +201,16 @@ def encode_ingress_batch(datagrams: Sequence[Datagram]) -> bytes:
             body += _encode_arrival(datagram.arrived_at)
             body += _U32.pack(len(compound))
             body += compound
+        elif isinstance(payload, StunMessage):
+            # STUN crosses as its real wire format too (the last ingress
+            # record type that used to ride per-record pickle)
+            wire = payload.serialize()
+            body += _U8.pack(_ING_STUN)
+            body += _U16.pack(src_id)
+            body += _U32.pack(datagram.size)
+            body += _encode_arrival(datagram.arrived_at)
+            body += _U32.pack(len(wire))
+            body += wire
         else:
             blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
             body += _U8.pack(_ING_PICKLED)
@@ -273,6 +288,8 @@ def decode_ingress_batch(blob: bytes, dst: Address) -> List[Datagram]:
             payload = chunk
         elif tag == _ING_RTCP_COMPOUND:
             payload = tuple(parse_compound(chunk))
+        elif tag == _ING_STUN:
+            payload = StunMessage.parse(chunk)
         else:
             payload = pickle.loads(chunk)
         datagrams.append(

@@ -547,11 +547,15 @@ class ShardedScallopPipeline(ControlPlaneFacade):
             shard_of_key = self._shard_of_key
             flow_counts: Dict[FlowKey, int] = {}
             flow_shards: Dict[FlowKey, int] = {}
+            #: flow key of every partitioned datagram, parallel to the
+            #: partitions, so the post-run replica tally needs no re-hash
+            keys_by_shard: List[List[FlowKey]] = [[] for _ in range(self.n_shards)]
             for index, datagram in enumerate(datagrams):
                 key = flow_key(datagram)
                 shard = shard_of_key(key)
                 partitions[shard].append(datagram)
                 slots[shard].append(index)
+                keys_by_shard[shard].append(key)
                 count = flow_counts.get(key)
                 if count is None:
                     flow_counts[key] = 1
@@ -564,7 +568,16 @@ class ShardedScallopPipeline(ControlPlaneFacade):
             for slot, result in zip(indices, shard_results[shard]):
                 results[slot] = result
         if tracker is not None:
-            tracker.observe_batch(flow_counts, flow_shards)
+            # egress telemetry: replicas each flow's packets produced this
+            # batch (one zip pass over results already in hand), feeding the
+            # policy's egress-weighted flow ranking
+            flow_replicas: Dict[FlowKey, int] = {}
+            for shard, keys in enumerate(keys_by_shard):
+                for key, result in zip(keys, shard_results[shard]):
+                    replicas = len(result.outputs)
+                    if replicas:
+                        flow_replicas[key] = flow_replicas.get(key, 0) + replicas
+            tracker.observe_batch(flow_counts, flow_shards, flow_replicas)
             self._maybe_rebalance()
         return results  # type: ignore[return-value]
 
@@ -575,6 +588,12 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         config = config or RebalancerConfig()
         self.load_tracker = FlowLoadTracker(self.n_shards, alpha=config.ewma_alpha)
         self.rebalancer = ShardRebalancer(self.n_shards, config)
+
+    #: Smoothed packets/batch below which a *pinned* flow counts as silent
+    #: and its placement exception is garbage-collected (see
+    #: :meth:`_gc_stale_placements`).  Reaching it from any real rate takes
+    #: dozens of silent batches, so a live-but-bursty flow is never swept.
+    STALE_PIN_RATE = 0.01
 
     def _maybe_rebalance(self) -> None:
         """Run the placement policy at epoch boundaries (between batches)."""
@@ -588,6 +607,29 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         plan = rebalancer.plan(tracker)
         if plan:
             self.apply_migrations(plan)
+        self._gc_stale_placements()
+
+    def _gc_stale_placements(self) -> None:
+        """Drop placement exceptions whose flows have gone silent.
+
+        A departed participant's flow can be pinned moments before (or, via
+        in-flight traffic, moments after) its leave; the leave path purges
+        pins by address, but a pin minted from the decaying tail would
+        otherwise live forever.  Silent pins are released by *migrating the
+        flow back to its hash-default shard* rather than deleting the table
+        entry, so rewriter state (were the flow to resurrect) ships
+        correctly under the process executor too.
+        """
+        tracker = self.load_tracker
+        if tracker is None:
+            return
+        stale: List[Tuple[Address, int]] = []
+        for key, _shard in self.control.placement_table.entries():
+            row = tracker.flows.get(key)
+            if row is None or row.rate < self.STALE_PIN_RATE:
+                stale.append(key)
+        for src, ssrc in stale:
+            self.migrate_flow(src, ssrc, flow_shard(src, ssrc, self.n_shards))
 
     def apply_migrations(self, plan: MigrationPlan) -> int:
         """Execute a migration plan; returns how many flows actually moved."""
@@ -629,6 +671,16 @@ class ShardedScallopPipeline(ControlPlaneFacade):
             self.load_tracker.note_migration((src, ssrc), to_shard)
         self.migrations_applied += 1
         return True
+
+    def forget_endpoint(self, src: Address) -> int:
+        """Release per-flow placement state of a departed endpoint: its
+        placement-table pins (the exception table would otherwise grow
+        without bound under join/leave churn) and its load-tracker rows.
+        Returns the number of placement exceptions removed."""
+        removed = self.control.remove_placements_for(src)
+        if self.load_tracker is not None:
+            self.load_tracker.forget_flows(src)
+        return removed
 
     # ------------------------------------------------------------------ lifecycle
 

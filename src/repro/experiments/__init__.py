@@ -1,5 +1,10 @@
 """One module per paper table/figure, plus shared experiment scaffolding.
 
+Every experiment topology is built through the declarative Scenario API
+(:mod:`repro.scenario`); the flat ``MeetingSetupConfig``/``build_*_testbed``
+builders re-exported here are deprecated shims kept for source
+compatibility (see :mod:`repro.experiments.runner`).
+
 | Paper artifact | Module |
 |---|---|
 | Table 1 (control/data-plane packet split) | :mod:`repro.experiments.table_packets` |

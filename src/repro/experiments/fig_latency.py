@@ -18,7 +18,7 @@ from typing import List, Optional, Tuple
 
 from ..analysis.metrics import LatencySummary, cdf
 from ..netsim.link import LinkProfile
-from .runner import MeetingSetupConfig, build_scallop_testbed, build_software_testbed
+from ..scenario import BackendSpec, MeetingSpec, Scenario, build_scenario
 
 #: Access link of the directly connected testbed clients (1 Gbit/s, ~20 us).
 TESTBED_ACCESS = LinkProfile(bandwidth_bps=1_000_000_000.0, propagation_delay_s=0.00002)
@@ -51,24 +51,35 @@ def run_latency_comparison(
     seed: int = 3,
 ) -> LatencyComparisonResult:
     """Run the two-party latency experiment on both SFUs."""
-    config = MeetingSetupConfig(
-        num_meetings=1,
-        participants_per_meeting=2,
+    meeting = MeetingSpec(
+        participants=2,
         video_bitrate_bps=video_bitrate_bps,
-        access_uplink=TESTBED_ACCESS,
-        access_downlink=TESTBED_ACCESS,
-        seed=seed,
+        uplink=TESTBED_ACCESS,
+        downlink=TESTBED_ACCESS,
     )
 
-    scallop_bed = build_scallop_testbed(config, sfu_link=TESTBED_SFU_LINK)
-    scallop_bed.run_for(duration_s)
-    scallop_samples = list(scallop_bed.sfu.forwarding_latency_samples_ms)  # type: ignore[attr-defined]
-    scallop_e2e = _collect_latency(scallop_bed.clients)
+    def scenario(backend: BackendSpec) -> Scenario:
+        return Scenario(
+            name="fig19-latency",
+            meetings=(meeting,),
+            backend=backend,
+            duration_s=duration_s,
+            seed=seed,
+        )
 
-    software_bed = build_software_testbed(config, cores=1, sfu_link=TESTBED_SFU_LINK)
-    software_bed.run_for(duration_s)
-    software_samples = list(software_bed.sfu.forwarding_latency_samples_ms)  # type: ignore[attr-defined]
-    software_e2e = _collect_latency(software_bed.clients)
+    with build_scenario(
+        scenario(BackendSpec(kind="scallop", sfu_link=TESTBED_SFU_LINK))
+    ) as scallop_bed:
+        scallop_bed.run()
+        scallop_samples = list(scallop_bed.sfu.forwarding_latency_samples_ms)  # type: ignore[attr-defined]
+        scallop_e2e = _collect_latency(scallop_bed.clients)
+
+    with build_scenario(
+        scenario(BackendSpec(kind="software", cores=1, sfu_link=TESTBED_SFU_LINK))
+    ) as software_bed:
+        software_bed.run()
+        software_samples = list(software_bed.sfu.forwarding_latency_samples_ms)  # type: ignore[attr-defined]
+        software_e2e = _collect_latency(software_bed.clients)
 
     scallop_summary = LatencySummary.from_samples(scallop_samples)
     software_summary = LatencySummary.from_samples(software_samples)

@@ -23,7 +23,7 @@ from ..analysis.metrics import percentile
 from ..baseline.cpu import CpuPool
 from ..netsim.link import LinkProfile
 from ..rtp.av1 import DecodeTarget
-from .runner import MeetingSetupConfig, Testbed, add_participant, build_software_testbed
+from ..scenario import BackendSpec, MeetingSpec, Scenario, Testbed, TrafficSpec, build_scenario
 
 
 @dataclass(frozen=True)
@@ -101,35 +101,45 @@ class OverloadConfig:
 def run_overload_experiment(config: Optional[OverloadConfig] = None) -> OverloadResult:
     """Run the incremental-overload sweep against the software SFU."""
     config = config or OverloadConfig()
-    setup = MeetingSetupConfig(
-        num_meetings=0,
-        participants_per_meeting=0,
-        video_bitrate_bps=config.scaled_bitrate_bps,
-        frame_rate=config.frame_rate,
-        send_audio=False,
-        seed=config.seed,
-        frame_bursts=config.frame_bursts,
-    )
     cpu = CpuPool(cores=1, base_cost_s=config.per_packet_cost_s(), per_byte_cost_s=0.0, seed=config.seed)
-    # The paper's overload experiment does not constrain any downlink, so the
-    # SFU never intentionally reduces quality: frame-rate loss in Figure 4
-    # comes purely from CPU overload.  Disable REMB-driven layer dropping.
-    testbed = build_software_testbed(
-        setup, cores=1, cpu=cpu, select_fn=lambda current, history, estimate: DecodeTarget.DT2
+    # An open-ended population: the scenario declares no initial meetings,
+    # only the template dynamically-joined meetings are stamped from; the
+    # sweep below then drives imperative joins through the same driver the
+    # schedule would use.  The paper's overload experiment does not constrain
+    # any downlink, so the SFU never intentionally reduces quality:
+    # frame-rate loss in Figure 4 comes purely from CPU overload (REMB-driven
+    # layer dropping is disabled via ``select_fn``).
+    scenario = Scenario(
+        name="fig3-4-overload",
+        meetings=(),
+        default_meeting=MeetingSpec(
+            video_bitrate_bps=config.scaled_bitrate_bps,
+            frame_rate=config.frame_rate,
+            send_audio=False,
+        ),
+        backend=BackendSpec(
+            kind="software",
+            cores=1,
+            cpu=cpu,
+            select_fn=lambda current, history, estimate: DecodeTarget.DT2,
+        ),
+        traffic=TrafficSpec(frame_bursts=config.frame_bursts),
+        seed=config.seed,
     )
 
     samples: List[OverloadSample] = []
     saturation: Optional[int] = None
     total = 0
-    for participant_index in range(config.participants_per_meeting):
-        for meeting_index in range(config.num_meetings):
-            add_participant(testbed, setup, meeting_index, participant_index)
-            total += 1
-            testbed.run_for(config.seconds_per_join)
-            sample = _measure(testbed, total, config)
-            samples.append(sample)
-            if saturation is None and sample.cpu_utilization >= 0.99:
-                saturation = total
+    with build_scenario(scenario) as testbed:
+        for participant_index in range(config.participants_per_meeting):
+            for meeting_index in range(config.num_meetings):
+                testbed.add_participant(meeting_index, participant_index)
+                total += 1
+                testbed.run_for(config.seconds_per_join)
+                sample = _measure(testbed, total, config)
+                samples.append(sample)
+                if saturation is None and sample.cpu_utilization >= 0.99:
+                    saturation = total
     return OverloadResult(samples=samples, saturation_participants=saturation)
 
 

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..netsim.link import LinkProfile
 from ..rtp.av1 import DecodeTarget
-from .runner import MeetingSetupConfig, Testbed, build_scallop_testbed
+from ..scenario import BackendSpec, MeetingSpec, Scenario, Schedule, build_scenario
 
 #: Downlink profiles of the constrained participant: normal, then two
 #: successively tighter constraints (the "reduced twice" of the figure).
@@ -58,71 +58,76 @@ class RateAdaptationConfig:
 def run_rate_adaptation(config: Optional[RateAdaptationConfig] = None) -> RateAdaptationResult:
     """Run the three-party rate-adaptation experiment."""
     config = config or RateAdaptationConfig()
-    setup = MeetingSetupConfig(
-        num_meetings=1,
-        participants_per_meeting=3,
-        video_bitrate_bps=config.video_bitrate_bps,
-        seed=config.seed,
-    )
     # thresholds scaled to the stream bitrate: full quality needs ~80% of the
     # nominal bitrate, the mid quality ~40%
     thresholds = (config.video_bitrate_bps * 0.8, config.video_bitrate_bps * 0.4)
-    testbed = build_scallop_testbed(setup, adaptation_thresholds_bps=thresholds)
-    clients = testbed.meeting("meeting-0")
-    constrained = clients[2]
+    # the "reduced twice" of the figure is a declarative two-phase link
+    # schedule on the third participant's downlink
+    scenario = Scenario(
+        name="fig14-rate-adaptation",
+        meetings=(
+            MeetingSpec(participants=3, video_bitrate_bps=config.video_bitrate_bps),
+        ),
+        backend=BackendSpec(adaptation_thresholds_bps=thresholds),
+        schedule=(
+            Schedule()
+            .set_link(config.first_constraint_at_s, 0, 2, downlink=FIRST_CONSTRAINT)
+            .set_link(config.second_constraint_at_s, 0, 2, downlink=SECOND_CONSTRAINT)
+        ),
+        duration_s=config.total_duration_s,
+        seed=config.seed,
+    )
+    with build_scenario(scenario) as testbed:
+        clients = testbed.meeting("meeting-0")
+        constrained = clients[2]
 
-    receive_fps: Dict[str, List[Tuple[float, float]]] = {}
-    receive_kbps: Dict[str, List[Tuple[float, float]]] = {}
-    send_fps: Dict[str, List[Tuple[float, float]]] = {}
-    last_bytes: Dict[int, int] = {}
-    last_sample_time = 0.0
+        receive_fps: Dict[str, List[Tuple[float, float]]] = {}
+        receive_kbps: Dict[str, List[Tuple[float, float]]] = {}
+        send_fps: Dict[str, List[Tuple[float, float]]] = {}
+        last_bytes: Dict[int, int] = {}
+        last_sample_time = 0.0
 
-    ssrc_to_origin = {client.video_ssrc: client.config.participant_id for client in clients}
+        ssrc_to_origin = {client.video_ssrc: client.config.participant_id for client in clients}
 
-    def sample() -> None:
-        nonlocal last_sample_time
+        def sample() -> None:
+            nonlocal last_sample_time
+            now = testbed.simulator.now
+            for client in clients:
+                send_fps.setdefault(client.config.participant_id, []).append((now, client.encoder.frame_rate))
+            for ssrc, stream in constrained.video_receivers.items():
+                origin = ssrc_to_origin.get(ssrc, f"ssrc-{ssrc}")
+                receive_fps.setdefault(origin, []).append((now, stream.frame_rate(2.0, now)))
+                elapsed = max(now - last_sample_time, 1e-9)
+                delta_bytes = stream.bytes_received - last_bytes.get(ssrc, 0)
+                last_bytes[ssrc] = stream.bytes_received
+                receive_kbps.setdefault(origin, []).append((now, delta_bytes * 8.0 / 1000.0 / elapsed))
+            last_sample_time = now
+
+        # the constraints apply themselves (scenario schedule); this loop only
+        # samples the time series between scheduled events
+        elapsed = 0.0
+        while elapsed < config.total_duration_s:
+            testbed.run_for(config.sample_interval_s)
+            elapsed += config.sample_interval_s
+            sample()
+
         now = testbed.simulator.now
-        for client in clients:
-            send_fps.setdefault(client.config.participant_id, []).append((now, client.encoder.frame_rate))
-        for ssrc, stream in constrained.video_receivers.items():
-            origin = ssrc_to_origin.get(ssrc, f"ssrc-{ssrc}")
-            receive_fps.setdefault(origin, []).append((now, stream.frame_rate(2.0, now)))
-            elapsed = max(now - last_sample_time, 1e-9)
-            delta_bytes = stream.bytes_received - last_bytes.get(ssrc, 0)
-            last_bytes[ssrc] = stream.bytes_received
-            receive_kbps.setdefault(origin, []).append((now, delta_bytes * 8.0 / 1000.0 / elapsed))
-        last_sample_time = now
-
-    elapsed = 0.0
-    applied_first = applied_second = False
-    while elapsed < config.total_duration_s:
-        testbed.run_for(config.sample_interval_s)
-        elapsed += config.sample_interval_s
-        sample()
-        if not applied_first and elapsed >= config.first_constraint_at_s:
-            testbed.network.set_downlink_profile(constrained.address, FIRST_CONSTRAINT)
-            applied_first = True
-        if not applied_second and elapsed >= config.second_constraint_at_s:
-            testbed.network.set_downlink_profile(constrained.address, SECOND_CONSTRAINT)
-            applied_second = True
-
-    now = testbed.simulator.now
-    sfu = testbed.sfu
-    decode_targets = {
-        (sender.config.participant_id, constrained.config.participant_id): int(
-            sfu.agent.decode_target_for(  # type: ignore[attr-defined]
-                sender.config.participant_id, constrained.config.participant_id
+        sfu = testbed.sfu
+        decode_targets = {
+            (sender.config.participant_id, constrained.config.participant_id): int(
+                sfu.agent.decode_target_for(  # type: ignore[attr-defined]
+                    sender.config.participant_id, constrained.config.participant_id
+                )
             )
-        )
-        for sender in clients[:2]
-    }
-    unconstrained_rates = [
-        stream.frame_rate(4.0, now) for stream in clients[0].video_receivers.values()
-    ]
-    constrained_rates = [
-        stream.frame_rate(4.0, now) for stream in constrained.video_receivers.values()
-    ]
-    freezes = sum(stream.freeze_events for stream in constrained.video_receivers.values())
+            for sender in clients[:2]
+        }
+        unconstrained_rates = [
+            stream.frame_rate(4.0, now) for stream in clients[0].video_receivers.values()
+        ]
+        constrained_rates = [
+            stream.frame_rate(4.0, now) for stream in constrained.video_receivers.values()
+        ]
+        freezes = sum(stream.freeze_events for stream in constrained.video_receivers.values())
 
     return RateAdaptationResult(
         send_frame_rates=send_fps,

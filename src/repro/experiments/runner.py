@@ -1,32 +1,60 @@
-"""Shared experiment scaffolding: build simulated meetings on either SFU.
+"""DEPRECATED flat testbed builders — thin shims over :mod:`repro.scenario`.
 
-Every end-to-end experiment (Table 1, Figures 3/4, 14, 19) needs the same
-setup: a simulator, a network, an SFU (Scallop or the software baseline), and
-a set of WebRTC clients signed into meetings.  This module provides that
-scaffolding with deterministic seeds and convenient link-profile knobs so the
-experiment modules read like the paper's methodology sections.
+Every workload in the repo now builds its topology through the declarative
+Scenario API (:class:`~repro.scenario.Scenario` + ``build_scenario``), which
+is strictly more expressive: heterogeneous meeting populations, timed
+join/leave churn, link-profile phases, and the full backend matrix (shards,
+executors, rebalancing) are all part of the spec.  The builders below remain
+for source compatibility: each constructs the equivalent ``Scenario``
+internally and returns the resulting :class:`~repro.scenario.ScenarioRun`
+(a :class:`~repro.scenario.Testbed`), asserted stat-identical to the old
+hand-rolled construction by ``tests/test_scenario.py``.
+
+New code should use :mod:`repro.scenario` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from ..baseline.cpu import CpuPool
-from ..baseline.software_sfu import SoftwareSfu
 from ..core.capacity import RewriteVariant
-from ..core.scallop import ScallopSfu
-from ..netsim.datagram import Address
-from ..netsim.link import LinkProfile, Network
-from ..netsim.simulator import Simulator
-from ..webrtc.client import ClientConfig, WebRtcClient
+from ..netsim.link import LinkProfile
+from ..scenario import (
+    BackendSpec,
+    MeetingSpec,
+    Scenario,
+    ScenarioRun,
+    Testbed,
+    TrafficSpec,
+    build_scenario,
+)
+from ..scenario.driver import SFU_ADDRESS
+from ..webrtc.client import WebRtcClient
 
-SFU_ADDRESS = Address("10.0.0.1", 5000)
+__all__ = [
+    "SFU_ADDRESS",
+    "MeetingSetupConfig",
+    "Testbed",
+    "add_participant",
+    "build_scallop_testbed",
+    "build_software_testbed",
+]
 
 
 @dataclass
 class MeetingSetupConfig:
-    """Parameters of a simulated meeting population."""
+    """DEPRECATED flat meeting-population parameters.
+
+    The kwargs pile this class accreted is exactly what
+    :class:`~repro.scenario.Scenario` decomposes: population shape
+    (:class:`~repro.scenario.MeetingSpec`), traffic model
+    (:class:`~repro.scenario.TrafficSpec`), and backend configuration
+    (:class:`~repro.scenario.BackendSpec`).  Kept as the shim input;
+    :meth:`to_scenario` is the documented mapping.
+    """
 
     num_meetings: int = 1
     participants_per_meeting: int = 3
@@ -37,88 +65,53 @@ class MeetingSetupConfig:
     access_uplink: Optional[LinkProfile] = None
     access_downlink: Optional[LinkProfile] = None
     seed: int = 1
-    #: Deliver each video frame as a coalesced packet burst so the SFU's
-    #: batch pipeline handles it.  Bursts are deliver-with-schedule: every
-    #: packet keeps its per-packet arrival timestamp inside the burst, so
-    #: GCC/jitter measurements see true pacing while the SFU ingests one
-    #: batch per event (what large multi-meeting sweeps want).
+    #: Deliver each video frame as a coalesced schedule-preserving burst.
     frame_bursts: bool = False
-    #: Shard count of the Scallop dataplane (1 = the single-datapath
-    #: reference engine; >=2 partitions bursts by flow across share-nothing
-    #: datapath shards with byte-identical outputs).
+    #: Shard count of the Scallop dataplane.
     n_shards: int = 1
-    #: Shard execution backend ("serial" in-process, or "process" for the
-    #: per-shard worker pools fed by the zero-pickle packed transport).
+    #: Shard execution backend ("serial" or "process").
     shard_executor: str = "serial"
-    #: Clients emit RTP wire-natively (packed :class:`~repro.rtp.wire.PacketView`
-    #: buffers encoded once at the sender, forwarded/rewritten in place by the
-    #: SFU, decoded once at the receiver).  Observable simulation behaviour is
-    #: identical to the object representation.
+    #: Clients emit RTP wire-natively (packed buffers end to end).
     wire_native: bool = False
-    #: RX interrupt-moderation window used when ``frame_bursts`` is on:
-    #: bursts landing at an endpoint within this window drain as one batch,
-    #: so batch sizes follow instantaneous load.  Packet timings are carried
-    #: inside the burst (deliver-with-schedule), so the window shifts only
-    #: event times, not measured arrival times.
+    #: RX interrupt-moderation window used when ``frame_bursts`` is on.
     rx_coalesce_window_s: float = 250e-6
 
+    def meeting_spec(self) -> MeetingSpec:
+        """This population's per-meeting spec (uniform across meetings)."""
+        return MeetingSpec(
+            participants=self.participants_per_meeting,
+            video_bitrate_bps=self.video_bitrate_bps,
+            frame_rate=self.frame_rate,
+            send_audio=self.send_audio,
+            send_video=self.send_video,
+            uplink=self.access_uplink,
+            downlink=self.access_downlink,
+        )
 
-@dataclass
-class Testbed:
-    """A built topology: simulator, network, the SFU, and all clients."""
-
-    simulator: Simulator
-    network: Network
-    sfu: object
-    clients: List[WebRtcClient] = field(default_factory=list)
-    clients_by_meeting: Dict[str, List[WebRtcClient]] = field(default_factory=dict)
-
-    def meeting(self, meeting_id: str) -> List[WebRtcClient]:
-        return self.clients_by_meeting.get(meeting_id, [])
-
-    def run_for(self, duration_s: float) -> None:
-        self.simulator.run_for(duration_s)
-
-    def close(self) -> None:
-        """Release SFU backend resources (worker pools of a process-sharded
-        Scallop pipeline); safe to call on any testbed."""
-        close = getattr(self.sfu, "close", None)
-        if close is not None:
-            close()
+    def to_scenario(self, backend: BackendSpec, duration_s: float = 30.0) -> Scenario:
+        """The equivalent declarative scenario for this flat config."""
+        spec = self.meeting_spec()
+        return Scenario(
+            name="legacy-testbed",
+            meetings=tuple(spec for _ in range(self.num_meetings)),
+            default_meeting=spec,
+            backend=backend,
+            traffic=TrafficSpec(
+                frame_bursts=self.frame_bursts,
+                wire_native=self.wire_native,
+                rx_coalesce_window_s=self.rx_coalesce_window_s,
+            ),
+            duration_s=duration_s,
+            seed=self.seed,
+        )
 
 
-def _client_address(meeting_index: int, participant_index: int) -> Address:
-    return Address(f"10.{1 + meeting_index // 200}.{meeting_index % 200}.{participant_index + 2}", 6000 + participant_index)
-
-
-def _make_client(
-    testbed: Testbed,
-    config: MeetingSetupConfig,
-    meeting_index: int,
-    participant_index: int,
-    remote: Address,
-) -> WebRtcClient:
-    meeting_id = f"meeting-{meeting_index}"
-    participant_id = f"m{meeting_index}-p{participant_index}"
-    address = _client_address(meeting_index, participant_index)
-    client_config = ClientConfig(
-        participant_id=participant_id,
-        meeting_id=meeting_id,
-        address=address,
-        remote=remote,
-        send_audio=config.send_audio,
-        send_video=config.send_video,
-        video_bitrate_bps=config.video_bitrate_bps,
-        frame_rate=config.frame_rate,
-        seed=config.seed * 1000 + meeting_index * 37 + participant_index,
-        send_frames_as_bursts=config.frame_bursts,
-        wire_native=config.wire_native,
+def _warn_deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; build workloads through repro.scenario instead",
+        DeprecationWarning,
+        stacklevel=3,
     )
-    client = WebRtcClient(client_config, testbed.simulator, testbed.network)
-    testbed.network.attach(client, uplink=config.access_uplink, downlink=config.access_downlink)
-    testbed.clients.append(client)
-    testbed.clients_by_meeting.setdefault(meeting_id, []).append(client)
-    return client
 
 
 def build_scallop_testbed(
@@ -126,35 +119,19 @@ def build_scallop_testbed(
     rewrite_variant: RewriteVariant = RewriteVariant.S_LR,
     adaptation_thresholds_bps: Optional[Tuple[float, float]] = None,
     sfu_link: Optional[LinkProfile] = None,
-) -> Testbed:
-    """Build a Scallop SFU with the configured meetings, signed in and started."""
+) -> ScenarioRun:
+    """DEPRECATED: build a Scallop testbed (shim over ``build_scenario``)."""
+    _warn_deprecated("build_scallop_testbed")
     config = config or MeetingSetupConfig()
-    simulator = Simulator()
-    network = Network(
-        simulator,
-        seed=config.seed,
-        rx_coalesce_window_s=config.rx_coalesce_window_s if config.frame_bursts else 0.0,
-    )
-    sfu = ScallopSfu(
-        SFU_ADDRESS,
-        simulator,
-        network,
+    backend = BackendSpec(
+        kind="scallop",
         rewrite_variant=rewrite_variant,
         adaptation_thresholds_bps=adaptation_thresholds_bps,
-        uplink_profile=sfu_link,
-        downlink_profile=sfu_link,
+        sfu_link=sfu_link,
         n_shards=config.n_shards,
         shard_executor=config.shard_executor,
     )
-    testbed = Testbed(simulator=simulator, network=network, sfu=sfu)
-    for meeting_index in range(config.num_meetings):
-        for participant_index in range(config.participants_per_meeting):
-            client = _make_client(testbed, config, meeting_index, participant_index, SFU_ADDRESS)
-            sfu.join(client)
-    sfu.start()
-    for client in testbed.clients:
-        client.start()
-    return testbed
+    return build_scenario(config.to_scenario(backend))
 
 
 def build_software_testbed(
@@ -163,35 +140,18 @@ def build_software_testbed(
     cpu: Optional[CpuPool] = None,
     sfu_link: Optional[LinkProfile] = None,
     select_fn=None,
-) -> Testbed:
-    """Build the Mediasoup-like software SFU with the configured meetings."""
-    from ..core.rate_control import select_decode_target
-
+) -> ScenarioRun:
+    """DEPRECATED: build the software-SFU testbed (shim over ``build_scenario``)."""
+    _warn_deprecated("build_software_testbed")
     config = config or MeetingSetupConfig()
-    simulator = Simulator()
-    network = Network(
-        simulator,
-        seed=config.seed,
-        rx_coalesce_window_s=config.rx_coalesce_window_s if config.frame_bursts else 0.0,
-    )
-    sfu = SoftwareSfu(
-        SFU_ADDRESS,
-        simulator,
-        network,
+    backend = BackendSpec(
+        kind="software",
         cores=cores,
         cpu=cpu,
-        uplink_profile=sfu_link,
-        downlink_profile=sfu_link,
-        select_fn=select_fn or select_decode_target,
+        sfu_link=sfu_link,
+        select_fn=select_fn,
     )
-    testbed = Testbed(simulator=simulator, network=network, sfu=sfu)
-    for meeting_index in range(config.num_meetings):
-        for participant_index in range(config.participants_per_meeting):
-            client = _make_client(testbed, config, meeting_index, participant_index, SFU_ADDRESS)
-            sfu.join(client)
-    for client in testbed.clients:
-        client.start()
-    return testbed
+    return build_scenario(config.to_scenario(backend))
 
 
 def add_participant(
@@ -200,12 +160,12 @@ def add_participant(
     meeting_index: int,
     participant_index: int,
 ) -> WebRtcClient:
-    """Add one more participant to a running testbed (used by the overload sweep)."""
-    client = _make_client(testbed, config, meeting_index, participant_index, SFU_ADDRESS)
-    sfu = testbed.sfu
-    if isinstance(sfu, ScallopSfu):
-        sfu.join(client)
-    elif isinstance(sfu, SoftwareSfu):
-        sfu.join(client)
-    client.start()
-    return client
+    """DEPRECATED: join one more participant (shim over ``ScenarioRun.add_participant``).
+
+    ``config`` must be the config the testbed was built from (its media
+    parameters live in the run's scenario; the argument is retained for
+    source compatibility only).
+    """
+    del config  # parameters come from the run's scenario
+    assert isinstance(testbed, ScenarioRun), "legacy testbeds are ScenarioRuns now"
+    return testbed.add_participant(meeting_index, participant_index)

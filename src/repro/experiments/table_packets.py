@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..dataplane.parser import PacketClass
-from .runner import MeetingSetupConfig, Testbed, build_scallop_testbed
+from ..scenario import MeetingSpec, Scenario, Testbed, build_scenario
 
 
 @dataclass(frozen=True)
@@ -60,15 +60,17 @@ def run_packet_accounting(
     short; pass 600 to match the paper's ten-minute capture exactly (the
     shares converge within a few seconds because the workload is stationary).
     """
-    config = MeetingSetupConfig(
-        num_meetings=1,
-        participants_per_meeting=participants,
-        video_bitrate_bps=video_bitrate_bps,
+    scenario = Scenario(
+        name="table1-packet-split",
+        meetings=(
+            MeetingSpec(participants=participants, video_bitrate_bps=video_bitrate_bps),
+        ),
+        duration_s=duration_s,
         seed=seed,
     )
-    testbed = build_scallop_testbed(config)
-    testbed.run_for(duration_s)
-    return summarize(testbed, duration_s, participants)
+    with build_scenario(scenario) as testbed:
+        testbed.run()
+        return summarize(testbed, duration_s, participants)
 
 
 def summarize(testbed: Testbed, duration_s: float, participants: int) -> PacketAccountingResult:

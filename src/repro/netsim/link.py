@@ -357,6 +357,28 @@ class Network:
     def set_uplink_profile(self, address: Address, profile: LinkProfile) -> None:
         self._uplinks[address].set_profile(profile)
 
+    def reprofile(
+        self,
+        address: Address,
+        uplink: Optional[LinkProfile] = None,
+        downlink: Optional[LinkProfile] = None,
+    ) -> None:
+        """Re-profile an attached endpoint's access links mid-simulation.
+
+        The phased link-change primitive of the scenario schedule: either
+        direction (or both) gets a new profile; in-flight packets keep the
+        delays they were admitted with, packets admitted after the change see
+        the new bandwidth/loss/queue arithmetic.  Raises ``KeyError`` for a
+        detached address (a schedule targeting a departed participant is a
+        scenario bug worth surfacing).
+        """
+        if address not in self._endpoints:
+            raise KeyError(f"endpoint not attached: {address}")
+        if uplink is not None:
+            self._uplinks[address].set_profile(uplink)
+        if downlink is not None:
+            self._downlinks[address].set_profile(downlink)
+
     # -- data path -------------------------------------------------------------
 
     def send(self, datagram: Datagram) -> bool:

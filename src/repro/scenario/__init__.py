@@ -1,0 +1,55 @@
+"""Declarative workload scenarios: specs, the driver, and a canned library.
+
+The public workload API of the reproduction.  Describe a population and its
+evolution as data (:class:`Scenario` — heterogeneous :class:`MeetingSpec`
+meetings, a :class:`Schedule` of timed joins/leaves/link-profile phases, a
+:class:`BackendSpec`, a :class:`TrafficSpec`), then :func:`build_scenario` it
+into a :class:`ScenarioRun` to simulate.  ``python -m repro.scenario`` runs
+the canned :data:`LIBRARY` (``steady``, ``churn_storm``, ``flash_crowd``,
+``degrading_uplink``, ``zipf_hotset``) from the command line.
+"""
+
+from .spec import (
+    BackendSpec,
+    JoinEvent,
+    LeaveEvent,
+    LinkEvent,
+    MeetingSpec,
+    Scenario,
+    ScenarioEvent,
+    Schedule,
+    TrafficSpec,
+    zipf_meetings,
+)
+from .driver import (
+    SFU_ADDRESS,
+    MeetingStats,
+    ScenarioRun,
+    Testbed,
+    build_scenario,
+)
+from .library import LIBRARY, churn_storm, degrading_uplink, flash_crowd, steady, zipf_hotset
+
+__all__ = [
+    "BackendSpec",
+    "JoinEvent",
+    "LeaveEvent",
+    "LinkEvent",
+    "MeetingSpec",
+    "Scenario",
+    "ScenarioEvent",
+    "Schedule",
+    "TrafficSpec",
+    "zipf_meetings",
+    "SFU_ADDRESS",
+    "MeetingStats",
+    "ScenarioRun",
+    "Testbed",
+    "build_scenario",
+    "LIBRARY",
+    "steady",
+    "churn_storm",
+    "flash_crowd",
+    "degrading_uplink",
+    "zipf_hotset",
+]

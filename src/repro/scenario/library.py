@@ -1,0 +1,169 @@
+"""Canned scenario library: one spec per workload family, CLI-runnable.
+
+Each factory returns a ready :class:`~repro.scenario.spec.Scenario`; pass
+``smoke=True`` for a short-horizon variant sized for CI.  The table below is
+the map from scenario to the subsystem it exercises end to end:
+
+=================  ==========================================================
+Scenario           Exercises
+=================  ==========================================================
+``steady``         The paper's flat population: forwarding, replication
+                   trees, feedback rules, data-plane/CPU split (Table 1).
+``churn_storm``    Continuous joins + leaves with a mid-run link-profile
+                   phase change on a sharded dataplane with the load-aware
+                   rebalancer armed: membership teardown (tables, PRE,
+                   rewriter registers, accountant charges), burst batch
+                   ingest, and live flow migration under churn.
+``flash_crowd``    A two-party call that balloons: TWO_PARTY -> NRA design
+                   promotion, controller reconfiguration storms, replication
+                   tree growth.
+``degrading_uplink``  A sender's uplink degrades in phases (loss + shrinking
+                   bandwidth), then recovers: NACK/RTX, GCC estimation, and
+                   sequence-rewriter behaviour under uplink loss.
+``zipf_hotset``    Zipf meeting sizes and a hot head: heterogeneous
+                   populations on a sharded wire-native dataplane with
+                   rebalancing — egress-weighted placement end to end.
+=================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..dataplane.rebalance import RebalancerConfig
+from ..netsim.link import LinkProfile
+from .spec import BackendSpec, MeetingSpec, Scenario, Schedule, TrafficSpec, zipf_meetings
+
+#: Rebalancer knobs for scenario-scale runs: short epochs so the control
+#: loop converges within a few simulated seconds of bursty batches.
+SCENARIO_REBALANCE = RebalancerConfig(
+    epoch_batches=4, trigger_ratio=1.15, target_ratio=1.05, migration_budget=6
+)
+
+CONGESTED_DOWNLINK = LinkProfile(
+    bandwidth_bps=1_300_000, propagation_delay_s=0.01, queue_limit_bytes=60_000
+)
+LOSSY_UPLINK = LinkProfile(bandwidth_bps=2_000_000, propagation_delay_s=0.01, loss_rate=0.03)
+CRUSHED_UPLINK = LinkProfile(
+    bandwidth_bps=900_000, propagation_delay_s=0.015, loss_rate=0.08, queue_limit_bytes=50_000
+)
+HEALTHY_ACCESS = LinkProfile(bandwidth_bps=50_000_000, propagation_delay_s=0.01)
+
+
+def steady(smoke: bool = False) -> Scenario:
+    """The flat, static population every paper experiment was built from."""
+    return Scenario.uniform(
+        num_meetings=2 if smoke else 4,
+        participants_per_meeting=3,
+        name="steady",
+        duration_s=6.0 if smoke else 20.0,
+        seed=1,
+    )
+
+
+def churn_storm(smoke: bool = False) -> Scenario:
+    """Membership churn as the normal case, on a rebalancing sharded SFU.
+
+    Joins and leaves land throughout the run, one participant's downlink
+    degrades mid-run and recovers (a phased :class:`LinkProfile` change),
+    and the 4-shard dataplane runs with the placement control loop armed —
+    the end state must reconcile to the surviving population exactly.
+    """
+    num_meetings = 2 if smoke else 4
+    participants = 3 if smoke else 4
+    duration = 8.0 if smoke else 30.0
+    schedule = Schedule()
+    # a wave of late joiners, spread across meetings and time
+    join_times = [duration * f for f in (0.15, 0.25, 0.4, 0.55)]
+    for wave, at_s in enumerate(join_times):
+        schedule = schedule.join(at_s, wave % num_meetings)
+    # early participants start leaving while the joins are still landing
+    leave_times = [duration * f for f in (0.35, 0.5, 0.7)]
+    for wave, at_s in enumerate(leave_times):
+        schedule = schedule.leave(at_s, wave % num_meetings, wave % participants)
+    # the phased link change: a meeting-0 participant that never leaves
+    # (the leave waves above take participants 0 and 2 of meeting 0)
+    # degrades mid-run, then recovers before the end
+    schedule = schedule.set_link(
+        duration * 0.45, 0, 1, downlink=CONGESTED_DOWNLINK
+    ).set_link(duration * 0.8, 0, 1, downlink=HEALTHY_ACCESS)
+    return Scenario(
+        name="churn_storm",
+        meetings=tuple(
+            MeetingSpec(participants=participants, video_bitrate_bps=900_000.0)
+            for _ in range(num_meetings)
+        ),
+        default_meeting=MeetingSpec(video_bitrate_bps=900_000.0),
+        backend=BackendSpec(
+            kind="scallop",
+            n_shards=2 if smoke else 4,
+            rebalance=SCENARIO_REBALANCE,
+            adaptation_thresholds_bps=(900_000.0 * 0.8, 900_000.0 * 0.4),
+        ),
+        traffic=TrafficSpec(frame_bursts=True),
+        schedule=schedule,
+        duration_s=duration,
+        seed=7,
+    )
+
+
+def flash_crowd(smoke: bool = False) -> Scenario:
+    """A two-party call that a crowd piles into."""
+    duration = 8.0 if smoke else 16.0
+    joiners = 4 if smoke else 8
+    schedule = Schedule()
+    start = duration * 0.25
+    for wave in range(joiners):
+        schedule = schedule.join(start + wave * 0.4, 0)
+    return Scenario(
+        name="flash_crowd",
+        meetings=(MeetingSpec(participants=2, video_bitrate_bps=900_000.0),),
+        default_meeting=MeetingSpec(video_bitrate_bps=900_000.0),
+        schedule=schedule,
+        duration_s=duration,
+        seed=11,
+    )
+
+
+def degrading_uplink(smoke: bool = False) -> Scenario:
+    """One sender's uplink degrades in phases, then recovers."""
+    duration = 10.0 if smoke else 30.0
+    schedule = (
+        Schedule()
+        .set_link(duration * 0.3, 0, 0, uplink=LOSSY_UPLINK)
+        .set_link(duration * 0.55, 0, 0, uplink=CRUSHED_UPLINK)
+        .set_link(duration * 0.8, 0, 0, uplink=HEALTHY_ACCESS)
+    )
+    return Scenario(
+        name="degrading_uplink",
+        meetings=(MeetingSpec(participants=3, video_bitrate_bps=900_000.0),),
+        backend=BackendSpec(adaptation_thresholds_bps=(900_000.0 * 0.8, 900_000.0 * 0.4)),
+        schedule=schedule,
+        duration_s=duration,
+        seed=13,
+    )
+
+
+def zipf_hotset(smoke: bool = False) -> Scenario:
+    """Zipf meeting sizes on a sharded, wire-native, rebalancing dataplane."""
+    count = 6 if smoke else 12
+    largest = 5 if smoke else 8
+    return Scenario(
+        name="zipf_hotset",
+        meetings=zipf_meetings(
+            count, largest=largest, floor=2, meeting=MeetingSpec(video_bitrate_bps=900_000.0)
+        ),
+        backend=BackendSpec(kind="scallop", n_shards=4, rebalance=SCENARIO_REBALANCE),
+        traffic=TrafficSpec(frame_bursts=True, wire_native=True),
+        duration_s=6.0 if smoke else 12.0,
+        seed=17,
+    )
+
+
+LIBRARY: Dict[str, Callable[[bool], Scenario]] = {
+    "steady": steady,
+    "churn_storm": churn_storm,
+    "flash_crowd": flash_crowd,
+    "degrading_uplink": degrading_uplink,
+    "zipf_hotset": zipf_hotset,
+}

@@ -123,6 +123,7 @@ class WebRtcClient:
         self._stun_pending: Dict[bytes, float] = {}
 
         self._running = False
+        self._detached = False
         self.send_frame_rate_series: List[Tuple[float, float]] = []
         self._frames_this_second = 0
         self._fps_bucket_start = 0.0
@@ -167,6 +168,20 @@ class WebRtcClient:
     def stop(self) -> None:
         """Stop producing media (periodic events become no-ops)."""
         self._running = False
+
+    def detach(self) -> None:
+        """Leave the call: stop producing media and release the endpoint.
+
+        Used by participant-leave churn: after the signaling teardown the
+        browser closes its transport, so the endpoint disappears from the
+        network (its address may be reused by a later joiner).  Already-
+        scheduled periodic events and deferred NACK flushes become no-ops —
+        a detached client must never send into the network again.
+        """
+        self.stop()
+        self._detached = True
+        if self.network.endpoint(self.address) is self:
+            self.network.detach(self.address)
 
     def _jittered(self, interval: float) -> float:
         return interval * self._rng.uniform(0.8, 1.2)
@@ -224,15 +239,17 @@ class WebRtcClient:
         return datagram
 
     def _send_rtp(self, packet: RtpPacket) -> None:
+        if self._detached:
+            return
         self.network.send(self._make_rtp_datagram(packet))
 
     def _send_rtp_burst(self, packets: List[RtpPacket]) -> None:
-        if not packets:
+        if not packets or self._detached:
             return
         self.network.send_burst([self._make_rtp_datagram(packet) for packet in packets])
 
     def _send_rtcp(self, packets: List[RtcpPacket]) -> None:
-        if not packets:
+        if not packets or self._detached:
             return
         datagram = Datagram(src=self.address, dst=self.remote, payload=tuple(packets))
         self.packets_sent += 1

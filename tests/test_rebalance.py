@@ -92,6 +92,27 @@ class TestFlowLoadTracker:
         assert rates == sorted(rates, reverse=True)
         assert tracker.hottest_flows(1) == []
 
+    def test_egress_rate_tracks_replica_fanout(self):
+        tracker = FlowLoadTracker(n_shards=2, alpha=0.5)
+        fanned = (Address("10.0.0.2", 6000), 1)   # big meeting: 9 replicas/pkt
+        narrow = (Address("10.0.0.3", 6000), 2)   # small meeting: 2 replicas/pkt
+        for _ in range(12):
+            tracker.observe_batch(
+                {fanned: 10, narrow: 10},
+                {fanned: 0, narrow: 1},
+                {fanned: 90, narrow: 20},
+            )
+        assert tracker.flows[fanned].rate == pytest.approx(10, rel=0.01)
+        assert tracker.flows[fanned].egress_rate == pytest.approx(90, rel=0.01)
+        assert tracker.flows[narrow].egress_rate == pytest.approx(20, rel=0.01)
+        # equal ingress, very different work: the weighted view knows
+        assert tracker.flows[fanned].weight(1.0) > 3 * tracker.flows[narrow].weight(1.0)
+        assert tracker.shard_weights(1.0)[0] == pytest.approx(100, rel=0.01)
+        # silent flows decay their egress term too
+        for _ in range(10):
+            tracker.observe_batch({narrow: 10}, {narrow: 1}, {narrow: 20})
+        assert tracker.flows[fanned].egress_rate < 10.0
+
     def test_bounded_flow_table_evicts_coldest(self):
         tracker = FlowLoadTracker(n_shards=2, alpha=1.0, max_flows=8)
         hot = (Address("10.9.0.1", 6000), 7)
@@ -164,11 +185,40 @@ class TestRebalancerPolicy:
         planner = ShardRebalancer(2, RebalancerConfig(trigger_ratio=1.1, target_ratio=1.01))
         assert not planner.plan(tracker).migrations
 
+    def test_egress_weight_balances_fanout_not_just_packets(self):
+        # equal ingress packet rates everywhere: invisible to a packet-only
+        # policy, but shard 0's flows fan out 9x (big meetings) while shard
+        # 1's fan out 1x — the egress-weighted planner must move work
+        tracker = FlowLoadTracker(n_shards=2, alpha=1.0)
+        counts, shards, replicas = {}, {}, {}
+        for index in range(4):
+            key = (Address(f"10.2.0.{index + 2}", 6000 + index), index)
+            counts[key] = 10
+            shards[key] = 0 if index < 2 else 1
+            replicas[key] = 90 if index < 2 else 10
+        tracker.observe_batch(counts, shards, replicas)
+        packet_only = ShardRebalancer(
+            2, RebalancerConfig(trigger_ratio=1.25, target_ratio=1.1, egress_weight=0.0)
+        )
+        assert not packet_only.plan(tracker), "packet rates are perfectly even"
+        weighted = ShardRebalancer(
+            2, RebalancerConfig(trigger_ratio=1.25, target_ratio=1.1, egress_weight=1.0)
+        )
+        plan = weighted.plan(tracker)
+        assert plan.migrations
+        move = plan.migrations[0]
+        assert move.from_shard == 0 and move.to_shard == 1
+        # the transferred load is the weighted contribution (10 + 90)
+        assert move.rate == pytest.approx(100)
+        assert plan.projected_skew < plan.observed_skew
+
     def test_config_validation(self):
         with pytest.raises(ValueError):
             RebalancerConfig(trigger_ratio=1.1, target_ratio=1.2)
         with pytest.raises(ValueError):
             RebalancerConfig(migration_budget=0)
+        with pytest.raises(ValueError):
+            RebalancerConfig(egress_weight=-1.0)
         with pytest.raises(ValueError):
             FlowLoadTracker(n_shards=2, alpha=0.0)
 

@@ -97,6 +97,32 @@ class TestIngressCodec:
         assert decoded[4].payload.transaction_id == batch[4].payload.transaction_id
         assert decoded[5].payload == batch[5].payload
 
+    def test_stun_ships_wire_format_not_pickle(self):
+        # STUN was the last ingress record type riding per-record pickle;
+        # it now crosses as its real RFC 5389 wire format
+        sender = Address("10.5.0.2", 6000)
+        request = make_binding_request(b"\x07" * 12, "alice", priority=1234)
+        batch = [Datagram(src=sender, dst=SFU, payload=request, arrived_at=1.75)]
+        blob = encode_ingress_batch(batch)
+        assert b"repro.stun" not in blob
+        assert b"StunMessage" not in blob
+        assert request.serialize() in blob
+        twin = decode_ingress_batch(blob, SFU)[0]
+        assert twin.kind == PayloadKind.STUN
+        assert twin.size == batch[0].size
+        assert twin.arrived_at == 1.75
+        assert twin.payload.transaction_id == request.transaction_id
+        assert twin.payload.is_request
+        assert twin.payload.attributes == request.attributes
+
+    def test_mixed_batch_has_no_pickled_ingress_records(self):
+        # every regular payload type (RTP object/wire, RTCP, STUN, raw
+        # bytes) has a wire-format record; pickle survives for exotica only
+        batch = [d for d in _mixed_batch()]
+        blob = encode_ingress_batch(batch)
+        for marker in (b"repro.rtp", b"repro.stun", b"repro.netsim"):
+            assert marker not in blob
+
     def test_payload_bytes_stay_home(self):
         # an RTP record costs its header plus a fixed few bytes — the media
         # payload must not be in the blob
