@@ -29,6 +29,7 @@ from .pipeline import (
 )
 from .loadstats import FlowLoadRow, FlowLoadTracker
 from .rebalance import FlowMigration, MigrationPlan, RebalancerConfig, ShardRebalancer
+from .sanitize import IsolationLog, IsolationViolation, ShardIsolationError
 from .sharding import ShardedScallopPipeline, flow_shard
 
 __all__ = [
@@ -64,6 +65,9 @@ __all__ = [
     "FlowLoadRow",
     "FlowLoadTracker",
     "FlowMigration",
+    "IsolationLog",
+    "IsolationViolation",
+    "ShardIsolationError",
     "MigrationPlan",
     "RebalancerConfig",
     "ShardRebalancer",

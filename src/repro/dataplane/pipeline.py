@@ -62,6 +62,7 @@ from ..rtp.rtcp import (
 from .parser import IngressParser, PacketClass, ParseResult
 from .pre import L2Port, PacketReplicationEngine, Replica
 from .resources import DEFAULT_CAPACITIES, ResourceAccountant, TofinoCapacities
+from .sanitize import IsolationViolation, resolve_sanitize, sanitize_datapath
 from .tables import ExactMatchTable, IndexAllocator, RegisterArray
 
 #: Fixed pipeline traversal latency of the switch (ingress + PRE + egress).
@@ -618,6 +619,7 @@ class PipelineDatapath:
         control: PipelineControlPlane,
         trackers: Optional[RegisterArray] = None,
         shard_id: int = 0,
+        sanitize: Optional[bool] = None,
     ) -> None:
         self.control = control
         self.shard_id = shard_id
@@ -652,6 +654,16 @@ class PipelineDatapath:
         self._resolution_cache: Dict[Tuple[Address, int, int], _CachedResolution] = {}
         self._cache_stamp: Tuple[int, int, int, int] = (-1, -1, -1, -1)
         self._layer_by_template: Dict[int, int] = {}
+
+        #: Shard-isolation sanitizer (opt-in debug mode): wraps the aliases
+        #: bound above in write-barrier proxies that raise
+        #: :class:`~repro.dataplane.sanitize.ShardIsolationError` on any
+        #: mutation through a datapath-held reference.  ``sanitize=None``
+        #: defers to ``REPRO_SANITIZE`` in the environment, which is how the
+        #: mode reaches process-pool shard workers rebuilding their datapaths.
+        self.isolation_log = None
+        if resolve_sanitize(sanitize):
+            self.isolation_log = sanitize_datapath(self)
 
     # ------------------------------------------------------------------ data path
 
@@ -777,8 +789,7 @@ class PipelineDatapath:
         else:
             # replay the per-packet accounting the uncached path would do
             if resolution.raw_replicas is not None:
-                self.pre.replications_performed += 1
-                self.pre.copies_produced += resolution.raw_replicas
+                self.pre.note_replication(resolution.raw_replicas)
             if resolution.replica_misses:
                 self.counters.table_misses += resolution.replica_misses
 
@@ -889,8 +900,7 @@ class PipelineDatapath:
             self._resolution_cache[key] = resolution
         else:
             if resolution.raw_replicas is not None:
-                self.pre.replications_performed += 1
-                self.pre.copies_produced += resolution.raw_replicas
+                self.pre.note_replication(resolution.raw_replicas)
             if resolution.replica_misses:
                 self.counters.table_misses += resolution.replica_misses
 
@@ -1230,9 +1240,10 @@ class ScallopPipeline(ControlPlaneFacade):
         self,
         sfu_address: Address,
         capacities: TofinoCapacities = DEFAULT_CAPACITIES,
+        sanitize: Optional[bool] = None,
     ) -> None:
         self.control = PipelineControlPlane(sfu_address, capacities)
-        self.datapath = PipelineDatapath(self.control)
+        self.datapath = PipelineDatapath(self.control, sanitize=sanitize)
         self.control.attach_datapath(self.datapath)
         self.sfu_address = sfu_address
 
@@ -1250,6 +1261,12 @@ class ScallopPipeline(ControlPlaneFacade):
     @property
     def counters(self) -> PipelineCounters:
         return self.datapath.counters
+
+    def isolation_findings(self) -> List[IsolationViolation]:
+        """Blocked control-plane mutation attempts recorded by the
+        shard-isolation sanitizer (empty when it is off or nothing fired)."""
+        log = self.datapath.isolation_log
+        return list(log.violations) if log is not None else []
 
     def close(self) -> None:
         """No backend resources to release (API parity with the sharded

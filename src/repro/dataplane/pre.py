@@ -208,6 +208,17 @@ class PacketReplicationEngine:
         self.copies_produced += len(replicas)
         return replicas
 
+    def note_replication(self, copies: int) -> None:
+        """Data-plane accounting for a replication served from a datapath's
+        memoized resolution: advances the same counters :meth:`replicate`
+        would have, so cache-hit replay and the uncached path tally
+        identically.  This is PRE data-plane API — the sanctioned way for a
+        datapath to account a replication without writing PRE attributes
+        directly (which the share-nothing rule and the shard-isolation
+        sanitizer both reject)."""
+        self.replications_performed += 1
+        self.copies_produced += copies
+
     # ------------------------------------------------------------------ helpers
 
     def _require_tree(self, mgid: int) -> MulticastTree:

@@ -162,8 +162,13 @@ def _decode_addresses(blob: bytes, cursor: int) -> Tuple[List[Address], int]:
 # --------------------------------------------------------------------------- ingress direction
 
 
-def encode_ingress_batch(datagrams: Sequence[Datagram]) -> bytes:
-    """Pack one shard partition into a single transport blob."""
+def encode_ingress_batch(datagrams: Sequence[Datagram], stats=None) -> bytes:
+    """Pack one shard partition into a single transport blob.
+
+    ``stats`` (a :class:`~repro.dataplane.sharding.ShardTransportStats`, or
+    anything with a ``pickle_fallback_records`` attribute) counts every
+    record that falls back to pickle — zero for all regular traffic types.
+    """
     interner = _AddressInterner()
     body = bytearray()
     for datagram in datagrams:
@@ -212,6 +217,9 @@ def encode_ingress_batch(datagrams: Sequence[Datagram]) -> bytes:
             body += _U32.pack(len(wire))
             body += wire
         else:
+            # whitelisted fallback: exotic payload types only, and counted
+            if stats is not None:
+                stats.pickle_fallback_records += 1
             blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
             body += _U8.pack(_ING_PICKLED)
             body += _U16.pack(src_id)
@@ -450,6 +458,7 @@ def decode_result_batch(
     fallback_blob: bytes,
     inputs: Sequence[Datagram],
     sfu_address: Address,
+    stats=None,
 ) -> List[PipelineResult]:
     """Replay packed rewrite descriptions against the coordinator's originals.
 
@@ -482,6 +491,10 @@ def decode_result_batch(
         tag = blob[cursor]
         cursor += 1
         if tag == _RES_PICKLED:
+            # whitelisted fallback (feedback fan-out the packed form can't
+            # express), counted coordinator-side where the stats live
+            if stats is not None:
+                stats.pickle_fallback_records += 1
             results.append(next(fallback_iter))
             continue
         ingress = inputs[index]
@@ -632,7 +645,7 @@ _TRK_PACKED = 1
 _TRK_PICKLED = 2
 
 
-def encode_tracker_updates(updates: Dict[int, object]) -> bytes:
+def encode_tracker_updates(updates: Dict[int, object], stats=None) -> bytes:
     """Pack ``register index -> rewriter`` mutations (None clears a cell)."""
     from ..core.seqrewrite import pack_rewriter_state
 
@@ -646,6 +659,10 @@ def encode_tracker_updates(updates: Dict[int, object]) -> bytes:
             blob = pack_rewriter_state(rewriter)
             out += _U8.pack(_TRK_PACKED)
         except TypeError:
+            # whitelisted fallback: rewriter classes outside the packed
+            # register-image format, counted per cell
+            if stats is not None:
+                stats.pickle_fallback_records += 1
             blob = pickle.dumps(rewriter, protocol=pickle.HIGHEST_PROTOCOL)
             out += _U8.pack(_TRK_PICKLED)
         out += _U32.pack(len(blob))
@@ -653,7 +670,7 @@ def encode_tracker_updates(updates: Dict[int, object]) -> bytes:
     return bytes(out)
 
 
-def decode_tracker_updates(blob: bytes) -> List[Tuple[int, object]]:
+def decode_tracker_updates(blob: bytes, stats=None) -> List[Tuple[int, object]]:
     from ..core.seqrewrite import unpack_rewriter_state
 
     (count,) = _U32.unpack_from(blob, 0)
@@ -673,5 +690,9 @@ def decode_tracker_updates(blob: bytes) -> List[Tuple[int, object]]:
         if tag == _TRK_PACKED:
             updates.append((index, unpack_rewriter_state(chunk)))
         else:
+            # inbound leg of the per-cell rewriter fallback, counted
+            # coordinator-side (workers decode migration blobs without stats)
+            if stats is not None:
+                stats.pickle_fallback_records += 1
             updates.append((index, pickle.loads(chunk)))
     return updates

@@ -87,6 +87,7 @@ from .resources import (
     ShardResourceAccountant,
     TofinoCapacities,
 )
+from .sanitize import IsolationViolation, resolve_sanitize
 from .shardcodec import (
     decode_ingress_batch,
     decode_result_batch,
@@ -231,6 +232,15 @@ class ShardTransportStats:
     pickled control-plane snapshots (shipped only on generation change).  The
     shard benchmark compares these against ``pickle.dumps`` of the same
     object graphs to quantify the transport shrink.
+
+    ``pickle_fallback_records`` counts the individual records that crossed
+    the boundary through a whitelisted pickle fallback (exotic ingress
+    payloads, inexpressible results, unknown rewriter classes) — the runtime
+    cross-check of archlint's zero-pickle whitelist.  For every canned
+    scenario it must stay 0 (asserted in ``tests/test_shard_transport.py``);
+    a nonzero value means some regular traffic type silently fell off the
+    packed transport.  Control-plane snapshots are deliberate pickle, not a
+    fallback, and are tracked separately in ``snapshots_shipped``.
     """
 
     batches: int = 0
@@ -241,6 +251,7 @@ class ShardTransportStats:
     migrations_shipped: int = 0
     snapshot_bytes_out: int = 0
     snapshots_shipped: int = 0
+    pickle_fallback_records: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -252,6 +263,7 @@ class ShardTransportStats:
             "migrations_shipped": self.migrations_shipped,
             "snapshot_bytes_out": self.snapshot_bytes_out,
             "snapshots_shipped": self.snapshots_shipped,
+            "pickle_fallback_records": self.pickle_fallback_records,
         }
 
 
@@ -320,14 +332,14 @@ class ProcessShardRunner:
                     # zero-pickle migration: ship the flow's current register
                     # images read off the coordinator's canonical array
                     migration_blob = encode_tracker_updates(
-                        {index: trackers.peek(index) for index in pending}
+                        {index: trackers.peek(index) for index in pending}, stats=transport
                     )
                     transport.migration_bytes_out += len(migration_blob)
                     transport.migrations_shipped += 1
                 # a full snapshot (blob is not None) already carries the
                 # canonical registers, migrated state included
                 pending.clear()
-            batch_blob = encode_ingress_batch(partition)
+            batch_blob = encode_ingress_batch(partition, stats=transport)
             transport.batches += 1
             transport.batch_bytes_out += len(batch_blob)
             futures[shard_id] = self._executor(shard_id).submit(
@@ -341,7 +353,8 @@ class ProcessShardRunner:
             transport.result_bytes_in += len(results_blob) + len(fallback_blob)
             transport.tracker_bytes_in += len(tracker_blob)
             all_results[shard_id] = decode_result_batch(
-                results_blob, fallback_blob, partitions[shard_id], engine.sfu_address
+                results_blob, fallback_blob, partitions[shard_id], engine.sfu_address,
+                stats=transport,
             )
             shard = engine.shards[shard_id]
             shard.counters.merge(counters)
@@ -351,7 +364,7 @@ class ProcessShardRunner:
             parser.parse_cache_hits += parser_delta[2]
             engine.pre.replications_performed += pre_delta[0]
             engine.pre.copies_produced += pre_delta[1]
-            for index, rewriter in decode_tracker_updates(tracker_blob):
+            for index, rewriter in decode_tracker_updates(tracker_blob, stats=transport):
                 engine.control._write_tracker(index, rewriter)
         return all_results
 
@@ -384,6 +397,7 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         executor: str = "serial",
         rebalance: bool = False,
         rebalance_config: Optional[RebalancerConfig] = None,
+        sanitize: Optional[bool] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -392,6 +406,11 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         self.sfu_address = sfu_address
         self.n_shards = n_shards
         self.executor = executor
+        #: Shard-isolation sanitizer switch (``None`` defers to
+        #: ``REPRO_SANITIZE``); resolved once so every shard agrees.  Under
+        #: the process executor the env var is what reaches the workers —
+        #: they rebuild their datapaths from a forked environment.
+        self.sanitize = resolve_sanitize(sanitize)
         self.control = PipelineControlPlane(sfu_address, capacities)
         self.shard_accountants = [
             ShardResourceAccountant(self.control.accountant, shard_id)
@@ -405,6 +424,7 @@ class ShardedScallopPipeline(ControlPlaneFacade):
                     f"stream_tracker/shard{shard_id}", size=capacities.stream_tracker_cells
                 ),
                 shard_id=shard_id,
+                sanitize=self.sanitize,
             )
             self.control.attach_datapath(datapath)
             self.shards.append(datapath)
@@ -752,3 +772,16 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         if isinstance(runner, ProcessShardRunner):
             return runner.transport.as_dict()
         return None
+
+    def isolation_findings(self) -> List[IsolationViolation]:
+        """Blocked control-plane mutation attempts across all shards, as
+        recorded by the shard-isolation sanitizer (empty when it is off or
+        nothing fired).  Serial-executor coverage only: worker-process logs
+        stay in the workers — a violation there still raises, failing the
+        batch loudly on the coordinator."""
+        findings: List[IsolationViolation] = []
+        for shard in self.shards:
+            log = shard.isolation_log
+            if log is not None:
+                findings.extend(log.violations)
+        return findings

@@ -16,7 +16,10 @@ clock runs and both paths take the best of ``repeats`` passes.
 from __future__ import annotations
 
 import gc
-import pickle
+
+# this benchmark measures the packed transport *against* pickled object
+# graphs, so the pickle use here is the experiment, not a hot-path leak
+import pickle  # archlint: ignore[zero-pickle]
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
@@ -537,11 +540,12 @@ def measure_shard_transport(
         if not partition:
             continue
         packed_ingress += len(encode_ingress_batch(partition))
-        pickle_ingress += len(pickle.dumps(partition, protocol=pickle.HIGHEST_PROTOCOL))
+        # the pickled size is the comparison baseline being measured
+        pickle_ingress += len(pickle.dumps(partition, protocol=pickle.HIGHEST_PROTOCOL))  # archlint: ignore[zero-pickle]
         results = engine.shards[shard_id].process_batch(partition)
         blob, fallback = encode_result_batch(results, partition)
         packed_results += len(blob) + len(fallback)
-        pickle_results += len(pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL))
+        pickle_results += len(pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL))  # archlint: ignore[zero-pickle]
     engine.close()
     packed_total = packed_ingress + packed_results
     pickle_total = pickle_ingress + pickle_results

@@ -34,7 +34,7 @@ from repro.dataplane.shardcodec import (
     encode_result_batch,
     encode_tracker_updates,
 )
-from repro.dataplane.sharding import ShardedScallopPipeline
+from repro.dataplane.sharding import ShardedScallopPipeline, ShardTransportStats
 from repro.netsim.datagram import Address, Datagram, PayloadKind
 from repro.rtp.rtcp import Remb, SenderReport
 from repro.rtp.wire import PacketView
@@ -273,6 +273,10 @@ class TestPackedBatchEquivalence:
                 transport = sharded.transport_stats()
                 assert transport is not None and transport["batches"] >= 1
                 assert transport["batch_bytes_out"] > 0
+                # the zero-pickle invariant, measured at runtime: canned
+                # media/control traffic crosses the transport entirely on
+                # packed codecs, never the whitelisted pickle fallback
+                assert transport["pickle_fallback_records"] == 0
         finally:
             sharded.close()
 
@@ -299,6 +303,53 @@ class TestPackedBatchEquivalence:
                 ]
         finally:
             sharded.close()
+
+
+class TestPickleFallbackAccounting:
+    """``pickle_fallback_records`` is the runtime cross-check of archlint's
+    zero-pickle rule: zero on canned traffic, and honestly counted when an
+    exotic payload or unknown rewriter really does take the fallback."""
+
+    def test_canned_scenario_stays_pickle_free(self):
+        seed = 41
+        scenario = MeetingScenario(seed)
+        sharded = scenario.configure(ShardedScallopPipeline(SFU, n_shards=4, executor="process"))
+        try:
+            for op in scenario.churn_ops(seed):
+                apply_op(sharded, op)
+            for phase in range(2):
+                sharded.process_batch(scenario.traffic_chunk(seed + phase))
+            transport = sharded.transport_stats()
+            assert transport["batches"] >= 1
+            assert transport["pickle_fallback_records"] == 0
+        finally:
+            sharded.close()
+
+    def test_exotic_ingress_payload_is_counted(self):
+        stats = ShardTransportStats()
+        batch = _mixed_batch()
+        blob = encode_ingress_batch(batch, stats=stats)
+        assert stats.pickle_fallback_records == 0  # the mixed batch is all packed kinds
+        # explicit size: the Datagram model itself can't size an exotic
+        # payload (it would try to serialize it as an RTCP compound)
+        exotic = Datagram(src=SFU, dst=SFU, payload=("not", "a", "wire", "type"), size=12)
+        blob = encode_ingress_batch(batch + [exotic], stats=stats)
+        assert stats.pickle_fallback_records == 1
+        decoded = decode_ingress_batch(blob, SFU)
+        assert decoded[-1].payload == ("not", "a", "wire", "type")
+
+    def test_unknown_rewriter_class_is_counted_both_legs(self):
+        encode_stats, decode_stats = ShardTransportStats(), ShardTransportStats()
+        lm = SequenceRewriterLowMemory(SkipCadence(0, 1))
+        blob = encode_tracker_updates({3: lm, 11: OddRewriter()}, stats=encode_stats)
+        assert encode_stats.pickle_fallback_records == 1  # only the odd one
+        updates = dict(decode_tracker_updates(blob, stats=decode_stats))
+        assert decode_stats.pickle_fallback_records == 1
+        assert isinstance(updates[11], OddRewriter)
+        assert type(updates[3]) is SequenceRewriterLowMemory
+
+    def test_stats_dict_exposes_the_counter(self):
+        assert "pickle_fallback_records" in ShardTransportStats().as_dict()
 
 
 class TestRtcpCompoundCodec:

@@ -1,0 +1,1 @@
+"""Repo tooling (archlint, benchmark regression gate)."""

@@ -1,0 +1,72 @@
+"""CLI: ``python -m tools.archlint src/`` — exit non-zero on new findings."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import format_baseline_entry, load_baseline, run_paths
+from .rules import ALL_RULES
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.txt"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.archlint",
+        description="AST-based architecture-invariant checker (run from the repo root).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories to lint")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="baseline file of grandfathered findings (default: tools/archlint/baseline.txt)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline (report everything)"
+    )
+    parser.add_argument("--list-rules", action="store_true", help="describe the rule set and exit")
+    parser.add_argument(
+        "--verbose", action="store_true", help="also show suppressed and baselined findings"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.name}:")
+            print(f"    {rule.description}")
+        return 0
+
+    baseline = {}
+    if not args.no_baseline and Path(args.baseline).is_file():
+        baseline = load_baseline(args.baseline)
+
+    report = run_paths(args.paths or ["src"], baseline=baseline)
+
+    for finding in report.new:
+        print(finding.render())
+    if args.verbose:
+        for finding in report.suppressed:
+            print(f"{finding.render()}  (suppressed)")
+        for finding in report.baselined:
+            print(f"{finding.render()}  (baselined)")
+    for key in report.unused_baseline:
+        print(f"warning: stale baseline entry matched nothing: {key[0]}\t{key[1]}\t{key[2]}")
+
+    new = len(report.new)
+    print(
+        f"archlint: {report.files_checked} files, {new} new finding(s), "
+        f"{len(report.suppressed)} suppressed, {len(report.baselined)} baselined"
+    )
+    if new:
+        print("add a '# archlint: ignore[rule]' suppression with a justification, fix the")
+        print("violation, or (for grandfathered findings only) append the baseline entry:")
+        for finding in report.new:
+            print(f"  {format_baseline_entry(finding)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

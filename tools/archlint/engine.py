@@ -1,0 +1,351 @@
+"""archlint rule engine: parse, scope, suppress, baseline, report.
+
+Self-contained on the standard library (``ast`` + ``re``): the linter must be
+runnable in CI before any project code imports, and must never import the
+tree it is judging.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+# --------------------------------------------------------------------------- findings
+
+#: ``# archlint: ignore`` or ``# archlint: ignore[rule-a,rule-b]``
+_SUPPRESS_RE = re.compile(r"#\s*archlint:\s*ignore(?:\[([A-Za-z0-9_,\- ]*)\])?")
+#: ``# archlint: module=repro.dataplane.pipeline`` near the top of a file
+#: overrides path-based module detection (used by lint-fixture files that
+#: need to impersonate a scoped module without living under ``src/``).
+_MODULE_RE = re.compile(r"#\s*archlint:\s*module=([A-Za-z0-9_.]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, located and fingerprinted."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: ``enclosing.scope::stripped source line`` — stable across pure line
+    #: drift, which is what lets the baseline key on it instead of a line
+    #: number.
+    fingerprint: str
+    suppressed: bool = False
+    baselined: bool = False
+
+    @property
+    def is_new(self) -> bool:
+        return not (self.suppressed or self.baselined)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Report:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Baseline entries that matched nothing (stale grandfather clauses —
+    #: reported so they get pruned, but not a failure by themselves).
+    unused_baseline: List[Tuple[str, str, str]] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def new(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.is_new]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def baselined(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.baselined]
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+# --------------------------------------------------------------------------- module context
+
+
+class ModuleContext:
+    """Everything a rule needs about one file: tree, source lines, module."""
+
+    def __init__(self, path: str, source: str, module: Optional[str] = None) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self.module = module if module is not None else self._detect_module()
+
+    def _detect_module(self) -> str:
+        # honor an explicit override near the top of the file first
+        for line in self.lines[:5]:
+            match = _MODULE_RE.search(line)
+            if match:
+                return match.group(1)
+        parts = list(Path(self.path).parts)
+        if parts and parts[-1].endswith(".py"):
+            parts[-1] = parts[-1][: -len(".py")]
+        if "src" in parts:
+            parts = parts[parts.index("src") + 1 :]
+        elif "repro" in parts:
+            parts = parts[parts.index("repro") :]
+        else:
+            parts = parts[-1:]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts) if parts else "<unknown>"
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def suppressions(self) -> Dict[int, Optional[frozenset]]:
+        """Line -> suppressed rule names (``None`` means all rules).
+
+        A comment-only line carrying the directive also covers the next
+        source line, so multi-line statements can be suppressed from above.
+        """
+        table: Dict[int, Optional[frozenset]] = {}
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if not match:
+                continue
+            names = match.group(1)
+            rules: Optional[frozenset]
+            if names is None or not names.strip():
+                rules = None
+            else:
+                rules = frozenset(name.strip() for name in names.split(",") if name.strip())
+            targets = [lineno]
+            if text.lstrip().startswith("#"):
+                targets.append(lineno + 1)
+            for target in targets:
+                existing = table.get(target, frozenset())
+                if rules is None or existing is None:
+                    table[target] = None
+                else:
+                    table[target] = existing | rules
+        return table
+
+
+class ScopedVisitor(ast.NodeVisitor):
+    """NodeVisitor that tracks the enclosing class/function name stack."""
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        self.scope: List[str] = []
+        self.class_stack: List[str] = []
+
+    # -- scope bookkeeping ---------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.scope.append(node.name)
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+        self.scope.pop()
+
+    def _enter_function(self, node) -> None:
+        self.scope.append(node.name)
+        self.generic_visit(node)
+        self.scope.pop()
+
+    visit_FunctionDef = _enter_function
+    visit_AsyncFunctionDef = _enter_function
+
+    # -- helpers -------------------------------------------------------------
+
+    @property
+    def qualname(self) -> str:
+        return ".".join(self.scope) if self.scope else "<module>"
+
+    def enclosing_class(self) -> Optional[str]:
+        """Nearest enclosing class name, if any (functions don't reset it:
+        a method's nested helper still counts as inside the class)."""
+        return self.class_stack[-1] if self.class_stack else None
+
+    def in_function(self, *names: str) -> bool:
+        return any(name in self.scope for name in names)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# --------------------------------------------------------------------------- baseline
+
+BaselineKey = Tuple[str, str, str]  # (rule, path, fingerprint)
+
+
+def load_baseline(path) -> Dict[BaselineKey, int]:
+    """Parse a baseline file into a multiset of (rule, path, fingerprint).
+
+    Format: tab-separated ``rule<TAB>path<TAB>fingerprint`` lines; ``#``
+    comments (the justification for each entry) and blank lines are ignored.
+    """
+    counts: Dict[BaselineKey, int] = {}
+    text = Path(path).read_text(encoding="utf-8")
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) != 3:
+            raise ValueError(f"malformed baseline line (want rule<TAB>path<TAB>fingerprint): {raw!r}")
+        key = (parts[0], parts[1], parts[2])
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def format_baseline_entry(finding: Finding) -> str:
+    return f"{finding.rule}\t{finding.path}\t{finding.fingerprint}"
+
+
+# --------------------------------------------------------------------------- running
+
+
+def _normalize_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def iter_py_files(paths: Sequence[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            yield path
+
+
+def check_source(
+    source: str,
+    *,
+    path: str = "<fixture>",
+    module: Optional[str] = None,
+    rules: Optional[Iterable] = None,
+    baseline: Optional[Dict[BaselineKey, int]] = None,
+) -> List[Finding]:
+    """Lint one source string (the unit-test entry point).
+
+    ``module`` overrides path-based module detection so fixtures can
+    impersonate scoped modules; ``baseline`` is consumed in place (pass a
+    copy if you need it afterwards).
+    """
+    if rules is None:
+        from .rules import ALL_RULES
+
+        rules = ALL_RULES
+    ctx = ModuleContext(path, source, module=module)
+    suppressions = ctx.suppressions()
+    remaining = baseline if baseline is not None else {}
+    findings: List[Finding] = []
+    for rule in rules:
+        for lineno, col, message in rule.check(ctx):
+            fingerprint = f"{_scope_at(ctx, lineno)}::{ctx.line_text(lineno).strip()}"
+            suppressed = _is_suppressed(suppressions, lineno, rule.name)
+            baselined = False
+            if not suppressed:
+                key = (rule.name, path, fingerprint)
+                if remaining.get(key, 0) > 0:
+                    remaining[key] -= 1
+                    baselined = True
+            findings.append(
+                Finding(
+                    rule=rule.name,
+                    path=path,
+                    line=lineno,
+                    col=col,
+                    message=message,
+                    fingerprint=fingerprint,
+                    suppressed=suppressed,
+                    baselined=baselined,
+                )
+            )
+    findings.sort(key=lambda finding: (finding.line, finding.col, finding.rule))
+    return findings
+
+
+def _is_suppressed(suppressions: Dict[int, Optional[frozenset]], lineno: int, rule: str) -> bool:
+    if lineno not in suppressions:
+        return False
+    rules = suppressions[lineno]
+    return rules is None or rule in rules
+
+
+def _scope_at(ctx: ModuleContext, lineno: int) -> str:
+    """Qualname of the innermost class/function whose span covers ``lineno``."""
+    best = "<module>"
+    best_span = float("inf")
+
+    class _Finder(ScopedVisitor):
+        def _note(self, node) -> None:
+            nonlocal best, best_span
+            end = getattr(node, "end_lineno", None) or node.lineno
+            if node.lineno <= lineno <= end and (end - node.lineno) < best_span:
+                best = self.qualname
+                best_span = end - node.lineno
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            self.scope.append(node.name)
+            self._note(node)
+            self.generic_visit(node)
+            self.scope.pop()
+
+        def _enter_function(self, node) -> None:
+            self.scope.append(node.name)
+            self._note(node)
+            self.generic_visit(node)
+            self.scope.pop()
+
+        visit_FunctionDef = _enter_function
+        visit_AsyncFunctionDef = _enter_function
+
+    _Finder(ctx).visit(ctx.tree)
+    return best
+
+
+def run_paths(
+    paths: Sequence[str],
+    *,
+    baseline: Optional[Dict[BaselineKey, int]] = None,
+    rules: Optional[Iterable] = None,
+) -> Report:
+    """Lint every ``.py`` file under ``paths`` against the rule set."""
+    remaining: Dict[BaselineKey, int] = dict(baseline or {})
+    report = Report()
+    for file_path in iter_py_files(paths):
+        normalized = _normalize_path(file_path)
+        source = file_path.read_text(encoding="utf-8")
+        report.findings.extend(
+            check_source(source, path=normalized, rules=rules, baseline=remaining)
+        )
+        report.files_checked += 1
+    report.unused_baseline = [key for key, count in remaining.items() if count > 0]
+    return report
