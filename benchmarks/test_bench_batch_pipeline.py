@@ -27,16 +27,21 @@ this behavioural model's microsecond-scale packets do not.
 import dataclasses
 import json
 import os
+import platform
 
 from benchmarks.conftest import run_once
 from repro.experiments import (
     format_batch_sweep,
+    format_parallelism_matrix,
     format_rebalance_point,
     format_shard_sweep,
+    gil_enabled,
+    measure_parallelism_crossover,
     measure_rebalance_point,
     measure_shard_point,
     measure_shard_transport,
     run_batch_throughput_sweep,
+    run_parallelism_matrix,
     run_shard_throughput_sweep,
 )
 
@@ -133,6 +138,26 @@ def test_shard_pipeline_throughput(benchmark):
     benchmark.extra_info["rebalance_skew_rebalanced"] = round(rebalance.skew_rebalanced, 3)
     benchmark.extra_info["rebalance_skew_reduction"] = round(rebalance.skew_reduction, 3)
 
+    # executor matrix + Amdahl crossover: {serial, thread, process} x k x
+    # {plain, srtp}.  Every point records its GIL regime — thread numbers
+    # from a GIL build and a free-threaded build are different experiments,
+    # and the regression gate refuses to compare across regimes.
+    parallelism_points = run_parallelism_matrix()
+    print()
+    print(format_parallelism_matrix(parallelism_points))
+    crossover = measure_parallelism_crossover()
+    print(
+        f"crossover (thread-k4 > serial-k1 by >{crossover['margin'] - 1.0:.0%}): "
+        f"srtp rounds = {crossover['crossover_rounds']} "
+        f"(None = never, expected under a GIL)"
+    )
+    par_by_key = {(p.executor, p.n_shards, p.srtp_rounds): p for p in parallelism_points}
+    thread_ratio = (
+        par_by_key[("thread", 4, 0)].pps / par_by_key[("serial", 1, 0)].pps
+    )
+    benchmark.extra_info["thread_k4_vs_serial_k1"] = round(thread_ratio, 3)
+    benchmark.extra_info["gil_enabled"] = gil_enabled()
+
     # default to an untracked *.local.json so no bench run (local or CI) can
     # dirty the committed regression baseline; the env var exists for tools
     # that need the artifact somewhere else.  Written before the asserts on
@@ -151,6 +176,14 @@ def test_shard_pipeline_throughput(benchmark):
                 "transport": {
                     key: (round(value, 2) if isinstance(value, float) else value)
                     for key, value in transport.items()
+                },
+                "parallelism": {
+                    "python": platform.python_version(),
+                    "gil_enabled": gil_enabled(),
+                    "thread_k4_vs_serial_k1": round(thread_ratio, 3),
+                    "points": [dataclasses.asdict(point) | {"pps": round(point.pps)}
+                               for point in parallelism_points],
+                    "crossover": crossover,
                 },
                 "rebalance": {
                     "n_shards": rebalance.n_shards,
@@ -175,7 +208,19 @@ def test_shard_pipeline_throughput(benchmark):
                     "'rebalance' is the skewed-workload sweep: Zipf hot senders "
                     "colocated by the CRC32 default vs the same workload with the "
                     "placement control loop armed (deterministic packet counts; "
-                    "skew_rebalanced is CI-gated against this baseline)."
+                    "skew_rebalanced is CI-gated against this baseline). "
+                    "'parallelism' is the executor matrix ({serial, thread, "
+                    "process} x k x {plain, srtp}) on wire-native ingress: "
+                    "srtp_rounds scales SRTP-grade per-packet crypto work, "
+                    "every point records its GIL regime, and 'crossover' "
+                    "sweeps that work level to find where thread-k4 first "
+                    "beats serial-k1 by more than the stated margin "
+                    "(crossover_rounds is None under a GIL, where ratios "
+                    "hover at parity and only jitter crosses 1.0; on a "
+                    "free-threaded interpreter it is the headline Amdahl "
+                    "number). thread_k4_vs_serial_k1 "
+                    "(plain points) is CI-gated, but only within one GIL "
+                    "regime — the gate refuses cross-regime comparisons."
                 ),
             },
             handle,
@@ -207,4 +252,19 @@ def test_shard_pipeline_throughput(benchmark):
     assert rebalance.skew_reduction >= 2.0, (
         f"rebalancer cut skew only {rebalance.skew_reduction:.2f}x "
         f"({rebalance.skew_static:.2f}x -> {rebalance.skew_rebalanced:.2f}x)"
+    )
+    # srtp plausibility: the profile exists to add per-packet work, so the
+    # serial engine must measurably slow down under it (if it doesn't, the
+    # datapath stopped protecting and the matrix is measuring nothing)
+    assert par_by_key[("serial", 1, 1)].pps < par_by_key[("serial", 1, 0)].pps, (
+        "serial srtp point is not slower than the plain point — the SRTP "
+        "unprotect/re-protect work is not reaching the datapath"
+    )
+    # thread-executor plausibility (not a perf gate — that lives in
+    # tools/check_bench_regression.py, within one GIL regime): the thread
+    # points must exist and be on the same order as serial, i.e. the
+    # executor is doing real work, not silently falling back or deadlocking
+    assert thread_ratio > 0.2, (
+        f"thread-k4/serial-k1 ratio {thread_ratio:.3f} is implausibly low "
+        "for an in-process executor"
     )

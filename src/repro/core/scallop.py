@@ -64,6 +64,7 @@ class ScallopSfu:
         n_shards: int = 1,
         shard_executor: str = "serial",
         rebalance: Union[bool, RebalancerConfig, None] = None,
+        srtp: Optional[object] = None,
     ) -> None:
         self.address = address
         self.simulator = simulator
@@ -84,9 +85,10 @@ class ScallopSfu:
                 capacities=capacities,
                 executor=shard_executor,
                 rebalance_config=rebalance,
+                srtp=srtp,
             )
         else:
-            self.pipeline = ScallopPipeline(address, capacities)
+            self.pipeline = ScallopPipeline(address, capacities, srtp=srtp)
         if adaptation_thresholds_bps is not None:
             high, low = adaptation_thresholds_bps
 

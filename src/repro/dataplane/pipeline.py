@@ -157,6 +157,10 @@ class PipelineCounters:
     replicas_out: int = 0
     adaptation_drops: int = 0
     table_misses: int = 0
+    #: Ingress packets whose SRTP auth tag failed verification (tampered or
+    #: wrongly keyed); such packets are accounted and then dropped without
+    #: producing replicas, mirroring a real SFU's auth-before-forward order.
+    srtp_auth_failures: int = 0
     by_class_packets: Dict[str, int] = field(default_factory=dict)
     by_class_bytes: Dict[str, int] = field(default_factory=dict)
 
@@ -191,6 +195,7 @@ class PipelineCounters:
         self.replicas_out += other.replicas_out
         self.adaptation_drops += other.adaptation_drops
         self.table_misses += other.table_misses
+        self.srtp_auth_failures += other.srtp_auth_failures
         for label, packets in other.by_class_packets.items():
             self.by_class_packets[label] = self.by_class_packets.get(label, 0) + packets
         for label, size in other.by_class_bytes.items():
@@ -256,11 +261,18 @@ class PipelineControlPlane:
         self,
         sfu_address: Address,
         capacities: TofinoCapacities = DEFAULT_CAPACITIES,
+        srtp: Optional[object] = None,
     ) -> None:
         self.sfu_address = sfu_address
         self.capacities = capacities
         self.accountant = ResourceAccountant(capacities)
         self.pre = PacketReplicationEngine(self.accountant)
+        #: Optional :class:`~repro.rtp.srtp.SrtpProfile`.  When set, the
+        #: wire-native media path authenticates and decrypts each ingress
+        #: packet and re-protects every egress replica.  Datapaths bind it
+        #: read-only (the profile is stateless per packet); it is a plain
+        #: picklable value, so process-executor control snapshots carry it.
+        self.srtp = srtp
 
         self.stream_table: ExactMatchTable[Tuple[Address, int], StreamForwardingEntry] = ExactMatchTable(
             "stream_forwarding", max_entries=capacities.exact_match_entries
@@ -583,6 +595,40 @@ class PipelineControlPlane:
             if cells:
                 self._retag_tracker_charge(key, sender_ssrc, cells)
 
+    # ------------------------------------------------------------------ worker-local replica API
+
+    def build_worker_datapath(self, shard_id: int) -> "PipelineDatapath":
+        """Construct and attach the datapath of a worker process's *private*
+        control-plane replica.
+
+        This is the sanctioned bootstrap for the process executor's shard
+        workers: ``self`` is the replica the worker just unpickled, so
+        attaching a datapath mutates state no other thread or process can
+        observe.  Keeping the attach inside a control-plane method — rather
+        than the worker calling ``attach_datapath`` on what textually looks
+        like shared control state — lets the share-nothing checker hold
+        worker code to the same zero-mutation rule as the datapaths (this
+        method retired the two grandfathered archlint baseline entries from
+        PR 6).
+        """
+        datapath = PipelineDatapath(self, shard_id=shard_id)
+        self.attach_datapath(datapath)
+        return datapath
+
+    def apply_tracker_images(
+        self, updates: Sequence[Tuple[int, Optional[SequenceRewriter]]]
+    ) -> None:
+        """Apply decoded rewriter register images to the canonical register
+        file (fanning out to attached datapath views as usual).
+
+        Worker-local replica API: the migration images a process-executor
+        worker receives ahead of a batch land in its own replica's registers
+        through this method; the coordinator uses the same method to fold
+        workers' post-batch register state home.
+        """
+        for index, rewriter in updates:
+            self._write_tracker(index, rewriter)
+
     # ------------------------------------------------------------------ pickling (process-shard escape hatch)
 
     def __getstate__(self) -> dict:
@@ -595,6 +641,68 @@ class PipelineControlPlane:
         state["_write_batch_depth"] = 0
         state["_deferred_tracker_indices"] = set()
         return state
+
+
+@dataclass
+class DatapathLocalStats:
+    """Per-datapath tally of the *shared* PRE data-plane counters.
+
+    The only writes a datapath's packet path performs on shared
+    control-plane structures are pure accounting: the PRE's
+    ``replications_performed``/``copies_produced`` bumps and the tables'
+    ``lookups``/``hits``.  Under the serial and process executors those
+    bumps are single-writer and go straight to the shared objects; under
+    the thread executor concurrent ``+=`` on shared attributes would be a
+    data race (lost updates on free-threaded builds, and even under the
+    GIL the read-modify-write can interleave).  Thread-mode datapaths
+    therefore accumulate here — private, unsynchronized — and the
+    :class:`~repro.dataplane.sharding.ThreadShardRunner` folds the tallies
+    into the shared structures at the batch barrier.  The folds are
+    commutative sums, so every counter ends exactly where serial execution
+    would put it.
+    """
+
+    replications_performed: int = 0
+    copies_produced: int = 0
+
+
+class ShardTableView:
+    """Thread-mode read view of a shared :class:`ExactMatchTable`.
+
+    ``lookup`` resolves against the shared table via the non-counting
+    ``peek`` and tallies ``lookups``/``hits`` locally; the runner folds the
+    tallies into the shared table at the batch barrier (see
+    :class:`DatapathLocalStats` for why).  Bound in place of the datapath's
+    table aliases *before* the shard-isolation sanitizer wraps them, so
+    sanitized thread-mode runs put the write barrier around the view.
+    """
+
+    __slots__ = ("table", "lookups", "hits")
+
+    def __init__(self, table: ExactMatchTable) -> None:
+        self.table = table
+        self.lookups = 0
+        self.hits = 0
+
+    def lookup(self, key):
+        self.lookups += 1
+        value = self.table.peek(key)
+        if value is not None:
+            self.hits += 1
+        return value
+
+    def peek(self, key):
+        return self.table.peek(key)
+
+    @property
+    def version(self) -> int:
+        return self.table.version
+
+    def __contains__(self, key) -> bool:
+        return key in self.table
+
+    def __len__(self) -> int:
+        return len(self.table)
 
 
 class PipelineDatapath:
@@ -620,12 +728,16 @@ class PipelineDatapath:
         trackers: Optional[RegisterArray] = None,
         shard_id: int = 0,
         sanitize: Optional[bool] = None,
+        local_stats: bool = False,
     ) -> None:
         self.control = control
         self.shard_id = shard_id
         self.sfu_address = control.sfu_address
         self.parser = IngressParser()
         self.counters = PipelineCounters()
+        #: Optional SRTP profile shared by all datapaths (stateless per
+        #: packet, so concurrent use is race-free).
+        self.srtp = control.srtp
         #: This datapath's rewriter register view.  The single-datapath
         #: pipeline shares the control plane's canonical array; shard
         #: datapaths get their own fanned-out copy.
@@ -637,12 +749,32 @@ class PipelineDatapath:
         #: back to the coordinator after each batch.
         self.touched_tracker_indices: Set[int] = set()
 
-        # read-mostly bindings into the control plane (hot-path aliases)
+        # read-mostly bindings into the control plane (hot-path aliases).
+        # Thread-mode (``local_stats=True``) datapaths bind ShardTableView
+        # wrappers instead of the raw tables and accumulate all shared-counter
+        # accounting privately; the ThreadShardRunner folds both back at the
+        # batch barrier through ``table_views``/``local_stats`` (raw handles,
+        # deliberately outside the sanitizer's wrapped bindings).
         self.pre = control.pre
-        self.stream_table = control.stream_table
-        self.replica_table = control.replica_table
-        self.adaptation_table = control.adaptation_table
-        self.feedback_table = control.feedback_table
+        self.local_stats: Optional[DatapathLocalStats] = None
+        self.table_views: Tuple[ShardTableView, ...] = ()
+        if local_stats:
+            self.local_stats = DatapathLocalStats()
+            self.stream_table = ShardTableView(control.stream_table)
+            self.replica_table = ShardTableView(control.replica_table)
+            self.adaptation_table = ShardTableView(control.adaptation_table)
+            self.feedback_table = ShardTableView(control.feedback_table)
+            self.table_views = (
+                self.stream_table,
+                self.replica_table,
+                self.adaptation_table,
+                self.feedback_table,
+            )
+        else:
+            self.stream_table = control.stream_table
+            self.replica_table = control.replica_table
+            self.adaptation_table = control.adaptation_table
+            self.feedback_table = control.feedback_table
 
         # Batch fast-path state: forwarding resolution memoized per flow and
         # invalidated whenever the control plane touches the stream table, the
@@ -789,7 +921,12 @@ class PipelineDatapath:
         else:
             # replay the per-packet accounting the uncached path would do
             if resolution.raw_replicas is not None:
-                self.pre.note_replication(resolution.raw_replicas)
+                local = self.local_stats
+                if local is None:
+                    self.pre.note_replication(resolution.raw_replicas)
+                else:
+                    local.replications_performed += 1
+                    local.copies_produced += resolution.raw_replicas
             if resolution.replica_misses:
                 self.counters.table_misses += resolution.replica_misses
 
@@ -867,6 +1004,19 @@ class PipelineDatapath:
         result = PipelineResult(parse=parse)
         accumulate = PipelineCounters.accumulate
 
+        srtp = self.srtp
+        if srtp is not None:
+            # auth-before-forward: verify the truncated tag, then strip it and
+            # decrypt the payload so rewriting operates on plaintext bytes.
+            # (The SRTP header and extension are cleartext per RFC 3711, so the
+            # parse above — header/extension only — is identical either way.)
+            plain = srtp.unprotect_ingress(view.buf)
+            if plain is None:
+                self.counters.srtp_auth_failures += 1
+                accumulate(tally, parse.packet_class.value, False, datagram.size)
+                return result
+            view = PacketView(plain)
+
         ssrc = parse.ssrc if parse.ssrc is not None else view.ssrc
         flow = (datagram.src, ssrc)
         try:
@@ -900,7 +1050,12 @@ class PipelineDatapath:
             self._resolution_cache[key] = resolution
         else:
             if resolution.raw_replicas is not None:
-                self.pre.note_replication(resolution.raw_replicas)
+                local = self.local_stats
+                if local is None:
+                    self.pre.note_replication(resolution.raw_replicas)
+                else:
+                    local.replications_performed += 1
+                    local.copies_produced += resolution.raw_replicas
             if resolution.replica_misses:
                 self.counters.table_misses += resolution.replica_misses
 
@@ -926,6 +1081,7 @@ class PipelineDatapath:
         mint = Datagram.from_fields
         copy_fields = dict
         replicas_out = 0
+        protected_same: Optional[PacketView] = None
         for target, adaptation in resolution.targets:
             out_payload: Optional[PacketView] = view
             if is_video and adaptation is not None:
@@ -949,6 +1105,15 @@ class PipelineDatapath:
                     result.dropped_replicas += 1
                     counters.adaptation_drops += 1
                     continue
+            if srtp is not None:
+                # re-protect under the egress session key; unrewritten
+                # replicas of the same packet share one protected buffer
+                if out_payload is view:
+                    if protected_same is None:
+                        protected_same = PacketView(srtp.protect_egress(view.buf))
+                    out_payload = protected_same
+                else:
+                    out_payload = PacketView(srtp.protect_egress(out_payload.buf))
             if shared_meta is None:
                 shared_meta = MappingProxyType(
                     dict(datagram.meta, origin=datagram.src, origin_ssrc=ssrc)
@@ -1047,7 +1212,19 @@ class PipelineDatapath:
             mgid = entry.mgid
         if mgid is None:
             return (), None, 0
-        replicas = self.pre.replicate(mgid, l1_xid=entry.l1_xid, rid=entry.rid, l2_xid=entry.l2_xid)
+        local = self.local_stats
+        if local is None:
+            replicas = self.pre.replicate(
+                mgid, l1_xid=entry.l1_xid, rid=entry.rid, l2_xid=entry.l2_xid
+            )
+        else:
+            # thread mode: pure tree walk on the shared PRE, accounting kept
+            # local and folded at the batch barrier (no shared-counter race)
+            replicas = self.pre.expand(
+                mgid, l1_xid=entry.l1_xid, rid=entry.rid, l2_xid=entry.l2_xid
+            )
+            local.replications_performed += 1
+            local.copies_produced += len(replicas)
         targets: List[ReplicaTarget] = []
         misses = 0
         for replica in replicas:
@@ -1241,8 +1418,9 @@ class ScallopPipeline(ControlPlaneFacade):
         sfu_address: Address,
         capacities: TofinoCapacities = DEFAULT_CAPACITIES,
         sanitize: Optional[bool] = None,
+        srtp: Optional[object] = None,
     ) -> None:
-        self.control = PipelineControlPlane(sfu_address, capacities)
+        self.control = PipelineControlPlane(sfu_address, capacities, srtp=srtp)
         self.datapath = PipelineDatapath(self.control, sanitize=sanitize)
         self.control.attach_datapath(self.datapath)
         self.sfu_address = sfu_address

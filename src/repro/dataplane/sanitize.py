@@ -94,11 +94,14 @@ class IsolationLog:
         )
 
 
-#: Method names blocked by the write barrier.  The runtime twin of archlint's
+#: Method names blocked by the write barrier.  A *superset* of archlint's
 #: ``MUTATING_METHODS`` (tools/archlint/rules.py): every control-plane write
-#: API plus the generic container mutators.  Conspicuously absent: ``lookup``,
-#: ``peek``, ``read``, ``entries``, ``replicate``, ``note_replication``,
-#: ``write_stamp`` — the sanctioned data-plane surface.
+#: API plus the generic container mutators, plus the worker-local replica API
+#: (``build_worker_datapath``/``apply_tracker_images``), which process-pool
+#: workers may call on their own unpickled replica but a datapath must never
+#: reach through its shared-control proxy.  Conspicuously absent: ``lookup``,
+#: ``peek``, ``read``, ``entries``, ``replicate``, ``expand``,
+#: ``note_replication``, ``write_stamp`` — the sanctioned data-plane surface.
 BLOCKED_METHODS = frozenset(
     {
         "install",
@@ -127,6 +130,8 @@ BLOCKED_METHODS = frozenset(
         "reattribute_ssrc_charges",
         "set_charge_scope_router",
         "attach_datapath",
+        "build_worker_datapath",
+        "apply_tracker_images",
         "_write_tracker",
         "allocate_stream_state",
         "release_stream_state",

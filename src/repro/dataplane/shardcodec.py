@@ -50,6 +50,16 @@ Pickle remains in exactly two places, both deliberate: the rare control-plane
 snapshot on generation change (shipped by the runner, not this codec), and
 the per-record fallbacks above (exotic payload types only — every regular
 ingress record type now crosses as its real wire format).
+
+Record headers pack and unpack through precompiled multi-field
+:class:`struct.Struct` singletons — one call per record (and one per
+replica) rather than a chain of single-field calls; profiled as the
+coordinator's dominant replay cost at high shard counts.  Two SRTP-driven
+modes bend the defaults: ``encode_ingress_batch(..., full_payload=True)``
+ships whole wire buffers (workers must authenticate payload bytes), and
+``encode_result_batch(..., replayable=False)`` routes media results through
+the pickled fallback because SRTP re-protection makes the coordinator's
+original bytes unable to stand in for worker egress.
 """
 
 from __future__ import annotations
@@ -79,6 +89,17 @@ _U8 = struct.Struct("!B")
 _U16 = struct.Struct("!H")
 _U32 = struct.Struct("!I")
 _F64 = struct.Struct("!d")
+
+# Precompiled multi-field record structs for the hot encode/decode loops:
+# one struct call per record (or per replica) instead of a chain of
+# single-field packs/unpacks.  The byte layout is identical to the previous
+# field-at-a-time form — only the number of Python-level calls changes.
+_ING_RTP_REC = struct.Struct("!BHIH")   # tag, src_id, wire size, region len
+_ING_CTRL_PREFIX = struct.Struct("!BHI")  # tag, src_id, wire size
+_RES_REC_HDR = struct.Struct("!BHH")    # rflags, dropped_replicas, n_outputs
+_RES_FB_HDR = struct.Struct("!HH")      # dropped_replicas, n_outputs
+_RES_OUT_SEQ = struct.Struct("!HBH")    # dst_id, 1, rewritten seq
+_RES_OUT_NOSEQ = struct.Struct("!HB")   # dst_id, 0  (also: fb dst_id, n_packets)
 
 # ingress record tags
 _ING_RTP_HEADER = 0     # header-only wire record (payload stays home)
@@ -162,36 +183,38 @@ def _decode_addresses(blob: bytes, cursor: int) -> Tuple[List[Address], int]:
 # --------------------------------------------------------------------------- ingress direction
 
 
-def encode_ingress_batch(datagrams: Sequence[Datagram], stats=None) -> bytes:
+def encode_ingress_batch(
+    datagrams: Sequence[Datagram], stats=None, full_payload: bool = False
+) -> bytes:
     """Pack one shard partition into a single transport blob.
 
     ``stats`` (a :class:`~repro.dataplane.sharding.ShardTransportStats`, or
     anything with a ``pickle_fallback_records`` attribute) counts every
     record that falls back to pickle — zero for all regular traffic types.
+
+    ``full_payload=True`` ships the *entire* wire buffer of a
+    :class:`PacketView` instead of the header region, in the same record
+    form (the decoder is oblivious — the reconstructed view just is not
+    truncated).  The process runner sets it when the control plane carries
+    an SRTP profile: workers must see payload and auth tag to authenticate,
+    so the header-only optimisation is off by construction there.
     """
     interner = _AddressInterner()
     body = bytearray()
+    rtp_rec = _ING_RTP_REC.pack
     for datagram in datagrams:
         payload = datagram.payload
         src_id = interner.intern(datagram.src)
         if isinstance(payload, PacketView):
-            header = payload.header_bytes()
-            body += _U8.pack(_ING_RTP_HEADER)
-            body += _U16.pack(src_id)
-            body += _U32.pack(datagram.size)
-            body += _U16.pack(len(header))
-            body += header
+            region = bytes(payload.buf) if full_payload else payload.header_bytes()
+            body += rtp_rec(_ING_RTP_HEADER, src_id, datagram.size, len(region))
+            body += region
         elif isinstance(payload, RtpPacket):
             header = pack_rtp_header(payload)
-            body += _U8.pack(_ING_RTP_HEADER)
-            body += _U16.pack(src_id)
-            body += _U32.pack(datagram.size)
-            body += _U16.pack(len(header))
+            body += rtp_rec(_ING_RTP_HEADER, src_id, datagram.size, len(header))
             body += header
         elif isinstance(payload, bytes):
-            body += _U8.pack(_ING_RAW_BYTES)
-            body += _U16.pack(src_id)
-            body += _U32.pack(datagram.size)
+            body += _ING_CTRL_PREFIX.pack(_ING_RAW_BYTES, src_id, datagram.size)
             body += _encode_arrival(datagram.arrived_at)
             body += _U32.pack(len(payload))
             body += payload
@@ -200,9 +223,7 @@ def encode_ingress_batch(datagrams: Sequence[Datagram], stats=None) -> bytes:
         ):
             # RTCP compound: ship the real wire format, not a pickled tuple
             compound = serialize_compound(payload)
-            body += _U8.pack(_ING_RTCP_COMPOUND)
-            body += _U16.pack(src_id)
-            body += _U32.pack(datagram.size)
+            body += _ING_CTRL_PREFIX.pack(_ING_RTCP_COMPOUND, src_id, datagram.size)
             body += _encode_arrival(datagram.arrived_at)
             body += _U32.pack(len(compound))
             body += compound
@@ -210,9 +231,7 @@ def encode_ingress_batch(datagrams: Sequence[Datagram], stats=None) -> bytes:
             # STUN crosses as its real wire format too (the last ingress
             # record type that used to ride per-record pickle)
             wire = payload.serialize()
-            body += _U8.pack(_ING_STUN)
-            body += _U16.pack(src_id)
-            body += _U32.pack(datagram.size)
+            body += _ING_CTRL_PREFIX.pack(_ING_STUN, src_id, datagram.size)
             body += _encode_arrival(datagram.arrived_at)
             body += _U32.pack(len(wire))
             body += wire
@@ -221,9 +240,7 @@ def encode_ingress_batch(datagrams: Sequence[Datagram], stats=None) -> bytes:
             if stats is not None:
                 stats.pickle_fallback_records += 1
             blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-            body += _U8.pack(_ING_PICKLED)
-            body += _U16.pack(src_id)
-            body += _U32.pack(datagram.size)
+            body += _ING_CTRL_PREFIX.pack(_ING_PICKLED, src_id, datagram.size)
             body += _encode_arrival(datagram.arrived_at)
             body += _U32.pack(len(blob))
             body += blob
@@ -259,17 +276,15 @@ def decode_ingress_batch(blob: bytes, dst: Address) -> List[Datagram]:
     datagrams: List[Datagram] = []
     mint = Datagram.from_fields
     rtp_kind = PayloadKind.RTP
+    rtp_rec = _ING_RTP_REC.unpack_from
+    ctrl_prefix = _ING_CTRL_PREFIX.unpack_from
     for _ in range(count):
         tag = blob[cursor]
-        cursor += 1
-        (src_id,) = _U16.unpack_from(blob, cursor)
-        cursor += 2
-        (size,) = _U32.unpack_from(blob, cursor)
-        cursor += 4
-        src = addresses[src_id]
         if tag == _ING_RTP_HEADER:
-            (header_len,) = _U16.unpack_from(blob, cursor)
-            cursor += 2
+            # whole record header in one struct call — this is the hot loop
+            _tag, src_id, size, header_len = rtp_rec(blob, cursor)
+            cursor += _ING_RTP_REC.size
+            src = addresses[src_id]
             view = PacketView(blob[cursor : cursor + header_len])
             cursor += header_len
             datagrams.append(
@@ -287,6 +302,9 @@ def decode_ingress_batch(blob: bytes, dst: Address) -> List[Datagram]:
                 )
             )
             continue
+        _tag, src_id, size = ctrl_prefix(blob, cursor)
+        cursor += _ING_CTRL_PREFIX.size
+        src = addresses[src_id]
         arrived_at, cursor = _decode_arrival(blob, cursor)
         (length,) = _U32.unpack_from(blob, cursor)
         cursor += 4
@@ -320,7 +338,9 @@ _RFLAG_CPU_COPY = 1 << 0
 
 
 def encode_result_batch(
-    results: Sequence[PipelineResult], inputs: Sequence[Datagram]
+    results: Sequence[PipelineResult],
+    inputs: Sequence[Datagram],
+    replayable: bool = True,
 ) -> Tuple[bytes, bytes]:
     """Pack a shard's results as rewrite descriptions against ``inputs``.
 
@@ -328,6 +348,15 @@ def encode_result_batch(
     input payload to these destinations, rewriting these sequence numbers"
     are packed; the rest (feedback fan-out) land pickled, in order, in
     ``fallback_blob``.
+
+    ``replayable=False`` says the coordinator's originals can *not* stand in
+    for the worker's media outputs — the SRTP datapath re-protects each
+    egress replica with the egress session keys, so replaying a ``(dst,
+    seq)`` description against the coordinator's ingress bytes would mint
+    the wrong packet.  Media results then take the per-record pickled
+    fallback (counted honestly in the transport stats); aliasing control
+    records (RTCP sender replication, feedback fan-out) still pack, since
+    their payloads really are the ingress objects.
     """
     interner = _AddressInterner()
     body = bytearray()
@@ -337,7 +366,7 @@ def encode_result_batch(
             packed = _try_pack_feedback(result, ingress, interner)
             tag = _RES_FEEDBACK
         else:
-            packed = _try_pack_result(result, ingress, interner)
+            packed = _try_pack_result(result, ingress, interner, replayable)
             tag = _RES_PACKED
         if packed is None:
             body += _U8.pack(_RES_PICKLED)
@@ -409,17 +438,18 @@ def _try_pack_feedback(
         outputs.append((interner.intern(output.dst), indices))
 
     out = bytearray(_pack_parse(result.parse))
-    out += _U16.pack(result.dropped_replicas)
-    out += _U16.pack(len(outputs))
+    out += _RES_FB_HDR.pack(result.dropped_replicas, len(outputs))
     for dst_id, indices in outputs:
-        out += _U16.pack(dst_id)
-        out += _U8.pack(len(indices))
+        out += _RES_OUT_NOSEQ.pack(dst_id, len(indices))
         out += bytes(indices)
     return bytes(out)
 
 
 def _try_pack_result(
-    result: PipelineResult, ingress: Datagram, interner: _AddressInterner
+    result: PipelineResult,
+    ingress: Datagram,
+    interner: _AddressInterner,
+    replayable: bool = True,
 ) -> Optional[bytes]:
     parse = result.parse
     if len(result.cpu_copies) > 1:
@@ -432,6 +462,10 @@ def _try_pack_result(
         out_payload = output.payload
         if out_payload is in_payload:
             outputs.append((interner.intern(output.dst), None))
+        elif not replayable:
+            # the worker's egress bytes differ from anything the coordinator
+            # can reconstruct (SRTP re-protection) — ship the real result
+            return None
         elif isinstance(out_payload, (PacketView, RtpPacket)) and isinstance(
             in_payload, (PacketView, RtpPacket)
         ):
@@ -440,16 +474,16 @@ def _try_pack_result(
             return None
 
     out = bytearray(_pack_parse(parse))
-    out += _U8.pack(_RFLAG_CPU_COPY if result.cpu_copies else 0)
-    out += _U16.pack(result.dropped_replicas)
-    out += _U16.pack(len(outputs))
+    out += _RES_REC_HDR.pack(
+        _RFLAG_CPU_COPY if result.cpu_copies else 0,
+        result.dropped_replicas,
+        len(outputs),
+    )
     for dst_id, seq in outputs:
-        out += _U16.pack(dst_id)
         if seq is None:
-            out += _U8.pack(0)
+            out += _RES_OUT_NOSEQ.pack(dst_id, 0)
         else:
-            out += _U8.pack(1)
-            out += _U16.pack(seq)
+            out += _RES_OUT_SEQ.pack(dst_id, 1, seq)
     return bytes(out)
 
 
@@ -480,6 +514,9 @@ def decode_result_batch(
     media_classes = (PacketClass.RTP_VIDEO, PacketClass.RTP_AUDIO)
     u16_at = _U16.unpack_from
     u32_at = _U32.unpack_from
+    rec_hdr = _RES_REC_HDR.unpack_from
+    fb_hdr = _RES_FB_HDR.unpack_from
+    out_hdr = _RES_OUT_NOSEQ.unpack_from
     # frozen ParseResults repeat per stream (every non-boundary packet of a
     # frame parses identically), so intern them by their packed record bytes
     # instead of paying the frozen-dataclass __init__ per packet
@@ -532,8 +569,7 @@ def decode_result_batch(
         if tag == _RES_FEEDBACK:
             # feedback fan-out: replay packet indices against the original
             # compound the coordinator kept (per-receiver subsets, aliased)
-            (dropped,) = u16_at(blob, cursor)
-            (n_outputs,) = u16_at(blob, cursor + 2)
+            dropped, n_outputs = fb_hdr(blob, cursor)
             cursor += 4
             result = PipelineResult(parse=parse)
             result.dropped_replicas = dropped
@@ -545,8 +581,7 @@ def decode_result_batch(
                     None if arrived_at is None else arrived_at + SWITCH_FORWARDING_DELAY_S
                 )
                 for _ in range(n_outputs):
-                    (dst_id,) = u16_at(blob, cursor)
-                    n_packets = blob[cursor + 2]
+                    dst_id, n_packets = out_hdr(blob, cursor)
                     cursor += 3
                     packets = tuple(
                         compound[blob[cursor + offset]] for offset in range(n_packets)
@@ -562,12 +597,8 @@ def decode_result_batch(
                     )
             results.append(result)
             continue
-        rflags = blob[cursor]
-        cursor += 1
-        (dropped,) = u16_at(blob, cursor)
-        cursor += 2
-        (n_outputs,) = u16_at(blob, cursor)
-        cursor += 2
+        rflags, dropped, n_outputs = rec_hdr(blob, cursor)
+        cursor += 5
 
         result = PipelineResult(parse=parse)
         result.dropped_replicas = dropped
@@ -607,8 +638,7 @@ def decode_result_batch(
                 }
                 outputs = result.outputs
                 for _ in range(n_outputs):
-                    (dst_id,) = _U16.unpack_from(blob, cursor)
-                    has_seq = blob[cursor + 2]
+                    dst_id, has_seq = out_hdr(blob, cursor)
                     cursor += 3
                     instance = dict(fields)
                     instance["dst"] = addresses[dst_id]
@@ -621,8 +651,7 @@ def decode_result_batch(
                 # sender-side RTCP replication: every replica shares the
                 # ingress payload and carries no meta (reference behaviour)
                 for _ in range(n_outputs):
-                    (dst_id,) = _U16.unpack_from(blob, cursor)
-                    has_seq = blob[cursor + 2]
+                    dst_id, has_seq = out_hdr(blob, cursor)
                     cursor += 3
                     if has_seq:
                         cursor += 2

@@ -25,6 +25,19 @@ GIL, so k serial shards do the same work as one datapath plus partitioning
 overhead.  That bound is a property of CPython, not of the architecture — the
 per-shard state is already share-nothing.
 
+``thread`` drives the same in-process datapaths from a persistent per-shard
+worker-thread pool (:class:`ThreadShardRunner`): no snapshots, no codec, no
+register shipping — state is shared, so a migration is nothing beyond the
+coordinator's placement-table write.  On GIL builds it is correct but
+GIL-bound (byte-identical to serial, verified under churn and live
+migration); on free-threaded CPython (3.13t+, PEP 703) the shards genuinely
+run in parallel, which is where the share-nothing discipline CI enforces
+(archlint + the runtime sanitizer) pays off as wall-clock speedup.  The one
+piece of shared state a datapath's packet path *writes* — PRE and table
+lookup accounting — is accumulated in per-datapath local stats and folded
+back at the batch barrier (see
+:class:`~repro.dataplane.pipeline.DatapathLocalStats`).
+
 ``process`` is the escape hatch for real parallelism: each shard is pinned to
 its own single-worker process pool holding a replica of the control plane
 (resynchronized whenever any control-plane write generation moves).  Batches
@@ -66,8 +79,10 @@ the unsharded pipeline across every migration epoch.
 from __future__ import annotations
 
 import pickle
+import threading
 import zlib
 from dataclasses import dataclass
+from queue import SimpleQueue
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..netsim.datagram import Address, Datagram
@@ -110,6 +125,26 @@ def flow_shard(src: Address, ssrc: int, n_shards: int) -> int:
     return zlib.crc32(f"{src.ip}:{src.port}/{ssrc}".encode("ascii")) % n_shards
 
 
+#: The shard execution backends, in cost order (see module docstring).
+VALID_EXECUTORS = ("serial", "thread", "process")
+
+
+def validate_executor(executor: str) -> str:
+    """Validate a shard-executor name; returns it unchanged.
+
+    The single source of truth for the executor vocabulary:
+    :class:`ShardedScallopPipeline` validates through this function and the
+    scenario layer's ``BackendSpec`` imports it, so the error text and the
+    accepted set cannot drift between the engine and the spec.
+    """
+    if executor not in VALID_EXECUTORS:
+        raise ValueError(
+            f"unknown shard executor: {executor!r} (expected one of "
+            f"{', '.join(VALID_EXECUTORS)})"
+        )
+    return executor
+
+
 @dataclass(frozen=True)
 class ShardParserStats:
     """Aggregated ingress-parser tallies across all shards."""
@@ -139,6 +174,145 @@ class SerialShardRunner:
 
     def close(self) -> None:
         pass
+
+
+# ----------------------------------------------------------------------------- thread backend
+
+
+class ThreadShardRunner:
+    """Dispatch shard partitions to a persistent per-shard worker-thread pool.
+
+    The shards are the very same in-process :class:`PipelineDatapath` objects
+    the serial runner drives, over the one shared control plane — so there
+    are no snapshots, no transport codec, and no register shipping, and a
+    live migration needs nothing beyond the coordinator's placement-table
+    write.  Each shard gets one long-lived daemon thread fed through a
+    :class:`queue.SimpleQueue` pair; the coordinator dispatches every
+    non-empty partition, then joins them in shard order (a batch barrier).
+
+    Correctness rests on the share-nothing discipline CI already enforces
+    (archlint + the runtime sanitizer): a datapath's packet path reads
+    shared control state but writes only its own private state — except for
+    pure accounting (PRE replication tallies, table ``lookups``/``hits``),
+    which thread-mode datapaths accumulate in per-datapath local stats
+    (``PipelineDatapath.local_stats`` / ``ShardTableView``) that
+    :meth:`_fold_local_stats` sums into the shared structures at the
+    barrier.  The folds are commutative sums, so every counter lands exactly
+    where serial execution would have put it and outputs stay
+    byte-identical for any shard count.
+
+    Under the GIL the threads interleave without overlapping, so throughput
+    matches serial minus queue overhead; on free-threaded CPython (3.13t+)
+    the same code runs shards in parallel.  The parallelism benchmark
+    records ``sys._is_gil_enabled()`` next to every measurement so the two
+    regimes are never compared against each other.
+    """
+
+    def __init__(self, engine: "ShardedScallopPipeline") -> None:
+        self._engine = engine
+        n = engine.n_shards
+        self._threads: List[Optional[threading.Thread]] = [None] * n
+        self._tasks: List[SimpleQueue] = [SimpleQueue() for _ in range(n)]
+        self._done: List[SimpleQueue] = [SimpleQueue() for _ in range(n)]
+
+    def _ensure_thread(self, shard_id: int) -> None:
+        if self._threads[shard_id] is None:
+            thread = threading.Thread(
+                target=self._shard_main,
+                args=(shard_id,),
+                name=f"scallop-shard-{shard_id}",
+                daemon=True,
+            )
+            self._threads[shard_id] = thread
+            thread.start()
+
+    def _shard_main(self, shard_id: int) -> None:
+        """Worker-thread loop: run this shard's partitions until told to stop.
+
+        Touches only the shard's own datapath (whose packet path keeps all
+        shared-counter accounting in local stats); exceptions are shipped to
+        the coordinator and re-raised there, keeping the thread alive.
+        """
+        datapath = self._engine.shards[shard_id]
+        tasks = self._tasks[shard_id]
+        done = self._done[shard_id]
+        while True:
+            partition = tasks.get()
+            if partition is None:
+                return
+            try:
+                done.put(("ok", datapath.process_batch(partition)))
+            except BaseException as error:  # noqa: BLE001 - relayed to coordinator
+                done.put(("err", error))
+
+    def run_batches(self, partitions: Sequence[List[Datagram]]) -> List[List[PipelineResult]]:
+        engine = self._engine
+        active = [shard_id for shard_id, partition in enumerate(partitions) if partition]
+        results: List[List[PipelineResult]] = [[] for _ in partitions]
+        try:
+            if len(active) <= 1:
+                # nothing to overlap: run inline on the coordinator thread
+                # (shared in-process state makes this indistinguishable from
+                # the worker thread running it) and skip the queue round trip
+                for shard_id in active:
+                    results[shard_id] = engine.shards[shard_id].process_batch(
+                        partitions[shard_id]
+                    )
+            else:
+                for shard_id in active:
+                    self._ensure_thread(shard_id)
+                    self._tasks[shard_id].put(partitions[shard_id])
+                first_error: Optional[BaseException] = None
+                for shard_id in active:
+                    status, payload = self._done[shard_id].get()
+                    if status == "ok":
+                        results[shard_id] = payload
+                    elif first_error is None:
+                        first_error = payload
+                if first_error is not None:
+                    raise first_error
+        finally:
+            # barrier: every worker is idle again, fold the per-shard tallies
+            # of shared-counter accounting into the shared structures (also on
+            # error, so partial tallies are not carried into the next batch)
+            self._fold_local_stats()
+        return results
+
+    def _fold_local_stats(self) -> None:
+        """Fold per-datapath local accounting into the shared structures.
+
+        Runs on the coordinator thread with all workers quiesced.  Sums are
+        commutative, so the shared PRE tallies and table ``lookups``/``hits``
+        equal what serial execution of the same packets would have produced.
+        """
+        pre = self._engine.control.pre
+        for shard in self._engine.shards:
+            local = shard.local_stats
+            if local is not None and local.replications_performed:
+                pre.replications_performed += local.replications_performed
+                pre.copies_produced += local.copies_produced
+                local.replications_performed = 0
+                local.copies_produced = 0
+            for view in shard.table_views:
+                if view.lookups:
+                    view.table.lookups += view.lookups
+                    view.table.hits += view.hits
+                    view.lookups = 0
+                    view.hits = 0
+
+    def on_flow_migrated(self, src: Address, ssrc: int, to_shard: int) -> None:
+        """No state to move, exactly like the serial runner: all shard
+        register views alias the same rewriter objects, so the placement
+        write that triggered this call *is* the whole migration."""
+
+    def close(self) -> None:
+        for shard_id, thread in enumerate(self._threads):
+            if thread is not None:
+                self._tasks[shard_id].put(None)
+        for shard_id, thread in enumerate(self._threads):
+            if thread is not None:
+                thread.join(timeout=5.0)
+                self._threads[shard_id] = None
 
 
 # ----------------------------------------------------------------------------- process backend
@@ -186,15 +360,17 @@ def _worker_process_batch(
                 f"shard {shard_id}: worker state stale at stamp {stamp} but no control snapshot shipped"
             )
         control: PipelineControlPlane = pickle.loads(control_blob)
-        datapath = PipelineDatapath(control, shard_id=shard_id)
-        control.attach_datapath(datapath)
+        # sanctioned worker-local replica API: the replica attaches its own
+        # datapath inside a control-plane method, so worker code performs no
+        # control mutations of its own (archlint holds it to the same
+        # zero-mutation rule as the datapaths — no baseline entries needed)
+        datapath = control.build_worker_datapath(shard_id)
         state = _WorkerShardState(stamp=stamp, control=control, datapath=datapath)
         _WORKER_SHARDS[shard_id] = state
     if migration_blob is not None:
         # migrated-in rewriter state lands in this worker's register file
         # (the datapath shares the control replica's canonical array)
-        for index, rewriter in decode_tracker_updates(migration_blob):
-            state.control._write_tracker(index, rewriter)
+        state.control.apply_tracker_images(decode_tracker_updates(migration_blob))
     datapath = state.datapath
     datapath.counters = PipelineCounters()
     parser = datapath.parser
@@ -205,7 +381,12 @@ def _worker_process_batch(
 
     datagrams = decode_ingress_batch(batch_blob, state.control.sfu_address)
     results = datapath.process_batch(datagrams)
-    results_blob, fallback_blob = encode_result_batch(results, datagrams)
+    # under srtp the worker re-protects every egress replica, so results are
+    # never expressible as (dst, seq) rewrite replays of the originals the
+    # coordinator kept — force the per-record fallback encoding instead
+    results_blob, fallback_blob = encode_result_batch(
+        results, datagrams, replayable=state.control.srtp is None
+    )
 
     trackers = state.control.stream_trackers
     tracker_blob = encode_tracker_updates(
@@ -339,7 +520,11 @@ class ProcessShardRunner:
                 # a full snapshot (blob is not None) already carries the
                 # canonical registers, migrated state included
                 pending.clear()
-            batch_blob = encode_ingress_batch(partition, stats=transport)
+            # srtp workers must authenticate and decrypt, so they need the
+            # full wire bytes; plain workers read only the header region
+            batch_blob = encode_ingress_batch(
+                partition, stats=transport, full_payload=engine.control.srtp is not None
+            )
             transport.batches += 1
             transport.batch_bytes_out += len(batch_blob)
             futures[shard_id] = self._executor(shard_id).submit(
@@ -364,8 +549,9 @@ class ProcessShardRunner:
             parser.parse_cache_hits += parser_delta[2]
             engine.pre.replications_performed += pre_delta[0]
             engine.pre.copies_produced += pre_delta[1]
-            for index, rewriter in decode_tracker_updates(tracker_blob, stats=transport):
-                engine.control._write_tracker(index, rewriter)
+            engine.control.apply_tracker_images(
+                decode_tracker_updates(tracker_blob, stats=transport)
+            )
         return all_results
 
     def close(self) -> None:
@@ -398,11 +584,11 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         rebalance: bool = False,
         rebalance_config: Optional[RebalancerConfig] = None,
         sanitize: Optional[bool] = None,
+        srtp: Optional[object] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
-        if executor not in ("serial", "process"):
-            raise ValueError(f"unknown shard executor: {executor!r}")
+        validate_executor(executor)
         self.sfu_address = sfu_address
         self.n_shards = n_shards
         self.executor = executor
@@ -411,7 +597,7 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         #: the process executor the env var is what reaches the workers —
         #: they rebuild their datapaths from a forked environment.
         self.sanitize = resolve_sanitize(sanitize)
-        self.control = PipelineControlPlane(sfu_address, capacities)
+        self.control = PipelineControlPlane(sfu_address, capacities, srtp=srtp)
         self.shard_accountants = [
             ShardResourceAccountant(self.control.accountant, shard_id)
             for shard_id in range(n_shards)
@@ -425,6 +611,9 @@ class ShardedScallopPipeline(ControlPlaneFacade):
                 ),
                 shard_id=shard_id,
                 sanitize=self.sanitize,
+                # thread-mode datapaths keep shared-counter accounting in
+                # per-shard local stats, folded at the batch barrier
+                local_stats=executor == "thread",
             )
             self.control.attach_datapath(datapath)
             self.shards.append(datapath)
@@ -439,9 +628,12 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         #: a migration bumps the table version and the cache drops wholesale
         #: at the next batch boundary (two-level lookups are cheap to rebuild).
         self._placement_version = self.control.placement_table.version
-        self._runner = (
-            ProcessShardRunner(self) if executor == "process" else SerialShardRunner(self)
-        )
+        if executor == "process":
+            self._runner = ProcessShardRunner(self)
+        elif executor == "thread":
+            self._runner = ThreadShardRunner(self)
+        else:
+            self._runner = SerialShardRunner(self)
 
         # telemetry -> policy -> migration loop (off by default: telemetry
         # costs one per-flow tally pass per batch on the partitioning path)
@@ -532,9 +724,11 @@ class ShardedScallopPipeline(ControlPlaneFacade):
     def process(self, datagram: Datagram) -> PipelineResult:
         """Run one packet through the shard that owns its flow."""
         if not isinstance(self._runner, SerialShardRunner):
-            # shard state (rewriter registers, caches) lives in the worker
-            # processes; processing inline on the coordinator would fork the
-            # sequence-rewriter state without any stamp change to resync it
+            # process: shard state (rewriter registers, caches) lives in the
+            # worker processes; processing inline on the coordinator would
+            # fork the sequence-rewriter state without any stamp change to
+            # resync it.  thread: state is in-process, but routing through
+            # the batch path keeps the local-stats fold at every barrier.
             return self.process_batch([datagram])[0]
         self._sync_placement_cache()
         return self.shards[self._shard_of(datagram)].process(datagram)
@@ -776,9 +970,9 @@ class ShardedScallopPipeline(ControlPlaneFacade):
     def isolation_findings(self) -> List[IsolationViolation]:
         """Blocked control-plane mutation attempts across all shards, as
         recorded by the shard-isolation sanitizer (empty when it is off or
-        nothing fired).  Serial-executor coverage only: worker-process logs
-        stay in the workers — a violation there still raises, failing the
-        batch loudly on the coordinator."""
+        nothing fired).  In-process executors (serial, thread) only:
+        worker-process logs stay in the workers — a violation there still
+        raises, failing the batch loudly on the coordinator."""
         findings: List[IsolationViolation] = []
         for shard in self.shards:
             log = shard.isolation_log

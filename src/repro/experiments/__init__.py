@@ -20,18 +20,25 @@ compatibility (see :mod:`repro.experiments.runner`).
 from .runner import MeetingSetupConfig, Testbed, add_participant, build_scallop_testbed, build_software_testbed
 from .batch_throughput import (
     BatchThroughputPoint,
+    ParallelismPoint,
     RebalancePoint,
     ShardThroughputPoint,
     build_meeting_pipeline,
     build_skewed_meeting_pipeline,
     format_batch_sweep,
+    format_parallelism_matrix,
     format_rebalance_point,
     format_shard_sweep,
+    gil_enabled,
+    measure_parallelism_crossover,
+    measure_parallelism_point,
     measure_rebalance_point,
     measure_shard_point,
     measure_shard_transport,
     media_ingress,
+    protect_media_ingress,
     run_batch_throughput_sweep,
+    run_parallelism_matrix,
     run_shard_throughput_sweep,
     skewed_media_ingress,
     zipf_frames,
@@ -84,18 +91,25 @@ __all__ = [
     "build_scallop_testbed",
     "build_software_testbed",
     "BatchThroughputPoint",
+    "ParallelismPoint",
     "RebalancePoint",
     "ShardThroughputPoint",
     "build_meeting_pipeline",
     "build_skewed_meeting_pipeline",
     "format_batch_sweep",
+    "format_parallelism_matrix",
     "format_rebalance_point",
     "format_shard_sweep",
+    "gil_enabled",
+    "measure_parallelism_crossover",
+    "measure_parallelism_point",
     "measure_rebalance_point",
     "measure_shard_point",
     "measure_shard_transport",
     "media_ingress",
+    "protect_media_ingress",
     "run_batch_throughput_sweep",
+    "run_parallelism_matrix",
     "run_shard_throughput_sweep",
     "skewed_media_ingress",
     "zipf_frames",

@@ -20,9 +20,10 @@ import gc
 # this benchmark measures the packed transport *against* pickled object
 # graphs, so the pickle use here is the experiment, not a hot-path leak
 import pickle  # archlint: ignore[zero-pickle]
+import sys
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..dataplane.pipeline import (
     ForwardingMode,
@@ -36,10 +37,26 @@ from ..dataplane.rebalance import RebalancerConfig
 from ..dataplane.shardcodec import encode_ingress_batch, encode_result_batch
 from ..dataplane.sharding import ShardedScallopPipeline, flow_shard
 from ..netsim.datagram import Address, Datagram
+from ..rtp.srtp import SrtpProfile
 from ..rtp.wire import PacketView
 from ..webrtc.encoder import RtpPacketizer, SvcEncoder
 
 SFU_ADDRESS = Address("10.0.0.1", 5000)
+
+#: Fixed master key for benchmark SRTP profiles (determinism across runs).
+BENCH_SRTP_KEY = b"scallop-bench-master"
+
+
+def gil_enabled() -> bool:
+    """Whether this interpreter runs with the GIL engaged.
+
+    ``sys._is_gil_enabled`` exists on 3.13+ (PEP 703); older interpreters
+    always hold the GIL.  Every parallelism benchmark point records this —
+    thread-executor numbers from a GIL build and a free-threaded build are
+    different experiments and must never be compared as a regression.
+    """
+    probe = getattr(sys, "_is_gil_enabled", None)
+    return True if probe is None else bool(probe())
 
 
 @dataclass(frozen=True)
@@ -283,6 +300,197 @@ def run_shard_throughput_sweep(
         )
         for k in shard_counts
     ]
+
+
+# --------------------------------------------------------------------------- executor parallelism / Amdahl crossover
+
+
+@dataclass(frozen=True)
+class ParallelismPoint:
+    """One executor-matrix point: an executor at ``n_shards`` on wire-native
+    ingress, optionally under SRTP-grade per-packet work."""
+
+    executor: str
+    n_shards: int
+    #: 0 = plain wire-native ingress; >= 1 = SRTP profile with that many
+    #: keystream-derivation rounds per packet (the per-packet work knob).
+    srtp_rounds: int
+    num_packets: int
+    pps: float
+    #: GIL regime the point was measured under (see :func:`gil_enabled`).
+    gil_enabled: bool
+
+
+def protect_media_ingress(traffic: Sequence[Datagram], profile: SrtpProfile) -> List[Datagram]:
+    """What wire-native senders emit under SRTP: every packed buffer
+    protected with the ingress session keys (tag appended, payload XORed)."""
+    return [
+        Datagram(
+            src=datagram.src,
+            dst=datagram.dst,
+            payload=PacketView(profile.protect_ingress(datagram.payload)),
+        )
+        for datagram in traffic
+    ]
+
+
+def measure_parallelism_point(
+    executor: str,
+    n_shards: int,
+    srtp_rounds: int = 0,
+    num_meetings: int = 12,
+    participants: int = 6,
+    frames: int = 10,
+    repeats: int = 2,
+    warmup_packets: int = 64,
+) -> ParallelismPoint:
+    """Measure one executor-matrix point on wire-native ingress.
+
+    Same hygiene as :func:`measure_shard_point` (fresh engine per repeat,
+    warmup before the clock, GC deferred, best-of-``repeats``); the workload
+    is always wire-native so the plain-vs-srtp delta is purely the per-packet
+    crypto work, not a representation change.
+    """
+    profile = SrtpProfile(BENCH_SRTP_KEY, rounds=srtp_rounds) if srtp_rounds else None
+    best = float("inf")
+    num_packets = 0
+    for _ in range(repeats):
+        engine = ShardedScallopPipeline(
+            SFU_ADDRESS, n_shards=n_shards, executor=executor, srtp=profile
+        )
+        try:
+            engine, senders = build_meeting_pipeline(num_meetings, participants, pipeline=engine)
+            traffic = media_ingress(senders, frames, wire_native=True)
+            if profile is not None:
+                traffic = protect_media_ingress(traffic, profile)
+            num_packets = len(traffic)
+            if warmup_packets:
+                engine.process_batch(traffic[:warmup_packets])
+                for shard in engine.shards:
+                    shard.counters = PipelineCounters()
+            gc.collect()
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                engine.process_batch(traffic)
+                best = min(best, time.perf_counter() - start)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+        finally:
+            engine.close()
+    return ParallelismPoint(
+        executor=executor,
+        n_shards=n_shards,
+        srtp_rounds=srtp_rounds,
+        num_packets=num_packets,
+        pps=num_packets / best,
+        gil_enabled=gil_enabled(),
+    )
+
+
+def run_parallelism_matrix(
+    executors: Sequence[str] = ("serial", "thread", "process"),
+    shard_counts: Sequence[int] = (1, 4),
+    srtp_levels: Sequence[int] = (0, 1),
+    num_meetings: int = 12,
+    participants: int = 6,
+    frames: int = 10,
+    repeats: int = 2,
+) -> List[ParallelismPoint]:
+    """The executor matrix: {serial, thread, process} x k x {plain, srtp}.
+
+    On a GIL interpreter the thread rows are expected to sit at-or-below
+    serial (the executor is correct but not parallel); on a free-threaded
+    build they are where flow sharding finally pays inside one process.
+    Every point records its GIL regime so the two cases are never conflated.
+    """
+    return [
+        measure_parallelism_point(
+            executor,
+            k,
+            srtp_rounds=rounds,
+            num_meetings=num_meetings,
+            participants=participants,
+            frames=frames,
+            repeats=repeats,
+        )
+        for executor in executors
+        for k in shard_counts
+        for rounds in srtp_levels
+    ]
+
+
+def measure_parallelism_crossover(
+    rounds_levels: Sequence[int] = (1, 2, 4, 8),
+    n_shards: int = 4,
+    num_meetings: int = 12,
+    participants: int = 6,
+    frames: int = 10,
+    repeats: int = 2,
+    margin: float = 1.05,
+) -> Dict[str, object]:
+    """Locate the Amdahl crossover: the srtp work level at which thread-k
+    sharding beats the serial engine.
+
+    Sweeps ``rounds_levels`` (keystream-derivation rounds per packet — pure
+    CPU work, deterministic at every fixed level) and compares
+    serial-k1 against thread-``n_shards`` at each level.  ``crossover_rounds``
+    is the first level whose thread/serial ratio clears ``margin``, or
+    ``None`` if the sweep never crosses — the expected outcome under a GIL,
+    where added per-packet work scales both engines equally because the
+    thread executor cannot overlap it.  The margin exists exactly for that
+    regime: GIL-bound ratios hover around 1.0 (the executor overhead
+    amortizes as srtp work grows) and scheduler jitter can nudge a level a
+    percent or two past parity, which is not parallelism paying — a genuine
+    free-threaded crossover clears the margin by a wide margin.  On a
+    free-threaded build the crossover is the headline number: the work level
+    past which parallelism pays.
+    """
+    levels: List[Dict[str, object]] = []
+    crossover: Optional[int] = None
+    for rounds in rounds_levels:
+        serial = measure_parallelism_point(
+            "serial", 1, srtp_rounds=rounds, num_meetings=num_meetings,
+            participants=participants, frames=frames, repeats=repeats,
+        )
+        threaded = measure_parallelism_point(
+            "thread", n_shards, srtp_rounds=rounds, num_meetings=num_meetings,
+            participants=participants, frames=frames, repeats=repeats,
+        )
+        ratio = threaded.pps / serial.pps if serial.pps else 0.0
+        levels.append(
+            {
+                "srtp_rounds": rounds,
+                "serial_k1_pps": round(serial.pps),
+                f"thread_k{n_shards}_pps": round(threaded.pps),
+                "ratio": round(ratio, 3),
+                "gil_enabled": serial.gil_enabled and threaded.gil_enabled,
+            }
+        )
+        if crossover is None and ratio > margin:
+            crossover = rounds
+    return {
+        "n_shards": n_shards,
+        "rounds_levels": list(rounds_levels),
+        "margin": margin,
+        "levels": levels,
+        "crossover_rounds": crossover,
+    }
+
+
+def format_parallelism_matrix(points: Sequence[ParallelismPoint]) -> str:
+    lines = [
+        f"{'executor':>9} {'shards':>7} {'srtp':>5} {'packets':>9} {'pps':>13} {'gil':>5}"
+    ]
+    for point in points:
+        srtp = f"r={point.srtp_rounds}" if point.srtp_rounds else "off"
+        lines.append(
+            f"{point.executor:>9} {point.n_shards:>7} {srtp:>5} {point.num_packets:>9} "
+            f"{point.pps:>13,.0f} {'on' if point.gil_enabled else 'OFF':>5}"
+        )
+    return "\n".join(lines)
 
 
 # --------------------------------------------------------------------------- skewed workloads / rebalancing

@@ -1,0 +1,174 @@
+"""SRTP-shaped per-packet protection: keystream cipher + truncated-HMAC auth.
+
+This module gives the behavioural model per-packet work with the *shape* of
+RFC 3711 SRTP, which is what a production SFU actually spends datapath
+cycles on:
+
+* the RTP header (including the extension the AV1 dependency descriptor
+  rides in) stays **cleartext** — exactly the property Scallop depends on,
+  since the switch pipeline can only parse and match cleartext fields;
+* the payload is XORed with a per-packet **keystream** derived from the
+  session key and the packet's (SSRC, sequence number) pair — the role the
+  IV/packet-index construction plays in RFC 3711 §4.1;
+* a **truncated HMAC-SHA1 authentication tag** (4 bytes, the RFC 3711 §4.2
+  default for bandwidth-constrained profiles is 4 or 10) over
+  ``header || ciphertext`` is appended, and verification uses a
+  constant-time compare;
+* distinct **session keys** for the client->SFU (ingress) and SFU->client
+  (egress) directions are derived from one master key by a labelled
+  HMAC-SHA1 KDF, standing in for the RFC 3711 §4.3 key derivation labels.
+
+It is intentionally *not* interoperable SRTP: the cipher is SHAKE-128 as a
+keystream generator rather than AES-CTR (the container has no AES
+primitive outside ``ssl``), there is no ROC/replay window, and the KDF
+labels are ad hoc.  The paper itself notes (§8) that the prototype does
+**not** terminate SRTP on the switch — encryption-in-hardware is future
+work — so this profile exists to make the *CPU cost model* realistic (it
+moves the Amdahl knee of the shard executors toward where a software SFU
+sits), not to claim the P4 pipeline does packet cryptography.
+
+Everything is stdlib (``hmac``/``hashlib``) and the profile is stateless
+per packet: protecting the same bytes always yields the same bytes, so the
+serial, thread, and process executors remain byte-identical under SRTP,
+and the profile pickles into process-executor control-plane snapshots.
+
+The ``rounds`` knob repeats the keystream derivation, scaling per-packet
+CPU work; the output bytes differ per setting, but at any fixed ``rounds``
+they stay fully deterministic (so executors still agree byte for byte).
+This is the lever the parallelism benchmark sweeps to locate the
+thread-vs-serial crossover.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .wire import PacketView
+
+__all__ = ["AUTH_TAG_BYTES", "SrtpProfile"]
+
+#: RFC 3711 §4.2 allows truncating the HMAC-SHA1 tag; 4 bytes is the
+#: low-bandwidth profile (RFC 3711 §3.4 registers 32-bit tags for use with
+#: the short authentication profile).
+AUTH_TAG_BYTES = 4
+
+
+def _derive_key(master_key: bytes, label: bytes) -> bytes:
+    """Labelled key derivation (stands in for RFC 3711 §4.3's AES-CM KDF)."""
+    return hmac.new(master_key, b"scallop-srtp/" + label, hashlib.sha1).digest()
+
+
+def _xor_bytes(data: bytes, keystream: bytes) -> bytes:
+    n = len(data)
+    if not n:
+        return b""
+    return (int.from_bytes(data, "big") ^ int.from_bytes(keystream, "big")).to_bytes(n, "big")
+
+
+@dataclass(frozen=True)
+class SrtpProfile:
+    """Per-direction SRTP-shaped protection derived from one master key.
+
+    ``rounds`` >= 1 scales the keystream-derivation work per packet (see
+    module docstring); ``auth_tag_bytes`` is the truncated tag length.
+    Instances are immutable, hashable on the master key, and picklable.
+    """
+
+    master_key: bytes
+    rounds: int = 1
+    auth_tag_bytes: int = AUTH_TAG_BYTES
+    # Derived per-direction session keys (RFC 3711 keeps cipher and auth
+    # keys distinct; so do we, per direction).
+    _ingress_cipher: bytes = field(init=False, repr=False, compare=False, default=b"")
+    _ingress_auth: bytes = field(init=False, repr=False, compare=False, default=b"")
+    _egress_cipher: bytes = field(init=False, repr=False, compare=False, default=b"")
+    _egress_auth: bytes = field(init=False, repr=False, compare=False, default=b"")
+
+    def __post_init__(self) -> None:
+        if not self.master_key:
+            raise ValueError("SrtpProfile needs a non-empty master key")
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if not 1 <= self.auth_tag_bytes <= hashlib.sha1().digest_size:
+            raise ValueError(f"auth_tag_bytes must be in [1, 20], got {self.auth_tag_bytes}")
+        object.__setattr__(self, "_ingress_cipher", _derive_key(self.master_key, b"ingress-cipher"))
+        object.__setattr__(self, "_ingress_auth", _derive_key(self.master_key, b"ingress-auth"))
+        object.__setattr__(self, "_egress_cipher", _derive_key(self.master_key, b"egress-cipher"))
+        object.__setattr__(self, "_egress_auth", _derive_key(self.master_key, b"egress-auth"))
+
+    # ------------------------------------------------------------------ keystream
+
+    def _keystream(self, cipher_key: bytes, ssrc: int, seq: int, length: int) -> bytes:
+        """Deterministic per-packet keystream, iterated ``rounds`` times.
+
+        Keyed on (session key, SSRC, sequence number) — the per-packet
+        uniqueness the RFC gets from its IV — and stateless, which is what
+        keeps protection identical across executors and across retries.
+        """
+        if not length:
+            return b""
+        seed = cipher_key + ssrc.to_bytes(4, "big") + (seq & 0xFFFF).to_bytes(2, "big")
+        stream = hashlib.shake_128(seed).digest(length)
+        for _ in range(self.rounds - 1):
+            stream = hashlib.shake_128(cipher_key + stream).digest(length)
+        return stream
+
+    # ------------------------------------------------------------------ core protect/verify
+
+    def _protect(self, buf, cipher_key: bytes, auth_key: bytes) -> bytes:
+        """``header || E(payload) || tag`` over a plaintext RTP buffer."""
+        view = buf if isinstance(buf, PacketView) else PacketView(buf)
+        raw = bytes(view.buf)
+        header_len = view.header_length
+        _first, _second, seq, _ts, ssrc = view.fixed_fields()
+        header = raw[:header_len]
+        payload = raw[header_len:]
+        ciphertext = _xor_bytes(payload, self._keystream(cipher_key, ssrc, seq, len(payload)))
+        tag = hmac.new(auth_key, header + ciphertext, hashlib.sha1).digest()[: self.auth_tag_bytes]
+        return header + ciphertext + tag
+
+    def _unprotect(self, buf, cipher_key: bytes, auth_key: bytes) -> Optional[bytes]:
+        """Verify the tag and return the plaintext buffer, or ``None`` if
+        authentication fails (tampered, truncated, or wrongly keyed)."""
+        raw = bytes(buf.buf) if isinstance(buf, PacketView) else bytes(buf)
+        tag_len = self.auth_tag_bytes
+        if len(raw) < 12 + tag_len:
+            return None
+        view = PacketView(raw)
+        header_len = view.header_length
+        if len(raw) < header_len + tag_len:
+            return None
+        body, tag = raw[:-tag_len], raw[-tag_len:]
+        expected = hmac.new(auth_key, body, hashlib.sha1).digest()[:tag_len]
+        if not hmac.compare_digest(tag, expected):
+            return None
+        _first, _second, seq, _ts, ssrc = view.fixed_fields()
+        ciphertext = body[header_len:]
+        payload = _xor_bytes(ciphertext, self._keystream(cipher_key, ssrc, seq, len(ciphertext)))
+        return body[:header_len] + payload
+
+    # ------------------------------------------------------------------ directional API
+
+    def protect_ingress(self, buf) -> bytes:
+        """What a client emits toward the SFU."""
+        return self._protect(buf, self._ingress_cipher, self._ingress_auth)
+
+    def unprotect_ingress(self, buf) -> Optional[bytes]:
+        """What the SFU datapath does on arrival (``None`` = auth failure)."""
+        return self._unprotect(buf, self._ingress_cipher, self._ingress_auth)
+
+    def protect_egress(self, buf) -> bytes:
+        """What the SFU datapath does to each minted replica."""
+        return self._protect(buf, self._egress_cipher, self._egress_auth)
+
+    def unprotect_egress(self, buf) -> Optional[bytes]:
+        """What a receiving client does (``None`` = auth failure)."""
+        return self._unprotect(buf, self._egress_cipher, self._egress_auth)
+
+    def protected_size(self, plain_size: int) -> int:
+        """Wire size of a protected packet (the keystream preserves payload
+        length; only the truncated tag is added)."""
+        return plain_size + self.auth_tag_bytes

@@ -62,6 +62,9 @@ from .packet import (
 _U16 = struct.Struct("!H")
 _U32 = struct.Struct("!I")
 _EXT_HEADER = struct.Struct("!HH")
+#: The entire 12-byte fixed header in one precompiled struct:
+#: ``first_byte, second_byte, sequence_number, timestamp, ssrc``.
+_FIXED_HEADER = struct.Struct("!BBHII")
 
 Buffer = Union[bytes, bytearray]
 
@@ -117,6 +120,16 @@ class PacketView:
     @property
     def ssrc(self) -> int:
         return _U32.unpack_from(self.buf, 8)[0]
+
+    def fixed_fields(self) -> Tuple[int, int, int, int, int]:
+        """All five fixed-header fields in one struct pass:
+        ``(first_byte, second_byte, sequence_number, timestamp, ssrc)``.
+
+        One precompiled unpack replaces several chained property reads on
+        paths that need multiple fields per packet — the SRTP profile's
+        keystream derivation and the parse-key fast path both use it.
+        """
+        return _FIXED_HEADER.unpack_from(self.buf, 0)
 
     @property
     def csrcs(self) -> Tuple[int, ...]:
@@ -182,9 +195,8 @@ class PacketView:
         runs once per packet on the wire fast path.
         """
         buf = self.buf
-        first = buf[0]
-        ssrc = _U32.unpack_from(buf, 8)[0]
-        payload_type = buf[1] & 0x7F
+        first, second, _seq, _ts, ssrc = _FIXED_HEADER.unpack_from(buf, 0)
+        payload_type = second & 0x7F
         if not first & 0x10:
             return (ssrc, payload_type)
         base = RTP_HEADER_LEN + 4 * (first & 0x0F)

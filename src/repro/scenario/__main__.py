@@ -49,6 +49,11 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true", help="short-horizon CI variant")
     parser.add_argument("--duration", type=float, default=None, help="override the horizon (s)")
     parser.add_argument("--seed", type=int, default=None, help="override the scenario seed")
+    parser.add_argument(
+        "--executor",
+        default=None,
+        help="override the backend shard executor (serial, thread, or process)",
+    )
     parser.add_argument("--list", action="store_true", help="list the scenario library")
     args = parser.parse_args(argv)
 
@@ -63,6 +68,13 @@ def main(argv=None) -> int:
         scenario = dataclasses.replace(scenario, duration_s=args.duration)
     if args.seed is not None:
         scenario = dataclasses.replace(scenario, seed=args.seed)
+    if args.executor is not None:
+        # BackendSpec.__post_init__ revalidates the name, so a typo fails
+        # here with the engine's own error message rather than deep in setup
+        scenario = dataclasses.replace(
+            scenario,
+            backend=dataclasses.replace(scenario.backend, shard_executor=args.executor),
+        )
 
     with build_scenario(scenario) as run:
         run.run()

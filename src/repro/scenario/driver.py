@@ -251,6 +251,7 @@ class ScenarioRun(Testbed):
             seed=seed * 1000 + meeting_index * 37 + participant_index,
             send_frames_as_bursts=frame_bursts,
             wire_native=wire_native,
+            srtp=traffic.srtp if traffic is not None else None,
         )
         client = WebRtcClient(config, self.simulator, self.network)
         self.network.attach(client, uplink=spec.uplink, downlink=spec.downlink)
@@ -504,6 +505,12 @@ def _build_sfu(scenario: Scenario, simulator: Simulator, network: Network):
             n_shards=backend.n_shards,
             shard_executor=backend.shard_executor,
             rebalance=backend.rebalance_config(),
+            srtp=scenario.traffic.srtp,
+        )
+    if scenario.traffic.srtp is not None:
+        raise ValueError(
+            "TrafficSpec.srtp is only supported by the scallop backend "
+            "(the software baseline does not unprotect/re-protect media)"
         )
     return SoftwareSfu(
         SFU_ADDRESS,

@@ -26,6 +26,7 @@ from typing import Callable, Optional, Tuple, Union
 
 from ..core.capacity import RewriteVariant
 from ..dataplane.rebalance import RebalancerConfig
+from ..dataplane.sharding import validate_executor
 from ..netsim.link import LinkProfile
 
 #: Selector for a meeting: its index in :attr:`Scenario.meetings` or its id.
@@ -66,12 +67,26 @@ class TrafficSpec:
     network burst (the SFU ingests batches); ``wire_native`` makes senders
     serialize each packet exactly once into a packed
     :class:`~repro.rtp.wire.PacketView` buffer; ``rx_coalesce_window_s`` is
-    the NIC-style RX interrupt-moderation window used when bursts are on.
+    the NIC-style RX interrupt-moderation window used when bursts are on;
+    ``srtp`` (a :class:`~repro.rtp.srtp.SrtpProfile`) makes every client
+    authenticate-and-encrypt emitted media and the SFU datapath
+    unprotect/re-protect each packet — SRTP-shaped per-packet CPU work,
+    which requires ``wire_native`` (protection operates on wire buffers;
+    the object model has no payload bytes to protect).
     """
 
     frame_bursts: bool = False
     wire_native: bool = False
     rx_coalesce_window_s: float = 250e-6
+    #: Optional :class:`~repro.rtp.srtp.SrtpProfile`; requires wire_native.
+    srtp: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.srtp is not None and not self.wire_native:
+            raise ValueError(
+                "TrafficSpec.srtp requires wire_native=True: SRTP protection "
+                "operates on packed wire buffers, not object-model packets"
+            )
 
 
 @dataclass(frozen=True)
@@ -117,6 +132,9 @@ class BackendSpec:
             object.__setattr__(self, "kind", "software")
         elif kind not in ("scallop", "software"):
             raise ValueError(f"unknown backend kind: {kind!r}")
+        # single source of truth for executor names: the sharding module's
+        # validator, shared with the engine constructor
+        validate_executor(self.shard_executor)
 
     def rebalance_config(self) -> Optional[RebalancerConfig]:
         """The effective rebalancer config, or ``None`` when disarmed."""

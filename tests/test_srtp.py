@@ -1,0 +1,219 @@
+"""Suite for the SRTP-shaped per-packet protection profile.
+
+Three layers:
+
+* unit tests for :class:`repro.rtp.srtp.SrtpProfile` itself — round trips
+  in both key directions, tamper/truncation/wrong-direction rejection,
+  determinism, and picklability (the profile rides in process-executor
+  control snapshots);
+* the datapath contract: a sharded engine built with ``srtp=`` unprotects
+  wire-native ingress (counting, not crashing, on auth failure) and
+  re-protects every egress replica under the egress keys, byte-identically
+  across all three executors;
+* the scenario surface: ``TrafficSpec.srtp`` demands ``wire_native`` and
+  the scallop backend, and a full simulated run with protection armed ends
+  with media flowing and zero receive-side auth failures.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.dataplane.pipeline import ScallopPipeline
+from repro.dataplane.sharding import ShardedScallopPipeline
+from repro.netsim.datagram import Address
+from repro.rtp.srtp import AUTH_TAG_BYTES, SrtpProfile
+from repro.rtp.wire import PacketView
+from repro.webrtc.encoder import RtpPacketizer, SvcEncoder
+
+from test_sharded_pipeline import (
+    MeetingScenario,
+    assert_engines_agree,
+    assert_results_identical,
+)
+
+SFU = Address("10.0.0.1", 5000)
+PROFILE = SrtpProfile(b"test-master-key")
+
+
+def sample_buffer(ssrc: int = 0xDECAFBAD) -> bytes:
+    packet = RtpPacketizer(ssrc=ssrc, seed=3).packetize(SvcEncoder(seed=3).next_frame(0.0))[0]
+    return bytes(PacketView.from_packet(packet).buf)
+
+
+def protect_chunk(chunk, profile):
+    """Wire-native twin of an object-model traffic chunk, media protected
+    under the client->SFU ingress keys (what a real sender would emit)."""
+    out = []
+    for datagram in chunk:
+        payload = datagram.payload
+        if hasattr(payload, "sequence_number"):  # RtpPacket media
+            view = PacketView.from_packet(payload)
+            out.append(
+                dataclasses.replace(datagram, payload=PacketView(profile.protect_ingress(view)))
+            )
+        else:
+            out.append(datagram)
+    return out
+
+
+class TestSrtpProfileUnit:
+    def test_round_trip_both_directions(self):
+        buf = sample_buffer()
+        for protect, unprotect in (
+            (PROFILE.protect_ingress, PROFILE.unprotect_ingress),
+            (PROFILE.protect_egress, PROFILE.unprotect_egress),
+        ):
+            wire = protect(buf)
+            assert len(wire) == PROFILE.protected_size(len(buf))
+            assert wire[:12] == buf[:12]  # header stays cleartext
+            assert unprotect(wire) == buf
+
+    def test_payload_actually_ciphered(self):
+        buf = sample_buffer()
+        wire = PROFILE.protect_ingress(buf)
+        header_len = PacketView(buf).header_length
+        assert wire[header_len : len(buf)] != buf[header_len:]
+
+    def test_tampered_packet_rejected(self):
+        wire = bytearray(PROFILE.protect_ingress(sample_buffer()))
+        wire[-AUTH_TAG_BYTES - 1] ^= 0x01  # flip one ciphertext bit
+        assert PROFILE.unprotect_ingress(bytes(wire)) is None
+
+    def test_truncated_packet_rejected(self):
+        wire = PROFILE.protect_ingress(sample_buffer())
+        assert PROFILE.unprotect_ingress(wire[: 12 + AUTH_TAG_BYTES - 1]) is None
+        assert PROFILE.unprotect_ingress(b"") is None
+
+    def test_wrong_direction_keys_rejected(self):
+        wire = PROFILE.protect_ingress(sample_buffer())
+        assert PROFILE.unprotect_egress(wire) is None
+
+    def test_wrong_master_key_rejected(self):
+        wire = PROFILE.protect_ingress(sample_buffer())
+        assert SrtpProfile(b"other-key").unprotect_ingress(wire) is None
+
+    def test_deterministic_per_rounds_setting(self):
+        buf = sample_buffer()
+        r2 = SrtpProfile(b"k", rounds=2)
+        assert r2.protect_ingress(buf) == SrtpProfile(b"k", rounds=2).protect_ingress(buf)
+        # more rounds = different keystream, but still a clean round trip
+        assert r2.protect_ingress(buf) != SrtpProfile(b"k", rounds=1).protect_ingress(buf)
+        assert r2.unprotect_ingress(r2.protect_ingress(buf)) == buf
+
+    def test_profile_pickles_identically(self):
+        profile = SrtpProfile(b"k", rounds=3)
+        clone = pickle.loads(pickle.dumps(profile))
+        assert clone == profile
+        buf = sample_buffer()
+        assert clone.protect_egress(buf) == profile.protect_egress(buf)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SrtpProfile(b"")
+        with pytest.raises(ValueError):
+            SrtpProfile(b"k", rounds=0)
+        with pytest.raises(ValueError):
+            SrtpProfile(b"k", auth_tag_bytes=21)
+
+
+class TestSrtpDatapath:
+    def test_egress_replicas_verify_under_egress_keys(self):
+        scenario = MeetingScenario(23)
+        engine = scenario.configure(ScallopPipeline(SFU, srtp=PROFILE))
+        chunk = protect_chunk(scenario.traffic_chunk(23, frames=4), PROFILE)
+        results = [engine.process(d) for d in chunk]
+        media_out = 0
+        for result in results:
+            for output in result.outputs:
+                if isinstance(output.payload, PacketView):
+                    assert PROFILE.unprotect_egress(output.payload.buf) is not None
+                    media_out += 1
+        assert media_out > 0
+        assert engine.counters.srtp_auth_failures == 0
+
+    def test_tampered_ingress_counted_and_dropped(self):
+        scenario = MeetingScenario(23)
+        engine = scenario.configure(ScallopPipeline(SFU, srtp=PROFILE))
+        chunk = protect_chunk(scenario.traffic_chunk(23, frames=2), PROFILE)
+        victim = next(i for i, d in enumerate(chunk) if isinstance(d.payload, PacketView))
+        wire = bytearray(bytes(chunk[victim].payload.buf))
+        wire[-1] ^= 0xFF
+        chunk[victim] = dataclasses.replace(chunk[victim], payload=PacketView(bytes(wire)))
+        results = [engine.process(d) for d in chunk]
+        assert engine.counters.srtp_auth_failures == 1
+        assert results[victim].outputs == []
+
+    @pytest.mark.parametrize("executor,n_shards", [("thread", 4), ("process", 2)])
+    def test_executors_byte_identical_under_srtp(self, executor, n_shards):
+        seed = 29
+        scenario_a, scenario_b = MeetingScenario(seed), MeetingScenario(seed)
+        reference = scenario_a.configure(ScallopPipeline(SFU, srtp=PROFILE))
+        sharded = scenario_b.configure(
+            ShardedScallopPipeline(SFU, n_shards=n_shards, executor=executor, srtp=PROFILE)
+        )
+        try:
+            for phase in range(2):
+                chunk_a = protect_chunk(scenario_a.traffic_chunk(seed + phase, frames=4), PROFILE)
+                chunk_b = protect_chunk(scenario_b.traffic_chunk(seed + phase, frames=4), PROFILE)
+                assert_results_identical(
+                    [reference.process(d) for d in chunk_a],
+                    sharded.process_batch(chunk_b),
+                )
+            assert_engines_agree(reference, sharded)
+            assert reference.counters.srtp_auth_failures == 0
+        finally:
+            sharded.close()
+
+
+class TestSrtpScenarioSurface:
+    def test_spec_requires_wire_native(self):
+        from repro.scenario.spec import TrafficSpec
+
+        with pytest.raises(ValueError, match="wire_native"):
+            TrafficSpec(srtp=PROFILE)
+        TrafficSpec(srtp=PROFILE, wire_native=True)  # valid
+
+    def test_software_backend_rejects_srtp(self):
+        from repro.scenario.driver import build_scenario
+        from repro.scenario.spec import BackendSpec, MeetingSpec, Scenario, TrafficSpec
+
+        scenario = Scenario(
+            name="srtp-on-software",
+            meetings=(MeetingSpec(participants=2),),
+            backend=BackendSpec(kind="software"),
+            traffic=TrafficSpec(wire_native=True, srtp=PROFILE),
+            duration_s=1.0,
+            seed=5,
+        )
+        with pytest.raises(ValueError, match="scallop backend"):
+            build_scenario(scenario)
+
+    def test_protected_scenario_end_to_end(self):
+        # client protects with ingress keys -> datapath re-keys to egress ->
+        # receivers verify: media must flow with zero rx auth failures
+        from repro.scenario.driver import build_scenario
+        from repro.scenario.spec import BackendSpec, MeetingSpec, Scenario, TrafficSpec
+
+        scenario = Scenario(
+            name="srtp-end-to-end",
+            meetings=tuple(MeetingSpec(participants=3) for _ in range(2)),
+            backend=BackendSpec(kind="scallop", n_shards=2, shard_executor="thread"),
+            traffic=TrafficSpec(wire_native=True, frame_bursts=True, srtp=PROFILE),
+            duration_s=3.0,
+            seed=9,
+        )
+        with build_scenario(scenario) as run:
+            run.run()
+            assert run.reconcile() == []
+            assert run.sfu.stats.packets_out > 0
+            for client in run.clients:
+                assert client.srtp_rx_auth_failures == 0
+            received = sum(
+                stream.packets_received
+                for client in run.clients
+                for stream in client.video_receivers.values()
+            )
+            assert received > 0
+            assert run.sfu.pipeline.counters.srtp_auth_failures == 0

@@ -1,0 +1,178 @@
+"""Equivalence suite for the free-threaded (in-process) shard executor.
+
+The ``"thread"`` executor drives the same share-nothing ``PipelineDatapath``
+shards as the process pool, but over one shared control plane with
+persistent per-shard worker threads — no snapshots, no codec, no register
+shipping.  The contract is identical to the other two executors: for ANY
+traffic and ANY control-plane churn, outputs must be byte-identical to the
+unsharded reference pipeline, merged counters and ledger utilization must
+match exactly, and a sanitized run must produce zero isolation findings.
+This suite mirrors the process-executor coverage in
+``test_sharded_pipeline.py``/``test_rebalance.py`` point for point: the
+randomized churn property for k in {1, 2, 4, 8}, the single-packet path,
+live migration mid-stream (which for this executor is a placement-table
+write and nothing else), and sanitizer transparency.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.seqrewrite import SequenceRewriterLowRetransmission, SkipCadence
+from repro.dataplane.pipeline import ScallopPipeline
+from repro.dataplane.sharding import (
+    ShardedScallopPipeline,
+    ThreadShardRunner,
+    validate_executor,
+)
+from repro.netsim.datagram import Address
+
+from test_sharded_pipeline import (
+    MeetingScenario,
+    apply_op,
+    assert_engines_agree,
+    assert_results_identical,
+    run_scenario,
+)
+
+SFU = Address("10.0.0.1", 5000)
+
+
+class TestThreadExecutorEquivalence:
+    """The PR 2 property harness, verbatim, on ``executor="thread"``."""
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4, 8])
+    @pytest.mark.parametrize("seed", [7, 19])
+    def test_random_traffic_with_churn(self, n_shards, seed):
+        _, sharded = run_scenario(n_shards, seed, executor="thread")
+        assert isinstance(sharded._runner, ThreadShardRunner)
+
+    def test_single_packet_path(self):
+        # process() must route through the shard threads' datapaths, not a
+        # coordinator-side shortcut with forked rewriter state
+        scenario_a, scenario_b = MeetingScenario(17, num_meetings=1), MeetingScenario(17, num_meetings=1)
+        reference = scenario_a.configure(ScallopPipeline(SFU))
+        sharded = scenario_b.configure(ShardedScallopPipeline(SFU, n_shards=2, executor="thread"))
+        try:
+            for engine, scenario in ((reference, scenario_a), (sharded, scenario_b)):
+                meeting = scenario.meetings[0]
+                engine.install_adaptation(
+                    meeting["video_ssrc"],
+                    meeting["addresses"][1],
+                    frozenset({0, 1}),
+                    SequenceRewriterLowRetransmission(SkipCadence(1, 2)),
+                )
+            traffic_a = scenario_a.traffic_chunk(3, frames=4)
+            traffic_b = scenario_b.traffic_chunk(3, frames=4)
+            reference_results = [reference.process(d) for d in traffic_a]
+            sharded_results = [sharded.process(d) for d in traffic_b[:5]]
+            sharded_results += sharded.process_batch(traffic_b[5:])
+            assert_results_identical(reference_results, sharded_results)
+        finally:
+            sharded.close()
+
+    def test_live_migration_is_a_placement_write(self):
+        # migrating a flow between in-process shards moves no state: the
+        # register views alias the same rewriter objects, so results stay
+        # byte-identical across the migration with zero shipped bytes
+        scenario_a, scenario_b = MeetingScenario(13, num_meetings=2), MeetingScenario(13, num_meetings=2)
+        reference = scenario_a.configure(ScallopPipeline(SFU))
+        sharded = scenario_b.configure(ShardedScallopPipeline(SFU, n_shards=2, executor="thread"))
+        try:
+            for engine, scenario in ((reference, scenario_a), (sharded, scenario_b)):
+                meeting = scenario.meetings[0]
+                engine.install_adaptation(
+                    meeting["video_ssrc"],
+                    meeting["addresses"][1],
+                    frozenset({0, 1}),
+                    SequenceRewriterLowRetransmission(SkipCadence(1, 2)),
+                )
+            assert_results_identical(
+                [reference.process(d) for d in scenario_a.traffic_chunk(1)],
+                sharded.process_batch(scenario_b.traffic_chunk(1)),
+            )
+            meeting = scenario_b.meetings[0]
+            sender, ssrc = meeting["addresses"][0], meeting["video_ssrc"]
+            assert sharded.migrate_flow(sender, ssrc, 1 - sharded.shard_for_flow(sender, ssrc))
+            assert_results_identical(
+                [reference.process(d) for d in scenario_a.traffic_chunk(2)],
+                sharded.process_batch(scenario_b.traffic_chunk(2)),
+            )
+            assert_engines_agree(reference, sharded)
+            # the in-process runner has no transport: nothing was serialized
+            assert sharded.transport_stats() is None
+        finally:
+            sharded.close()
+
+    def test_close_is_idempotent_and_joins_workers(self):
+        sharded = ShardedScallopPipeline(SFU, n_shards=4, executor="thread")
+        sharded.process_batch([])
+        sharded.close()
+        sharded.close()
+
+
+class TestThreadExecutorSanitized:
+    def test_sanitized_run_byte_identical_with_zero_findings(self):
+        seed = 31
+        scenario_a, scenario_b = MeetingScenario(seed), MeetingScenario(seed)
+        plain = scenario_a.configure(ShardedScallopPipeline(SFU, n_shards=4, executor="thread"))
+        sanitized = scenario_b.configure(
+            ShardedScallopPipeline(SFU, n_shards=4, executor="thread", sanitize=True)
+        )
+        try:
+            for phase in range(2):
+                for op in scenario_a.churn_ops(seed + phase):
+                    apply_op(plain, op)
+                    apply_op(sanitized, op)
+                assert_results_identical(
+                    plain.process_batch(scenario_a.traffic_chunk(seed * 3 + phase)),
+                    sanitized.process_batch(scenario_b.traffic_chunk(seed * 3 + phase)),
+                )
+            assert_engines_agree(plain, sanitized)
+            assert sanitized.isolation_findings() == []
+        finally:
+            plain.close()
+            sanitized.close()
+
+
+class TestExecutorValidation:
+    """Satellite: one source of truth for executor names, reused everywhere."""
+
+    def test_unknown_executor_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown shard executor"):
+            ShardedScallopPipeline(SFU, n_shards=2, executor="fibers")
+
+    def test_backend_spec_reuses_the_same_validator(self):
+        from repro.scenario.spec import BackendSpec
+
+        engine_error = None
+        try:
+            validate_executor("fibers")
+        except ValueError as error:
+            engine_error = str(error)
+        with pytest.raises(ValueError) as spec_error:
+            BackendSpec(kind="scallop", n_shards=2, shard_executor="fibers")
+        assert engine_error is not None
+        assert str(spec_error.value) == engine_error
+
+    def test_known_executors_accepted(self):
+        for name in ("serial", "thread", "process"):
+            validate_executor(name)
+
+
+class TestThreadExecutorScenarioCli:
+    """CI runs ``churn_storm --smoke --executor thread``; keep the override
+    honest here so a CLI regression cannot silently drop the coverage."""
+
+    def test_churn_storm_smoke_on_thread_executor(self, capsys):
+        from repro.scenario.__main__ import main
+
+        assert main(["churn_storm", "--smoke", "--executor", "thread"]) == 0
+        out = capsys.readouterr().out
+        assert "reconciliation: SFU state matches the surviving population" in out
+
+    def test_executor_override_is_validated(self):
+        from repro.scenario.__main__ import main
+
+        with pytest.raises(ValueError, match="unknown shard executor"):
+            main(["churn_storm", "--smoke", "--executor", "fibers"])

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Benchmark-regression gate for the shard-throughput artifact.
 
-Two gates against the committed ``BENCH_shard_throughput.json`` baseline:
+Three gates against the committed ``BENCH_shard_throughput.json`` baseline:
 
 1. **Throughput**: the k=1 serial object-ingress pps (the stable reference
    point every other sweep point is normalized to) must not drop more than
@@ -14,6 +14,15 @@ Two gates against the committed ``BENCH_shard_throughput.json`` baseline:
    a failure here is always a real policy/migration defect, never jitter; the
    25% headroom only absorbs deliberate workload retunes.  Skipped (with a
    note) when either artifact predates the ``rebalance`` key.
+3. **Thread executor**: the ``parallelism.thread_k4_vs_serial_k1`` pps ratio
+   must not drop more than the allowed fraction — a collapse here means the
+   free-threaded executor grew a serialization point (a lock on the hot
+   path, an accidental fallback to snapshot shipping).  The gate REFUSES to
+   compare artifacts measured under different GIL regimes
+   (``parallelism.gil_enabled`` mismatch): a GIL-bound ratio near 1.0 and a
+   free-threaded ratio near k are different experiments, and gating one
+   against the other would either always fail or hide real regressions.
+   Skipped (with a note) when the baseline predates the ``parallelism`` key.
 
 Usage:
     python tools/check_bench_regression.py BASELINE.json FRESH.json [--max-regression 0.25]
@@ -97,6 +106,67 @@ def check_skew_gate(baseline_artifact: dict, fresh_artifact: dict, max_regressio
     return True
 
 
+def thread_ratio(artifact: dict) -> float:
+    """The parallelism sweep's thread-k4 / serial-k1 pps ratio.
+
+    Raises :class:`KeyError` when the artifact predates the ``parallelism``
+    key (pre-thread-executor schema).
+    """
+    return float(artifact["parallelism"]["thread_k4_vs_serial_k1"])
+
+
+def check_thread_gate(baseline_artifact: dict, fresh_artifact: dict, max_regression: float) -> bool:
+    """Gate the thread-executor pps ratio; returns True when it passes.
+
+    Same skip/fail asymmetry as the skew gate: a baseline without the
+    ``parallelism`` rows skips the gate, a fresh artifact without them fails
+    it.  Additionally, artifacts measured under different GIL regimes are
+    never compared — the ratio's whole scale changes between a GIL-bound and
+    a free-threaded interpreter, so the comparison is refused (skipped
+    loudly) rather than produce a meaningless verdict.
+    """
+    try:
+        baseline = thread_ratio(baseline_artifact)
+    except (KeyError, TypeError, ValueError):
+        print("thread executor: baseline predates the 'parallelism' rows, gate skipped")
+        return True
+    try:
+        fresh = thread_ratio(fresh_artifact)
+    except (KeyError, TypeError, ValueError):
+        print(
+            "check_bench_regression: baseline has 'parallelism' rows but the fresh "
+            "artifact does not — the executor matrix stopped being measured",
+            file=sys.stderr,
+        )
+        return False
+    baseline_gil = bool(baseline_artifact["parallelism"].get("gil_enabled", True))
+    fresh_gil = bool(fresh_artifact["parallelism"].get("gil_enabled", True))
+    if baseline_gil != fresh_gil:
+        print(
+            f"thread executor: REFUSING cross-GIL-regime comparison — baseline "
+            f"measured with gil_enabled={baseline_gil}, fresh with "
+            f"gil_enabled={fresh_gil}.  A GIL-bound thread-k4/serial-k1 ratio "
+            "(~1.0) and a free-threaded one (~k) are different experiments; "
+            "re-baseline on the matching interpreter build instead.  Gate skipped."
+        )
+        return True
+    floor = baseline * (1.0 - max_regression)
+    verdict = "OK" if fresh >= floor else "REGRESSION"
+    print(
+        f"thread executor k=4 vs serial k=1 (gil_enabled={fresh_gil}): "
+        f"baseline {baseline:.3f}x, fresh {fresh:.3f}x, floor {floor:.3f}x -> {verdict}"
+    )
+    if fresh < floor:
+        print(
+            f"check_bench_regression: thread-executor pps ratio regressed more "
+            f"than {max_regression:.0%} against the committed baseline (same GIL "
+            "regime — likely a new serialization point on the shard hot path)",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_shard_throughput.json")
@@ -136,6 +206,8 @@ def main(argv=None) -> int:
         failed = True
 
     if not check_skew_gate(baseline_artifact, fresh_artifact, args.max_regression):
+        failed = True
+    if not check_thread_gate(baseline_artifact, fresh_artifact, args.max_regression):
         failed = True
     return 1 if failed else 0
 
