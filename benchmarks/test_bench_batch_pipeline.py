@@ -36,6 +36,7 @@ from repro.experiments import (
     format_rebalance_point,
     format_shard_sweep,
     gil_enabled,
+    measure_coordinator_profile,
     measure_parallelism_crossover,
     measure_rebalance_point,
     measure_shard_point,
@@ -128,6 +129,20 @@ def test_shard_pipeline_throughput(benchmark):
 
     transport = measure_shard_transport(n_shards=4, num_meetings=50)
 
+    # Amdahl stage profile of the coordinator loop at k=4 (partition /
+    # encode / dispatch / replay / reassemble + serial-fraction estimate);
+    # the serial row is what the coordinator-overhead regression gate reads
+    coordinator = measure_coordinator_profile(n_shards=4, num_meetings=50)
+    for executor, profile in coordinator.items():
+        per_packet = profile["stage_ns_per_packet"]
+        benchmark.extra_info[f"coord_{executor}_partition_ns_per_pkt"] = round(
+            per_packet["partition"]
+        )
+        fraction = profile["serial_fraction"]
+        benchmark.extra_info[f"coord_{executor}_serial_fraction"] = (
+            None if fraction is None else round(fraction, 4)
+        )
+
     # skewed-workload sweep: hot senders colocated by the CRC32 default, the
     # placement loop migrates them apart.  Deterministic (packet counts, not
     # timings), so the "rebalance" rows are safe to gate CI on.
@@ -177,6 +192,7 @@ def test_shard_pipeline_throughput(benchmark):
                     key: (round(value, 2) if isinstance(value, float) else value)
                     for key, value in transport.items()
                 },
+                "coordinator": coordinator,
                 "parallelism": {
                     "python": platform.python_version(),
                     "gil_enabled": gil_enabled(),
@@ -220,7 +236,12 @@ def test_shard_pipeline_throughput(benchmark):
                     "free-threaded interpreter it is the headline Amdahl "
                     "number). thread_k4_vs_serial_k1 "
                     "(plain points) is CI-gated, but only within one GIL "
-                    "regime — the gate refuses cross-regime comparisons."
+                    "regime — the gate refuses cross-regime comparisons. "
+                    "'coordinator' is the Amdahl stage profile of the sharded "
+                    "batch loop at k=4 (per-stage ns, ns/packet, and "
+                    "serial_fraction = coordinator-thread share of wall time); "
+                    "the serial executor's partition+codec ns/packet is "
+                    "CI-gated against this baseline."
                 ),
             },
             handle,

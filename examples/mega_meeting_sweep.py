@@ -34,13 +34,18 @@ Three parts, centred on the batched fast path and the flow-sharded engine:
    egress-weighted flow ranking balances *replica* work (the fan-out each
    packet actually costs), so watch the replica-skew line, not just packets.
 
-Run with:  python examples/mega_meeting_sweep.py [--skew]
+Run with:  python examples/mega_meeting_sweep.py [--skew] [--profile]
+
+``--profile`` attaches a :class:`repro.experiments.CoordinatorStats` to the
+burst-mode call's 4-shard engine and prints the coordinator's Amdahl stage
+table (partition / encode / dispatch / replay / reassemble) after the run.
 """
 
 import argparse
 
 from repro.dataplane import PipelineCounters, RebalancerConfig, ShardedScallopPipeline
 from repro.experiments import (
+    CoordinatorStats,
     build_skewed_meeting_pipeline,
     format_batch_sweep,
     format_shard_sweep,
@@ -125,7 +130,7 @@ def run_skewed_rebalance_demo(num_meetings: int = 50, n_shards: int = 4) -> None
     engine.close()
 
 
-def run_burst_mode_call() -> None:
+def run_burst_mode_call(profile: bool = False) -> None:
     print()
     print("=== end-to-end burst mode (10 meetings x 3 participants, 4 shards, 10 s) ===")
     scenario = Scenario.uniform(
@@ -137,6 +142,9 @@ def run_burst_mode_call() -> None:
         duration_s=10.0,
     )
     with build_scenario(scenario) as testbed:
+        stats = None
+        if profile:
+            stats = testbed.sfu.pipeline.coordinator_stats = CoordinatorStats()
         testbed.run()
         sfu = testbed.sfu
         reports = [client.get_stats() for client in testbed.clients]
@@ -152,6 +160,9 @@ def run_burst_mode_call() -> None:
             f"{len(rates)} inbound video streams at {sum(rates) / len(rates):.1f} fps mean "
             f"(parse cache hits: {parser.parse_cache_hits}; per-shard packets: {busy})"
         )
+        if stats is not None:
+            print()
+            print(stats.format_table())
 
 
 def main() -> None:
@@ -161,6 +172,12 @@ def main() -> None:
         action="store_true",
         help="run the Zipf-skewed workload and show the rebalancer's "
         "before/after shard_load() skew table (skips the timing sweeps)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach CoordinatorStats to the burst-mode call's sharded engine "
+        "and print its Amdahl stage table",
     )
     args = parser.parse_args()
     if args.skew:
@@ -173,7 +190,7 @@ def main() -> None:
     print("=== sharded engine at 50 meetings (serial executor: GIL-bound by design) ===")
     shard_points = run_shard_throughput_sweep(shard_counts=SHARD_COUNTS, num_meetings=50)
     print(format_shard_sweep(shard_points))
-    run_burst_mode_call()
+    run_burst_mode_call(profile=args.profile)
 
 
 if __name__ == "__main__":

@@ -70,6 +70,22 @@ class ParseResult:
     has_extended_descriptor: bool = False
     needs_cpu: bool = False
     parse_depth: int = 0
+    #: ``packet_class.value`` precomputed at construction: the batch paths
+    #: key per-packet accounting tallies on it, and reading it through the
+    #: enum's ``DynamicClassAttribute`` descriptor costs a call per packet.
+    #: Derived, so it never disagrees with ``packet_class``.
+    class_value: str = ""
+    #: ``packet_class is RTP_VIDEO``, precomputed for the same reason.
+    is_video: bool = False
+    #: Whether the pipeline must copy this packet to the switch CPU
+    #: (``needs_cpu and has_extended_descriptor``), precomputed likewise.
+    cpu_copy: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.class_value:
+            object.__setattr__(self, "class_value", self.packet_class.value)
+        object.__setattr__(self, "is_video", self.packet_class is PacketClass.RTP_VIDEO)
+        object.__setattr__(self, "cpu_copy", self.needs_cpu and self.has_extended_descriptor)
 
 
 class IngressParser:
@@ -196,17 +212,32 @@ class IngressParser:
 
         if needs_cpu:
             self.cpu_punts += 1
-        return ParseResult(
-            packet_class=PacketClass.RTP_VIDEO,
-            ssrc=packet.ssrc,
-            template_id=template_id,
-            frame_number=frame_number,
-            start_of_frame=start,
-            end_of_frame=end,
-            has_extended_descriptor=extended,
-            needs_cpu=needs_cpu,
-            parse_depth=depth,
+        # Minted via __new__ + a prepared __dict__: the AV1 dependency
+        # descriptor makes video extension bytes distinct per frame, so this
+        # runs on every parse-cache miss and the frozen-dataclass __init__
+        # (one object.__setattr__ per field) is the dominant cost.  The dict
+        # carries every field, including the derived ones __post_init__
+        # computes, so the result is field-identical to the constructor's.
+        result = ParseResult.__new__(ParseResult)
+        object.__setattr__(
+            result,
+            "__dict__",
+            {
+                "packet_class": PacketClass.RTP_VIDEO,
+                "ssrc": packet.ssrc,
+                "template_id": template_id,
+                "frame_number": frame_number,
+                "start_of_frame": start,
+                "end_of_frame": end,
+                "has_extended_descriptor": extended,
+                "needs_cpu": needs_cpu,
+                "parse_depth": depth,
+                "class_value": "rtp_video",
+                "is_video": True,
+                "cpu_copy": needs_cpu and extended,
+            },
         )
+        return result
 
     # -- RTCP ----------------------------------------------------------------------
 

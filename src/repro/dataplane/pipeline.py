@@ -48,7 +48,7 @@ from types import MappingProxyType
 from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Protocol, Sequence, Set, Tuple
 
 from ..netsim.datagram import Address, Datagram, PayloadKind
-from ..rtp.packet import RtpPacket
+from ..rtp.packet import RTP_HEADER_LEN, RtpPacket
 from ..rtp.wire import PacketView
 from ..rtp.rtcp import (
     Nack,
@@ -223,7 +223,6 @@ class PipelineResult:
     forwarding_delay_s: float = SWITCH_FORWARDING_DELAY_S
 
 
-@dataclass(frozen=True)
 class _CachedResolution:
     """Memoized outcome of ingress match + PRE replication for one flow.
 
@@ -234,11 +233,64 @@ class _CachedResolution:
     number of replica-table misses; both are replayed into the counters on
     every cache hit so the accounting is indistinguishable from the uncached
     per-packet path.
+
+    ``addresses``/``has_adaptation`` are derived once at build time: when no
+    target of the flow carries an adaptation entry (or the packet is audio,
+    which adaptation never touches), the fan-out loop iterates the bare
+    address tuple with none of the per-replica adaptation checks.
+    ``meta_proxy`` lazily holds the flow's shared replica-meta view (origin
+    fields depend only on the flow), built by the first meta-less packet and
+    reused by every later one — the same sharing the packed shard transport's
+    replay does per flow.
     """
 
-    targets: Tuple[Tuple[ReplicaTarget, Optional[AdaptationEntry]], ...]
-    raw_replicas: Optional[int]
-    replica_misses: int
+    __slots__ = (
+        "targets",
+        "raw_replicas",
+        "replica_misses",
+        "addresses",
+        "has_adaptation",
+        "meta_proxy",
+    )
+
+    def __init__(
+        self,
+        targets: Tuple[Tuple[ReplicaTarget, Optional[AdaptationEntry]], ...],
+        raw_replicas: Optional[int],
+        replica_misses: int,
+    ) -> None:
+        self.targets = targets
+        self.raw_replicas = raw_replicas
+        self.replica_misses = replica_misses
+        self.addresses = tuple(target.address for target, _adaptation in targets)
+        self.has_adaptation = any(adaptation is not None for _target, adaptation in targets)
+        self.meta_proxy: Optional[MappingProxyType] = None
+
+
+class _FlowFastState:
+    """Per-flow slot of the batch fast path's merged lookup cache.
+
+    One ``(src, ssrc)`` dictionary probe per packet serves what used to be
+    two (entry cache, then ``(src, ssrc, layer)`` resolution cache): the
+    stream-table entry, whether the flow replicates by layer at all, and the
+    per-layer cached resolutions.  ``entry is None`` memoizes a table miss
+    (every packet of an unknown flow still bumps ``table_misses``, exactly
+    like the uncached path).  Non-layered flows — every flow whose entry does
+    not replicate by per-layer multicast groups — keep their single
+    resolution in ``res0`` with no layer computation at all.
+    """
+
+    __slots__ = ("entry", "layered", "res0", "by_layer")
+
+    def __init__(self, entry: Optional["StreamForwardingEntry"]) -> None:
+        self.entry = entry
+        self.layered = bool(
+            entry is not None
+            and entry.mode == ForwardingMode.REPLICATE_BY_LAYER
+            and entry.mgid_by_layer
+        )
+        self.res0: Optional[_CachedResolution] = None
+        self.by_layer: Optional[Dict[int, _CachedResolution]] = {} if self.layered else None
 
 
 class PipelineControlPlane:
@@ -782,8 +834,10 @@ class PipelineDatapath:
         # even direct `pipeline.pre` mutations are caught).  The stamp is this
         # datapath's private generation counter — shards resynchronize with
         # the control plane independently.
-        self._entry_cache: Dict[Tuple[Address, int], Optional[StreamForwardingEntry]] = {}
-        self._resolution_cache: Dict[Tuple[Address, int, int], _CachedResolution] = {}
+        # One probe per packet: the flow's entry, layer mode, and cached
+        # resolutions live behind a single (src, ssrc) key (_FlowFastState)
+        # instead of the former entry-cache + (src, ssrc, layer) pair.
+        self._flow_cache: Dict[Tuple[Address, int], _FlowFastState] = {}
         self._cache_stamp: Tuple[int, int, int, int] = (-1, -1, -1, -1)
         self._layer_by_template: Dict[int, int] = {}
 
@@ -808,7 +862,9 @@ class PipelineDatapath:
             # stay indistinguishable
             self._ensure_resolution_cache_fresh()
             tally: Dict[Tuple[str, bool], List[int]] = {}
-            result = self._process_media_wire(datagram, tally)
+            acc = [0, 0, 0, 0, 0]
+            result = self._process_media_wire(datagram, tally, acc)
+            self._fold_batch_accounting(acc)
             if tally:
                 self.counters.account_tally(tally)
             return result
@@ -854,83 +910,213 @@ class PipelineDatapath:
         fast_media = self._process_media_fast
         wire_media = self._process_media_wire
         rtp_kind = PayloadKind.RTP
-        # per-batch accounting tally, folded into the counters once at the
-        # end; the counter state after the batch equals per-packet accounting
+        # per-batch accounting tally and accumulator, folded into the
+        # counters/parser/PRE once at the end; the counter state after the
+        # batch equals per-packet accounting
         tally: Dict[Tuple[str, bool], List[int]] = {}
+        acc = [0, 0, 0, 0, 0]
         for datagram in datagrams:
             if datagram.kind is rtp_kind:
                 payload = datagram.payload
                 if isinstance(payload, RtpPacket):
-                    append(fast_media(datagram, tally))
+                    append(fast_media(datagram, tally, acc))
                     continue
                 if isinstance(payload, PacketView):
-                    append(wire_media(datagram, tally))
+                    append(wire_media(datagram, tally, acc))
                     continue
             append(self.process(datagram))
+        self._fold_batch_accounting(acc)
         if tally:
             self.counters.account_tally(tally)
         return results
+
+    def _fold_batch_accounting(self, acc: List[int]) -> None:
+        """Fold the batch paths' deferred per-packet accounting.
+
+        ``acc`` carries ``[parse cache hits, punts on those hits, memoized
+        replication replays, copies those replays produced, replicas out]``,
+        accumulated as plain list increments on the per-packet hot path and
+        folded here in one pass — the parser, PRE, and pipeline counters end
+        the batch exactly where per-packet accounting would leave them.
+        """
+        hits = acc[0]
+        if hits:
+            parser = self.parser
+            parser.packets_parsed += hits
+            parser.parse_cache_hits += hits
+            parser.cpu_punts += acc[1]
+        if acc[2]:
+            self.pre.note_replications(acc[2], acc[3])
+        if acc[4]:
+            self.counters.replicas_out += acc[4]
 
     def _ensure_resolution_cache_fresh(self) -> None:
         """Drop memoized forwarding state if the control plane wrote anything."""
         stamp = self.control.write_stamp()
         if stamp != self._cache_stamp:
-            self._entry_cache.clear()
-            self._resolution_cache.clear()
+            self._flow_cache.clear()
             self._cache_stamp = stamp
 
     def _process_media_fast(
-        self, datagram: Datagram, tally: Dict[Tuple[str, bool], List[int]]
+        self, datagram: Datagram, tally: Dict[Tuple[str, bool], List[int]], acc: List[int]
     ) -> PipelineResult:
-        """Batch-path equivalent of :meth:`process` for one RTP datagram."""
-        packet: RtpPacket = datagram.payload  # type: ignore[assignment]
-        parse = self.parser.parse_rtp_cached(packet)
-        result = PipelineResult(parse=parse)
-        accumulate = PipelineCounters.accumulate
+        """Batch-path equivalent of :meth:`process` for one RTP datagram.
 
-        flow = (datagram.src, packet.ssrc)
-        try:
-            entry = self._entry_cache[flow]
-        except KeyError:
-            if len(self._entry_cache) >= self.RESOLUTION_CACHE_LIMIT:
-                self._entry_cache.clear()
-            entry = self._entry_cache[flow] = self.stream_table.lookup(flow)
+        Structured for per-packet cost: one flow-cache probe serves the
+        entry, the layer mode, and the memoized resolution together; the
+        result and the replica datagrams are minted through ``__new__`` plus
+        a prepared ``__dict__`` (the frozen-dataclass ``__init__`` work was
+        already paid by the reference path that validated this flow); and the
+        common no-adaptation fan-out — every replica forwards the ingress
+        payload unchanged — iterates the bare address tuple with the flow's
+        shared meta proxy.  Outputs and counters stay byte-for-byte those of
+        :meth:`process`.
+        """
+        packet: RtpPacket = datagram.payload  # type: ignore[assignment]
+        # parse_rtp_cached with the hit path inlined (key build + probe +
+        # the exact hit accounting of IngressParser._memoized_parse, which
+        # still owns the miss path)
+        parser = self.parser
+        ssrc = packet.ssrc
+        extension = packet.extension
+        if extension is None:
+            pkey = (ssrc, packet.payload_type)
+        else:
+            pkey = (ssrc, packet.payload_type, extension.profile, extension.data)
+        parse = parser._rtp_parse_cache.get(pkey)
+        if parse is None:
+            parse = parser._memoized_parse(pkey, packet)
+        else:
+            acc[0] += 1
+            if parse.needs_cpu:
+                acc[1] += 1
+        result = PipelineResult.__new__(PipelineResult)
+        outputs: List[Datagram] = []
+        cpu_copies: List[Datagram] = []
+        result.__dict__ = {
+            "parse": parse,
+            "outputs": outputs,
+            "cpu_copies": cpu_copies,
+            "dropped_replicas": 0,
+            "forwarding_delay_s": SWITCH_FORWARDING_DELAY_S,
+        }
+        counters = self.counters
+        size = datagram.size
+
+        flow = (datagram.src, ssrc)
+        flow_cache = self._flow_cache
+        state = flow_cache.get(flow)
+        if state is None:
+            if len(flow_cache) >= self.RESOLUTION_CACHE_LIMIT:
+                flow_cache.clear()
+            state = flow_cache[flow] = _FlowFastState(self.stream_table.lookup(flow))
+        entry = state.entry
         if entry is None:
-            self.counters.table_misses += 1
-            accumulate(tally, parse.packet_class.value, False, datagram.size)
+            counters.table_misses += 1
+            key = (parse.class_value, False)
+            slot = tally.get(key)
+            if slot is None:
+                tally[key] = [1, size]
+            else:
+                slot[0] += 1
+                slot[1] += size
             return result
 
-        to_cpu = parse.needs_cpu and parse.has_extended_descriptor
-        accumulate(tally, parse.packet_class.value, to_cpu, datagram.size)
+        to_cpu = parse.cpu_copy
+        key = (parse.class_value, to_cpu)
+        slot = tally.get(key)
+        if slot is None:
+            tally[key] = [1, size]
+        else:
+            slot[0] += 1
+            slot[1] += size
         if to_cpu:
-            result.cpu_copies.append(datagram)
+            cpu_copies.append(datagram)
 
-        layer = self._media_layer(entry, parse)
-        key = (datagram.src, packet.ssrc, layer)
-        resolution = self._resolution_cache.get(key)
+        if state.layered:
+            layer = self._media_layer(entry, parse)
+            resolution = state.by_layer.get(layer)
+        else:
+            layer = 0
+            resolution = state.res0
         if resolution is None:
             targets, raw_replicas, misses = self._resolve_targets_detail(entry, layer)
+            adaptation_lookup = self.adaptation_table.lookup
             paired = tuple(
-                (target, self.adaptation_table.lookup((packet.ssrc, target.address)))
+                (target, adaptation_lookup((ssrc, target.address)))
                 for target in targets
             )
             resolution = _CachedResolution(paired, raw_replicas, misses)
-            if len(self._resolution_cache) >= self.RESOLUTION_CACHE_LIMIT:
-                self._resolution_cache.clear()
-            self._resolution_cache[key] = resolution
+            if state.layered:
+                state.by_layer[layer] = resolution
+            else:
+                state.res0 = resolution
         else:
             # replay the per-packet accounting the uncached path would do
-            if resolution.raw_replicas is not None:
+            # (deferred through acc; folded at the batch boundary)
+            raw = resolution.raw_replicas
+            if raw is not None:
                 local = self.local_stats
                 if local is None:
-                    self.pre.note_replication(resolution.raw_replicas)
+                    acc[2] += 1
+                    acc[3] += raw
                 else:
                     local.replications_performed += 1
-                    local.copies_produced += resolution.raw_replicas
+                    local.copies_produced += raw
             if resolution.replica_misses:
-                self.counters.table_misses += resolution.replica_misses
+                counters.table_misses += resolution.replica_misses
 
-        is_video = parse.packet_class is PacketClass.RTP_VIDEO
+        arrived_at = datagram.arrived_at
+        schedule = None if arrived_at is None else arrived_at + SWITCH_FORWARDING_DELAY_S
+
+        if not (resolution.has_adaptation and parse.is_video):
+            # no replica of this flow is rate-adapted (or the packet is
+            # audio, which adaptation never touches): every target receives
+            # the ingress payload unchanged
+            addresses = resolution.addresses
+            if not addresses:
+                return result
+            if datagram.meta:
+                meta = MappingProxyType(
+                    dict(datagram.meta, origin=datagram.src, origin_ssrc=ssrc)
+                )
+            else:
+                meta = resolution.meta_proxy
+                if meta is None:
+                    meta = resolution.meta_proxy = MappingProxyType(
+                        {"origin": datagram.src, "origin_ssrc": ssrc}
+                    )
+            # RtpPacket.size inlined (extension is already in hand from the
+            # parse key); stamps the same derived value the property returns
+            out_size = RTP_HEADER_LEN + 4 * len(packet.csrcs) + len(packet.payload)
+            if extension is not None:
+                out_size += 4 + len(extension.data)
+            # per-replica state dicts are C-level copies of one prepared base
+            # (measurably cheaper than building the literal per replica)
+            base_copy = {
+                "src": self.sfu_address,
+                "dst": None,
+                "payload": packet,
+                "size": out_size,
+                "kind": PayloadKind.RTP,
+                "sent_at": 0.0,
+                "arrived_at": schedule,
+                "meta": meta,
+            }.copy
+            new_datagram = Datagram.__new__
+            set_state = object.__setattr__
+            append = outputs.append
+            for address in addresses:
+                out = new_datagram(Datagram)
+                instance = base_copy()
+                instance["dst"] = address
+                set_state(out, "__dict__", instance)
+                append(out)
+            acc[4] += len(addresses)
+            return result
+
+        # rate-adapted video: per-replica rewrite decisions (the stateful
+        # path, kept on the original per-target loop)
         template_id = parse.template_id
         frame_number = parse.frame_number if parse.frame_number is not None else 0
         sequence_number = packet.sequence_number
@@ -945,11 +1131,9 @@ class PipelineDatapath:
             "size": packet.size,
             "kind": PayloadKind.RTP,
             "sent_at": 0.0,
-            "arrived_at": self._egress_schedule(datagram),
+            "arrived_at": schedule,
             "meta": None,
         }
-        outputs = result.outputs
-        counters = self.counters
         trackers_read = self.trackers.read
         touched = self.touched_tracker_indices
         mint = Datagram.from_fields
@@ -957,7 +1141,7 @@ class PipelineDatapath:
         replicas_out = 0
         for target, adaptation in resolution.targets:
             out_packet: Optional[RtpPacket] = packet
-            if is_video and adaptation is not None:
+            if adaptation is not None:
                 # inline _apply_adaptation with the table lookup pre-resolved
                 forward = template_id is None or template_id in adaptation.allowed_templates
                 rewriter = trackers_read(adaptation.stream_index)
@@ -973,7 +1157,7 @@ class PipelineDatapath:
                     continue
             if shared_meta is None:
                 shared_meta = MappingProxyType(
-                    dict(datagram.meta, origin=datagram.src, origin_ssrc=packet.ssrc)
+                    dict(datagram.meta, origin=datagram.src, origin_ssrc=ssrc)
                 )
                 fields["meta"] = shared_meta
             instance_fields = copy_fields(fields)
@@ -981,11 +1165,11 @@ class PipelineDatapath:
             instance_fields["payload"] = out_packet
             outputs.append(mint(instance_fields))
             replicas_out += 1
-        counters.replicas_out += replicas_out
+        acc[4] += replicas_out
         return result
 
     def _process_media_wire(
-        self, datagram: Datagram, tally: Dict[Tuple[str, bool], List[int]]
+        self, datagram: Datagram, tally: Dict[Tuple[str, bool], List[int]], acc: List[int]
     ) -> PipelineResult:
         """Wire-native twin of :meth:`_process_media_fast`.
 
@@ -1000,9 +1184,29 @@ class PipelineDatapath:
         ``tests/test_wire_packet_view.py``).
         """
         view: PacketView = datagram.payload  # type: ignore[assignment]
-        parse = self.parser.parse_rtp_wire_cached(view)
-        result = PipelineResult(parse=parse)
-        accumulate = PipelineCounters.accumulate
+        # parse_rtp_wire_cached with the hit path inlined (same hit
+        # accounting as IngressParser._memoized_parse, which owns the miss)
+        parser = self.parser
+        pkey = view.parse_key()
+        parse = parser._rtp_parse_cache.get(pkey)
+        if parse is None:
+            parse = parser._memoized_parse(pkey, view)
+        else:
+            acc[0] += 1
+            if parse.needs_cpu:
+                acc[1] += 1
+        result = PipelineResult.__new__(PipelineResult)
+        outputs: List[Datagram] = []
+        cpu_copies: List[Datagram] = []
+        result.__dict__ = {
+            "parse": parse,
+            "outputs": outputs,
+            "cpu_copies": cpu_copies,
+            "dropped_replicas": 0,
+            "forwarding_delay_s": SWITCH_FORWARDING_DELAY_S,
+        }
+        counters = self.counters
+        size = datagram.size
 
         srtp = self.srtp
         if srtp is not None:
@@ -1012,54 +1216,124 @@ class PipelineDatapath:
             # parse above — header/extension only — is identical either way.)
             plain = srtp.unprotect_ingress(view.buf)
             if plain is None:
-                self.counters.srtp_auth_failures += 1
-                accumulate(tally, parse.packet_class.value, False, datagram.size)
+                counters.srtp_auth_failures += 1
+                key = (parse.class_value, False)
+                slot = tally.get(key)
+                if slot is None:
+                    tally[key] = [1, size]
+                else:
+                    slot[0] += 1
+                    slot[1] += size
                 return result
             view = PacketView(plain)
 
         ssrc = parse.ssrc if parse.ssrc is not None else view.ssrc
         flow = (datagram.src, ssrc)
-        try:
-            entry = self._entry_cache[flow]
-        except KeyError:
-            if len(self._entry_cache) >= self.RESOLUTION_CACHE_LIMIT:
-                self._entry_cache.clear()
-            entry = self._entry_cache[flow] = self.stream_table.lookup(flow)
+        flow_cache = self._flow_cache
+        state = flow_cache.get(flow)
+        if state is None:
+            if len(flow_cache) >= self.RESOLUTION_CACHE_LIMIT:
+                flow_cache.clear()
+            state = flow_cache[flow] = _FlowFastState(self.stream_table.lookup(flow))
+        entry = state.entry
         if entry is None:
-            self.counters.table_misses += 1
-            accumulate(tally, parse.packet_class.value, False, datagram.size)
+            counters.table_misses += 1
+            key = (parse.class_value, False)
+            slot = tally.get(key)
+            if slot is None:
+                tally[key] = [1, size]
+            else:
+                slot[0] += 1
+                slot[1] += size
             return result
 
-        to_cpu = parse.needs_cpu and parse.has_extended_descriptor
-        accumulate(tally, parse.packet_class.value, to_cpu, datagram.size)
+        to_cpu = parse.cpu_copy
+        key = (parse.class_value, to_cpu)
+        slot = tally.get(key)
+        if slot is None:
+            tally[key] = [1, size]
+        else:
+            slot[0] += 1
+            slot[1] += size
         if to_cpu:
-            result.cpu_copies.append(datagram)
+            cpu_copies.append(datagram)
 
-        layer = self._media_layer(entry, parse)
-        key = (datagram.src, ssrc, layer)
-        resolution = self._resolution_cache.get(key)
+        if state.layered:
+            layer = self._media_layer(entry, parse)
+            resolution = state.by_layer.get(layer)
+        else:
+            layer = 0
+            resolution = state.res0
         if resolution is None:
             targets, raw_replicas, misses = self._resolve_targets_detail(entry, layer)
+            adaptation_lookup = self.adaptation_table.lookup
             paired = tuple(
-                (target, self.adaptation_table.lookup((ssrc, target.address)))
+                (target, adaptation_lookup((ssrc, target.address)))
                 for target in targets
             )
             resolution = _CachedResolution(paired, raw_replicas, misses)
-            if len(self._resolution_cache) >= self.RESOLUTION_CACHE_LIMIT:
-                self._resolution_cache.clear()
-            self._resolution_cache[key] = resolution
+            if state.layered:
+                state.by_layer[layer] = resolution
+            else:
+                state.res0 = resolution
         else:
-            if resolution.raw_replicas is not None:
+            raw = resolution.raw_replicas
+            if raw is not None:
                 local = self.local_stats
                 if local is None:
-                    self.pre.note_replication(resolution.raw_replicas)
+                    acc[2] += 1
+                    acc[3] += raw
                 else:
                     local.replications_performed += 1
-                    local.copies_produced += resolution.raw_replicas
+                    local.copies_produced += raw
             if resolution.replica_misses:
-                self.counters.table_misses += resolution.replica_misses
+                counters.table_misses += resolution.replica_misses
 
-        is_video = parse.packet_class is PacketClass.RTP_VIDEO
+        arrived_at = datagram.arrived_at
+        schedule = None if arrived_at is None else arrived_at + SWITCH_FORWARDING_DELAY_S
+
+        if not (resolution.has_adaptation and parse.is_video):
+            # no replica is rate-adapted: every target gets the ingress bytes
+            # unchanged, and under SRTP all replicas share one egress-protected
+            # buffer (same sharing as the per-target loop's protected_same)
+            addresses = resolution.addresses
+            if not addresses:
+                return result
+            out_view = view if srtp is None else PacketView(srtp.protect_egress(view.buf))
+            if datagram.meta:
+                meta = MappingProxyType(
+                    dict(datagram.meta, origin=datagram.src, origin_ssrc=ssrc)
+                )
+            else:
+                meta = resolution.meta_proxy
+                if meta is None:
+                    meta = resolution.meta_proxy = MappingProxyType(
+                        {"origin": datagram.src, "origin_ssrc": ssrc}
+                    )
+            base_copy = {
+                "src": self.sfu_address,
+                "dst": None,
+                "payload": out_view,
+                "size": size,
+                "kind": PayloadKind.RTP,
+                "sent_at": 0.0,
+                "arrived_at": schedule,
+                "meta": meta,
+            }.copy
+            new_datagram = Datagram.__new__
+            set_state = object.__setattr__
+            append = outputs.append
+            for address in addresses:
+                out = new_datagram(Datagram)
+                instance = base_copy()
+                instance["dst"] = address
+                set_state(out, "__dict__", instance)
+                append(out)
+            acc[4] += len(addresses)
+            return result
+
+        # rate-adapted video: per-replica rewrite decisions over the wire
+        # buffer (the stateful path, kept on the original per-target loop)
         template_id = parse.template_id
         frame_number = parse.frame_number if parse.frame_number is not None else 0
         sequence_number = -1  # decoded lazily: only rewritten flows need it
@@ -1068,14 +1342,12 @@ class PipelineDatapath:
             "src": self.sfu_address,
             "dst": None,
             "payload": view,
-            "size": datagram.size,
+            "size": size,
             "kind": PayloadKind.RTP,
             "sent_at": 0.0,
-            "arrived_at": self._egress_schedule(datagram),
+            "arrived_at": schedule,
             "meta": None,
         }
-        outputs = result.outputs
-        counters = self.counters
         trackers_read = self.trackers.read
         touched = self.touched_tracker_indices
         mint = Datagram.from_fields
@@ -1084,7 +1356,7 @@ class PipelineDatapath:
         protected_same: Optional[PacketView] = None
         for target, adaptation in resolution.targets:
             out_payload: Optional[PacketView] = view
-            if is_video and adaptation is not None:
+            if adaptation is not None:
                 forward = template_id is None or template_id in adaptation.allowed_templates
                 rewriter = trackers_read(adaptation.stream_index)
                 if rewriter is None:
@@ -1124,7 +1396,7 @@ class PipelineDatapath:
             instance_fields["payload"] = out_payload
             outputs.append(mint(instance_fields))
             replicas_out += 1
-        counters.replicas_out += replicas_out
+        acc[4] += replicas_out
         return result
 
     @staticmethod

@@ -236,6 +236,15 @@ class PacketReplicationEngine:
         self.replications_performed += 1
         self.copies_produced += copies
 
+    def note_replications(self, count: int, copies: int) -> None:
+        """Bulk :meth:`note_replication`: fold ``count`` memoized
+        replications that produced ``copies`` total copies in one call.  The
+        batch path accumulates cache-hit replays locally and folds them at
+        the batch boundary, so the counters advance exactly as ``count``
+        individual calls would have."""
+        self.replications_performed += count
+        self.copies_produced += copies
+
     # ------------------------------------------------------------------ helpers
 
     def _require_tree(self, mgid: int) -> MulticastTree:

@@ -60,6 +60,20 @@ ships whole wire buffers (workers must authenticate payload bytes), and
 ``encode_result_batch(..., replayable=False)`` routes media results through
 the pickled fallback because SRTP re-protection makes the coordinator's
 original bytes unable to stand in for worker egress.
+
+Both encoders assemble into a :class:`ShardBlobWriter` — a preallocated,
+grow-only ``bytearray`` that records pack straight into (``pack_into`` at a
+cursor, no per-record ``bytes`` temporaries beyond the payload slices
+themselves).  Callers that encode every batch (the process runner per shard
+coordinator-side, the worker loop result-side) hold one writer per shard and
+recycle it across batches, so steady state allocates one output ``bytes``
+per blob and nothing else.  To let the writer stream records without
+knowing the address table up front, blobs lay out as ``u32 count | u32
+body_len | body | addr table`` — the interner's table lands *after* the body
+and ``body_len`` backpatches into the header.  Encoder and decoder ship in
+this one module and travel together into workers via the control snapshot's
+import, so the layout is version-paired by construction; no cross-version
+blob ever decodes.
 """
 
 from __future__ import annotations
@@ -81,6 +95,7 @@ from ..rtp.rtcp import (
     serialize_compound,
 )
 from ..rtp.wire import PacketView, pack_rtp_header
+from ..rtp.wirebatch import replay_payloads
 from ..stun.message import StunMessage
 from .parser import PacketClass, ParseResult
 from .pipeline import SWITCH_FORWARDING_DELAY_S, PipelineResult
@@ -89,6 +104,7 @@ _U8 = struct.Struct("!B")
 _U16 = struct.Struct("!H")
 _U32 = struct.Struct("!I")
 _F64 = struct.Struct("!d")
+_BLOB_HDR = struct.Struct("!II")  # record count, body length (addr table after body)
 
 # Precompiled multi-field record structs for the hot encode/decode loops:
 # one struct call per record (or per replica) instead of a chain of
@@ -165,6 +181,56 @@ class _AddressInterner:
         return bytes(out)
 
 
+class ShardBlobWriter:
+    """Preallocated, grow-only encode buffer recycled across batches.
+
+    Records pack straight into the buffer at a cursor (``pack_into``), the
+    buffer doubles geometrically when a record would overflow it and never
+    shrinks, and :meth:`take` snapshots the written prefix as the outgoing
+    ``bytes`` in one slice copy.  One writer per shard, held by whoever
+    encodes every batch (the process runner on the coordinator, the worker
+    loop for results), turns steady-state encoding into zero-allocation
+    cursor writes plus the single unavoidable output copy.
+    """
+
+    __slots__ = ("buf", "cursor")
+
+    def __init__(self, initial: int = 1 << 16) -> None:
+        self.buf = bytearray(initial)
+        self.cursor = 0
+
+    def reset(self) -> None:
+        self.cursor = 0
+
+    def _reserve(self, n: int) -> bytearray:
+        """Grow (in place, at least doubling) until ``n`` more bytes fit."""
+        need = self.cursor + n
+        buf = self.buf
+        if need > len(buf):
+            buf += b"\x00" * max(need - len(buf), len(buf))
+        return buf
+
+    def pack(self, st: struct.Struct, *values) -> None:
+        size = st.size
+        st.pack_into(self._reserve(size), self.cursor, *values)
+        self.cursor += size
+
+    def write(self, data) -> None:
+        n = len(data)
+        buf = self._reserve(n)
+        cursor = self.cursor
+        buf[cursor : cursor + n] = data
+        self.cursor = cursor + n
+
+    def patch_u32(self, offset: int, value: int) -> None:
+        """Backpatch a u32 written earlier (the body-length header field)."""
+        _U32.pack_into(self.buf, offset, value)
+
+    def take(self) -> bytes:
+        """Snapshot the written prefix; the buffer stays for the next batch."""
+        return bytes(memoryview(self.buf)[: self.cursor])
+
+
 def _decode_addresses(blob: bytes, cursor: int) -> Tuple[List[Address], int]:
     (count,) = _U16.unpack_from(blob, cursor)
     cursor += 2
@@ -184,7 +250,10 @@ def _decode_addresses(blob: bytes, cursor: int) -> Tuple[List[Address], int]:
 
 
 def encode_ingress_batch(
-    datagrams: Sequence[Datagram], stats=None, full_payload: bool = False
+    datagrams: Sequence[Datagram],
+    stats=None,
+    full_payload: bool = False,
+    writer: Optional[ShardBlobWriter] = None,
 ) -> bytes:
     """Pack one shard partition into a single transport blob.
 
@@ -198,53 +267,65 @@ def encode_ingress_batch(
     truncated).  The process runner sets it when the control plane carries
     an SRTP profile: workers must see payload and auth tag to authenticate,
     so the header-only optimisation is off by construction there.
+
+    ``writer`` reuses a caller-held :class:`ShardBlobWriter` (one per shard,
+    recycled across batches) instead of allocating a fresh buffer per call.
     """
+    if writer is None:
+        writer = ShardBlobWriter(initial=1 << 12)
+    else:
+        writer.reset()
     interner = _AddressInterner()
-    body = bytearray()
-    rtp_rec = _ING_RTP_REC.pack
+    writer.pack(_BLOB_HDR, len(datagrams), 0)  # body_len backpatched below
+    intern = interner.intern
+    pack = writer.pack
+    write = writer.write
+    rtp_rec = _ING_RTP_REC
     for datagram in datagrams:
         payload = datagram.payload
-        src_id = interner.intern(datagram.src)
+        src_id = intern(datagram.src)
         if isinstance(payload, PacketView):
-            region = bytes(payload.buf) if full_payload else payload.header_bytes()
-            body += rtp_rec(_ING_RTP_HEADER, src_id, datagram.size, len(region))
-            body += region
+            region = payload.buf if full_payload else payload.header_bytes()
+            pack(rtp_rec, _ING_RTP_HEADER, src_id, datagram.size, len(region))
+            write(region)
         elif isinstance(payload, RtpPacket):
             header = pack_rtp_header(payload)
-            body += rtp_rec(_ING_RTP_HEADER, src_id, datagram.size, len(header))
-            body += header
+            pack(rtp_rec, _ING_RTP_HEADER, src_id, datagram.size, len(header))
+            write(header)
         elif isinstance(payload, bytes):
-            body += _ING_CTRL_PREFIX.pack(_ING_RAW_BYTES, src_id, datagram.size)
-            body += _encode_arrival(datagram.arrived_at)
-            body += _U32.pack(len(payload))
-            body += payload
+            pack(_ING_CTRL_PREFIX, _ING_RAW_BYTES, src_id, datagram.size)
+            write(_encode_arrival(datagram.arrived_at))
+            pack(_U32, len(payload))
+            write(payload)
         elif isinstance(payload, (tuple, list)) and payload and all(
             isinstance(packet, _RTCP_WIRE_TYPES) for packet in payload
         ):
             # RTCP compound: ship the real wire format, not a pickled tuple
             compound = serialize_compound(payload)
-            body += _ING_CTRL_PREFIX.pack(_ING_RTCP_COMPOUND, src_id, datagram.size)
-            body += _encode_arrival(datagram.arrived_at)
-            body += _U32.pack(len(compound))
-            body += compound
+            pack(_ING_CTRL_PREFIX, _ING_RTCP_COMPOUND, src_id, datagram.size)
+            write(_encode_arrival(datagram.arrived_at))
+            pack(_U32, len(compound))
+            write(compound)
         elif isinstance(payload, StunMessage):
             # STUN crosses as its real wire format too (the last ingress
             # record type that used to ride per-record pickle)
             wire = payload.serialize()
-            body += _ING_CTRL_PREFIX.pack(_ING_STUN, src_id, datagram.size)
-            body += _encode_arrival(datagram.arrived_at)
-            body += _U32.pack(len(wire))
-            body += wire
+            pack(_ING_CTRL_PREFIX, _ING_STUN, src_id, datagram.size)
+            write(_encode_arrival(datagram.arrived_at))
+            pack(_U32, len(wire))
+            write(wire)
         else:
             # whitelisted fallback: exotic payload types only, and counted
             if stats is not None:
                 stats.pickle_fallback_records += 1
             blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-            body += _ING_CTRL_PREFIX.pack(_ING_PICKLED, src_id, datagram.size)
-            body += _encode_arrival(datagram.arrived_at)
-            body += _U32.pack(len(blob))
-            body += blob
-    return _U32.pack(len(datagrams)) + interner.encode() + bytes(body)
+            pack(_ING_CTRL_PREFIX, _ING_PICKLED, src_id, datagram.size)
+            write(_encode_arrival(datagram.arrived_at))
+            pack(_U32, len(blob))
+            write(blob)
+    writer.patch_u32(4, writer.cursor - _BLOB_HDR.size)
+    write(interner.encode())
+    return writer.take()
 
 
 def _encode_arrival(arrived_at: Optional[float]) -> bytes:
@@ -271,8 +352,9 @@ def decode_ingress_batch(blob: bytes, dst: Address) -> List[Datagram]:
     is the SFU's own address (ingress datagrams are always addressed to it,
     and the datapath never reads it).
     """
-    (count,) = _U32.unpack_from(blob, 0)
-    addresses, cursor = _decode_addresses(blob, 4)
+    count, body_len = _BLOB_HDR.unpack_from(blob, 0)
+    cursor = _BLOB_HDR.size
+    addresses, _end = _decode_addresses(blob, cursor + body_len)
     datagrams: List[Datagram] = []
     mint = Datagram.from_fields
     rtp_kind = PayloadKind.RTP
@@ -341,6 +423,7 @@ def encode_result_batch(
     results: Sequence[PipelineResult],
     inputs: Sequence[Datagram],
     replayable: bool = True,
+    writer: Optional[ShardBlobWriter] = None,
 ) -> Tuple[bytes, bytes]:
     """Pack a shard's results as rewrite descriptions against ``inputs``.
 
@@ -358,8 +441,14 @@ def encode_result_batch(
     records (RTCP sender replication, feedback fan-out) still pack, since
     their payloads really are the ingress objects.
     """
+    if writer is None:
+        writer = ShardBlobWriter(initial=1 << 12)
+    else:
+        writer.reset()
     interner = _AddressInterner()
-    body = bytearray()
+    writer.pack(_BLOB_HDR, len(results), 0)  # body_len backpatched below
+    pack = writer.pack
+    write = writer.write
     fallbacks: List[PipelineResult] = []
     for result, ingress in zip(results, inputs):
         if result.parse.packet_class is PacketClass.RTCP_FEEDBACK:
@@ -369,12 +458,14 @@ def encode_result_batch(
             packed = _try_pack_result(result, ingress, interner, replayable)
             tag = _RES_PACKED
         if packed is None:
-            body += _U8.pack(_RES_PICKLED)
+            pack(_U8, _RES_PICKLED)
             fallbacks.append(result)
         else:
-            body += _U8.pack(tag)
-            body += packed
-    blob = _U32.pack(len(results)) + interner.encode() + bytes(body)
+            pack(_U8, tag)
+            write(packed)
+    writer.patch_u32(4, writer.cursor - _BLOB_HDR.size)
+    write(interner.encode())
+    blob = writer.take()
     fallback_blob = pickle.dumps(fallbacks, protocol=pickle.HIGHEST_PROTOCOL)
     return blob, fallback_blob
 
@@ -506,8 +597,9 @@ def decode_result_batch(
 
     fallbacks: List[PipelineResult] = pickle.loads(fallback_blob)
     fallback_iter = iter(fallbacks)
-    (count,) = _U32.unpack_from(blob, 0)
-    addresses, cursor = _decode_addresses(blob, 4)
+    count, body_len = _BLOB_HDR.unpack_from(blob, 0)
+    cursor = _BLOB_HDR.size
+    addresses, _end = _decode_addresses(blob, cursor + body_len)
     results: List[PipelineResult] = []
     mint = Datagram.from_fields
     rtp_kind = PayloadKind.RTP
@@ -626,6 +718,31 @@ def decode_result_batch(
                         shared_meta = meta_cache[meta_key] = MappingProxyType(
                             {"origin": ingress.src, "origin_ssrc": ssrc}
                         )
+                # decode the replica descriptors into parallel dst/seq lists
+                # (-1 marks an unrewritten alias of the ingress payload) ...
+                dsts: List[Address] = []
+                seqs: List[int] = []
+                for _ in range(n_outputs):
+                    dst_id, has_seq = out_hdr(blob, cursor)
+                    cursor += 3
+                    dsts.append(addresses[dst_id])
+                    if has_seq:
+                        (seq,) = _U16.unpack_from(blob, cursor)
+                        cursor += 2
+                        seqs.append(seq)
+                    else:
+                        seqs.append(-1)
+                # ... then mint the payloads in one batched pass: wire
+                # records go through the columnar bulk replay (one buffer
+                # copy + seq patch per rewritten replica, aliasing for the
+                # rest), object records through the dataclass rewrite
+                if isinstance(payload, PacketView):
+                    payloads = replay_payloads(payload, seqs)
+                else:
+                    payloads = [
+                        payload if seq < 0 else payload.with_sequence_number(seq)
+                        for seq in seqs
+                    ]
                 fields = {
                     "src": sfu_address,
                     "dst": None,
@@ -637,15 +754,10 @@ def decode_result_batch(
                     "meta": shared_meta,
                 }
                 outputs = result.outputs
-                for _ in range(n_outputs):
-                    dst_id, has_seq = out_hdr(blob, cursor)
-                    cursor += 3
+                for dst, out_payload in zip(dsts, payloads):
                     instance = dict(fields)
-                    instance["dst"] = addresses[dst_id]
-                    if has_seq:
-                        (seq,) = _U16.unpack_from(blob, cursor)
-                        cursor += 2
-                        instance["payload"] = payload.with_sequence_number(seq)
+                    instance["dst"] = dst
+                    instance["payload"] = out_payload
                     outputs.append(mint(instance))
             else:
                 # sender-side RTCP replication: every replica shares the

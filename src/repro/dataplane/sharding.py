@@ -81,13 +81,14 @@ from __future__ import annotations
 import pickle
 import threading
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from queue import SimpleQueue
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..netsim.datagram import Address, Datagram
 from ..rtp.packet import RtpPacket
 from ..rtp.wire import PacketView
+from ..rtp.wirebatch import WireBatchView
 from .loadstats import FlowKey, FlowLoadTracker
 from .rebalance import MigrationPlan, RebalancerConfig, ShardRebalancer
 from .pipeline import (
@@ -104,6 +105,7 @@ from .resources import (
 )
 from .sanitize import IsolationViolation, resolve_sanitize
 from .shardcodec import (
+    ShardBlobWriter,
     decode_ingress_batch,
     decode_result_batch,
     decode_tracker_updates,
@@ -327,6 +329,9 @@ class _WorkerShardState:
     stamp: Tuple[int, ...]
     control: PipelineControlPlane
     datapath: PipelineDatapath
+    #: Result-encode buffer recycled across this worker's batches (the
+    #: worker-side twin of the runner's per-shard ingress writers).
+    result_writer: ShardBlobWriter = dataclass_field(default_factory=ShardBlobWriter)
 
 
 def _worker_process_batch(
@@ -385,7 +390,8 @@ def _worker_process_batch(
     # never expressible as (dst, seq) rewrite replays of the originals the
     # coordinator kept — force the per-record fallback encoding instead
     results_blob, fallback_blob = encode_result_batch(
-        results, datagrams, replayable=state.control.srtp is None
+        results, datagrams, replayable=state.control.srtp is None,
+        writer=state.result_writer,
     )
 
     trackers = state.control.stream_trackers
@@ -468,6 +474,11 @@ class ProcessShardRunner:
         #: its next batch (flows migrated onto that shard since its last
         #: dispatch); drained into a packed tracker-image blob per dispatch.
         self._pending_migrations: List[Set[int]] = [set() for _ in range(engine.n_shards)]
+        #: Per-shard ingress-encode buffers recycled across batches: steady
+        #: state packs every batch into an already-sized bytearray.
+        self._encode_writers: List[ShardBlobWriter] = [
+            ShardBlobWriter() for _ in range(engine.n_shards)
+        ]
         self.transport = ShardTransportStats()
 
     def on_flow_migrated(self, src: Address, ssrc: int, to_shard: int) -> None:
@@ -495,6 +506,12 @@ class ProcessShardRunner:
         transport = self.transport
         futures: Dict[int, object] = {}
         trackers = engine.control.stream_trackers
+        # stage profile: the codec passes run on the coordinator thread
+        # inside the dispatch window; time them separately so the Amdahl
+        # serial fraction can attribute them (profile is the engine's
+        # CoordinatorStats, or None for the uninstrumented default)
+        profile = engine.coordinator_stats
+        clock = profile.clock if profile is not None else None
         for shard_id, partition in enumerate(partitions):
             if not partition:
                 continue
@@ -522,9 +539,20 @@ class ProcessShardRunner:
                 pending.clear()
             # srtp workers must authenticate and decrypt, so they need the
             # full wire bytes; plain workers read only the header region
-            batch_blob = encode_ingress_batch(
-                partition, stats=transport, full_payload=engine.control.srtp is not None
-            )
+            if clock is None:
+                batch_blob = encode_ingress_batch(
+                    partition, stats=transport,
+                    full_payload=engine.control.srtp is not None,
+                    writer=self._encode_writers[shard_id],
+                )
+            else:
+                e0 = clock()
+                batch_blob = encode_ingress_batch(
+                    partition, stats=transport,
+                    full_payload=engine.control.srtp is not None,
+                    writer=self._encode_writers[shard_id],
+                )
+                profile.encode_ns += clock() - e0
             transport.batches += 1
             transport.batch_bytes_out += len(batch_blob)
             futures[shard_id] = self._executor(shard_id).submit(
@@ -537,10 +565,18 @@ class ProcessShardRunner:
             )
             transport.result_bytes_in += len(results_blob) + len(fallback_blob)
             transport.tracker_bytes_in += len(tracker_blob)
-            all_results[shard_id] = decode_result_batch(
-                results_blob, fallback_blob, partitions[shard_id], engine.sfu_address,
-                stats=transport,
-            )
+            if clock is None:
+                all_results[shard_id] = decode_result_batch(
+                    results_blob, fallback_blob, partitions[shard_id], engine.sfu_address,
+                    stats=transport,
+                )
+            else:
+                r0 = clock()
+                all_results[shard_id] = decode_result_batch(
+                    results_blob, fallback_blob, partitions[shard_id], engine.sfu_address,
+                    stats=transport,
+                )
+                profile.replay_ns += clock() - r0
             shard = engine.shards[shard_id]
             shard.counters.merge(counters)
             parser = shard.parser
@@ -624,10 +660,24 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         self._bind_control_api()
 
         self._flow_shard_cache: Dict[Tuple[Address, int], int] = {}
+        #: Memoized CRC32 of each flow's canonical string.  Placement-blind,
+        #: so it survives migration-driven cache drops: the per-flow f-string
+        #: encode + crc is paid once per engine lifetime, not once per
+        #: placement epoch (bounded like the routing cache).
+        self._crc_cache: Dict[Tuple[Address, int], int] = {}
+        #: Flows with a placement-table exception; rebuilt on version bump so
+        #: the partitioner consults the placement dict only for pinned flows
+        #: and default-routed flows stay on the pure CRC path.
+        self._pinned_flows: Set[Tuple[Address, int]] = set()
         #: Placement-table generation the flow-routing cache was built at;
         #: a migration bumps the table version and the cache drops wholesale
         #: at the next batch boundary (two-level lookups are cheap to rebuild).
         self._placement_version = self.control.placement_table.version
+        self._rebuild_pinned_flows()
+        #: Optional Amdahl stage profile (attach a
+        #: :class:`repro.experiments.coordstats.CoordinatorStats`); ``None``
+        #: keeps the data path free of timing instrumentation.
+        self.coordinator_stats = None
         if executor == "process":
             self._runner = ProcessShardRunner(self)
         elif executor == "thread":
@@ -656,7 +706,7 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         pinned = self.control.placement_table.peek((src, ssrc))
         if pinned is not None and 0 <= pinned < self.n_shards:
             return pinned
-        return flow_shard(src, ssrc, self.n_shards)
+        return self._crc_shard(src, ssrc)
 
     #: Bound on the flow->shard cache (junk traffic must not grow it forever).
     FLOW_SHARD_CACHE_LIMIT = 1 << 16
@@ -672,25 +722,52 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         ssrc = payload.ssrc if isinstance(payload, (RtpPacket, PacketView)) else -1
         return (datagram.src, ssrc)
 
+    def _crc_shard(self, src: Address, ssrc: int) -> int:
+        """CRC32 default shard, served from the memoized per-flow hash.
+
+        Identical to :func:`flow_shard` for every flow (asserted in
+        ``tests/test_wirebatch.py``): only the f-string encode + CRC is
+        memoized, the modulus is applied on read.
+        """
+        key = (src, ssrc)
+        cache = self._crc_cache
+        crc = cache.get(key)
+        if crc is None:
+            if len(cache) >= self.FLOW_SHARD_CACHE_LIMIT:
+                cache.clear()
+            crc = cache[key] = zlib.crc32(f"{src.ip}:{src.port}/{ssrc}".encode("ascii"))
+        return crc % self.n_shards
+
     def _shard_of_key(self, key: Tuple[Address, int]) -> int:
         shard = self._flow_shard_cache.get(key)
         if shard is None:
             if len(self._flow_shard_cache) >= self.FLOW_SHARD_CACHE_LIMIT:
                 self._flow_shard_cache.clear()
-            shard = self.shard_for_flow(key[0], key[1])
+            if key in self._pinned_flows:
+                # placement exception: consult the table (validated bounds)
+                shard = self.shard_for_flow(key[0], key[1])
+            else:
+                # default route: pure CRC, the placement dict is never probed
+                shard = self._crc_shard(key[0], key[1])
             self._flow_shard_cache[key] = shard
         return shard
 
     def _shard_of(self, datagram: Datagram) -> int:
         return self._shard_of_key(self._flow_key(datagram))
 
+    def _rebuild_pinned_flows(self) -> None:
+        self._pinned_flows = {key for key, _shard in self.control.placement_table.entries()}
+
     def _sync_placement_cache(self) -> None:
         """Drop the flow-routing cache if the placement table moved (its
         version stamps every migration, exactly like the match-action
-        tables' write generations stamp datapath caches)."""
+        tables' write generations stamp datapath caches).  The pinned-flow
+        set rebuilds from the same trigger; the CRC memo is placement-blind
+        and survives."""
         version = self.control.placement_table.version
         if version != self._placement_version:
             self._flow_shard_cache.clear()
+            self._rebuild_pinned_flows()
             self._placement_version = version
 
     def _charge_scope_for_ssrc(self, sender_ssrc: int) -> Optional[ShardResourceAccountant]:
@@ -744,39 +821,83 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         results are complete, so a flow is never split across shards within
         one batch and outputs stay byte-identical across placement changes.
         """
+        stats = self.coordinator_stats
         if self.n_shards == 1 and isinstance(self._runner, SerialShardRunner):
-            return self.shards[0].process_batch(datagrams)
+            if stats is None:
+                return self.shards[0].process_batch(datagrams)
+            # single-shard serial has no partition/reassemble work: the whole
+            # burst is one dispatch
+            clock = stats.clock
+            t0 = clock()
+            results = self.shards[0].process_batch(datagrams)
+            stats.dispatch_ns += clock() - t0
+            stats.note_batch(len(datagrams))
+            return results
+        clock = stats.clock if stats is not None else None
+        t0 = clock() if clock is not None else 0
         self._sync_placement_cache()
+        # Columnar partition: one bulk pass lifts src/ssrc off every record,
+        # then bucketing runs on per-burst interned ints.  The burst-local
+        # memo resolves each unique (source, ssrc) pair exactly once per
+        # burst — Address hashing and the engine-level caches are consulted
+        # per flow, not per packet.
+        view = WireBatchView.from_datagrams(datagrams)
+        sources = view.sources
+        src_index = view.src_index
+        ssrc_col = view.ssrc
+        shard_of_key = self._shard_of_key
         partitions: List[List[Datagram]] = [[] for _ in range(self.n_shards)]
         slots: List[List[int]] = [[] for _ in range(self.n_shards)]
         tracker = self.load_tracker
         if tracker is None:
-            shard_of = self._shard_of
+            burst_shards: Dict[Tuple[int, int], int] = {}
+            get_shard = burst_shards.get
             for index, datagram in enumerate(datagrams):
-                shard = shard_of(datagram)
+                bkey = (src_index[index], ssrc_col[index])
+                shard = get_shard(bkey)
+                if shard is None:
+                    shard = burst_shards[bkey] = shard_of_key(
+                        (sources[bkey[0]], bkey[1])
+                    )
                 partitions[shard].append(datagram)
                 slots[shard].append(index)
         else:
-            flow_key = self._flow_key
-            shard_of_key = self._shard_of_key
+            # telemetry folds into the same pass: per-flow packet counts and
+            # owner shards accumulate as the burst buckets, keyed by the same
+            # burst-local memo (one flow-key tuple built per flow per burst)
+            resolved: Dict[Tuple[int, int], Tuple[FlowKey, int]] = {}
+            get_resolved = resolved.get
             flow_counts: Dict[FlowKey, int] = {}
             flow_shards: Dict[FlowKey, int] = {}
             #: flow key of every partitioned datagram, parallel to the
             #: partitions, so the post-run replica tally needs no re-hash
             keys_by_shard: List[List[FlowKey]] = [[] for _ in range(self.n_shards)]
             for index, datagram in enumerate(datagrams):
-                key = flow_key(datagram)
-                shard = shard_of_key(key)
+                bkey = (src_index[index], ssrc_col[index])
+                entry = get_resolved(bkey)
+                if entry is None:
+                    fkey = (sources[bkey[0]], bkey[1])
+                    shard = shard_of_key(fkey)
+                    resolved[bkey] = (fkey, shard)
+                    flow_counts[fkey] = 1
+                    flow_shards[fkey] = shard
+                else:
+                    fkey, shard = entry
+                    flow_counts[fkey] += 1
                 partitions[shard].append(datagram)
                 slots[shard].append(index)
-                keys_by_shard[shard].append(key)
-                count = flow_counts.get(key)
-                if count is None:
-                    flow_counts[key] = 1
-                    flow_shards[key] = shard
-                else:
-                    flow_counts[key] = count + 1
+                keys_by_shard[shard].append(fkey)
+        if clock is not None:
+            t1 = clock()
+            stats.partition_ns += t1 - t0
+        else:
+            t1 = 0
         shard_results = self._runner.run_batches(partitions)
+        if clock is not None:
+            t2 = clock()
+            stats.dispatch_ns += t2 - t1
+        else:
+            t2 = 0
         results: List[Optional[PipelineResult]] = [None] * len(datagrams)
         for shard, indices in enumerate(slots):
             for slot, result in zip(indices, shard_results[shard]):
@@ -793,6 +914,9 @@ class ShardedScallopPipeline(ControlPlaneFacade):
                         flow_replicas[key] = flow_replicas.get(key, 0) + replicas
             tracker.observe_batch(flow_counts, flow_shards, flow_replicas)
             self._maybe_rebalance()
+        if clock is not None:
+            stats.reassemble_ns += clock() - t2
+            stats.note_batch(len(datagrams))
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ placement control loop

@@ -18,6 +18,7 @@ compatibility (see :mod:`repro.experiments.runner`).
 """
 
 from .runner import MeetingSetupConfig, Testbed, add_participant, build_scallop_testbed, build_software_testbed
+from .coordstats import CoordinatorStats
 from .batch_throughput import (
     BatchThroughputPoint,
     ParallelismPoint,
@@ -30,6 +31,7 @@ from .batch_throughput import (
     format_rebalance_point,
     format_shard_sweep,
     gil_enabled,
+    measure_coordinator_profile,
     measure_parallelism_crossover,
     measure_parallelism_point,
     measure_rebalance_point,
@@ -91,6 +93,7 @@ __all__ = [
     "build_scallop_testbed",
     "build_software_testbed",
     "BatchThroughputPoint",
+    "CoordinatorStats",
     "ParallelismPoint",
     "RebalancePoint",
     "ShardThroughputPoint",
@@ -101,6 +104,7 @@ __all__ = [
     "format_rebalance_point",
     "format_shard_sweep",
     "gil_enabled",
+    "measure_coordinator_profile",
     "measure_parallelism_crossover",
     "measure_parallelism_point",
     "measure_rebalance_point",

@@ -40,6 +40,7 @@ from ..netsim.datagram import Address, Datagram
 from ..rtp.srtp import SrtpProfile
 from ..rtp.wire import PacketView
 from ..webrtc.encoder import RtpPacketizer, SvcEncoder
+from .coordstats import CoordinatorStats
 
 SFU_ADDRESS = Address("10.0.0.1", 5000)
 
@@ -300,6 +301,51 @@ def run_shard_throughput_sweep(
         )
         for k in shard_counts
     ]
+
+
+def measure_coordinator_profile(
+    n_shards: int = 4,
+    num_meetings: int = 50,
+    participants: int = 8,
+    frames: int = 12,
+    executors: Sequence[str] = ("serial", "process"),
+    wire_native: bool = True,
+    warmup_packets: int = 64,
+) -> Dict[str, Dict[str, object]]:
+    """Amdahl stage profile of the sharded coordinator loop, per executor.
+
+    Attaches a :class:`~repro.experiments.coordstats.CoordinatorStats` to a
+    fresh engine, runs the standard multi-meeting burst once (after warmup,
+    GC deferred like every timing here), and returns each executor's
+    ``as_dict()`` stage breakdown — partition / encode / dispatch / replay /
+    reassemble ns, per-packet rates, and the serial-fraction estimate.  The
+    serial executor has no codec stages (encode/replay stay 0); the process
+    executor shows the full five-stage split.
+    """
+    profiles: Dict[str, Dict[str, object]] = {}
+    for executor in executors:
+        engine = ShardedScallopPipeline(SFU_ADDRESS, n_shards=n_shards, executor=executor)
+        try:
+            engine, senders = build_meeting_pipeline(
+                num_meetings, participants, pipeline=engine
+            )
+            traffic = media_ingress(senders, frames, wire_native=wire_native)
+            if warmup_packets:
+                engine.process_batch(traffic[:warmup_packets])
+            stats = CoordinatorStats()
+            engine.coordinator_stats = stats
+            gc.collect()
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                engine.process_batch(traffic)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            profiles[executor] = stats.as_dict()
+        finally:
+            engine.close()
+    return profiles
 
 
 # --------------------------------------------------------------------------- executor parallelism / Amdahl crossover

@@ -32,6 +32,21 @@ class Address:
     def __str__(self) -> str:
         return f"{self.ip}:{self.port}"
 
+    def __hash__(self) -> int:
+        # The datapath probes a dict keyed on (src, ssrc) once per packet, so
+        # the generated field-tuple hash is memoized on the instance.  The
+        # cache never crosses a process boundary: __reduce__ rebuilds a
+        # pickled address from its fields alone, so a hash computed under one
+        # process's string-hash seed is never replayed under another's.
+        state = self.__dict__
+        cached = state.get("_hash")
+        if cached is None:
+            cached = state["_hash"] = hash((self.ip, self.port))
+        return cached
+
+    def __reduce__(self):
+        return (Address, (self.ip, self.port))
+
 
 class PayloadKind(str, Enum):
     """Coarse payload classification (what the data plane's lookahead sees)."""

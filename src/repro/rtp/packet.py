@@ -117,7 +117,12 @@ class RtpPacket:
     @property
     def size(self) -> int:
         """Total serialized size in bytes."""
-        return self.header_length + len(self.payload)
+        # header_length inlined: one property frame instead of two on the
+        # replica fan-out path, which stamps this on every media packet
+        length = RTP_HEADER_LEN + 4 * len(self.csrcs) + len(self.payload)
+        if self.extension is not None:
+            length += 4 + len(self.extension.data)
+        return length
 
     def is_audio(self) -> bool:
         return self.payload_type == PT_AUDIO_OPUS

@@ -291,9 +291,18 @@ class PacketView:
 
     def with_sequence_number(self, seq: int) -> "PacketView":
         """Copy the buffer once and patch the sequence number in place —
-        the wire path's replacement for ``RtpPacket.with_sequence_number``."""
-        copy = PacketView(bytearray(self.buf))
-        _U16.pack_into(copy.buf, 2, seq % SEQ_MOD)
+        the wire path's replacement for ``RtpPacket.with_sequence_number``.
+
+        The copy skips ``__init__`` (the source view already validated the
+        buffer, and patching two bytes at a fixed offset cannot invalidate
+        it) and inherits the cached header length, so per-replica rewriting
+        costs one buffer copy and one ``pack_into``.
+        """
+        buf = bytearray(self.buf)
+        _U16.pack_into(buf, 2, seq % SEQ_MOD)
+        copy = PacketView.__new__(PacketView)
+        copy.buf = buf
+        copy._header_len = self._header_len
         return copy
 
     def with_ssrc(self, ssrc: int) -> "PacketView":

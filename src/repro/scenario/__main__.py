@@ -54,6 +54,11 @@ def main(argv=None) -> int:
         default=None,
         help="override the backend shard executor (serial, thread, or process)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the coordinator Amdahl stage table (sharded backends only)",
+    )
     parser.add_argument("--list", action="store_true", help="list the scenario library")
     args = parser.parse_args(argv)
 
@@ -77,8 +82,23 @@ def main(argv=None) -> int:
         )
 
     with build_scenario(scenario) as run:
+        stats = None
+        if args.profile:
+            pipeline = getattr(run.sfu, "pipeline", None)
+            if pipeline is not None and hasattr(pipeline, "coordinator_stats"):
+                from ..experiments.coordstats import CoordinatorStats
+
+                stats = pipeline.coordinator_stats = CoordinatorStats()
+            else:
+                print(
+                    "--profile: backend is not a sharded engine, no coordinator to profile",
+                    file=sys.stderr,
+                )
         run.run()
         _print_run(run)
+        if stats is not None:
+            print()
+            print(stats.format_table())
         problems = run.reconcile()
     if problems:
         print("RECONCILIATION FAILED:", file=sys.stderr)

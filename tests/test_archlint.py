@@ -375,6 +375,47 @@ class TestWireHygieneRule:
         )
         assert not findings
 
+    def test_wirebatch_module_is_fast_path_everywhere(self):
+        # the columnar module has no non-fast-path scope: construction and
+        # conversion flag in any function, not just _process_media_wire names
+        findings = lint(
+            """
+            def from_datagrams(datagrams):
+                return [RtpPacket(ssrc=1, seq=0) for _ in datagrams]
+
+            def replay_payloads(view, seqs):
+                return [view.to_packet() for _ in seqs]
+            """,
+            module="repro.rtp.wirebatch",
+            rules=self.RULES,
+        )
+        assert len([finding for finding in findings if finding.is_new]) == 2
+        assert new_rules(findings) == ["wire-hygiene"]
+
+    def test_wirebatch_attribute_reads_are_clean(self):
+        # object rows read already-decoded RtpPacket attributes — that is
+        # the sanctioned cheap path, only construction/conversion is flagged
+        findings = lint(
+            """
+            def from_datagrams(datagrams):
+                return [d.payload.ssrc for d in datagrams]
+            """,
+            module="repro.rtp.wirebatch",
+            rules=self.RULES,
+        )
+        assert not findings
+
+    def test_same_functions_outside_wirebatch_are_out_of_scope(self):
+        findings = lint(
+            """
+            def from_datagrams(datagrams):
+                return [RtpPacket(ssrc=1, seq=0) for _ in datagrams]
+            """,
+            module="repro.rtp.codecs",
+            rules=self.RULES,
+        )
+        assert not findings
+
 
 # --------------------------------------------------------------------------- suppression mechanics
 
@@ -453,6 +494,17 @@ class TestEndToEnd:
         report = run_paths([str(fixture)])
         tripped = {finding.rule for finding in report.new}
         assert tripped == {rule.name for rule in ALL_RULES}
+
+    def test_wirebatch_fixture_trips_wire_hygiene(self):
+        # proves the extended jurisdiction bites: the fixture impersonates
+        # repro.rtp.wirebatch via the module override and must produce both
+        # a construction and a conversion finding
+        fixture = REPO_ROOT / "tools" / "archlint" / "fixtures" / "violating_wirebatch.py"
+        report = run_paths([str(fixture)])
+        assert {finding.rule for finding in report.new} == {"wire-hygiene"}
+        messages = [finding.message for finding in report.new]
+        assert any("constructs RtpPacket" in message for message in messages)
+        assert any("to_packet" in message for message in messages)
 
     def test_cli_exit_codes(self):
         clean = subprocess.run(

@@ -1,0 +1,349 @@
+"""Property tests for the columnar burst view (`repro.rtp.wirebatch`).
+
+Three layers of guarantees:
+
+1. **Bulk extraction is field-identical to per-packet accessors**: for any
+   mixed burst (wire ``PacketView`` rows across random headers, CSRC lists,
+   extensions, and padding; decoded ``RtpPacket`` rows; raw/control rows),
+   every :class:`~repro.rtp.wirebatch.WireBatchView` column equals the value
+   the per-packet accessor would have returned — the contract the module
+   docstring promises.
+2. **Bulk mutators match their per-packet counterparts**:
+   ``set_sequence_numbers`` patches buffer and column together (and refuses
+   non-wire rows); ``replay_payloads`` aliases unrewritten replicas and
+   mints byte-identical copies to ``PacketView.with_sequence_number``.
+3. **The memoized flow-key cache never changes a routing decision**: the
+   partitioner's ``_crc_shard`` is asserted identical to the module-level
+   :func:`~repro.dataplane.sharding.flow_shard`, and ``_shard_of_key``
+   identical to ``shard_for_flow``, for pinned and unpinned flows, before
+   and after live migrations (the assertion ``_crc_shard``'s docstring
+   points at).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane.sharding import ShardedScallopPipeline, flow_shard
+from repro.netsim.datagram import Address, Datagram
+from repro.rtp.extensions import ExtensionElement, encode_extensions
+from repro.rtp.packet import SEQ_MOD, RtpHeaderExtension, RtpPacket
+from repro.rtp.wire import PacketView
+from repro.rtp.wirebatch import (
+    RECORD_OBJECT,
+    RECORD_OTHER,
+    RECORD_WIRE,
+    WireBatchView,
+    replay_payloads,
+)
+
+SFU = Address("10.0.0.1", 5000)
+
+
+# --------------------------------------------------------------------------- strategies
+
+extension_elements = st.lists(
+    st.builds(
+        ExtensionElement,
+        ext_id=st.integers(min_value=1, max_value=30),
+        data=st.binary(min_size=1, max_size=24),
+    ),
+    min_size=1,
+    max_size=3,
+    unique_by=lambda e: e.ext_id,
+)
+
+
+@st.composite
+def rtp_packets(draw):
+    """Random RTP packets spanning CSRCs, extension profiles, and padding."""
+    extension = None
+    if draw(st.booleans()):
+        extension = encode_extensions(draw(extension_elements))
+    return RtpPacket(
+        ssrc=draw(st.integers(min_value=0, max_value=2**32 - 1)),
+        sequence_number=draw(st.integers(min_value=0, max_value=SEQ_MOD - 1)),
+        timestamp=draw(st.integers(min_value=0, max_value=2**32 - 1)),
+        payload_type=draw(st.integers(min_value=0, max_value=127)),
+        marker=draw(st.booleans()),
+        padding=draw(st.booleans()),
+        csrcs=tuple(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=2**32 - 1),
+                    min_size=0,
+                    max_size=4,
+                )
+            )
+        ),
+        extension=extension,
+        payload=draw(st.binary(min_size=0, max_size=64)),
+    )
+
+
+addresses = st.builds(
+    Address,
+    ip=st.sampled_from([f"10.1.0.{host}" for host in range(1, 7)]),
+    port=st.sampled_from([4000, 4001, 4002]),
+)
+
+#: One burst row: an RTP packet plus how it rides the wire (``"wire"`` =
+#: serialized ``PacketView``, ``"object"`` = decoded dataclass), or a raw
+#: non-RTP payload (``"other"``).
+burst_rows = st.lists(
+    st.one_of(
+        st.tuples(st.just("wire"), addresses, rtp_packets()),
+        st.tuples(st.just("object"), addresses, rtp_packets()),
+        st.tuples(
+            st.just("other"), addresses, st.binary(min_size=1, max_size=40)
+        ),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def build_burst(rows):
+    datagrams = []
+    for kind, src, body in rows:
+        if kind == "wire":
+            payload = PacketView(bytearray(body.serialize()))
+        else:
+            payload = body
+        datagrams.append(Datagram(src=src, dst=SFU, payload=payload))
+    return datagrams
+
+
+# --------------------------------------------------------------------------- extraction
+
+
+class TestColumnarExtraction:
+    @given(rows=burst_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_columns_match_per_packet_accessors(self, rows):
+        datagrams = build_burst(rows)
+        view = WireBatchView.from_datagrams(datagrams)
+        assert len(view) == len(datagrams)
+        assert view.datagrams is datagrams
+        for index, datagram in enumerate(datagrams):
+            assert view.sources[view.src_index[index]] == datagram.src
+            assert view.wire_size[index] == datagram.size
+            payload = datagram.payload
+            if isinstance(payload, PacketView):
+                assert view.kinds[index] == RECORD_WIRE
+                assert view.ssrc[index] == payload.ssrc
+                assert view.seq[index] == payload.sequence_number
+                assert view.pt[index] == payload.payload_type
+                assert view.marker[index] == (1 if payload.marker else 0)
+            elif isinstance(payload, RtpPacket):
+                assert view.kinds[index] == RECORD_OBJECT
+                assert view.ssrc[index] == payload.ssrc
+                assert view.seq[index] == payload.sequence_number
+                assert view.pt[index] == payload.payload_type
+                assert view.marker[index] == (1 if payload.marker else 0)
+            else:
+                assert view.kinds[index] == RECORD_OTHER
+                assert view.ssrc[index] == -1
+                assert view.seq[index] == -1
+                assert view.pt[index] == -1
+                assert view.marker[index] == 0
+
+    @given(rows=burst_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_sources_are_interned_per_burst(self, rows):
+        datagrams = build_burst(rows)
+        view = WireBatchView.from_datagrams(datagrams)
+        # every distinct source appears exactly once, in first-seen order
+        assert len(set(view.sources)) == len(view.sources)
+        seen = []
+        for datagram in datagrams:
+            if datagram.src not in seen:
+                seen.append(datagram.src)
+        assert view.sources == seen
+
+    def test_empty_burst(self):
+        view = WireBatchView.from_datagrams([])
+        assert len(view) == 0
+        assert view.sources == []
+
+
+# --------------------------------------------------------------------------- bulk mutators
+
+
+class TestSetSequenceNumbers:
+    @given(
+        rows=burst_rows,
+        seq_seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_patches_buffer_and_column_together(self, rows, seq_seed):
+        datagrams = build_burst(rows)
+        view = WireBatchView.from_datagrams(datagrams)
+        rng = random.Random(seq_seed)
+        wire_rows = [i for i in range(len(view)) if view.kinds[i] == RECORD_WIRE]
+        indices = [i for i in wire_rows if rng.random() < 0.5]
+        seqs = [rng.randrange(0, 2 * SEQ_MOD) for _ in indices]
+        untouched = {
+            i: datagrams[i].payload.sequence_number
+            for i in wire_rows
+            if i not in set(indices)
+        }
+        view.set_sequence_numbers(indices, seqs)
+        for index, seq in zip(indices, seqs):
+            expected = seq % SEQ_MOD
+            # the per-packet accessor re-reads the wire buffer: both the
+            # buffer patch and the column update must have landed
+            assert datagrams[index].payload.sequence_number == expected
+            assert view.seq[index] == expected
+        for index, seq in untouched.items():
+            assert datagrams[index].payload.sequence_number == seq
+            assert view.seq[index] == seq
+
+    def test_rejects_object_and_other_rows(self):
+        datagrams = build_burst(
+            [
+                (
+                    "object",
+                    Address("10.1.0.1", 4000),
+                    RtpPacket(ssrc=7, payload_type=96, sequence_number=1, timestamp=0),
+                ),
+                ("other", Address("10.1.0.1", 4000), b"\x00\x01junk"),
+            ]
+        )
+        view = WireBatchView.from_datagrams(datagrams)
+        for index in range(2):
+            try:
+                view.set_sequence_numbers([index], [42])
+            except TypeError:
+                pass
+            else:
+                raise AssertionError(
+                    f"row {index} (kind {view.kinds[index]}) accepted a bulk "
+                    "seq patch; only wire rows may be patched"
+                )
+
+
+class TestReplayPayloads:
+    @given(
+        packet=rtp_packets(),
+        seqs=st.lists(
+            st.one_of(
+                st.just(-1), st.integers(min_value=0, max_value=2 * SEQ_MOD)
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_with_sequence_number(self, packet, seqs):
+        view = PacketView(bytearray(packet.serialize()))
+        before = bytes(view.buf)
+        out = replay_payloads(view, seqs)
+        assert len(out) == len(seqs)
+        for seq, replica in zip(seqs, out):
+            if seq < 0:
+                # unrewritten replicas alias the ingress view: same object,
+                # preserving the payload sharing the in-process path produces
+                assert replica is view
+            else:
+                assert replica is not view
+                assert replica.buf is not view.buf
+                reference = view.with_sequence_number(seq % SEQ_MOD)
+                assert bytes(replica.buf) == bytes(reference.buf)
+                assert replica.sequence_number == seq % SEQ_MOD
+                assert replica.header_length == view.header_length
+        # minting copies never mutates the ingress buffer
+        assert bytes(view.buf) == before
+
+    def test_copies_are_independent(self):
+        packet = RtpPacket(
+            ssrc=9, payload_type=96, sequence_number=100, timestamp=0, payload=b"frame"
+        )
+        view = PacketView(bytearray(packet.serialize()))
+        first, second = replay_payloads(view, [200, 300])
+        assert first.sequence_number == 200
+        assert second.sequence_number == 300
+        first.set_sequence_number(400)
+        assert second.sequence_number == 300
+        assert view.sequence_number == 100
+
+
+# --------------------------------------------------------------------------- flow-key cache
+
+
+class TestShardAssignmentIdentity:
+    """The memoized CRC cache is routing-invisible (satellite of PR 8).
+
+    ``_crc_shard``'s docstring points here: the bounded per-engine cache and
+    the placement fast path must produce exactly the shard the uncached
+    ``flow_shard`` / ``shard_for_flow`` pair would have picked.
+    """
+
+    def _flows(self, count=64, seed=8):
+        rng = random.Random(seed)
+        return [
+            (
+                Address(f"10.2.{rng.randrange(4)}.{rng.randrange(1, 30)}", 4000 + rng.randrange(8)),
+                rng.randrange(2**32),
+            )
+            for _ in range(count)
+        ]
+
+    def test_crc_shard_matches_flow_shard(self):
+        engine = ShardedScallopPipeline(SFU, n_shards=4, executor="serial")
+        try:
+            flows = self._flows()
+            for src, ssrc in flows:
+                assert engine._crc_shard(src, ssrc) == flow_shard(src, ssrc, 4)
+            # second pass is all cache hits — answers must not drift
+            for src, ssrc in flows:
+                assert engine._crc_shard(src, ssrc) == flow_shard(src, ssrc, 4)
+            assert len(engine._crc_cache) == len({f for f in flows})
+        finally:
+            engine.close()
+
+    def test_shard_of_key_matches_shard_for_flow_across_migrations(self):
+        engine = ShardedScallopPipeline(SFU, n_shards=4, executor="serial")
+        try:
+            flows = self._flows(count=32, seed=81)
+            engine._sync_placement_cache()
+            for src, ssrc in flows:
+                assert engine._shard_of_key((src, ssrc)) == engine.shard_for_flow(src, ssrc)
+            # pin a third of the flows away from their CRC default
+            pinned = flows[::3]
+            for src, ssrc in pinned:
+                target = (flow_shard(src, ssrc, 4) + 1) % 4
+                assert engine.migrate_flow(src, ssrc, target)
+            engine._sync_placement_cache()
+            for src, ssrc in flows:
+                expected = engine.shard_for_flow(src, ssrc)
+                assert engine._shard_of_key((src, ssrc)) == expected
+                if (src, ssrc) in set(pinned):
+                    assert expected == (flow_shard(src, ssrc, 4) + 1) % 4
+                else:
+                    assert expected == flow_shard(src, ssrc, 4)
+            # unpin: routing must fall back to the CRC default everywhere
+            for src, ssrc in pinned:
+                engine.control.remove_placement(src, ssrc)
+            engine._sync_placement_cache()
+            for src, ssrc in flows:
+                assert engine._shard_of_key((src, ssrc)) == flow_shard(src, ssrc, 4)
+        finally:
+            engine.close()
+
+    def test_cache_bound_is_enforced(self):
+        engine = ShardedScallopPipeline(SFU, n_shards=2, executor="serial")
+        try:
+            limit = engine.FLOW_SHARD_CACHE_LIMIT
+            engine.FLOW_SHARD_CACHE_LIMIT = 8
+            src = Address("10.3.0.1", 4000)
+            for ssrc in range(40):
+                engine._crc_shard(src, ssrc)
+                assert len(engine._crc_cache) <= 8
+            # the cache keeps answering correctly through clears
+            for ssrc in range(40):
+                assert engine._crc_shard(src, ssrc) == flow_shard(src, ssrc, 2)
+        finally:
+            engine.FLOW_SHARD_CACHE_LIMIT = limit
+            engine.close()

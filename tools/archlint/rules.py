@@ -502,8 +502,9 @@ class WireHygieneRule:
     name = "wire-hygiene"
     description = (
         "constructing RtpPacket (or calling to_packet/from_packet) inside "
-        "_process_media_wire or PacketView fast-path methods — materializing "
-        "the object model is the cost the wire path exists to avoid"
+        "_process_media_wire, PacketView fast-path methods, or the columnar "
+        "wirebatch module — materializing the object model is the cost the "
+        "wire path exists to avoid"
     )
 
     #: PacketView methods allowed to touch RtpPacket: the two explicit
@@ -512,11 +513,18 @@ class WireHygieneRule:
 
     def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
         wire_module = ctx.module == "repro.rtp.wire"
+        # the columnar bulk-extraction module is fast path in its entirety:
+        # every function there exists to replace per-packet loops, so there
+        # is no non-fast-path scope to exempt (reading RtpPacket *attributes*
+        # for object rows is fine — only construction/conversion is flagged)
+        batch_module = ctx.module == "repro.rtp.wirebatch"
         findings: List[RawFinding] = []
         conversions = self._CONVERSIONS
 
         class _Visitor(ScopedVisitor):
             def _in_fast_path(self) -> bool:
+                if batch_module:
+                    return True
                 if self.in_function("_process_media_wire"):
                     return True
                 if wire_module and self.enclosing_class() == "PacketView":

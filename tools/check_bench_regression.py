@@ -23,6 +23,12 @@ Three gates against the committed ``BENCH_shard_throughput.json`` baseline:
    free-threaded ratio near k are different experiments, and gating one
    against the other would either always fail or hide real regressions.
    Skipped (with a note) when the baseline predates the ``parallelism`` key.
+4. **Coordinator overhead**: the serial k=4 profile's partition+codec
+   ns/packet (``coordinator.serial`` stage rates — the coordinator-thread
+   work Amdahl's law charges against every added shard) must not grow more
+   than the allowed fraction.  Skipped (with a note) when the baseline
+   predates the ``coordinator`` key; a fresh artifact without it fails, the
+   stage profile must not silently stop being measured.
 
 Usage:
     python tools/check_bench_regression.py BASELINE.json FRESH.json [--max-regression 0.25]
@@ -167,6 +173,68 @@ def check_thread_gate(baseline_artifact: dict, fresh_artifact: dict, max_regress
     return True
 
 
+def coordinator_overhead_ns(artifact: dict) -> float:
+    """Partition+codec ns/packet of the serial k=4 coordinator profile.
+
+    The serial executor has no codec stages (encode/replay are 0 there), so
+    this is effectively the columnar partition cost — but the codec rates are
+    summed in anyway so a future serial-side codec stage cannot dodge the
+    gate.  Raises :class:`KeyError` when the artifact predates the
+    ``coordinator`` key.
+    """
+    per_packet = artifact["coordinator"]["serial"]["stage_ns_per_packet"]
+    return (
+        float(per_packet["partition"])
+        + float(per_packet["encode"])
+        + float(per_packet["replay"])
+    )
+
+
+def check_coordinator_gate(
+    baseline_artifact: dict, fresh_artifact: dict, max_regression: float
+) -> bool:
+    """Gate the coordinator's serial-stage overhead; True when it passes.
+
+    Same skip/fail asymmetry as the other optional-key gates: a baseline
+    without the ``coordinator`` profile skips, a fresh artifact without it
+    fails.  The gated number is wall time per packet, so the headroom has to
+    absorb scheduler jitter like the pps gate does — 25% catches a columnar
+    pass falling back to per-packet loops (a multiple, not a percentage)
+    without tripping on machine noise.
+    """
+    try:
+        baseline = coordinator_overhead_ns(baseline_artifact)
+    except (KeyError, TypeError, ValueError):
+        print("coordinator overhead: baseline predates the 'coordinator' profile, gate skipped")
+        return True
+    try:
+        fresh = coordinator_overhead_ns(fresh_artifact)
+    except (KeyError, TypeError, ValueError):
+        print(
+            "check_bench_regression: baseline has the 'coordinator' profile but "
+            "the fresh artifact does not — the stage breakdown stopped being "
+            "measured",
+            file=sys.stderr,
+        )
+        return False
+    ceiling = baseline * (1.0 + max_regression)
+    verdict = "OK" if fresh <= ceiling else "REGRESSION"
+    print(
+        f"coordinator overhead (k=4 serial, partition+codec): baseline "
+        f"{baseline:,.0f} ns/pkt, fresh {fresh:,.0f} ns/pkt, ceiling "
+        f"{ceiling:,.0f} ns/pkt -> {verdict}"
+    )
+    if fresh > ceiling:
+        print(
+            f"check_bench_regression: coordinator partition+codec ns/packet grew "
+            f"more than {max_regression:.0%} against the committed baseline — "
+            "the serial fraction Amdahl charges per shard got heavier",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_shard_throughput.json")
@@ -208,6 +276,8 @@ def main(argv=None) -> int:
     if not check_skew_gate(baseline_artifact, fresh_artifact, args.max_regression):
         failed = True
     if not check_thread_gate(baseline_artifact, fresh_artifact, args.max_regression):
+        failed = True
+    if not check_coordinator_gate(baseline_artifact, fresh_artifact, args.max_regression):
         failed = True
     return 1 if failed else 0
 
