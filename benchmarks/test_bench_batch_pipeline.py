@@ -37,6 +37,7 @@ from repro.experiments import (
     format_shard_sweep,
     gil_enabled,
     measure_coordinator_profile,
+    measure_obs_overhead,
     measure_parallelism_crossover,
     measure_rebalance_point,
     measure_shard_point,
@@ -77,6 +78,30 @@ def test_batch_pipeline_throughput(benchmark):
     # reported in extra_info but not asserted on, to keep shared-runner
     # timing noise from failing CI without a code defect
     assert by_meetings[50].speedup >= 3.0
+
+
+def test_obs_tracing_overhead(benchmark):
+    # the telemetry plane's hot-path bargain: at the default 1-in-64 flow
+    # sampling, arming repro.obs must cost the k=1 serial engine under 5%
+    # of its packets/sec (unsampled flows pay one cached slot load per
+    # packet, sampled ones additionally pay integer span reconstruction).
+    # The gated overhead is the median of per-repeat back-to-back ratios
+    # (order alternating per repeat, measure_shard_point's engine/warmup/GC
+    # hygiene), so slow machine drift across the run cancels instead of
+    # polluting the comparison the way a best-of-N-vs-best-of-N ratio can.
+    point = run_once(benchmark, measure_obs_overhead, num_meetings=50, repeats=5)
+    print()
+    print(
+        f"obs overhead @1-in-{point.sample_rate}: bare {point.bare_pps:,.0f} pps, "
+        f"traced {point.traced_pps:,.0f} pps ({point.overhead:+.2%})"
+    )
+    benchmark.extra_info["bare_pps"] = round(point.bare_pps)
+    benchmark.extra_info["traced_pps"] = round(point.traced_pps)
+    benchmark.extra_info["overhead"] = round(point.overhead, 4)
+    assert point.overhead < 0.05, (
+        f"tracing at 1-in-{point.sample_rate} costs {point.overhead:.2%} of k=1 "
+        "serial throughput (bar: <5%) — the disabled/unsampled path regressed"
+    )
 
 
 def _point_dict(point):

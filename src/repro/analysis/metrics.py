@@ -8,14 +8,25 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """The q-th percentile (q in [0, 100]) with linear interpolation."""
-    if not values:
-        raise ValueError("cannot take the percentile of an empty sequence")
+    """The q-th percentile (q in [0, 100]) with linear interpolation.
+
+    An out-of-range ``q`` is rejected before the sequence is inspected (so
+    the caller's bug is reported even on an empty input); an empty sequence
+    raises ``ValueError``.  ``q == 0`` and ``q == 100`` return the exact
+    minimum/maximum rather than trusting ``rank`` float arithmetic to land
+    on the boundary order statistic.
+    """
     if not 0.0 <= q <= 100.0:
         raise ValueError("percentile must be between 0 and 100")
+    if not values:
+        raise ValueError("cannot take the percentile of an empty sequence")
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
+    if q == 0.0:
+        return ordered[0]
+    if q == 100.0:
+        return ordered[-1]
     rank = (q / 100.0) * (len(ordered) - 1)
     low = int(math.floor(rank))
     high = int(math.ceil(rank))
@@ -49,16 +60,26 @@ class LatencySummary:
 
     @classmethod
     def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
+        """Summarize via a point-mass histogram (:meth:`Histogram.from_samples`).
+
+        ``Histogram.sample_percentile`` reproduces :func:`percentile`'s
+        order-statistic interpolation bit-for-bit, so routing the summary
+        through the histogram path keeps it and the telemetry plane's
+        percentile arithmetic from ever drifting apart.
+        """
+        from ..obs.registry import Histogram
+
         if not samples:
             raise ValueError("no latency samples")
+        histogram = Histogram.from_samples(samples)
         return cls(
-            count=len(samples),
-            minimum=min(samples),
-            median=median(samples),
-            p95=percentile(samples, 95.0),
-            p99=percentile(samples, 99.0),
-            maximum=max(samples),
-            mean=mean(samples),
+            count=histogram.count,
+            minimum=histogram.bounds[0],
+            median=histogram.sample_percentile(50.0),
+            p95=histogram.sample_percentile(95.0),
+            p99=histogram.sample_percentile(99.0),
+            maximum=histogram.bounds[-1],
+            mean=histogram.sum / histogram.count,
         )
 
 

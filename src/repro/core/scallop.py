@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..dataplane.pipeline import ScallopPipeline, SWITCH_FORWARDING_DELAY_S
 from ..dataplane.rebalance import RebalancerConfig
+from ..obs.hooks import ObsConfig
 from ..dataplane.resources import DEFAULT_CAPACITIES, TofinoCapacities
 from ..dataplane.sharding import ShardedScallopPipeline
 from ..netsim.datagram import Address, Datagram
@@ -65,6 +66,8 @@ class ScallopSfu:
         shard_executor: str = "serial",
         rebalance: Union[bool, RebalancerConfig, None] = None,
         srtp: Optional[object] = None,
+        profile: bool = False,
+        obs: Union[bool, ObsConfig, None] = None,
     ) -> None:
         self.address = address
         self.simulator = simulator
@@ -75,10 +78,11 @@ class ScallopSfu:
             rebalance = None
         #: ``n_shards=1`` keeps the single-datapath reference engine;
         #: ``n_shards>=2`` (or any sharded-only feature such as the process
-        #: executor or the load-aware rebalancer) partitions every ingress
-        #: burst by flow across share-nothing datapath shards behind the same
-        #: pipeline API (the outputs are byte-identical either way).
-        if n_shards > 1 or shard_executor != "serial" or rebalance is not None:
+        #: executor, the load-aware rebalancer, or the coordinator stage
+        #: profile) partitions every ingress burst by flow across
+        #: share-nothing datapath shards behind the same pipeline API (the
+        #: outputs are byte-identical either way).
+        if n_shards > 1 or shard_executor != "serial" or rebalance is not None or profile:
             self.pipeline = ShardedScallopPipeline(
                 address,
                 n_shards=n_shards,
@@ -86,9 +90,12 @@ class ScallopSfu:
                 executor=shard_executor,
                 rebalance_config=rebalance,
                 srtp=srtp,
+                profile=profile,
+                obs=obs,
             )
         else:
-            self.pipeline = ScallopPipeline(address, capacities, srtp=srtp)
+            obs_config = ObsConfig() if obs is True else (obs or None)
+            self.pipeline = ScallopPipeline(address, capacities, srtp=srtp, obs=obs_config)
         if adaptation_thresholds_bps is not None:
             high, low = adaptation_thresholds_bps
 

@@ -48,6 +48,7 @@ from types import MappingProxyType
 from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Protocol, Sequence, Set, Tuple
 
 from ..netsim.datagram import Address, Datagram, PayloadKind
+from ..obs.hooks import DatapathObs, ObsConfig
 from ..rtp.packet import RTP_HEADER_LEN, RtpPacket
 from ..rtp.wire import PacketView
 from ..rtp.rtcp import (
@@ -280,7 +281,7 @@ class _FlowFastState:
     resolution in ``res0`` with no layer computation at all.
     """
 
-    __slots__ = ("entry", "layered", "res0", "by_layer")
+    __slots__ = ("entry", "layered", "res0", "by_layer", "traced")
 
     def __init__(self, entry: Optional["StreamForwardingEntry"]) -> None:
         self.entry = entry
@@ -291,6 +292,10 @@ class _FlowFastState:
         )
         self.res0: Optional[_CachedResolution] = None
         self.by_layer: Optional[Dict[int, _CachedResolution]] = {} if self.layered else None
+        # lifecycle-tracer sampling decision, a pure function of the flow
+        # key: stamped at cache-fill time so the steady-state per-packet
+        # probe is one slot load, not a memo-dict lookup
+        self.traced = False
 
 
 class PipelineControlPlane:
@@ -314,11 +319,17 @@ class PipelineControlPlane:
         sfu_address: Address,
         capacities: TofinoCapacities = DEFAULT_CAPACITIES,
         srtp: Optional[object] = None,
+        obs: Optional[ObsConfig] = None,
     ) -> None:
         self.sfu_address = sfu_address
         self.capacities = capacities
         self.accountant = ResourceAccountant(capacities)
         self.pre = PacketReplicationEngine(self.accountant)
+        #: Optional observability config.  Plain frozen-dataclass data, so it
+        #: survives the control-plane snapshot pickle: process-executor worker
+        #: replicas arm their datapaths' obs state from this exactly like the
+        #: coordinator does, which keeps instrumentation executor-invariant.
+        self.obs_config = obs
         #: Optional :class:`~repro.rtp.srtp.SrtpProfile`.  When set, the
         #: wire-native media path authenticates and decrypts each ingress
         #: packet and re-protects every egress replica.  Datapaths bind it
@@ -800,6 +811,21 @@ class PipelineDatapath:
         #: process-pool shard runner uses this to ship mutated rewriter state
         #: back to the coordinator after each batch.
         self.touched_tracker_indices: Set[int] = set()
+        #: Per-shard observability bundle (metrics registry + packet tracer),
+        #: armed iff the control plane carries an :class:`ObsConfig`.  Private
+        #: to this datapath — never aliased across shards, never written by
+        #: the control plane — so it needs no sanitizer wrapping and folds
+        #: commutatively at executor barriers.
+        obs_config = getattr(control, "obs_config", None)
+        self.obs: Optional[DatapathObs] = (
+            DatapathObs(
+                obs_config,
+                shard_id=shard_id,
+                forwarding_delay_s=SWITCH_FORWARDING_DELAY_S,
+            )
+            if obs_config is not None
+            else None
+        )
 
         # read-mostly bindings into the control plane (hot-path aliases).
         # Thread-mode (``local_stats=True``) datapaths bind ShardTableView
@@ -984,6 +1010,7 @@ class PipelineDatapath:
         else:
             pkey = (ssrc, packet.payload_type, extension.profile, extension.data)
         parse = parser._rtp_parse_cache.get(pkey)
+        parse_hit = parse is not None
         if parse is None:
             parse = parser._memoized_parse(pkey, packet)
         else:
@@ -1006,10 +1033,19 @@ class PipelineDatapath:
         flow = (datagram.src, ssrc)
         flow_cache = self._flow_cache
         state = flow_cache.get(flow)
+        flow_hit = state is not None
         if state is None:
             if len(flow_cache) >= self.RESOLUTION_CACHE_LIMIT:
                 flow_cache.clear()
             state = flow_cache[flow] = _FlowFastState(self.stream_table.lookup(flow))
+            # lifecycle tracing decision: a pure function of the flow key,
+            # stamped once at cache-fill time (classify() memoizes per flow
+            # lifetime) — the steady-state per-packet probe below is a
+            # single slot load, free when observability is off
+            obs = self.obs
+            if obs is not None:
+                state.traced = obs.classify(flow, datagram.src.ip, datagram.src.port, ssrc)
+        traced = state.traced
         entry = state.entry
         if entry is None:
             counters.table_misses += 1
@@ -1020,6 +1056,11 @@ class PipelineDatapath:
             else:
                 slot[0] += 1
                 slot[1] += size
+            if traced:
+                self.obs.record_media(
+                    datagram.src.ip, datagram.src.port, ssrc, packet.sequence_number,
+                    datagram.arrived_at, size, parse_hit, flow_hit, 0, 0, False,
+                )
             return result
 
         to_cpu = parse.cpu_copy
@@ -1075,6 +1116,11 @@ class PipelineDatapath:
             # the ingress payload unchanged
             addresses = resolution.addresses
             if not addresses:
+                if traced:
+                    self.obs.record_media(
+                        datagram.src.ip, datagram.src.port, ssrc, packet.sequence_number,
+                        arrived_at, size, parse_hit, flow_hit, 0, 0, False,
+                    )
                 return result
             if datagram.meta:
                 meta = MappingProxyType(
@@ -1113,6 +1159,11 @@ class PipelineDatapath:
                 set_state(out, "__dict__", instance)
                 append(out)
             acc[4] += len(addresses)
+            if traced:
+                self.obs.record_media(
+                    datagram.src.ip, datagram.src.port, ssrc, packet.sequence_number,
+                    arrived_at, size, parse_hit, flow_hit, len(addresses), 0, False,
+                )
             return result
 
         # rate-adapted video: per-replica rewrite decisions (the stateful
@@ -1166,6 +1217,12 @@ class PipelineDatapath:
             outputs.append(mint(instance_fields))
             replicas_out += 1
         acc[4] += replicas_out
+        if traced:
+            self.obs.record_media(
+                datagram.src.ip, datagram.src.port, ssrc, sequence_number,
+                arrived_at, size, parse_hit, flow_hit,
+                replicas_out, result.dropped_replicas, True,
+            )
         return result
 
     def _process_media_wire(
@@ -1189,6 +1246,7 @@ class PipelineDatapath:
         parser = self.parser
         pkey = view.parse_key()
         parse = parser._rtp_parse_cache.get(pkey)
+        parse_hit = parse is not None
         if parse is None:
             parse = parser._memoized_parse(pkey, view)
         else:
@@ -1231,10 +1289,17 @@ class PipelineDatapath:
         flow = (datagram.src, ssrc)
         flow_cache = self._flow_cache
         state = flow_cache.get(flow)
+        flow_hit = state is not None
         if state is None:
             if len(flow_cache) >= self.RESOLUTION_CACHE_LIMIT:
                 flow_cache.clear()
             state = flow_cache[flow] = _FlowFastState(self.stream_table.lookup(flow))
+            # lifecycle tracing decision stamped at fill time (see
+            # _process_media_fast): steady state costs one slot load
+            obs = self.obs
+            if obs is not None:
+                state.traced = obs.classify(flow, datagram.src.ip, datagram.src.port, ssrc)
+        traced = state.traced
         entry = state.entry
         if entry is None:
             counters.table_misses += 1
@@ -1245,6 +1310,11 @@ class PipelineDatapath:
             else:
                 slot[0] += 1
                 slot[1] += size
+            if traced:
+                self.obs.record_media(
+                    datagram.src.ip, datagram.src.port, ssrc, view.sequence_number,
+                    datagram.arrived_at, size, parse_hit, flow_hit, 0, 0, False,
+                )
             return result
 
         to_cpu = parse.cpu_copy
@@ -1298,6 +1368,11 @@ class PipelineDatapath:
             # buffer (same sharing as the per-target loop's protected_same)
             addresses = resolution.addresses
             if not addresses:
+                if traced:
+                    self.obs.record_media(
+                        datagram.src.ip, datagram.src.port, ssrc, view.sequence_number,
+                        arrived_at, size, parse_hit, flow_hit, 0, 0, False,
+                    )
                 return result
             out_view = view if srtp is None else PacketView(srtp.protect_egress(view.buf))
             if datagram.meta:
@@ -1330,6 +1405,11 @@ class PipelineDatapath:
                 set_state(out, "__dict__", instance)
                 append(out)
             acc[4] += len(addresses)
+            if traced:
+                self.obs.record_media(
+                    datagram.src.ip, datagram.src.port, ssrc, view.sequence_number,
+                    arrived_at, size, parse_hit, flow_hit, len(addresses), 0, False,
+                )
             return result
 
         # rate-adapted video: per-replica rewrite decisions over the wire
@@ -1397,6 +1477,12 @@ class PipelineDatapath:
             outputs.append(mint(instance_fields))
             replicas_out += 1
         acc[4] += replicas_out
+        if traced:
+            self.obs.record_media(
+                datagram.src.ip, datagram.src.port, ssrc, view.sequence_number,
+                arrived_at, size, parse_hit, flow_hit,
+                replicas_out, result.dropped_replicas, True,
+            )
         return result
 
     @staticmethod
@@ -1691,8 +1777,9 @@ class ScallopPipeline(ControlPlaneFacade):
         capacities: TofinoCapacities = DEFAULT_CAPACITIES,
         sanitize: Optional[bool] = None,
         srtp: Optional[object] = None,
+        obs: Optional[ObsConfig] = None,
     ) -> None:
-        self.control = PipelineControlPlane(sfu_address, capacities, srtp=srtp)
+        self.control = PipelineControlPlane(sfu_address, capacities, srtp=srtp, obs=obs)
         self.datapath = PipelineDatapath(self.control, sanitize=sanitize)
         self.control.attach_datapath(self.datapath)
         self.sfu_address = sfu_address

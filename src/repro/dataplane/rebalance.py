@@ -135,11 +135,22 @@ class MigrationPlan:
 class ShardRebalancer:
     """Greedy hottest-flow-to-coldest-shard planner with hysteresis."""
 
+    #: Retained decision-log entries; epochs beyond this roll off the front.
+    DECISION_LOG_LIMIT = 256
+
     def __init__(self, n_shards: int, config: Optional[RebalancerConfig] = None) -> None:
         self.n_shards = n_shards
         self.config = config or RebalancerConfig()
         self.epochs_planned = 0
         self.flows_migrated = 0
+        #: Epochs whose plan actually contained moves (vs. hysteresis no-ops).
+        self.plans_with_migrations = 0
+        #: Skew the most recent plan observed / projected (telemetry gauges).
+        self.last_observed_skew = 1.0
+        self.last_projected_skew = 1.0
+        #: Bounded per-epoch decision trail: ``(epoch, moves, observed skew,
+        #: projected skew)`` tuples, newest last.
+        self.decision_log: List[Tuple[int, int, float, float]] = []
 
     def plan(self, tracker: FlowLoadTracker) -> MigrationPlan:
         """Compute this epoch's migrations from the tracker's smoothed rates.
@@ -160,10 +171,11 @@ class ShardRebalancer:
             observed = 1.0
         plan = MigrationPlan(observed_skew=observed, projected_skew=observed)
         if self.n_shards < 2 or total <= 0.0:
-            return plan
+            return self._note_decision(plan)
         mean = total / self.n_shards
         if max(loads) / mean <= config.trigger_ratio:
-            return plan  # inside the hysteresis band: leave placement alone
+            # inside the hysteresis band: leave placement alone
+            return self._note_decision(plan)
 
         cooldown_floor = tracker.batches_observed - config.cooldown_epochs * config.epoch_batches
         moved: set = set()
@@ -184,6 +196,20 @@ class ShardRebalancer:
             )
         plan.projected_skew = max(loads) / mean
         self.flows_migrated += len(plan.migrations)
+        if plan.migrations:
+            self.plans_with_migrations += 1
+        return self._note_decision(plan)
+
+    def _note_decision(self, plan: MigrationPlan) -> MigrationPlan:
+        """Record the epoch's outcome (bounded) and pass the plan through."""
+        self.last_observed_skew = plan.observed_skew
+        self.last_projected_skew = plan.projected_skew
+        log = self.decision_log
+        log.append(
+            (self.epochs_planned, len(plan.migrations), plan.observed_skew, plan.projected_skew)
+        )
+        if len(log) > self.DECISION_LOG_LIMIT:
+            del log[: len(log) - self.DECISION_LOG_LIMIT]
         return plan
 
     def _best_move(

@@ -254,6 +254,7 @@ def encode_ingress_batch(
     stats=None,
     full_payload: bool = False,
     writer: Optional[ShardBlobWriter] = None,
+    size_histogram=None,
 ) -> bytes:
     """Pack one shard partition into a single transport blob.
 
@@ -270,6 +271,10 @@ def encode_ingress_batch(
 
     ``writer`` reuses a caller-held :class:`ShardBlobWriter` (one per shard,
     recycled across batches) instead of allocating a fresh buffer per call.
+
+    ``size_histogram`` (a :class:`~repro.obs.registry.Histogram`, or anything
+    with ``observe``) receives the finished blob's size — one observation per
+    blob, feeding the ``repro.transport.batch_blob_bytes`` distribution.
     """
     if writer is None:
         writer = ShardBlobWriter(initial=1 << 12)
@@ -325,6 +330,8 @@ def encode_ingress_batch(
             write(blob)
     writer.patch_u32(4, writer.cursor - _BLOB_HDR.size)
     write(interner.encode())
+    if size_histogram is not None:
+        size_histogram.observe(float(writer.cursor))
     return writer.take()
 
 
@@ -584,6 +591,7 @@ def decode_result_batch(
     inputs: Sequence[Datagram],
     sfu_address: Address,
     stats=None,
+    size_histogram=None,
 ) -> List[PipelineResult]:
     """Replay packed rewrite descriptions against the coordinator's originals.
 
@@ -592,9 +600,14 @@ def decode_result_batch(
     so the reconstructed results are indistinguishable from in-process shard
     execution — including payload object sharing between an input and its
     unrewritten replicas.
+
+    ``size_histogram`` receives the combined inbound blob size (packed +
+    fallback) per batch, feeding ``repro.transport.result_blob_bytes``.
     """
     from types import MappingProxyType
 
+    if size_histogram is not None:
+        size_histogram.observe(float(len(blob) + len(fallback_blob)))
     fallbacks: List[PipelineResult] = pickle.loads(fallback_blob)
     fallback_iter = iter(fallbacks)
     count, body_len = _BLOB_HDR.unpack_from(blob, 0)

@@ -83,9 +83,11 @@ import threading
 import zlib
 from dataclasses import dataclass, field as dataclass_field
 from queue import SimpleQueue
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..netsim.datagram import Address, Datagram
+from ..obs.hooks import DatapathObs, ObsConfig
+from ..obs.registry import SIZE_BYTES_BUCKETS, MetricsRegistry
 from ..rtp.packet import RtpPacket
 from ..rtp.wire import PacketView
 from ..rtp.wirebatch import WireBatchView
@@ -347,8 +349,9 @@ def _worker_process_batch(
     (:func:`~repro.dataplane.shardcodec.encode_ingress_batch`); the worker
     reconstructs header-only datagram views, runs them through its datapath,
     and returns ``(results_blob, fallback_blob, counters, parser_delta,
-    pre_delta, tracker_blob)``, where the blobs are the packed result and
-    rewriter-register codecs and the deltas cover exactly this batch.
+    pre_delta, tracker_blob, obs_delta)``, where the blobs are the packed
+    result and rewriter-register codecs and the deltas cover exactly this
+    batch (``obs_delta`` is ``None`` unless observability is armed).
 
     ``migration_blob`` carries packed rewriter register images
     (:func:`~repro.dataplane.shardcodec.encode_tracker_updates`) for flows the
@@ -404,7 +407,19 @@ def _worker_process_batch(
         parser.parse_cache_hits - hits0,
     )
     pre_delta = (pre.replications_performed - repl0, pre.copies_produced - copies0)
-    return results_blob, fallback_blob, datapath.counters, parser_delta, pre_delta, tracker_blob
+    # observability delta: plain builtins (dicts/lists/ints), drained so
+    # worker-side and coordinator-side obs state stay disjoint; rides the
+    # executor's own return channel exactly like ``counters``
+    obs_delta = datapath.obs.to_delta() if datapath.obs is not None else None
+    return (
+        results_blob,
+        fallback_blob,
+        datapath.counters,
+        parser_delta,
+        pre_delta,
+        tracker_blob,
+        obs_delta,
+    )
 
 
 @dataclass
@@ -480,6 +495,17 @@ class ProcessShardRunner:
             ShardBlobWriter() for _ in range(engine.n_shards)
         ]
         self.transport = ShardTransportStats()
+        #: Blob-size distributions behind the scalar byte counters (per-batch
+        #: observations, so the cost is one bisect per dispatch, not per
+        #: packet); surfaced through the telemetry bus as
+        #: ``repro.transport.*_blob_bytes`` histograms.
+        self.transport_obs = MetricsRegistry()
+        self._batch_blob_hist = self.transport_obs.histogram(
+            "repro.transport.batch_blob_bytes", SIZE_BYTES_BUCKETS
+        )
+        self._result_blob_hist = self.transport_obs.histogram(
+            "repro.transport.result_blob_bytes", SIZE_BYTES_BUCKETS
+        )
 
     def on_flow_migrated(self, src: Address, ssrc: int, to_shard: int) -> None:
         """Queue the migrating flow's rewriter register images for the
@@ -544,6 +570,7 @@ class ProcessShardRunner:
                     partition, stats=transport,
                     full_payload=engine.control.srtp is not None,
                     writer=self._encode_writers[shard_id],
+                    size_histogram=self._batch_blob_hist,
                 )
             else:
                 e0 = clock()
@@ -551,8 +578,9 @@ class ProcessShardRunner:
                     partition, stats=transport,
                     full_payload=engine.control.srtp is not None,
                     writer=self._encode_writers[shard_id],
+                    size_histogram=self._batch_blob_hist,
                 )
-                profile.encode_ns += clock() - e0
+                profile.note_stage("encode", clock() - e0)
             transport.batches += 1
             transport.batch_bytes_out += len(batch_blob)
             futures[shard_id] = self._executor(shard_id).submit(
@@ -560,23 +588,29 @@ class ProcessShardRunner:
             )
         all_results: List[List[PipelineResult]] = [[] for _ in partitions]
         for shard_id, future in futures.items():
-            results_blob, fallback_blob, counters, parser_delta, pre_delta, tracker_blob = (
-                future.result()
-            )
+            (
+                results_blob,
+                fallback_blob,
+                counters,
+                parser_delta,
+                pre_delta,
+                tracker_blob,
+                obs_delta,
+            ) = future.result()
             transport.result_bytes_in += len(results_blob) + len(fallback_blob)
             transport.tracker_bytes_in += len(tracker_blob)
             if clock is None:
                 all_results[shard_id] = decode_result_batch(
                     results_blob, fallback_blob, partitions[shard_id], engine.sfu_address,
-                    stats=transport,
+                    stats=transport, size_histogram=self._result_blob_hist,
                 )
             else:
                 r0 = clock()
                 all_results[shard_id] = decode_result_batch(
                     results_blob, fallback_blob, partitions[shard_id], engine.sfu_address,
-                    stats=transport,
+                    stats=transport, size_histogram=self._result_blob_hist,
                 )
-                profile.replay_ns += clock() - r0
+                profile.note_stage("replay", clock() - r0)
             shard = engine.shards[shard_id]
             shard.counters.merge(counters)
             parser = shard.parser
@@ -588,6 +622,11 @@ class ProcessShardRunner:
             engine.control.apply_tracker_images(
                 decode_tracker_updates(tracker_blob, stats=transport)
             )
+            if obs_delta is not None and shard.obs is not None:
+                # fold the worker's per-batch obs delta into the coordinator
+                # shard's registry/trace buffer: commutative sums, so the
+                # snapshot equals what serial execution would have produced
+                shard.obs.fold_delta(obs_delta)
         return all_results
 
     def close(self) -> None:
@@ -621,6 +660,8 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         rebalance_config: Optional[RebalancerConfig] = None,
         sanitize: Optional[bool] = None,
         srtp: Optional[object] = None,
+        profile: bool = False,
+        obs: Union[bool, ObsConfig, None] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -633,7 +674,16 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         #: the process executor the env var is what reaches the workers —
         #: they rebuild their datapaths from a forked environment.
         self.sanitize = resolve_sanitize(sanitize)
-        self.control = PipelineControlPlane(sfu_address, capacities, srtp=srtp)
+        # observability knob: True arms the defaults, an ObsConfig arms it
+        # verbatim; the config rides the control plane (and therefore its
+        # pickled snapshot), so process workers arm identically
+        if obs is True:
+            obs_config: Optional[ObsConfig] = ObsConfig()
+        elif obs:
+            obs_config = obs
+        else:
+            obs_config = None
+        self.control = PipelineControlPlane(sfu_address, capacities, srtp=srtp, obs=obs_config)
         self.shard_accountants = [
             ShardResourceAccountant(self.control.accountant, shard_id)
             for shard_id in range(n_shards)
@@ -676,8 +726,15 @@ class ShardedScallopPipeline(ControlPlaneFacade):
         self._rebuild_pinned_flows()
         #: Optional Amdahl stage profile (attach a
         #: :class:`repro.experiments.coordstats.CoordinatorStats`); ``None``
-        #: keeps the data path free of timing instrumentation.
+        #: keeps the data path free of timing instrumentation.  ``profile=
+        #: True`` attaches one declaratively; the import is deferred to here
+        #: because ``repro.experiments`` imports the dataplane at module load
+        #: (the reverse edge is only safe at call time).
         self.coordinator_stats = None
+        if profile:
+            from ..experiments.coordstats import CoordinatorStats
+
+            self.coordinator_stats = CoordinatorStats()
         if executor == "process":
             self._runner = ProcessShardRunner(self)
         elif executor == "thread":
@@ -830,7 +887,7 @@ class ShardedScallopPipeline(ControlPlaneFacade):
             clock = stats.clock
             t0 = clock()
             results = self.shards[0].process_batch(datagrams)
-            stats.dispatch_ns += clock() - t0
+            stats.note_stage("dispatch", clock() - t0)
             stats.note_batch(len(datagrams))
             return results
         clock = stats.clock if stats is not None else None
@@ -889,13 +946,13 @@ class ShardedScallopPipeline(ControlPlaneFacade):
                 keys_by_shard[shard].append(fkey)
         if clock is not None:
             t1 = clock()
-            stats.partition_ns += t1 - t0
+            stats.note_stage("partition", t1 - t0)
         else:
             t1 = 0
         shard_results = self._runner.run_batches(partitions)
         if clock is not None:
             t2 = clock()
-            stats.dispatch_ns += t2 - t1
+            stats.note_stage("dispatch", t2 - t1)
         else:
             t2 = 0
         results: List[Optional[PipelineResult]] = [None] * len(datagrams)
@@ -915,7 +972,7 @@ class ShardedScallopPipeline(ControlPlaneFacade):
             tracker.observe_batch(flow_counts, flow_shards, flow_replicas)
             self._maybe_rebalance()
         if clock is not None:
-            stats.reassemble_ns += clock() - t2
+            stats.note_stage("reassemble", clock() - t2)
             stats.note_batch(len(datagrams))
         return results  # type: ignore[return-value]
 
@@ -1083,12 +1140,37 @@ class ShardedScallopPipeline(ControlPlaneFacade):
             )
         return rows
 
+    def merged_obs(self) -> Optional[DatapathObs]:
+        """Snapshot-time merge of every shard's observability state.
+
+        Read-only fold into a fresh :class:`~repro.obs.hooks.DatapathObs`
+        (the shards keep accumulating); ``None`` when observability is not
+        armed.  Safe to call between batches for any executor: serial/thread
+        shards are quiescent at that point, and process-worker deltas were
+        folded into the coordinator-side shard objects at the batch barrier.
+        """
+        armed = [shard.obs for shard in self.shards if shard.obs is not None]
+        if not armed:
+            return None
+        merged = DatapathObs(self.control.obs_config)
+        for obs in armed:
+            merged.merge_from(obs)
+        return merged
+
     def transport_stats(self) -> Optional[Dict[str, int]]:
         """Coordinator/worker transport volume (``None`` for the serial
         executor, which moves no bytes)."""
         runner = self._runner
         if isinstance(runner, ProcessShardRunner):
             return runner.transport.as_dict()
+        return None
+
+    @property
+    def transport_obs(self) -> Optional[MetricsRegistry]:
+        """Blob-size histogram registry (process executor only)."""
+        runner = self._runner
+        if isinstance(runner, ProcessShardRunner):
+            return runner.transport_obs
         return None
 
     def isolation_findings(self) -> List[IsolationViolation]:

@@ -21,6 +21,7 @@ from .runner import MeetingSetupConfig, Testbed, add_participant, build_scallop_
 from .coordstats import CoordinatorStats
 from .batch_throughput import (
     BatchThroughputPoint,
+    ObsOverheadPoint,
     ParallelismPoint,
     RebalancePoint,
     ShardThroughputPoint,
@@ -32,6 +33,7 @@ from .batch_throughput import (
     format_shard_sweep,
     gil_enabled,
     measure_coordinator_profile,
+    measure_obs_overhead,
     measure_parallelism_crossover,
     measure_parallelism_point,
     measure_rebalance_point,
@@ -94,6 +96,7 @@ __all__ = [
     "build_software_testbed",
     "BatchThroughputPoint",
     "CoordinatorStats",
+    "ObsOverheadPoint",
     "ParallelismPoint",
     "RebalancePoint",
     "ShardThroughputPoint",
@@ -105,6 +108,7 @@ __all__ = [
     "format_shard_sweep",
     "gil_enabled",
     "measure_coordinator_profile",
+    "measure_obs_overhead",
     "measure_parallelism_crossover",
     "measure_parallelism_point",
     "measure_rebalance_point",

@@ -24,6 +24,8 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Optional
 
+from ..obs.registry import BATCH_NS_BUCKETS, Histogram
+
 #: Stage names in coordinator-loop order (also the display order).
 STAGES = ("partition", "encode", "dispatch", "replay", "reassemble")
 
@@ -46,6 +48,7 @@ class CoordinatorStats:
         "dispatch_ns",
         "replay_ns",
         "reassemble_ns",
+        "stage_hists",
     )
 
     def __init__(self, clock: Callable[[], int] = time.perf_counter_ns) -> None:
@@ -57,11 +60,23 @@ class CoordinatorStats:
         self.dispatch_ns = 0
         self.replay_ns = 0
         self.reassemble_ns = 0
+        #: Per-stage per-batch duration distributions behind the scalar
+        #: totals (one bisect per batch per stage when profiling is on).
+        self.stage_hists: Dict[str, Histogram] = {
+            stage: Histogram(BATCH_NS_BUCKETS) for stage in STAGES
+        }
 
     def note_batch(self, packets: int) -> None:
         """Count one coordinated batch of ``packets`` ingress packets."""
         self.batches += 1
         self.packets += packets
+
+    def note_stage(self, stage: str, ns: int) -> None:
+        """Charge ``ns`` of coordinator wall time to ``stage``: adds to the
+        scalar total (the Amdahl arithmetic reads those) and observes the
+        per-batch histogram (the telemetry bus reads that)."""
+        setattr(self, stage + "_ns", getattr(self, stage + "_ns") + ns)
+        self.stage_hists[stage].observe(float(ns))
 
     # ------------------------------------------------------------------ derived
 
@@ -109,6 +124,19 @@ class CoordinatorStats:
             "total_ns": self.total_ns(),
             "serial_fraction": self.serial_fraction(),
         }
+
+    def snapshot_series(self, prefix: str = "repro.coord.") -> Dict[str, Dict[str, object]]:
+        """Bus-ready series under ``repro.coord.*``: scalar stage totals as
+        counters plus the per-batch stage-duration histograms."""
+        series: Dict[str, Dict[str, object]] = {
+            prefix + "batches": {"type": "counter", "value": self.batches},
+            prefix + "packets": {"type": "counter", "value": self.packets},
+        }
+        for name, ns in self.stage_ns().items():
+            series[prefix + name + "_ns"] = {"type": "counter", "value": ns}
+        for name, histogram in self.stage_hists.items():
+            series[prefix + "stage_ns." + name] = histogram.as_dict()
+        return series
 
     def format_table(self) -> str:
         """Human-readable stage table (the ``--profile`` output)."""

@@ -1,0 +1,69 @@
+"""CLI for telemetry snapshots: pretty-print, validate, or re-render.
+
+Usage::
+
+    python -m repro.obs snap.json                # fixed-width series table
+    python -m repro.obs snap.json --validate     # schema gate (exit 1 on fail)
+    python -m repro.obs snap.json --prometheus   # text exposition rendering
+
+``--validate`` is what CI runs against the ``churn_storm --smoke
+--metrics-out`` snapshot: exit status 1 when the schema tag is wrong, a core
+series is missing, or any series carries a NaN/infinite value.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .export import render_prometheus, render_table, validate_snapshot
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect and validate repro.obs telemetry snapshots.",
+    )
+    parser.add_argument("snapshot", help="path to a snapshot JSON file")
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate against the versioned schema; exit 1 on any problem",
+    )
+    parser.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="render the series in Prometheus text-exposition format",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.snapshot, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+
+    problems = validate_snapshot(snapshot)
+    if args.validate:
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            return 1
+        series = snapshot.get("series", {})
+        print(
+            f"snapshot OK: schema={snapshot.get('schema')} "
+            f"series={len(series)} traces={len(snapshot.get('traces', []))}"
+        )
+        return 0
+
+    if args.prometheus:
+        sys.stdout.write(render_prometheus(snapshot))
+        return 0
+
+    print(render_table(snapshot))
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

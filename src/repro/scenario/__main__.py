@@ -59,6 +59,14 @@ def main(argv=None) -> int:
         action="store_true",
         help="print the coordinator Amdahl stage table (sharded backends only)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's repro.obs telemetry snapshot (JSON) to PATH; "
+        "arms the backend's profile and obs knobs so the coordinator stage "
+        "histograms and per-shard tracing series are present",
+    )
     parser.add_argument("--list", action="store_true", help="list the scenario library")
     args = parser.parse_args(argv)
 
@@ -80,6 +88,13 @@ def main(argv=None) -> int:
             scenario,
             backend=dataclasses.replace(scenario.backend, shard_executor=args.executor),
         )
+    if args.metrics_out is not None and scenario.backend.kind == "scallop":
+        # arm the declarative telemetry knobs so the snapshot carries the
+        # coordinator stage histograms and per-shard obs series (core schema)
+        scenario = dataclasses.replace(
+            scenario,
+            backend=dataclasses.replace(scenario.backend, profile=True, obs=True),
+        )
 
     with build_scenario(scenario) as run:
         stats = None
@@ -99,6 +114,16 @@ def main(argv=None) -> int:
         if stats is not None:
             print()
             print(stats.format_table())
+        if args.metrics_out is not None:
+            from ..obs.export import to_json
+
+            snapshot = run.metrics_snapshot()
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(to_json(snapshot))
+            print(
+                f"metrics snapshot: {len(snapshot['series'])} series, "
+                f"{len(snapshot['traces'])} traces -> {args.metrics_out}"
+            )
         problems = run.reconcile()
     if problems:
         print("RECONCILIATION FAILED:", file=sys.stderr)

@@ -397,6 +397,31 @@ class ScenarioRun(Testbed):
             out["packets_dropped_cpu"] = sfu.stats.packets_dropped_cpu
         return out
 
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The run's unified telemetry snapshot (``repro.obs`` schema).
+
+        Folds the SFU pipeline's entire stat surface through the
+        :class:`~repro.obs.bus.TelemetryBus` and adds the client-side
+        end-to-end RTP latency samples (surviving and departed clients),
+        stamped with the simulator clock.  Works on any backend; series that
+        need the declarative ``profile=True`` / ``obs=True`` backend knobs
+        are present only when those were armed (``--metrics-out`` arms both).
+        """
+        from ..obs.bus import TelemetryBus
+
+        bus = TelemetryBus()
+        sim_time_s = self.simulator.now
+        pipeline = getattr(self.sfu, "pipeline", None)
+        if pipeline is not None:
+            bus.add_engine(pipeline, sim_time_s=sim_time_s)
+        samples: List[float] = []
+        for client in self.clients:
+            samples.extend(getattr(client, "rtp_latency_samples_ms", ()))
+        for client in self.departed:
+            samples.extend(getattr(client, "rtp_latency_samples_ms", ()))
+        bus.add_latency_samples(samples)
+        return bus.snapshot(sim_time_s)
+
     # ------------------------------------------------------------------ reconciliation
 
     def reconcile(self) -> List[str]:
@@ -506,6 +531,8 @@ def _build_sfu(scenario: Scenario, simulator: Simulator, network: Network):
             shard_executor=backend.shard_executor,
             rebalance=backend.rebalance_config(),
             srtp=scenario.traffic.srtp,
+            profile=backend.profile,
+            obs=backend.obs,
         )
     if scenario.traffic.srtp is not None:
         raise ValueError(

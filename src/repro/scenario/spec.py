@@ -28,6 +28,7 @@ from ..core.capacity import RewriteVariant
 from ..dataplane.rebalance import RebalancerConfig
 from ..dataplane.sharding import validate_executor
 from ..netsim.link import LinkProfile
+from ..obs.hooks import ObsConfig
 
 #: Selector for a meeting: its index in :attr:`Scenario.meetings` or its id.
 MeetingRef = Union[int, str]
@@ -117,6 +118,15 @@ class BackendSpec:
     #: defaults, a :class:`~repro.dataplane.rebalance.RebalancerConfig` for
     #: explicit knobs, ``None``/``False`` for static CRC32 placement.
     rebalance: Union[bool, RebalancerConfig, None] = None
+    #: Attach the coordinator's Amdahl stage profile
+    #: (:class:`~repro.experiments.coordstats.CoordinatorStats`)
+    #: declaratively — no post-hoc pipeline surgery; implies the sharded
+    #: engine even at ``n_shards=1``.
+    profile: bool = False
+    #: Arm the telemetry plane on every datapath shard: ``True`` for the
+    #: default :class:`~repro.obs.hooks.ObsConfig`, an explicit config for
+    #: custom sampling, ``None``/``False`` to keep the hot path bare.
+    obs: Union[bool, ObsConfig, None] = None
 
     # -- software --------------------------------------------------------------
     cores: int = 1

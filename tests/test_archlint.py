@@ -495,6 +495,23 @@ class TestEndToEnd:
         tripped = {finding.rule for finding in report.new}
         assert tripped == {rule.name for rule in ALL_RULES}
 
+    def test_obs_fixture_trips_determinism(self):
+        # the telemetry plane is ordinary repro.* simulation code: the
+        # determinism rule must bite inside repro.obs exactly as it does in
+        # the dataplane (wall-clock tracer stamps, RNG-based flow sampling)
+        fixture = REPO_ROOT / "tools" / "archlint" / "fixtures" / "violating_obs.py"
+        report = run_paths([str(fixture)])
+        assert {finding.rule for finding in report.new} == {"determinism"}
+        messages = [finding.message for finding in report.new]
+        assert any("wall-clock read time.time()" in message for message in messages)
+        assert any("random.random()" in message for message in messages)
+
+    def test_obs_package_is_inside_determinism_jurisdiction(self):
+        rule = DeterminismRule()
+        assert rule._in_scope("repro.obs.tracing")
+        assert rule._in_scope("repro.obs.registry")
+        assert not rule._in_scope("repro.experiments.coordstats")
+
     def test_wirebatch_fixture_trips_wire_hygiene(self):
         # proves the extended jurisdiction bites: the fixture impersonates
         # repro.rtp.wirebatch via the module override and must produce both

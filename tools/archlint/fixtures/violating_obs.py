@@ -1,0 +1,24 @@
+# archlint: module=repro.obs.tracing
+"""Violating fixture proving the telemetry plane sits inside archlint's
+determinism jurisdiction: ``repro.obs`` is ordinary ``repro.*`` simulation
+code, so wall-clock reads and bare RNG calls in it must flag exactly as they
+would in the dataplane.  (Real obs code takes timestamps from ``Simulator.now``
+via its callers and samples flows with CRC32.)  CI runs the fixtures
+directory with ``--no-baseline`` and requires a non-zero exit.  DO NOT "fix"
+these violations.
+"""
+
+import random
+import time
+
+
+def record_media_span(registry):
+    # rule 4: determinism — a tracer must never stamp records with wall time
+    arrived_at = time.time()
+    registry.observe(arrived_at)
+    return arrived_at
+
+
+def classify_flow(flow_key):
+    # rule 4: determinism — sampling must be CRC32 over the flow key, not RNG
+    return random.random() < 1 / 64
