@@ -1,0 +1,479 @@
+"""Multi-SFU federation: cluster-aware SFUs and the placement coordinator.
+
+:class:`ClusterSfu` is a :class:`~repro.core.scallop.ScallopSfu` that knows
+its peers: trunk traffic from peer boxes is counted, straggler forwards are
+decapsulated back to their original source before pipeline ingress, and a
+post-migration drain window forwards in-flight packets of migrated-away
+clients to their new home (tagged via datagram meta — the packet itself is
+untouched, so the forward rides the wire-native path end to end).
+
+:class:`SfuCluster` places meetings across 2+ boxes inside one netsim,
+maintains the inter-SFU trunks through every membership change, and performs
+cross-SFU meeting migration: snapshot at a batch boundary, move the clients,
+adopt the versioned snapshot (packed rewriter register images included) on
+the destination, arm straggler routes, and re-sync trunks with the old state
+lingering for the drain window.  Following the cluster live-migration pattern
+of the related work: migrating to a box outside the cluster raises, and a
+meeting already home is a no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.replication import ParticipantEndpoint
+from ..core.scallop import ScallopSfu
+from ..dataplane.pipeline import SWITCH_FORWARDING_DELAY_S
+from ..netsim.datagram import Address, Datagram
+from ..netsim.simulator import Simulator
+from ..netsim.link import Network
+from .snapshot import restore_meeting, snapshot_meeting, snapshot_size_bytes
+from .trunk import TRUNK_FORWARD_SRC_META, TrunkManager, TrunkStats
+
+#: How long migration-stale trunk state and straggler routes stay armed after
+#: a cutover.  Covers the inter-SFU hop (~0.4 ms) plus client access latency
+#: with two orders of magnitude of slack, while staying far below meeting
+#: timescales.
+DEFAULT_DRAIN_WINDOW_S = 0.05
+
+
+def trunk_participant_id(address: Address) -> str:
+    """Stable participant id of a peer box's trunk endpoint."""
+    return f"trunk:{address}"
+
+
+class ClusterSfu(ScallopSfu):
+    """A Scallop SFU participating in a federation.
+
+    Everything on the packet path is inherited; the overrides only reroute
+    at ingress: straggler-routed sources are forwarded to the flow's new
+    home, trunk forwards from peers are decapsulated, and trunk traffic is
+    counted into :class:`~repro.cluster.trunk.TrunkStats` (exported on the
+    pipeline as ``trunk_stats`` so the telemetry bus lifts it with the other
+    engine namespaces).
+    """
+
+    def __init__(self, address: Address, simulator: Simulator, network: Network, **kwargs) -> None:
+        super().__init__(address, simulator, network, **kwargs)
+        self.trunk_stats = TrunkStats()
+        #: duck-typed probe point for TelemetryBus.add_engine
+        self.pipeline.trunk_stats = self.trunk_stats
+        self.trunks = TrunkManager(self)
+        self._peer_addresses: Set[Address] = set()
+        #: migrated-away client address -> its new home box (drain window)
+        self._straggler_routes: Dict[Address, Address] = {}
+
+    def set_peers(self, addresses: Sequence[Address]) -> None:
+        self._peer_addresses = {a for a in addresses if a != self.address}
+
+    # ------------------------------------------------------------------ ingress rerouting
+
+    def _route_ingress(self, datagram: Datagram) -> Optional[Datagram]:
+        route = self._straggler_routes.get(datagram.src)
+        if route is not None and datagram.dst == self.address:
+            # in-flight packet of a migrated-away client: forward to its new
+            # home, original source tucked into meta so the peer restores it
+            # before pipeline ingress (exactly-once: this box's own state for
+            # the flow is already gone, so nothing is processed locally)
+            meta = dict(datagram.meta)
+            meta[TRUNK_FORWARD_SRC_META] = datagram.src
+            forwarded = replace(datagram, src=self.address, dst=route, meta=meta)
+            self.trunk_stats.stragglers_forwarded += 1
+            self.stats.packets_out += 1
+            self.stats.bytes_out += forwarded.size
+            self.simulator.schedule(
+                SWITCH_FORWARDING_DELAY_S, lambda d=forwarded: self.network.send(d)
+            )
+            return None
+        if datagram.src in self._peer_addresses:
+            self.trunk_stats.packets_in += 1
+            self.trunk_stats.bytes_in += datagram.size
+            forwarded_src = datagram.meta.get(TRUNK_FORWARD_SRC_META)
+            if forwarded_src is not None:
+                meta = {k: v for k, v in datagram.meta.items() if k != TRUNK_FORWARD_SRC_META}
+                return replace(datagram, src=forwarded_src, meta=meta)
+        return datagram
+
+    def handle_datagram(self, datagram: Datagram) -> None:
+        routed = self._route_ingress(datagram)
+        if routed is not None:
+            super().handle_datagram(routed)
+
+    def handle_datagram_batch(self, datagrams: Sequence[Datagram]) -> None:
+        routed = []
+        for datagram in datagrams:
+            out = self._route_ingress(datagram)
+            if out is not None:
+                routed.append(out)
+        if routed:
+            super().handle_datagram_batch(routed)
+
+    # ------------------------------------------------------------------ straggler routes
+
+    def add_straggler_route(self, client: Address, new_home: Address, expire_s: float) -> None:
+        self._straggler_routes[client] = new_home
+        self.simulator.schedule(expire_s, lambda: self._expire_straggler_route(client, new_home))
+
+    def _expire_straggler_route(self, client: Address, new_home: Address) -> None:
+        if self._straggler_routes.get(client) == new_home:
+            del self._straggler_routes[client]
+
+    def flush_straggler_routes(self) -> None:
+        self._straggler_routes.clear()
+
+
+class SfuCluster:
+    """Coordinator placing meetings across the federation's boxes.
+
+    The coordinator is control-plane-only: it never sees a packet.  It signs
+    clients into their home box, keeps every co-hosted meeting's trunks in
+    sync after each membership change (the controller re-derives meetings
+    from its own records on every join/leave, so trunk endpoints and remote
+    sender registrations are re-asserted here afterwards), and drives
+    cross-SFU migration.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        n_sfus: int = 2,
+        drain_window_s: float = DEFAULT_DRAIN_WINDOW_S,
+        **sfu_kwargs,
+    ) -> None:
+        if n_sfus < 1:
+            raise ValueError("a cluster needs at least one SFU")
+        self.simulator = simulator
+        self.network = network
+        self.drain_window_s = drain_window_s
+        self.members: List[ClusterSfu] = [
+            ClusterSfu(Address(f"10.0.0.{1 + index}", 5000), simulator, network, **sfu_kwargs)
+            for index in range(n_sfus)
+        ]
+        addresses = [member.address for member in self.members]
+        for member in self.members:
+            member.set_peers(addresses)
+        self._home: Dict[str, int] = {}
+        self._clients: Dict[str, object] = {}
+        #: pre-meeting state fingerprints: what an idle box must return to
+        #: after every meeting it hosted migrates away or drains out
+        self._baselines = [self._fingerprint(member) for member in self.members]
+
+    # ------------------------------------------------------------------ lifecycle
+
+    @property
+    def address(self) -> Address:
+        """The cluster's front address (member 0 — where unplaced joins land)."""
+        return self.members[0].address
+
+    def start(self) -> None:
+        for member in self.members:
+            member.start()
+
+    def stop(self) -> None:
+        for member in self.members:
+            member.stop()
+
+    def close(self) -> None:
+        for member in self.members:
+            member.close()
+
+    # ------------------------------------------------------------------ membership
+
+    def join(self, client, member: Optional[int] = None) -> None:
+        """Sign a client into its meeting on the given (or default) box."""
+        meeting_id = client.config.meeting_id
+        index = member if member is not None else self._default_member(meeting_id)
+        if not 0 <= index < len(self.members):
+            raise ValueError(f"member {index} is not in this {len(self.members)}-SFU cluster")
+        self.members[index].join(client)
+        self._home[client.config.participant_id] = index
+        self._clients[client.config.participant_id] = client
+        self._sync_meeting(meeting_id)
+
+    def leave(self, client) -> None:
+        participant_id = client.config.participant_id
+        index = self._home.pop(participant_id, None)
+        self._clients.pop(participant_id, None)
+        if index is None:
+            return
+        self.members[index].leave(client)
+        self._sync_meeting(client.config.meeting_id)
+
+    def home_of(self, participant_id: str) -> Optional[int]:
+        return self._home.get(participant_id)
+
+    def _default_member(self, meeting_id: str) -> int:
+        for participant_id, index in self._home.items():
+            client = self._clients.get(participant_id)
+            if client is not None and client.config.meeting_id == meeting_id:
+                return index
+        return 0
+
+    # ------------------------------------------------------------------ migration
+
+    def migrate_meeting(self, meeting_id: str, to_member: int) -> bool:
+        """Consolidate a meeting onto one box; returns False when already home.
+
+        Per source box, at one simulated instant (a batch boundary — no
+        packet event interleaves): image the meeting
+        (:func:`~repro.cluster.snapshot.snapshot_meeting` — versioned flow
+        snapshot with packed rewriter register images, decode-target
+        hysteresis, learned SVC structures), move the clients (leave tears
+        the source's state down, join re-homes signaling to the
+        destination), adopt the snapshot on the destination, and arm
+        straggler routes.  Stale trunk state then lingers for the drain
+        window so trunk-era in-flight replicas still reach the pre-cutover
+        population — order per flow is preserved because the extra inter-SFU
+        hop is orders of magnitude shorter than media inter-packet gaps.
+        """
+        if not 0 <= to_member < len(self.members):
+            raise ValueError(
+                f"migration destination {to_member} is not in this "
+                f"{len(self.members)}-SFU cluster"
+            )
+        hosting = self._hosting_members(meeting_id)
+        if not hosting:
+            raise ValueError(f"unknown meeting: {meeting_id}")
+        if set(hosting) == {to_member}:
+            return False  # already home
+        destination = self.members[to_member]
+        for index in sorted(set(hosting) - {to_member}):
+            source = self.members[index]
+            snapshot = snapshot_meeting(source, meeting_id)
+            shipped = snapshot_size_bytes(snapshot)
+            source.trunk_stats.migrations_out += 1
+            source.trunk_stats.snapshot_bytes += shipped
+            clients = [
+                self._clients[pid] for pid in snapshot.participant_ids if pid in self._clients
+            ]
+            for client in clients:
+                source.leave(client)
+            for client in clients:
+                destination.join(client)
+                self._home[client.config.participant_id] = to_member
+            restore_meeting(snapshot, destination)
+            destination.trunk_stats.migrations_in += 1
+            destination.trunk_stats.snapshot_bytes += shipped
+            for client in clients:
+                source.add_straggler_route(client.address, destination.address, self.drain_window_s)
+        self._sync_meeting(meeting_id, linger_s=self.drain_window_s)
+        return True
+
+    # ------------------------------------------------------------------ trunk sync
+
+    def _hosting_members(self, meeting_id: str) -> Dict[int, list]:
+        hosting: Dict[int, list] = {}
+        for index, member in enumerate(self.members):
+            meeting = member.controller.meetings.get(meeting_id)
+            if meeting is not None and meeting.participants:
+                hosting[index] = list(meeting.participants.values())
+        return hosting
+
+    def _sync_meeting(self, meeting_id: str, linger_s: float = 0.0) -> None:
+        """Re-assert the federated view of one meeting on every box.
+
+        Hosting boxes get their meeting re-configured with the peer trunk
+        endpoints appended (the controller's own reconfiguration knows only
+        local participants) and their trunk subscriptions rebuilt; boxes no
+        longer hosting shed leftover trunk-only replication state, remote
+        sender registrations, and subscriptions.
+        """
+        hosting = self._hosting_members(meeting_id)
+        for index, member in enumerate(self.members):
+            if index in hosting:
+                trunk_endpoints = [
+                    ParticipantEndpoint(
+                        participant_id=trunk_participant_id(self.members[peer].address),
+                        address=self.members[peer].address,
+                        egress_port=0,
+                        trunk=True,
+                    )
+                    for peer in sorted(hosting)
+                    if peer != index
+                ]
+                local_endpoints = [record.endpoint() for record in hosting[index]]
+                member.agent.configure_meeting(meeting_id, local_endpoints + trunk_endpoints)
+                installed = member.agent.replication.meetings[meeting_id]
+                local_receivers = [
+                    endpoint for endpoint in installed.participants.values() if not endpoint.trunk
+                ]
+                remote_senders = {
+                    self.members[peer].address: [record.endpoint() for record in hosting[peer]]
+                    for peer in sorted(hosting)
+                    if peer != index
+                }
+                member.trunks.sync_meeting(
+                    meeting_id, remote_senders, local_receivers, linger_s=linger_s
+                )
+            else:
+                leftover = member.agent.replication.meetings.get(meeting_id)
+                if leftover is not None:
+                    for pid, endpoint in list(leftover.participants.items()):
+                        if endpoint.trunk:
+                            member.agent.remove_participant(meeting_id, pid)
+                member.trunks.teardown_meeting(meeting_id, linger_s=linger_s)
+
+    # ------------------------------------------------------------------ reconciliation
+
+    def _fingerprint(self, member: ClusterSfu) -> Dict[str, int]:
+        control = member.pipeline.control
+        return {
+            "stream_entries": len(list(control.stream_table.entries())),
+            "replica_entries": len(list(control.replica_table.entries())),
+            "adaptation_entries": len(list(control.adaptation_table.entries())),
+            "feedback_entries": len(list(control.feedback_table.entries())),
+            "trees": control.pre.num_trees,
+            "l1_nodes": control.pre.total_l1_nodes(),
+            "tracker_cells": control.accountant.stream_tracker_cells_used,
+            "agent_participants": len(member.agent._participants),
+            "controller_participants": member.controller.total_participants(),
+            "trunk_subscriptions": len(member.trunks.subscriptions),
+        }
+
+    def reconcile(self) -> List[str]:
+        """Audit every box against the surviving cross-SFU population.
+
+        Flushes drain windows first (the simulation horizon has passed), then
+        checks per box: controller/agent populations, table jurisdictions
+        (streams from local clients or subscribed peers only, adaptation
+        strictly egress-local, feedback toward local receivers or peer
+        trunks), accountant-vs-PRE-vs-register consistency, trunk
+        subscriptions matching the surviving remote population, and — for a
+        box hosting nothing — an exact return to its pre-meeting baseline
+        fingerprint.
+        """
+        problems: List[str] = []
+        for member in self.members:
+            member.trunks.flush_lingering()
+            member.flush_straggler_routes()
+
+        meetings: Dict[str, Dict[int, List[str]]] = {}
+        for pid, index in self._home.items():
+            client = self._clients[pid]
+            meetings.setdefault(client.config.meeting_id, {}).setdefault(index, []).append(pid)
+
+        for index, member in enumerate(self.members):
+            tag = f"member {index} ({member.address})"
+            local_pids = {pid for pid, home in self._home.items() if home == index}
+            local_clients = [self._clients[pid] for pid in local_pids]
+            local_addresses = {client.address for client in local_clients}
+            local_ssrcs = set()
+            for client in local_clients:
+                if client.config.send_audio:
+                    local_ssrcs.add(client.audio_ssrc)
+                if client.config.send_video:
+                    local_ssrcs.add(client.video_ssrc)
+
+            remote_pids: Set[str] = set()
+            remote_ssrcs: Set[int] = set()
+            trunk_pids: Set[str] = set()
+            origin_addresses: Set[Address] = set()
+            expected_subscriptions: Dict[Tuple[str, Address], int] = {}
+            for meeting_id, by_member in meetings.items():
+                if index not in by_member:
+                    continue
+                for peer, pids in by_member.items():
+                    if peer == index:
+                        continue
+                    trunk_pids.add(trunk_participant_id(self.members[peer].address))
+                    origin_addresses.add(self.members[peer].address)
+                    expected_subscriptions[(meeting_id, self.members[peer].address)] = len(pids)
+                    for pid in pids:
+                        remote_pids.add(pid)
+                        client = self._clients[pid]
+                        if client.config.send_audio:
+                            remote_ssrcs.add(client.audio_ssrc)
+                        if client.config.send_video:
+                            remote_ssrcs.add(client.video_ssrc)
+
+            if member.controller.total_participants() != len(local_pids):
+                problems.append(
+                    f"{tag}: controller tracks {member.controller.total_participants()} "
+                    f"participants, {len(local_pids)} are homed here"
+                )
+            expected_agent_ids = local_pids | trunk_pids | remote_pids
+            agent_ids = set(member.agent._participants)
+            if agent_ids != expected_agent_ids:
+                problems.append(
+                    f"{tag}: agent tracks {sorted(agent_ids ^ expected_agent_ids)} inconsistently"
+                )
+
+            control = member.pipeline.control
+            peer_addresses = {m.address for m in self.members if m is not member}
+            for (src, ssrc), _entry in control.stream_table.entries():
+                if src in local_addresses and ssrc in local_ssrcs:
+                    continue
+                if src in origin_addresses and ssrc in remote_ssrcs:
+                    continue
+                problems.append(f"{tag}: stale stream entry for flow {src}/{ssrc}")
+            for (ssrc, receiver), _entry in control.adaptation_table.entries():
+                if receiver not in local_addresses or ssrc not in (local_ssrcs | remote_ssrcs):
+                    problems.append(f"{tag}: non-egress-local adaptation entry ({ssrc}, {receiver})")
+            for (receiver, ssrc), _rule in control.feedback_table.entries():
+                if receiver not in (local_addresses | peer_addresses) or ssrc not in (
+                    local_ssrcs | remote_ssrcs
+                ):
+                    problems.append(f"{tag}: stale feedback rule ({receiver}, {ssrc})")
+            for (src, ssrc), _shard in control.placement_table.entries():
+                if src not in (local_addresses | origin_addresses):
+                    problems.append(f"{tag}: stale placement exception {src}/{ssrc}")
+
+            accountant = control.accountant
+            pre = control.pre
+            if accountant.trees_allocated != pre.num_trees:
+                problems.append(
+                    f"{tag}: accountant holds {accountant.trees_allocated} trees, "
+                    f"PRE has {pre.num_trees}"
+                )
+            if accountant.l1_nodes_allocated != pre.total_l1_nodes():
+                problems.append(
+                    f"{tag}: accountant holds {accountant.l1_nodes_allocated} L1 nodes, "
+                    f"PRE has {pre.total_l1_nodes()}"
+                )
+            tracker_cells = sum(
+                getattr(rewriter, "state_cells", 1)
+                for _index, rewriter in control.stream_trackers.used_entries()
+            )
+            if accountant.stream_tracker_cells_used != tracker_cells:
+                problems.append(
+                    f"{tag}: accountant charges {accountant.stream_tracker_cells_used} tracker "
+                    f"cells, registers hold {tracker_cells}"
+                )
+            if control.stream_indices.in_use != len(control.adaptation_table):
+                problems.append(
+                    f"{tag}: {control.stream_indices.in_use} stream indices allocated for "
+                    f"{len(control.adaptation_table)} adaptation entries"
+                )
+
+            subscriptions = member.trunks.subscriptions
+            if set(subscriptions) != set(expected_subscriptions):
+                problems.append(
+                    f"{tag}: trunk subscriptions {sorted(str(k) for k in subscriptions)} != "
+                    f"expected {sorted(str(k) for k in expected_subscriptions)}"
+                )
+            else:
+                for key, expected_count in expected_subscriptions.items():
+                    if len(subscriptions[key].sender_ids) != expected_count:
+                        problems.append(
+                            f"{tag}: trunk {key} subscribes {len(subscriptions[key].sender_ids)} "
+                            f"remote senders, surviving remote population is {expected_count}"
+                        )
+
+            if not local_pids and not remote_pids:
+                fingerprint = self._fingerprint(member)
+                baseline = self._baselines[index]
+                if fingerprint != baseline:
+                    drift = {
+                        k: (baseline[k], fingerprint[k])
+                        for k in fingerprint
+                        if fingerprint[k] != baseline[k]
+                    }
+                    problems.append(f"{tag}: idle box has not returned to baseline: {drift}")
+        return problems
+
+    # ------------------------------------------------------------------ reporting
+
+    def total_participants(self) -> int:
+        return len(self._home)

@@ -1,0 +1,268 @@
+"""Inter-SFU trunks: one SFU subscribes to a remote meeting's media once.
+
+A trunk is the cascading primitive of the federation layer (SRMCA's
+multi-node shape): for every meeting a box co-hosts with a peer, the peer's
+replication layer sends exactly one copy of each remote sender's stream to
+this box (the trunk endpoint is an ordinary
+:class:`~repro.core.replication.ParticipantEndpoint` with ``trunk=True`` and
+no media of its own), and this box fans that copy out to its local receivers
+through its *own* PRE tree — trunk ingress rides the wire-native
+:class:`~repro.rtp.wire.PacketView` path like any other media, and all
+per-receiver sequence rewriting stays local to the egress box.
+
+The manager owns three kinds of subscriber-side state per subscription:
+
+* an ingress route ``(origin SFU, remote ssrc) -> REPLICATE(mgid)`` installed
+  via :meth:`~repro.dataplane.pipeline.PipelineControlPlane.install_stream_route`
+  (route only — SSRC *ownership* stays with the box terminating the sender's
+  uplink, so trunk teardown can never clobber a migrated-in sender's row),
+* a dedicated PRE tree whose nodes are the local receivers, and
+* feedback plumbing: remote senders registered with the agent (SSRC
+  resolution for REMB/descriptor punts; flagged ``remote`` so the filter
+  function never points REMB rules at the remote client) and NACK/PLI
+  forwarding rules whose next hop is the origin SFU.  REMB is never forwarded
+  over a trunk — each box runs the paper's filter function over its own
+  receiver population, which is exactly the cascaded-SFU semantic.
+
+Teardown is guard-checked (route still points at this trunk's tree, rule
+still points at the origin, sender still registered as remote) so a lingering
+teardown scheduled behind a migration drain window can never tear down state
+a newer sync or a migrated-in participant has since installed under the same
+keys.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.replication import ParticipantEndpoint
+from ..dataplane.pipeline import FeedbackRule, ForwardingMode, ReplicaTarget, StreamForwardingEntry
+from ..dataplane.pre import L2Port
+from ..netsim.datagram import Address
+
+#: Datagram meta key carrying the original source address of a straggler
+#: forwarded over a trunk after a migration cutover.  A meta key (never a new
+#: Datagram field: ``Datagram.from_fields`` pins the exact field set) — the
+#: receiving box restores the original source before pipeline ingress, so
+#: stragglers hit the real stream entries of the migrated-in flows.
+TRUNK_FORWARD_SRC_META = "trunk_fwd_src"
+
+
+@dataclass
+class TrunkStats:
+    """Per-box trunk telemetry (the ``repro.trunk.*`` metric namespace)."""
+
+    packets_in: int = 0            #: datagrams received from peer SFUs
+    bytes_in: int = 0              #: payload bytes received from peer SFUs
+    stragglers_forwarded: int = 0  #: post-cutover in-flight packets forwarded to the new home
+    migrations_in: int = 0         #: meetings adopted by this box
+    migrations_out: int = 0        #: meetings shipped away from this box
+    snapshot_bytes: int = 0        #: total packed snapshot bytes shipped (both directions)
+    subscriptions: int = 0         #: live trunk subscriptions (gauge)
+
+
+@dataclass
+class SfuTrunk:
+    """One live subscription: this box receives ``meeting_id`` media from
+    ``origin`` and fans it out locally through tree ``mgid``."""
+
+    meeting_id: str
+    origin: Address
+    mgid: int
+    #: remote sender participant ids registered with the local agent
+    sender_ids: Tuple[str, ...] = ()
+    #: remote media SSRCs routed through this trunk
+    ssrcs: Tuple[int, ...] = ()
+    #: local receiver addresses holding NACK/PLI rules toward the origin
+    receiver_addresses: Tuple[Address, ...] = ()
+    #: PRE bookkeeping: (node_id, rid) per local receiver
+    nodes: List[Tuple[int, int]] = field(default_factory=list)
+    #: set once the trunk's state has been released (idempotent teardown:
+    #: a lingering drain-window event may fire after an explicit flush)
+    released: bool = False
+
+    @property
+    def key(self) -> Tuple[str, Address]:
+        return (self.meeting_id, self.origin)
+
+
+class TrunkManager:
+    """Subscriber-side trunk state of one :class:`~repro.cluster.ClusterSfu`."""
+
+    def __init__(self, sfu) -> None:
+        self.sfu = sfu
+        self.subscriptions: Dict[Tuple[str, Address], SfuTrunk] = {}
+        self._next_rid = itertools.count(1)
+        #: stale trunks waiting out a migration drain window before teardown
+        self._pending: List[SfuTrunk] = []
+
+    # ------------------------------------------------------------------ sync
+
+    def sync_meeting(
+        self,
+        meeting_id: str,
+        remote_senders: Dict[Address, Sequence[ParticipantEndpoint]],
+        local_receivers: Sequence[ParticipantEndpoint],
+        linger_s: float = 0.0,
+    ) -> None:
+        """Reconcile this box's subscriptions for one meeting.
+
+        ``remote_senders`` maps each peer origin to the sender endpoints
+        (true client addresses + SSRCs) whose media must arrive over that
+        trunk; ``local_receivers`` are this box's own meeting participants
+        (post-:meth:`~repro.core.switch_agent.SwitchAgent.configure_meeting`,
+        so their egress ports are assigned).  Stale subscriptions are torn
+        down after ``linger_s`` seconds — a migration keeps the old tree
+        alive for its drain window so trunk-era in-flight replicas still
+        reach the pre-cutover local population, while the guard checks keep
+        the delayed teardown from touching state the cutover re-installed.
+        """
+        desired = {
+            (meeting_id, origin): tuple(senders)
+            for origin, senders in remote_senders.items()
+            if senders and local_receivers
+        }
+        stale = [
+            trunk
+            for key, trunk in self.subscriptions.items()
+            if key[0] == meeting_id and key not in desired
+        ]
+        rebuilt = [
+            self.subscriptions.pop(key)
+            for key in list(self.subscriptions)
+            if key[0] == meeting_id and key in desired
+        ]
+        with self.sfu.pipeline.batched_writes():
+            for (mid, origin), senders in sorted(desired.items(), key=lambda kv: (kv[0][1].ip, kv[0][1].port)):
+                self._install(mid, origin, senders, local_receivers)
+            # the rebuilt trunks' trees/routes are superseded by the fresh
+            # installs above (same table keys, new mgid) — release immediately
+            for trunk in rebuilt:
+                self._teardown(trunk)
+        for trunk in stale:
+            self.subscriptions.pop(trunk.key, None)
+            if linger_s > 0.0:
+                self._pending.append(trunk)
+                self.sfu.simulator.schedule(linger_s, lambda t=trunk: self._teardown_batched(t))
+            else:
+                self._teardown_batched(trunk)
+        self.sfu.trunk_stats.subscriptions = len(self.subscriptions)
+
+    def teardown_meeting(self, meeting_id: str, linger_s: float = 0.0) -> None:
+        """Drop every subscription of a meeting (last local participant left
+        or the meeting migrated away)."""
+        self.sync_meeting(meeting_id, {}, [], linger_s=linger_s)
+
+    def flush_lingering(self) -> None:
+        """Force-run any teardown still waiting on a drain window (end-of-run
+        reconciliation: the simulator will not advance past the horizon, so
+        pending windows would otherwise never expire)."""
+        for trunk in list(self._pending):
+            self._teardown_batched(trunk)
+
+    # ------------------------------------------------------------------ internals
+
+    def _install(
+        self,
+        meeting_id: str,
+        origin: Address,
+        senders: Sequence[ParticipantEndpoint],
+        local_receivers: Sequence[ParticipantEndpoint],
+    ) -> SfuTrunk:
+        pipeline = self.sfu.pipeline
+        agent = self.sfu.agent
+        capacities = pipeline.capacities
+        trunk = SfuTrunk(meeting_id=meeting_id, origin=origin, mgid=pipeline.pre.create_tree())
+        for receiver in local_receivers:
+            rid = next(self._next_rid) % capacities.max_rids_per_tree
+            node_id = pipeline.pre.add_node(
+                trunk.mgid,
+                rid=rid,
+                ports=[L2Port(port=receiver.egress_port, l2_xid=receiver.egress_port)],
+                l1_xid=None,
+                prune_enabled=False,
+            )
+            trunk.nodes.append((node_id, rid))
+            pipeline.install_replica_target(
+                trunk.mgid,
+                rid,
+                ReplicaTarget(address=receiver.address, participant_id=receiver.participant_id),
+            )
+        ssrcs: List[int] = []
+        sender_ids: List[str] = []
+        for sender in senders:
+            agent.register_remote_sender(meeting_id, sender)
+            sender_ids.append(sender.participant_id)
+            for _kind, ssrc in sender.media_ssrcs():
+                ssrcs.append(ssrc)
+                pipeline.install_stream_route(
+                    (origin, ssrc),
+                    StreamForwardingEntry(
+                        mode=ForwardingMode.REPLICATE,
+                        meeting_id=meeting_id,
+                        sender=origin,
+                        mgid=trunk.mgid,
+                    ),
+                )
+                for receiver in local_receivers:
+                    pipeline.install_feedback_rule(
+                        receiver.address,
+                        ssrc,
+                        FeedbackRule(sender=origin, forward_remb=False, forward_nack_pli=True),
+                    )
+        trunk.ssrcs = tuple(ssrcs)
+        trunk.sender_ids = tuple(sender_ids)
+        trunk.receiver_addresses = tuple(r.address for r in local_receivers)
+        self.subscriptions[trunk.key] = trunk
+        return trunk
+
+    def _teardown_batched(self, trunk: SfuTrunk) -> None:
+        if trunk.released:
+            return
+        with self.sfu.pipeline.batched_writes():
+            self._teardown(trunk)
+        if trunk in self._pending:
+            self._pending.remove(trunk)
+
+    def _teardown(self, trunk: SfuTrunk) -> None:
+        """Release a trunk's state, skipping anything re-owned since.
+
+        The guards make a delayed (post-drain-window) teardown safe: a route
+        is removed only while it still points at this trunk's tree, a
+        feedback rule only while its next hop is still the origin and no
+        active subscription covers the SSRC, and a sender registration only
+        while it is still marked remote (a migrated-in participant re-registers
+        the same id as local).
+        """
+        if trunk.released:
+            return
+        trunk.released = True
+        pipeline = self.sfu.pipeline
+        agent = self.sfu.agent
+        active = self.subscriptions.get(trunk.key)
+        active_ssrcs = set(active.ssrcs) if active is not None else set()
+        active_senders = set(active.sender_ids) if active is not None else set()
+        for ssrc in trunk.ssrcs:
+            if ssrc in active_ssrcs:
+                continue
+            entry = pipeline.stream_table.peek((trunk.origin, ssrc))
+            if entry is not None and entry.mgid == trunk.mgid:
+                pipeline.remove_stream_route((trunk.origin, ssrc))
+            stale_rules = [
+                key
+                for key, rule in pipeline.feedback_table.entries()
+                if key[1] == ssrc and rule.sender == trunk.origin
+            ]
+            for receiver, media_ssrc in stale_rules:
+                pipeline.remove_feedback_rule(receiver, media_ssrc)
+        for sender_id in trunk.sender_ids:
+            if sender_id not in active_senders:
+                agent.forget_remote_sender(sender_id)
+        for node_id, rid in trunk.nodes:
+            pipeline.pre.remove_node(trunk.mgid, node_id)
+            pipeline.remove_replica_target(trunk.mgid, rid)
+        trunk.nodes = []
+        pipeline.pre.destroy_tree(trunk.mgid)
+        self.sfu.trunk_stats.subscriptions = len(self.subscriptions)

@@ -170,3 +170,25 @@ class DecodeTargetTracker:
         for key in [k for k in self._targets if participant_id in k]:
             self._targets.pop(key, None)
             self._history.pop(key, None)
+
+    def export_for(self, participant_ids) -> List[Tuple[str, str, int, Tuple[float, ...]]]:
+        """Image the decode-target state of pairs touching ``participant_ids``
+        as plain records (sender, receiver, target value, estimate history) —
+        the agent-side half of a cross-SFU meeting migration snapshot.
+        Deterministically ordered so identical trackers export identically."""
+        ids = set(participant_ids)
+        records: List[Tuple[str, str, int, Tuple[float, ...]]] = []
+        for key in sorted(k for k in self._targets if k[0] in ids or k[1] in ids):
+            records.append(
+                (key[0], key[1], int(self._targets[key]), tuple(self._history.get(key, ())))
+            )
+        return records
+
+    def adopt(self, records) -> None:
+        """Restore records produced by :meth:`export_for` into this tracker,
+        so a migrated meeting's next REMB continues the same hysteresis state
+        instead of re-deciding from the DT2 default."""
+        for sender_id, receiver_id, target, history in records:
+            key = (sender_id, receiver_id)
+            self._targets[key] = DecodeTarget(target)
+            self._history[key] = list(history)

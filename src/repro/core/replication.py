@@ -47,6 +47,12 @@ class ParticipantEndpoint:
     egress_port: int
     audio_ssrc: Optional[int] = None
     video_ssrc: Optional[int] = None
+    #: Inter-SFU trunk endpoint (``repro.cluster``): the "participant" is a
+    #: peer SFU subscribing to this meeting's media.  It contributes no media
+    #: of its own (no SSRCs, so no ingress stream entry is ever installed for
+    #: it) and receives exactly one copy of every local sender's stream; the
+    #: peer's own PRE fans that copy out to its local receivers.
+    trunk: bool = False
 
     def media_ssrcs(self) -> List[Tuple[str, int]]:
         ssrcs: List[Tuple[str, int]] = []

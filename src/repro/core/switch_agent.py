@@ -62,6 +62,11 @@ class _ParticipantState:
     endpoint: ParticipantEndpoint
     meeting_id: str
     structure: TemplateStructure = field(default_factory=TemplateStructure.l1t3)
+    #: Sender registered by the trunk manager: media arrives over an inter-SFU
+    #: trunk, so this box must never install REMB-forwarding rules toward the
+    #: sender's true client address (the origin SFU runs the filter function
+    #: for it; this box only does local egress adaptation).
+    remote: bool = False
 
 
 class SwitchAgent:
@@ -224,6 +229,67 @@ class SwitchAgent:
                         ),
                     )
 
+    # ------------------------------------------------------------------ cluster federation
+
+    def register_remote_sender(self, meeting_id: str, endpoint: ParticipantEndpoint) -> None:
+        """Register a sender whose media arrives over an inter-SFU trunk.
+
+        The endpoint carries the sender's *true* client address (so a later
+        migration that terminates the client locally reuses the same
+        identity) but the sender is deliberately not entered in the
+        address index: trunk media arrives from the peer SFU's address, and
+        only SSRC resolution (REMB processing, extended-descriptor punts)
+        needs to see remote senders.  No replication or feedback state is
+        touched — the trunk manager owns the ingress routes.
+        """
+        self._participants[endpoint.participant_id] = _ParticipantState(
+            endpoint=endpoint, meeting_id=meeting_id, remote=True
+        )
+        for _kind, ssrc in endpoint.media_ssrcs():
+            self._participant_by_ssrc[ssrc] = endpoint.participant_id
+
+    def forget_remote_sender(self, participant_id: str) -> None:
+        """Drop a :meth:`register_remote_sender` registration (SSRC index and
+        participant record only; adaptation state toward local receivers is
+        torn down separately by the trunk manager when a remote sender truly
+        leaves, and is deliberately preserved across trunk re-syncs)."""
+        state = self._participants.get(participant_id)
+        if state is None or not state.remote:
+            # never touch a local registration: a migrated-in participant
+            # re-registers the same id as local before any lingering trunk
+            # teardown fires
+            return
+        del self._participants[participant_id]
+        for _kind, ssrc in state.endpoint.media_ssrcs():
+            if self._participant_by_ssrc.get(ssrc) == participant_id:
+                del self._participant_by_ssrc[ssrc]
+
+    def adopt_adaptation(self, sender_ssrc: int, receiver: Address, allowed_templates, rewriter) -> None:
+        """Install a migrated-in adaptation entry with its shipped rewriter.
+
+        Marks the (ssrc, receiver) pair installed so the next REMB-driven
+        decode-target change goes through ``update_adaptation_templates``
+        (template swap, rewriter state preserved) instead of installing a
+        fresh rewriter — resetting the register image we just shipped would
+        break the sequence-continuity guarantee of the migration.
+        """
+        self.pipeline.install_adaptation(sender_ssrc, receiver, allowed_templates, rewriter)
+        self._adaptation_installed[(sender_ssrc, receiver)] = True
+
+    def sender_structure(self, participant_id: str) -> Optional[TemplateStructure]:
+        """The learned SVC template structure of a sender (``None`` if the
+        participant is unknown here)."""
+        state = self._participants.get(participant_id)
+        return None if state is None else state.structure
+
+    def adopt_sender_structure(self, participant_id: str, structure: TemplateStructure) -> None:
+        """Adopt a migrated-in sender's learned SVC structure, so decode-target
+        template resolution does not regress to the l1t3 default until the
+        next key frame is punted."""
+        state = self._participants.get(participant_id)
+        if state is not None:
+            state.structure = structure
+
     # ------------------------------------------------------------------ CPU packet handling
 
     def handle_cpu_packet(self, datagram: Datagram) -> None:
@@ -331,6 +397,11 @@ class SwitchAgent:
         updates = 0
         with self.pipeline.batched_writes():
             for sender_id, state in list(self._participants.items()):
+                if state.remote:
+                    # trunked-in sender: the origin SFU selects its best
+                    # downlink; installing rules here would point feedback at
+                    # the remote client address, bypassing the trunk
+                    continue
                 best, changed = self.downlink_filter.reselect(sender_id)
                 if best is None or not changed:
                     continue

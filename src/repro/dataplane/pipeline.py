@@ -72,6 +72,50 @@ from .tables import ExactMatchTable, IndexAllocator, RegisterArray
 #: the Figure 19 comparison conservative.
 SWITCH_FORWARDING_DELAY_S = 12e-6
 
+#: Version stamp on exported control-plane flow snapshots
+#: (:meth:`PipelineControlPlane.export_flow_state`).  Bumped whenever the
+#: record layout changes; :meth:`~PipelineControlPlane.import_flow_state`
+#: refuses a mismatched snapshot loudly rather than guessing at field
+#: semantics across versions.
+CONTROL_SNAPSHOT_VERSION = 1
+
+
+class SnapshotVersionError(RuntimeError):
+    """A control-plane flow snapshot was produced under a different layout
+    version than the restoring pipeline understands."""
+
+
+def decode_flow_state(payload: dict) -> List[Tuple[Address, int, FrozenSet[int], "SequenceRewriter"]]:
+    """Validate and decode a flow snapshot produced by
+    :meth:`PipelineControlPlane.export_flow_state`.
+
+    The single version-enforcement point for every restore path (direct
+    :meth:`~PipelineControlPlane.import_flow_state` and the cluster
+    migration's agent-level adoption): a mismatched version raises
+    :class:`SnapshotVersionError` naming both versions.  Returns
+    ``(sender_ssrc, receiver, allowed_templates, rewriter)`` tuples with the
+    rewriters rebuilt from their packed register images.
+    """
+    from ..core.seqrewrite import unpack_rewriter_state
+
+    version = payload.get("version")
+    if version != CONTROL_SNAPSHOT_VERSION:
+        raise SnapshotVersionError(
+            f"flow snapshot version {version!r} does not match this control "
+            f"plane's CONTROL_SNAPSHOT_VERSION {CONTROL_SNAPSHOT_VERSION!r}"
+        )
+    records = []
+    for record in payload["flows"]:
+        records.append(
+            (
+                record["sender_ssrc"],
+                Address(record["receiver_ip"], record["receiver_port"]),
+                frozenset(record["allowed_templates"]),
+                unpack_rewriter_state(record["rewriter"]),
+            )
+        )
+    return records
+
 
 class SequenceRewriter(Protocol):
     """Per-stream sequence-number rewriting state machine (S-LM / S-LR).
@@ -508,6 +552,23 @@ class PipelineControlPlane:
         lookup counters are bumped)."""
         return self.ssrc_table.peek(ssrc)
 
+    def install_stream_route(self, key: Tuple[Address, int], entry: StreamForwardingEntry) -> None:
+        """Install an ingress forwarding entry *without* claiming SSRC
+        ownership.
+
+        Trunk ingress uses this for remote senders: the subscribing SFU
+        forwards ``(origin_sfu, ssrc)`` traffic through its own PRE, but the
+        SSRC's owner row stays with whichever box terminates the sender's
+        uplink — so tearing a trunk down can never clobber the ownership a
+        freshly migrated-in participant just installed.
+        """
+        self.stream_table.install(key, entry)
+
+    def remove_stream_route(self, key: Tuple[Address, int]) -> None:
+        """Remove a route installed via :meth:`install_stream_route`
+        (``ssrc_table`` untouched, unlike :meth:`remove_stream`)."""
+        self.stream_table.remove(key)
+
     def install_replica_target(self, mgid: int, rid: int, target: ReplicaTarget) -> None:
         self.replica_table.install((mgid, rid), target)
 
@@ -657,6 +718,61 @@ class PipelineControlPlane:
             _scope, cells = self._tracker_charges.get(key, (None, 0))
             if cells:
                 self._retag_tracker_charge(key, sender_ssrc, cells)
+
+    # ------------------------------------------------------------------ flow snapshot (cross-SFU migration)
+
+    def export_flow_state(self, receivers: Optional[Set[Address]] = None) -> dict:
+        """Image the per-flow adaptation state as a versioned, zero-pickle
+        snapshot.
+
+        One record per adaptation entry — ``(sender_ssrc, receiver)`` key,
+        the allowed-template set, and the rewriter's packed register image
+        (:func:`~repro.core.seqrewrite.pack_rewriter_state`, the PR 4 wire
+        format generalized across boxes).  ``receivers`` filters the export
+        to entries whose receiver address is in the set (a meeting migration
+        ships only its own participants' flows).  Deterministic record order
+        (sorted by key) so identical control planes export identical
+        snapshots.
+        """
+        from ..core.seqrewrite import pack_rewriter_state
+
+        records: List[dict] = []
+        entries = sorted(
+            self.adaptation_table.entries(),
+            key=lambda item: (item[0][0], item[0][1].ip, item[0][1].port),
+        )
+        for (sender_ssrc, receiver), entry in entries:
+            if receivers is not None and receiver not in receivers:
+                continue
+            rewriter = self.stream_trackers.peek(entry.stream_index)
+            if rewriter is None:
+                continue
+            records.append(
+                {
+                    "sender_ssrc": sender_ssrc,
+                    "receiver_ip": receiver.ip,
+                    "receiver_port": receiver.port,
+                    "allowed_templates": sorted(entry.allowed_templates),
+                    "rewriter": pack_rewriter_state(rewriter),
+                }
+            )
+        return {"version": CONTROL_SNAPSHOT_VERSION, "flows": records}
+
+    def import_flow_state(self, payload: dict) -> int:
+        """Restore flows imaged by :meth:`export_flow_state` into this
+        control plane.  Returns the number of flows installed.
+
+        Rejects a snapshot whose version stamp differs from
+        :data:`CONTROL_SNAPSHOT_VERSION` by raising
+        :class:`SnapshotVersionError` — a silent best-effort restore of a
+        mismatched layout would corrupt rewriter state noiselessly, which is
+        the one failure mode a migration must never have.
+        """
+        records = decode_flow_state(payload)
+        with self.batched_writes():
+            for sender_ssrc, receiver, allowed, rewriter in records:
+                self.install_adaptation(sender_ssrc, receiver, allowed, rewriter)
+        return len(records)
 
     # ------------------------------------------------------------------ worker-local replica API
 
@@ -1700,6 +1816,8 @@ class ControlPlaneFacade:
         control = self.control
         self.install_stream = control.install_stream
         self.remove_stream = control.remove_stream
+        self.install_stream_route = control.install_stream_route
+        self.remove_stream_route = control.remove_stream_route
         self.ssrc_owner = control.ssrc_owner
         self.install_replica_target = control.install_replica_target
         self.remove_replica_target = control.remove_replica_target
@@ -1710,6 +1828,8 @@ class ControlPlaneFacade:
         self.remove_feedback_rule = control.remove_feedback_rule
         self.batched_writes = control.batched_writes
         self.install_many = control.install_many
+        self.export_flow_state = control.export_flow_state
+        self.import_flow_state = control.import_flow_state
 
     @property
     def capacities(self) -> TofinoCapacities:

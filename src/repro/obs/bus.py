@@ -23,6 +23,11 @@ prefix                                  source
 ``repro.load.*``                        :class:`FlowLoadTracker` EWMA rows
 ``repro.rebalance.*``                   planner tallies + migration decisions
 ``repro.resources.*``                   global resource-ledger utilization
+``repro.trunk.*``                       inter-SFU federation counters
+                                        (:class:`~repro.cluster.TrunkStats`;
+                                        zero-valued on a non-federated
+                                        engine, so the schema is
+                                        topology-invariant)
 ``repro.trace.*``                       per-shard packet-lifecycle tracing
 ``repro.client.e2e_latency_ms``         client-side RTP latency samples
 ======================================  =======================================
@@ -42,7 +47,7 @@ from typing import Dict, List, Optional, Sequence
 from .registry import LATENCY_MS_BUCKETS, MetricsRegistry
 from .tracing import TraceRecord, sorted_trace_records
 
-__all__ = ["SCHEMA", "CORE_SERIES", "TRANSPORT_KEYS", "TelemetryBus"]
+__all__ = ["SCHEMA", "CORE_SERIES", "TRANSPORT_KEYS", "TRUNK_KEYS", "TelemetryBus"]
 
 #: Version tag stamped into every snapshot; consumers (the CI gate, the
 #: federation/SLA layers to come) validate against it before reading series.
@@ -61,6 +66,21 @@ TRANSPORT_KEYS = (
     "snapshot_bytes_out",
     "snapshots_shipped",
     "pickle_fallback_records",
+)
+
+#: The counter fields of :class:`~repro.cluster.TrunkStats`, pinned like
+#: :data:`TRANSPORT_KEYS` so every snapshot carries the federation series
+#: (zero-valued on a single-box engine) — a dashboard built against a cluster
+#: run reads unchanged against a classic one.  ``subscriptions`` is a gauge
+#: accumulated across engines (each box's live subscription count sums into
+#: the fleet total).
+TRUNK_KEYS = (
+    "packets_in",
+    "bytes_in",
+    "stragglers_forwarded",
+    "migrations_in",
+    "migrations_out",
+    "snapshot_bytes",
 )
 
 #: Integer fields of :class:`PipelineCounters` exported as counters.
@@ -87,6 +107,8 @@ CORE_SERIES = (
     "repro.coord.stage_ns.reassemble",
     "repro.transport.batch_bytes_out",
     "repro.transport.result_bytes_in",
+    "repro.trunk.packets_in",
+    "repro.trunk.subscriptions",
     "repro.client.e2e_latency_ms",
 )
 
@@ -100,6 +122,10 @@ class TelemetryBus:
         #: owns histograms (the coordinator stage profile).
         self.extra_series: Dict[str, Dict[str, object]] = {}
         self.traces: List[TraceRecord] = []
+        #: Fleet-total trunk subscriptions: ``set_gauge`` overwrites per
+        #: engine, so the running total accumulates here across
+        #: :meth:`add_engine` calls.
+        self._trunk_subscriptions = 0
 
     # ------------------------------------------------------------------ adapters
 
@@ -121,6 +147,7 @@ class TelemetryBus:
 
         self._add_shard_rows(engine, counters, sim_time_s)
         self._add_transport(engine)
+        self._add_trunk(engine)
         self._add_load_and_rebalance(engine)
 
         accountant = getattr(engine, "accountant", None)
@@ -189,6 +216,25 @@ class TelemetryBus:
         transport_obs = getattr(engine, "transport_obs", None)
         if transport_obs is not None:
             registry.merge(transport_obs)
+
+    def _add_trunk(self, engine: object) -> None:
+        """Fold a federated box's trunk counters into ``repro.trunk.*``.
+
+        A :class:`~repro.cluster.ClusterSfu` exports its
+        :class:`~repro.cluster.TrunkStats` on the pipeline as
+        ``trunk_stats``; a classic engine has none and contributes zeros, so
+        the namespace exists in every snapshot (same pinning pattern as
+        :data:`TRANSPORT_KEYS`).
+        """
+        registry = self.registry
+        stats = getattr(engine, "trunk_stats", None)
+        for key in TRUNK_KEYS:
+            value = 0 if stats is None else int(getattr(stats, key, 0))
+            registry.inc("repro.trunk." + key, value)
+        self._trunk_subscriptions += 0 if stats is None else int(
+            getattr(stats, "subscriptions", 0)
+        )
+        registry.set_gauge("repro.trunk.subscriptions", float(self._trunk_subscriptions))
 
     def _add_load_and_rebalance(self, engine: object) -> None:
         registry = self.registry

@@ -6,7 +6,8 @@ meetings, a :class:`Schedule` of timed joins/leaves/link-profile phases, a
 :class:`BackendSpec`, a :class:`TrafficSpec`), then :func:`build_scenario` it
 into a :class:`ScenarioRun` to simulate.  ``python -m repro.scenario`` runs
 the canned :data:`LIBRARY` (``steady``, ``churn_storm``, ``flash_crowd``,
-``degrading_uplink``, ``zipf_hotset``) from the command line.
+``degrading_uplink``, ``zipf_hotset``, ``federated_pair``) from the
+command line.
 """
 
 from .spec import (
@@ -15,6 +16,7 @@ from .spec import (
     LeaveEvent,
     LinkEvent,
     MeetingSpec,
+    MigrateEvent,
     Scenario,
     ScenarioEvent,
     Schedule,
@@ -28,7 +30,15 @@ from .driver import (
     Testbed,
     build_scenario,
 )
-from .library import LIBRARY, churn_storm, degrading_uplink, flash_crowd, steady, zipf_hotset
+from .library import (
+    LIBRARY,
+    churn_storm,
+    degrading_uplink,
+    federated_pair,
+    flash_crowd,
+    steady,
+    zipf_hotset,
+)
 
 __all__ = [
     "BackendSpec",
@@ -36,6 +46,7 @@ __all__ = [
     "LeaveEvent",
     "LinkEvent",
     "MeetingSpec",
+    "MigrateEvent",
     "Scenario",
     "ScenarioEvent",
     "Schedule",
@@ -52,4 +63,5 @@ __all__ = [
     "flash_crowd",
     "degrading_uplink",
     "zipf_hotset",
+    "federated_pair",
 ]

@@ -24,13 +24,23 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..baseline.software_sfu import SoftwareSfu
+from ..cluster import SfuCluster
 from ..core.rate_control import select_decode_target
 from ..core.scallop import ScallopSfu
 from ..netsim.datagram import Address
 from ..netsim.link import LinkProfile, Network
 from ..netsim.simulator import Simulator
 from ..webrtc.client import ClientConfig, WebRtcClient
-from .spec import MeetingRef, MeetingSpec, JoinEvent, LeaveEvent, LinkEvent, ParticipantRef, Scenario
+from .spec import (
+    JoinEvent,
+    LeaveEvent,
+    LinkEvent,
+    MeetingRef,
+    MeetingSpec,
+    MigrateEvent,
+    ParticipantRef,
+    Scenario,
+)
 
 SFU_ADDRESS = Address("10.0.0.1", 5000)
 
@@ -259,7 +269,18 @@ class ScenarioRun(Testbed):
         self.clients_by_meeting.setdefault(meeting_id, []).append(client)
         counter = self._participant_counter.get(meeting_id, 0)
         self._participant_counter[meeting_id] = max(counter, participant_index + 1)
-        self.sfu.join(client)  # type: ignore[attr-defined]
+        if isinstance(self.sfu, SfuCluster):
+            # declarative placement: an explicit cascade pins participant i
+            # to member cascade[i % len], a plain `sfu` homes the whole
+            # meeting; otherwise the cluster's default placement applies
+            member: Optional[int] = None
+            if spec.cascade:
+                member = spec.cascade[participant_index % len(spec.cascade)]
+            elif spec.sfu is not None:
+                member = spec.sfu
+            self.sfu.join(client, member=member)
+        else:
+            self.sfu.join(client)  # type: ignore[attr-defined]
         return client
 
     def leave(self, meeting: MeetingRef, participant: ParticipantRef) -> Optional[WebRtcClient]:
@@ -306,6 +327,21 @@ class ScenarioRun(Testbed):
         self._log(f"link {client.config.participant_id}: {changed or 'no-op'}")
         return True
 
+    def migrate(self, meeting: MeetingRef, to_sfu: int) -> bool:
+        """Live-migrate a meeting onto cluster member ``to_sfu``.
+
+        Cross-SFU migration (``repro.cluster``): versioned snapshot, client
+        re-home, rewriter adoption, straggler drain.  Returns ``False`` when
+        the meeting is already home on the target; raises on a non-cluster
+        backend (migration is a federation capability, not a churn event).
+        """
+        if not isinstance(self.sfu, SfuCluster):
+            raise ValueError("migrate() requires a multi-SFU backend (BackendSpec.n_sfus > 1)")
+        meeting_id = self.meeting_id_for(meeting)
+        moved = self.sfu.migrate_meeting(meeting_id, to_sfu)
+        self._log(f"migrate {meeting_id} -> sfu {to_sfu}{'' if moved else ' (already home)'}")
+        return moved
+
     def _log(self, message: str) -> None:
         self.event_log.append((self.simulator.now, message))
 
@@ -320,6 +356,8 @@ class ScenarioRun(Testbed):
         elif isinstance(event, LinkEvent):
             if not self.set_link(event.meeting, event.participant, event.uplink, event.downlink):
                 self._log(f"drop link {event.meeting}/{event.participant}: no such participant")
+        elif isinstance(event, MigrateEvent):
+            self.migrate(event.meeting, event.to_sfu)
         else:  # pragma: no cover - spec types are closed
             raise TypeError(f"unknown scenario event: {event!r}")
 
@@ -365,7 +403,18 @@ class ScenarioRun(Testbed):
             "leaves": self.leaves,
             "events_applied": len(self.event_log),
         }
-        if isinstance(sfu, ScallopSfu):
+        if isinstance(sfu, SfuCluster):
+            out["sfu"] = "scallop-cluster"
+            out["n_sfus"] = len(sfu.members)
+            out["packets_in"] = sum(m.stats.packets_in for m in sfu.members)
+            out["packets_out"] = sum(m.stats.packets_out for m in sfu.members)
+            out["trunk_packets_in"] = sum(m.trunk_stats.packets_in for m in sfu.members)
+            out["trunk_subscriptions"] = sum(m.trunk_stats.subscriptions for m in sfu.members)
+            out["meeting_migrations"] = sum(m.trunk_stats.migrations_in for m in sfu.members)
+            out["snapshot_bytes_shipped"] = sum(
+                m.trunk_stats.snapshot_bytes for m in sfu.members
+            ) // 2  # counted on both ends
+        elif isinstance(sfu, ScallopSfu):
             out["sfu"] = "scallop"
             out["packets_in"] = sfu.stats.packets_in
             out["packets_out"] = sfu.stats.packets_out
@@ -411,9 +460,13 @@ class ScenarioRun(Testbed):
 
         bus = TelemetryBus()
         sim_time_s = self.simulator.now
-        pipeline = getattr(self.sfu, "pipeline", None)
-        if pipeline is not None:
-            bus.add_engine(pipeline, sim_time_s=sim_time_s)
+        if isinstance(self.sfu, SfuCluster):
+            for member in self.sfu.members:
+                bus.add_engine(member.pipeline, sim_time_s=sim_time_s)
+        else:
+            pipeline = getattr(self.sfu, "pipeline", None)
+            if pipeline is not None:
+                bus.add_engine(pipeline, sim_time_s=sim_time_s)
         samples: List[float] = []
         for client in self.clients:
             samples.extend(getattr(client, "rtp_latency_samples_ms", ()))
@@ -444,6 +497,17 @@ class ScenarioRun(Testbed):
                 surviving_ssrcs.add(client.video_ssrc)
 
         sfu = self.sfu
+        if isinstance(sfu, SfuCluster):
+            # the cluster audits each box against the cross-SFU population it
+            # tracks itself (homes, trunk subscriptions, idle baselines); the
+            # driver only cross-checks the two population ledgers agree
+            if sfu.total_participants() != len(self.clients):
+                problems.append(
+                    f"cluster tracks {sfu.total_participants()} participants, "
+                    f"{len(self.clients)} survive"
+                )
+            problems.extend(sfu.reconcile())
+            return problems
         if isinstance(sfu, SoftwareSfu):
             if sfu.total_participants != len(self.clients):
                 problems.append(
@@ -518,6 +582,24 @@ class ScenarioRun(Testbed):
 
 def _build_sfu(scenario: Scenario, simulator: Simulator, network: Network):
     backend = scenario.backend
+    if backend.kind == "scallop" and backend.n_sfus > 1:
+        # member 0 sits on SFU_ADDRESS, so clients' initial signaling target
+        # is unchanged; per-member backend knobs are uniform across the fleet
+        return SfuCluster(
+            simulator,
+            network,
+            n_sfus=backend.n_sfus,
+            rewrite_variant=backend.rewrite_variant,
+            adaptation_thresholds_bps=backend.adaptation_thresholds_bps,
+            uplink_profile=backend.sfu_link,
+            downlink_profile=backend.sfu_link,
+            n_shards=backend.n_shards,
+            shard_executor=backend.shard_executor,
+            rebalance=backend.rebalance_config(),
+            srtp=scenario.traffic.srtp,
+            profile=backend.profile,
+            obs=backend.obs,
+        )
     if backend.kind == "scallop":
         return ScallopSfu(
             SFU_ADDRESS,
@@ -596,7 +678,7 @@ def build_scenario(scenario: Scenario) -> ScenarioRun:
         for participant_index in range(spec.participants):
             run._admit(meeting_id, index, participant_index)
             run.joins += 1
-    if isinstance(sfu, ScallopSfu):
+    if isinstance(sfu, (ScallopSfu, SfuCluster)):
         sfu.start()
     for client in run.clients:
         client.start()

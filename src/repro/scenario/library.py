@@ -23,6 +23,11 @@ Scenario           Exercises
 ``zipf_hotset``    Zipf meeting sizes and a hot head: heterogeneous
                    populations on a sharded wire-native dataplane with
                    rebalancing — egress-weighted placement end to end.
+``federated_pair``  Two Scallop boxes in one netsim: a meeting cascaded
+                   across both over an inter-SFU trunk, late joins landing
+                   on either box, then a mid-run live migration
+                   consolidating the meeting onto one box (``repro.cluster``
+                   end to end: trunks, snapshot shipping, straggler drain).
 =================  ==========================================================
 """
 
@@ -160,10 +165,49 @@ def zipf_hotset(smoke: bool = False) -> Scenario:
     )
 
 
+def federated_pair(smoke: bool = False) -> Scenario:
+    """Two federated Scallop boxes: a cascaded meeting, then live migration.
+
+    Meeting 0 is split across both boxes (``cascade=(0, 0, 1, 1)``) so its
+    media crosses the inter-SFU trunk in both directions; meeting 1 lives
+    entirely on box 1 so box 0 must hold no state for it.  A late joiner
+    lands on each side of the cascade mid-run, one early participant leaves,
+    and at 60% of the horizon the cascaded meeting live-migrates onto box 1
+    — versioned snapshot, rewriter adoption, straggler drain — after which
+    box 0 must drain back toward its baseline.  End-state reconciliation
+    audits every box against the surviving cross-SFU population.
+    """
+    duration = 8.0 if smoke else 20.0
+    schedule = (
+        Schedule()
+        .join(duration * 0.2, 0)   # lands on box 0 (cascade index 4 % 4 = 0)
+        .join(duration * 0.3, 1)   # meeting 1 grows on box 1
+        .leave(duration * 0.45, 0, 1)
+        .migrate(duration * 0.6, 0, 1)
+    )
+    return Scenario(
+        name="federated_pair",
+        meetings=(
+            MeetingSpec(participants=4, video_bitrate_bps=900_000.0, cascade=(0, 0, 1, 1)),
+            MeetingSpec(participants=2, video_bitrate_bps=900_000.0, sfu=1),
+        ),
+        default_meeting=MeetingSpec(video_bitrate_bps=900_000.0),
+        backend=BackendSpec.cluster(
+            n_sfus=2,
+            adaptation_thresholds_bps=(900_000.0 * 0.8, 900_000.0 * 0.4),
+        ),
+        traffic=TrafficSpec(frame_bursts=True, wire_native=True),
+        schedule=schedule,
+        duration_s=duration,
+        seed=23,
+    )
+
+
 LIBRARY: Dict[str, Callable[[bool], Scenario]] = {
     "steady": steady,
     "churn_storm": churn_storm,
     "flash_crowd": flash_crowd,
     "degrading_uplink": degrading_uplink,
     "zipf_hotset": zipf_hotset,
+    "federated_pair": federated_pair,
 }

@@ -58,6 +58,14 @@ class MeetingSpec:
     #: Per-meeting traffic-model overrides (``None`` inherits the scenario).
     frame_bursts: Optional[bool] = None
     wire_native: Optional[bool] = None
+    #: Cluster placement (``repro.cluster``): home every participant on this
+    #: member index (``None`` = the cluster's default placement).
+    sfu: Optional[int] = None
+    #: Cascade the meeting: participant ``i`` is homed on member
+    #: ``cascade[i % len(cascade)]`` — e.g. ``(0, 0, 1, 1)`` splits a
+    #: four-party meeting across two boxes joined by an inter-SFU trunk.
+    #: Takes precedence over ``sfu``.
+    cascade: Optional[Tuple[int, ...]] = None
 
 
 @dataclass(frozen=True)
@@ -108,6 +116,11 @@ class BackendSpec:
     #: SFU port profile applied to both directions (``None`` = the backend's
     #: default 1 Gbit/s-class port).
     sfu_link: Optional[LinkProfile] = None
+    #: Federation size (``repro.cluster``): ``1`` runs the classic single
+    #: box; ``n > 1`` builds an :class:`~repro.cluster.SfuCluster` of ``n``
+    #: Scallop SFUs joined by inter-SFU trunks, and meetings place/cascade
+    #: across members via :attr:`MeetingSpec.sfu` / :attr:`MeetingSpec.cascade`.
+    n_sfus: int = 1
 
     # -- scallop ---------------------------------------------------------------
     rewrite_variant: RewriteVariant = RewriteVariant.S_LR
@@ -142,9 +155,18 @@ class BackendSpec:
             object.__setattr__(self, "kind", "software")
         elif kind not in ("scallop", "software"):
             raise ValueError(f"unknown backend kind: {kind!r}")
+        if self.n_sfus < 1:
+            raise ValueError(f"BackendSpec.n_sfus must be >= 1, got {self.n_sfus}")
+        if self.n_sfus > 1 and self.kind != "scallop":
+            raise ValueError("multi-SFU federation requires the scallop backend")
         # single source of truth for executor names: the sharding module's
         # validator, shared with the engine constructor
         validate_executor(self.shard_executor)
+
+    @classmethod
+    def cluster(cls, n_sfus: int = 2, **kwargs) -> "BackendSpec":
+        """A federation of ``n_sfus`` Scallop boxes in one netsim."""
+        return cls(kind="scallop", n_sfus=n_sfus, **kwargs)
 
     def rebalance_config(self) -> Optional[RebalancerConfig]:
         """The effective rebalancer config, or ``None`` when disarmed."""
@@ -189,7 +211,22 @@ class LinkEvent:
     downlink: Optional[LinkProfile] = None
 
 
-ScenarioEvent = Union[JoinEvent, LeaveEvent, LinkEvent]
+@dataclass(frozen=True)
+class MigrateEvent:
+    """Migrate ``meeting`` onto cluster member ``to_sfu`` at ``at_s``.
+
+    Cross-SFU live migration (``repro.cluster``): snapshot at a batch
+    boundary, move the clients, adopt the versioned rewriter/decode-target
+    snapshot on the destination, drain stragglers over the trunk.  Only
+    meaningful on a ``n_sfus > 1`` backend.
+    """
+
+    at_s: float
+    meeting: MeetingRef
+    to_sfu: int
+
+
+ScenarioEvent = Union[JoinEvent, LeaveEvent, LinkEvent, MigrateEvent]
 
 
 @dataclass(frozen=True)
@@ -220,6 +257,9 @@ class Schedule:
         downlink: Optional[LinkProfile] = None,
     ) -> "Schedule":
         return Schedule(self.events + (LinkEvent(at_s, meeting, participant, uplink, downlink),))
+
+    def migrate(self, at_s: float, meeting: MeetingRef, to_sfu: int) -> "Schedule":
+        return Schedule(self.events + (MigrateEvent(at_s, meeting, to_sfu),))
 
     def extend(self, *events: ScenarioEvent) -> "Schedule":
         return Schedule(self.events + tuple(events))

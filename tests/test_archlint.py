@@ -21,6 +21,7 @@ if str(REPO_ROOT) not in sys.path:
 from tools.archlint import ALL_RULES, check_source, load_baseline, run_paths
 from tools.archlint.engine import format_baseline_entry
 from tools.archlint.rules import (
+    PICKLE_WHITELIST,
     DeterminismRule,
     GenerationDisciplineRule,
     ShareNothingRule,
@@ -511,6 +512,26 @@ class TestEndToEnd:
         assert rule._in_scope("repro.obs.tracing")
         assert rule._in_scope("repro.obs.registry")
         assert not rule._in_scope("repro.experiments.coordstats")
+
+    def test_cluster_fixture_trips_determinism_and_pickle(self):
+        # the federation layer is ordinary repro.* simulation code: a pickled
+        # migration snapshot, a wall-clock drain deadline, or RNG placement
+        # in repro.cluster must flag exactly as they would in the dataplane
+        fixture = REPO_ROOT / "tools" / "archlint" / "fixtures" / "violating_cluster.py"
+        report = run_paths([str(fixture)])
+        assert {finding.rule for finding in report.new} == {"determinism", "zero-pickle"}
+        messages = [finding.message for finding in report.new]
+        assert any("pickle.dumps()" in message for message in messages)
+        assert any("wall-clock read time.time()" in message for message in messages)
+        assert any("random.random()" in message for message in messages)
+
+    def test_cluster_package_is_inside_jurisdictions(self):
+        determinism = DeterminismRule()
+        assert determinism._in_scope("repro.cluster.trunk")
+        assert determinism._in_scope("repro.cluster.snapshot")
+        # no repro.cluster module may appear in the pickle whitelist: the
+        # migration snapshot path must stay zero-pickle end to end
+        assert not any(module.startswith("repro.cluster") for module in PICKLE_WHITELIST)
 
     def test_wirebatch_fixture_trips_wire_hygiene(self):
         # proves the extended jurisdiction bites: the fixture impersonates

@@ -443,5 +443,12 @@ class TestScenarioCli:
 
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
-        for name in ("steady", "churn_storm", "flash_crowd", "degrading_uplink", "zipf_hotset"):
+        for name in (
+            "steady",
+            "churn_storm",
+            "flash_crowd",
+            "degrading_uplink",
+            "zipf_hotset",
+            "federated_pair",
+        ):
             assert name in out

@@ -1,0 +1,32 @@
+# archlint: module=repro.cluster.trunk
+"""Violating fixture proving the federation layer sits inside archlint's
+jurisdiction: ``repro.cluster`` is ordinary ``repro.*`` simulation code, so
+the determinism rule (no wall-clock, no bare RNG) and the zero-pickle rule
+(cross-SFU snapshots ship packed register images, never pickled object
+graphs) must flag here exactly as they do in the dataplane.  (Real cluster
+code stamps nothing with wall time, drains on the simulator clock, and ships
+``pack_rewriter_state`` bytes.)  CI runs the fixtures directory with
+``--no-baseline`` and requires a non-zero exit.  DO NOT "fix" these
+violations.
+"""
+
+import pickle
+import random
+import time
+
+
+def snapshot_meeting(rewriters):
+    # zero-pickle: a migration snapshot must pack register images, not
+    # serialize the rewriter object graph
+    return pickle.dumps(rewriters)
+
+
+def drain_deadline():
+    # rule 4: determinism — drain windows expire on the simulator clock,
+    # never wall time
+    return time.time() + 0.05
+
+
+def pick_migration_target(members):
+    # rule 4: determinism — placement must be a pure function of the spec
+    return members[int(random.random() * len(members))]
